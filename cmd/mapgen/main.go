@@ -1,0 +1,128 @@
+// Command mapgen generates the suite's synthetic inputsets and writes them
+// to disk, mirroring the original repository's practice of shipping
+// "multiple inputsets for many of the kernels" (paper §VI).
+//
+//	mapgen -kind city -w 1024 -h 1024 -seed 1 -o boston_like.map
+//	mapgen -kind indoor -w 192 -h 96 -o building.map
+//	mapgen -kind prob -scale 4 -o prob_x4.map
+//
+// 2D maps are written in the Moving AI benchmark format, which pp2d and pfl
+// load back via --map.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/maps"
+	"repro/internal/rng"
+	"repro/internal/search"
+)
+
+func main() {
+	kind := flag.String("kind", "city", "map kind: city | indoor | prob")
+	w := flag.Int("w", 512, "width, cells")
+	h := flag.Int("h", 512, "height, cells")
+	seed := flag.Int64("seed", 1, "generator seed")
+	scale := flag.Int("scale", 1, "integer scale factor (prob kind)")
+	out := flag.String("o", "", "output path (default: stdout)")
+	scenN := flag.Int("scen", 0, "also generate this many random scenarios")
+	scenOut := flag.String("scenout", "", "scenario output path (requires -scen and -o)")
+	flag.Parse()
+
+	var g *grid.Grid2D
+	switch *kind {
+	case "city":
+		g = maps.CityMap(*w, *h, *seed)
+	case "indoor":
+		g = maps.IndoorMap(*w, *h, *seed)
+	case "prob":
+		g = maps.PRobMap().Scale(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "mapgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := grid.WriteMovingAI(dst, g); err != nil {
+		fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %dx%d %s map (%d obstacle cells) to %s\n",
+			g.W, g.H, *kind, g.CountOccupied(), *out)
+	}
+
+	if *scenN > 0 {
+		if *scenOut == "" || *out == "" {
+			fmt.Fprintln(os.Stderr, "mapgen: -scen requires both -o and -scenout")
+			os.Exit(2)
+		}
+		scens, err := makeScenarios(g, *out, *scenN, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*scenOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := grid.WriteScen(f, scens); err != nil {
+			fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d scenarios (with computed optimal costs) to %s\n", len(scens), *scenOut)
+	}
+}
+
+// makeScenarios samples random solvable start/goal pairs on the map and
+// records their true optimal octile costs, producing a Moving AI-style
+// problem set for the generated map.
+func makeScenarios(g *grid.Grid2D, mapName string, n int, seed int64) ([]grid.Scenario, error) {
+	r := rng.New(seed + 0x5ce)
+	sp := &search.Grid2DSpace{G: g}
+	var out []grid.Scenario
+	attempts := 0
+	for len(out) < n && attempts < 100*n {
+		attempts++
+		sx, sy := r.Intn(g.W), r.Intn(g.H)
+		gx, gy := r.Intn(g.W), r.Intn(g.H)
+		if g.Occupied(sx, sy) || g.Occupied(gx, gy) || (sx == gx && sy == gy) {
+			continue
+		}
+		res, err := search.Solve(search.Problem{
+			Space: sp,
+			Start: sp.ID(sx, sy),
+			Goal:  sp.ID(gx, gy),
+			H:     sp.OctileHeuristic(gx, gy),
+		})
+		if err != nil {
+			continue // unreachable pair
+		}
+		out = append(out, grid.Scenario{
+			Bucket:  len(out) / 10,
+			MapName: mapName,
+			MapW:    g.W, MapH: g.H,
+			StartX: sx, StartY: g.H - 1 - sy,
+			GoalX: gx, GoalY: g.H - 1 - gy,
+			OptimalLength: res.Cost,
+		})
+	}
+	if len(out) < n {
+		return out, fmt.Errorf("only found %d solvable scenarios of %d requested", len(out), n)
+	}
+	return out, nil
+}

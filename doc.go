@@ -1,0 +1,11 @@
+// Package repro is RTRBench-Go: a Go reproduction of "RTRBench: A Benchmark
+// Suite for Real-Time Robotics" (Bakhshalipour, Likhachev, Gibbons —
+// ISPASS 2022).
+//
+// The public API lives in repro/rtrbench; the sixteen kernels live under
+// internal/core and the substrates they share under internal/. The root
+// package only anchors the repository-level benchmark harness
+// (bench_test.go), whose benchmarks regenerate every table and figure of
+// the paper's evaluation — see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured results.
+package repro

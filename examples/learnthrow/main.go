@@ -1,0 +1,88 @@
+// learnthrow reproduces the learning-based control scenario of §V.15-V.16:
+// a 2-DoF arm learns to throw a ball at a target, first with the
+// cross-entropy method (Fig. 18: 5 iterations x 15 samples), then with
+// Bayesian optimization (Fig. 19: 45 iterations of GP-UCB), printing the
+// reward curves and comparing the two learners' compute profiles.
+//
+//	go run ./examples/learnthrow
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/bo"
+	"repro/internal/core/cem"
+	"repro/internal/physics"
+	"repro/internal/profile"
+)
+
+func main() {
+	world := physics.DefaultWorld()
+	fmt.Printf("learnthrow: hit a target %.1f m away with a %.1f m arm on a %.1f m pedestal\n",
+		world.GoalX, world.Link1+world.Link2, world.BaseHeight)
+
+	// --- CEM (paper Fig. 18).
+	cemCfg := cem.DefaultConfig()
+	p1 := profile.New()
+	cemRes, err := cem.Run(cemCfg, p1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n== cross-entropy method: %d iterations x %d samples ==\n",
+		cemCfg.Iterations, cemCfg.SamplesPerIter)
+	fmt.Println("best reward per iteration (0 = perfect hit):")
+	for i, r := range cemRes.BestPerIter {
+		fmt.Printf("  iter %d: %7.3f %s\n", i+1, r, bar(r))
+	}
+	fmt.Printf("best throw: joints (%.2f, %.2f) rad, force %.1f N -> lands %.2f m from target\n",
+		cemRes.BestParams.Joint1, cemRes.BestParams.Joint2, cemRes.BestParams.Force, -cemRes.BestReward)
+	rep1 := p1.Snapshot()
+	fmt.Printf("learning compute: %v; sort share %.0f%% (paper: ~1/3)\n",
+		rep1.ROI.Round(time.Microsecond), 100*rep1.Fraction("sort"))
+
+	// --- BO (paper Fig. 19).
+	boCfg := bo.DefaultConfig()
+	p2 := profile.New()
+	boRes, err := bo.Run(boCfg, p2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n== Bayesian optimization: %d GP-UCB iterations ==\n", boCfg.Iterations)
+	fmt.Println("reward of each BO-chosen sample (every 5th):")
+	for i := boCfg.InitSamples; i < len(boRes.Rewards); i += 5 {
+		fmt.Printf("  iter %2d: %7.3f %s\n", i-boCfg.InitSamples+1, boRes.Rewards[i], bar(boRes.Rewards[i]))
+	}
+	fmt.Printf("best throw: joints (%.2f, %.2f) rad, force %.1f N -> lands %.2f m from target\n",
+		boRes.BestParams.Joint1, boRes.BestParams.Joint2, boRes.BestParams.Force, -boRes.BestReward)
+	rep2 := p2.Snapshot()
+	fmt.Printf("learning compute: %v (%d GP posterior evaluations)\n",
+		rep2.ROI.Round(time.Microsecond), boRes.Predictions)
+
+	// --- The §V.16 comparison.
+	fmt.Printf("\nbo vs cem compute: %.0fx more learning time, sort phase %.1fx heavier\n",
+		float64(rep2.ROI)/float64(rep1.ROI), sortRatio(rep2, rep1))
+}
+
+func sortRatio(a, b profile.Report) float64 {
+	sa, _ := a.Phase("sort")
+	sb, _ := b.Phase("sort")
+	if sb.Total == 0 {
+		return 0
+	}
+	return float64(sa.Total) / float64(sb.Total)
+}
+
+// bar draws a reward as a text bar: longer is better (closer to zero).
+func bar(reward float64) string {
+	miss := -reward
+	n := int(20 - miss*4)
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,81 @@
+// Quickstart: run a couple of RTRBench-Go kernels through the public API
+// and print their characterization — the suite's minimal end-to-end tour.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/rtrbench"
+)
+
+func main() {
+	fmt.Println("RTRBench-Go quickstart")
+	fmt.Println("======================")
+
+	// 1. Run one kernel and inspect its phase breakdown.
+	res, err := rtrbench.Run("pfl", rtrbench.Options{Size: rtrbench.SizeSmall, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nparticle filter localization finished in %v\n", res.ROI.Round(time.Millisecond))
+	fmt.Printf("dominant phase: %s (%.0f%% of the region of interest)\n",
+		res.Dominant(), 100*res.Fraction(res.Dominant()))
+	fmt.Printf("rays cast: %.0f, occupancy cells traversed: %.0f\n",
+		res.Metric("raycasts"), res.Metric("cells_visited"))
+
+	// 2. Check the whole suite against the paper's Table I.
+	fmt.Println("\nTable I check (small inputs):")
+	fmt.Printf("%-4s %-10s %-12s %-14s %s\n", "#", "kernel", "stage", "dominant", "matches paper?")
+	for _, k := range rtrbench.Kernels() {
+		r, err := rtrbench.Run(k.Name, rtrbench.Options{Size: rtrbench.SizeSmall, Seed: 1})
+		if err != nil {
+			fmt.Printf("%-4d %-10s ERROR %v\n", k.Index, k.Name, err)
+			continue
+		}
+		match := "no"
+		for _, e := range k.ExpectDominant {
+			if e == r.Dominant() {
+				match = "yes"
+			}
+		}
+		fmt.Printf("%-4d %-10s %-12s %-14s %s\n", k.Index, k.Name, k.Stage, r.Dominant(), match)
+	}
+
+	// 3. Figure 15-style output: the DMP velocity profile.
+	res, err = rtrbench.Run("dmp", rtrbench.Options{Size: rtrbench.SizeSmall})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nDMP velocity profile (paper Fig. 15 right):")
+	sparkline(res.Series["velocity"], 60)
+}
+
+// sparkline prints a crude text plot of a series.
+func sparkline(xs []float64, width int) {
+	if len(xs) == 0 {
+		return
+	}
+	var max float64
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	step := len(xs) / width
+	if step == 0 {
+		step = 1
+	}
+	levels := []rune(" .:-=+*#%@")
+	out := make([]rune, 0, width)
+	for i := 0; i < len(xs); i += step {
+		l := int(xs[i] / max * float64(len(levels)-1))
+		out = append(out, levels[l])
+	}
+	fmt.Printf("  |%s|  peak %.2f m/s\n", string(out), max)
+}

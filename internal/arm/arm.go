@@ -1,0 +1,209 @@
+// Package arm models the planar n-DoF arm manipulator used by the
+// sampling-based planning kernels (prm, rrt, rrtstar, rrtpp) and the
+// learning kernels' throwing robot. It provides forward kinematics,
+// configuration-space interpolation, the workspace obstacle sets Map-C
+// (cluttered) and Map-F (free) from the paper's Fig. 9, and the collision
+// checks that dominate those kernels' execution time.
+package arm
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Arm is a planar serial manipulator with fixed base, n revolute joints, and
+// per-joint link lengths. A configuration is a vector of n joint angles in
+// radians; angle i is measured relative to link i-1.
+type Arm struct {
+	Base  geom.Vec2
+	Links []float64 // link lengths, meters
+}
+
+// New returns an arm with the given base position and link lengths.
+func New(base geom.Vec2, links ...float64) *Arm {
+	if len(links) == 0 {
+		panic("arm: at least one link required")
+	}
+	ls := make([]float64, len(links))
+	copy(ls, links)
+	return &Arm{Base: base, Links: ls}
+}
+
+// DoF returns the number of joints.
+func (a *Arm) DoF() int { return len(a.Links) }
+
+// Reach returns the maximum distance the end-effector can be from the base.
+func (a *Arm) Reach() float64 {
+	var s float64
+	for _, l := range a.Links {
+		s += l
+	}
+	return s
+}
+
+// ForwardKinematics returns the world positions of every joint, base first,
+// end-effector last (len = DoF+1). The result is appended to dst to let hot
+// loops reuse a buffer.
+func (a *Arm) ForwardKinematics(config []float64, dst []geom.Vec2) []geom.Vec2 {
+	if len(config) != len(a.Links) {
+		panic("arm: configuration dimension mismatch")
+	}
+	dst = append(dst[:0], a.Base)
+	p := a.Base
+	theta := 0.0
+	for i, l := range a.Links {
+		theta += config[i]
+		s, c := math.Sincos(theta)
+		p = geom.Vec2{X: p.X + l*c, Y: p.Y + l*s}
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// EndEffector returns the end-effector position for a configuration.
+func (a *Arm) EndEffector(config []float64) geom.Vec2 {
+	p := a.Base
+	theta := 0.0
+	for i, l := range a.Links {
+		theta += config[i]
+		s, c := math.Sincos(theta)
+		p = geom.Vec2{X: p.X + l*c, Y: p.Y + l*s}
+	}
+	return p
+}
+
+// ConfigDist returns the Euclidean distance between two configurations in
+// joint-angle space — the L2-norm computation the paper flags as a prm
+// bottleneck.
+func ConfigDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Interpolate writes a + t*(b-a) into dst and returns it.
+func Interpolate(a, b []float64, t float64, dst []float64) []float64 {
+	dst = dst[:0]
+	for i := range a {
+		dst = append(dst, a[i]+t*(b[i]-a[i]))
+	}
+	return dst
+}
+
+// Obstacle is a workspace obstacle the arm links must not cross.
+type Obstacle interface {
+	// HitsSegment reports whether the segment (a link) intersects the
+	// obstacle.
+	HitsSegment(s geom.Segment) bool
+}
+
+// RectObstacle is an axis-aligned rectangular obstacle.
+type RectObstacle struct{ Box geom.AABB }
+
+// HitsSegment implements Obstacle.
+func (o RectObstacle) HitsSegment(s geom.Segment) bool { return o.Box.IntersectsSegment(s) }
+
+// CircleObstacle is a disc obstacle.
+type CircleObstacle struct{ Circle geom.Circle }
+
+// HitsSegment implements Obstacle.
+func (o CircleObstacle) HitsSegment(s geom.Segment) bool { return o.Circle.IntersectsSegment(s) }
+
+// Workspace is the environment the arm operates in.
+type Workspace struct {
+	Obstacles []Obstacle
+
+	// SegChecks counts link-versus-obstacle segment tests, the unit of
+	// collision-detection work reported by the harness.
+	SegChecks int64
+}
+
+// CollisionFree reports whether the arm at the given configuration avoids
+// every obstacle. It runs forward kinematics and tests each link segment
+// against each obstacle. The scratch slice (may be nil) avoids allocation in
+// hot loops.
+func (w *Workspace) CollisionFree(a *Arm, config []float64, scratch []geom.Vec2) bool {
+	joints := a.ForwardKinematics(config, scratch)
+	for i := 0; i+1 < len(joints); i++ {
+		seg := geom.Segment{A: joints[i], B: joints[i+1]}
+		for _, obs := range w.Obstacles {
+			w.SegChecks++
+			if obs.HitsSegment(seg) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EdgeFree reports whether the straight joint-space motion from config a to
+// config b stays collision-free, sampled at the given angular step
+// (radians). Both endpoints are checked.
+func (w *Workspace) EdgeFree(arm *Arm, a, b []float64, step float64, scratch []geom.Vec2, cfgScratch []float64) bool {
+	d := ConfigDist(a, b)
+	n := int(math.Ceil(d/step)) + 1
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		cfg := Interpolate(a, b, t, cfgScratch)
+		if !w.CollisionFree(arm, cfg, scratch) {
+			return false
+		}
+	}
+	return true
+}
+
+// MapF returns the paper's free workspace (Fig. 9 left): a 50 cm × 50 cm
+// area, obstacle-free except the workspace bounds. The arm's base sits at
+// the center.
+func MapF() *Workspace { return &Workspace{} }
+
+// MapC returns the paper's cluttered workspace (Fig. 9 right): rectangles
+// and discs distributed around a 50 cm × 50 cm area, leaving channels the
+// arm must thread. Dimensions are in meters, base at the origin.
+//
+// The clutter is laid out so the suite's default start (upper-left reach)
+// and goal (lower-left reach) poses are free, the direct leftward sweep
+// between them is blocked, and the rightward detour threads gaps between
+// obstacles — every planner pays heavily for collision checking, exactly
+// the profile the paper reports.
+func MapC() *Workspace {
+	return &Workspace{Obstacles: []Obstacle{
+		// Left blocker: forbids the direct sweep through the -X sector.
+		RectObstacle{geom.AABB{Min: geom.Vec2{X: -0.26, Y: -0.04}, Max: geom.Vec2{X: -0.14, Y: 0.04}}},
+		// Right-side clutter the detour must thread.
+		CircleObstacle{geom.Circle{C: geom.Vec2{X: 0.13, Y: 0.13}, R: 0.05}},
+		CircleObstacle{geom.Circle{C: geom.Vec2{X: 0.13, Y: -0.13}, R: 0.05}},
+		RectObstacle{geom.AABB{Min: geom.Vec2{X: 0.20, Y: -0.03}, Max: geom.Vec2{X: 0.26, Y: 0.03}}},
+		// Top and bottom blockers near the vertical axis.
+		RectObstacle{geom.AABB{Min: geom.Vec2{X: -0.03, Y: 0.18}, Max: geom.Vec2{X: 0.03, Y: 0.26}}},
+		RectObstacle{geom.AABB{Min: geom.Vec2{X: -0.03, Y: -0.26}, Max: geom.Vec2{X: 0.03, Y: -0.18}}},
+	}}
+}
+
+// Default5DoF returns the 5-DoF manipulator modeled in the paper (joint
+// lengths sized so the arm's reach covers the 50 cm workspace).
+func Default5DoF() *Arm {
+	return New(geom.Vec2{}, 0.06, 0.06, 0.05, 0.05, 0.04)
+}
+
+// DefaultStart and DefaultGoal return the suite's canonical query for the
+// Fig. 9 workspaces: a gently curled reach into the upper-left sector and
+// its mirror image in the lower-left sector. Both are collision-free in
+// Map-C and Map-F.
+func DefaultStart(dof int) []float64 { return reachPose(dof, +1) }
+
+// DefaultGoal returns the lower-left reach pose (see DefaultStart).
+func DefaultGoal(dof int) []float64 { return reachPose(dof, -1) }
+
+func reachPose(dof int, sign float64) []float64 {
+	c := make([]float64, dof)
+	c[0] = sign * 2.5 // ≈143°: upper-left (+) or lower-left (−) sector
+	for i := 1; i < dof; i++ {
+		c[i] = sign * 0.1
+	}
+	return c
+}

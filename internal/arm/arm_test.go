@@ -1,0 +1,195 @@
+package arm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestForwardKinematicsStraight(t *testing.T) {
+	a := New(geom.Vec2{}, 1, 1, 1)
+	joints := a.ForwardKinematics([]float64{0, 0, 0}, nil)
+	if len(joints) != 4 {
+		t.Fatalf("joints = %d, want 4", len(joints))
+	}
+	for i, j := range joints {
+		if math.Abs(j.X-float64(i)) > 1e-12 || math.Abs(j.Y) > 1e-12 {
+			t.Fatalf("joint %d at %v", i, j)
+		}
+	}
+}
+
+func TestForwardKinematicsElbow(t *testing.T) {
+	a := New(geom.Vec2{}, 1, 1)
+	ee := a.EndEffector([]float64{math.Pi / 2, -math.Pi / 2})
+	// First link up, second link turns back to +X direction.
+	if math.Abs(ee.X-1) > 1e-12 || math.Abs(ee.Y-1) > 1e-12 {
+		t.Fatalf("end effector at %v", ee)
+	}
+}
+
+func TestLinkLengthsPreserved(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		a := Default5DoF()
+		cfg := make([]float64, a.DoF())
+		for i := range cfg {
+			cfg[i] = r.Uniform(-math.Pi, math.Pi)
+		}
+		joints := a.ForwardKinematics(cfg, nil)
+		for i := 0; i < a.DoF(); i++ {
+			if math.Abs(joints[i].Dist(joints[i+1])-a.Links[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReach(t *testing.T) {
+	a := Default5DoF()
+	want := 0.06 + 0.06 + 0.05 + 0.05 + 0.04
+	if math.Abs(a.Reach()-want) > 1e-12 {
+		t.Fatalf("Reach = %v", a.Reach())
+	}
+	// No configuration exceeds the reach.
+	r := rng.New(2)
+	for k := 0; k < 100; k++ {
+		cfg := make([]float64, a.DoF())
+		for i := range cfg {
+			cfg[i] = r.Uniform(-math.Pi, math.Pi)
+		}
+		if a.EndEffector(cfg).Dist(a.Base) > a.Reach()+1e-9 {
+			t.Fatal("end effector beyond reach")
+		}
+	}
+}
+
+func TestConfigDist(t *testing.T) {
+	if d := ConfigDist([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("ConfigDist = %v", d)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	got := Interpolate([]float64{0, 10}, []float64{10, 20}, 0.5, nil)
+	if got[0] != 5 || got[1] != 15 {
+		t.Fatalf("Interpolate = %v", got)
+	}
+	// Endpoints.
+	if g0 := Interpolate([]float64{1, 2}, []float64{3, 4}, 0, nil); g0[0] != 1 || g0[1] != 2 {
+		t.Fatal("t=0 not start")
+	}
+	if g1 := Interpolate([]float64{1, 2}, []float64{3, 4}, 1, nil); g1[0] != 3 || g1[1] != 4 {
+		t.Fatal("t=1 not end")
+	}
+}
+
+func TestMapFIsFree(t *testing.T) {
+	a := Default5DoF()
+	ws := MapF()
+	r := rng.New(3)
+	for k := 0; k < 200; k++ {
+		cfg := make([]float64, a.DoF())
+		for i := range cfg {
+			cfg[i] = r.Uniform(-math.Pi, math.Pi)
+		}
+		if !ws.CollisionFree(a, cfg, nil) {
+			t.Fatal("Map-F rejected a configuration")
+		}
+	}
+}
+
+func TestMapCDefaultPosesFree(t *testing.T) {
+	a := Default5DoF()
+	ws := MapC()
+	if !ws.CollisionFree(a, DefaultStart(a.DoF()), nil) {
+		t.Fatal("default start pose collides in Map-C")
+	}
+	if !ws.CollisionFree(a, DefaultGoal(a.DoF()), nil) {
+		t.Fatal("default goal pose collides in Map-C")
+	}
+}
+
+func TestMapCBlocksSomePoses(t *testing.T) {
+	a := Default5DoF()
+	ws := MapC()
+	// Arm straight along +X runs into the right-side clutter
+	// (rect at x in [0.20, 0.26]).
+	straight := make([]float64, a.DoF())
+	if ws.CollisionFree(a, straight, nil) {
+		t.Fatal("straight-right pose should collide in Map-C")
+	}
+	// Fraction of random configs in collision should be meaningful.
+	r := rng.New(4)
+	blocked := 0
+	const n = 500
+	for k := 0; k < n; k++ {
+		cfg := make([]float64, a.DoF())
+		for i := range cfg {
+			cfg[i] = r.Uniform(-math.Pi, math.Pi)
+		}
+		if !ws.CollisionFree(a, cfg, nil) {
+			blocked++
+		}
+	}
+	if blocked < n/20 || blocked > n*9/10 {
+		t.Fatalf("Map-C blocked %d/%d random configs — clutter out of tune", blocked, n)
+	}
+}
+
+func TestEdgeFree(t *testing.T) {
+	a := Default5DoF()
+	ws := MapC()
+	start := DefaultStart(a.DoF())
+	goal := DefaultGoal(a.DoF())
+	// The direct joint-space interpolation from start to goal sweeps the
+	// arm through the left blocker; it must be rejected.
+	if ws.EdgeFree(a, start, goal, 0.05, nil, nil) {
+		t.Fatal("direct start->goal edge should collide in Map-C")
+	}
+	// A tiny move near the start is fine.
+	near := append([]float64(nil), start...)
+	near[1] += 0.05
+	if !ws.EdgeFree(a, start, near, 0.05, nil, nil) {
+		t.Fatal("tiny edge near start rejected")
+	}
+}
+
+func TestSegCheckCounter(t *testing.T) {
+	a := Default5DoF()
+	ws := MapC()
+	before := ws.SegChecks
+	ws.CollisionFree(a, DefaultStart(a.DoF()), nil)
+	if ws.SegChecks <= before {
+		t.Fatal("SegChecks not incremented")
+	}
+}
+
+func TestObstaclePrimitives(t *testing.T) {
+	rect := RectObstacle{geom.AABB{Min: geom.Vec2{X: 0, Y: 0}, Max: geom.Vec2{X: 1, Y: 1}}}
+	if !rect.HitsSegment(geom.Segment{A: geom.Vec2{X: -1, Y: 0.5}, B: geom.Vec2{X: 2, Y: 0.5}}) {
+		t.Fatal("rect missed crossing segment")
+	}
+	circ := CircleObstacle{geom.Circle{C: geom.Vec2{X: 0, Y: 0}, R: 0.5}}
+	if !circ.HitsSegment(geom.Segment{A: geom.Vec2{X: -1, Y: 0}, B: geom.Vec2{X: 1, Y: 0}}) {
+		t.Fatal("circle missed crossing segment")
+	}
+	if circ.HitsSegment(geom.Segment{A: geom.Vec2{X: -1, Y: 2}, B: geom.Vec2{X: 1, Y: 2}}) {
+		t.Fatal("circle hit a distant segment")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with no links did not panic")
+		}
+	}()
+	New(geom.Vec2{})
+}

@@ -1,0 +1,118 @@
+// Package collision implements the collision-detection substrate the
+// planning kernels spend most of their time in (the paper attributes >65%
+// of pp2d and up to 62% of rrt execution time to collision checks).
+//
+// The 2D checker tests an oriented rectangular robot footprint (the pp2d
+// car, 4.8 m × 1.8 m) against an occupancy grid by sampling the footprint at
+// grid resolution — the "checking a cell value" fine-grained operation the
+// paper highlights as ideal for hardware acceleration.
+package collision
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Footprint2D checks an oriented rectangle footprint against a 2D occupancy
+// grid. Construct once per robot; Check is safe for concurrent use.
+type Footprint2D struct {
+	G      *grid.Grid2D
+	Length float64 // along the robot's heading, meters
+	Width  float64 // across the robot, meters
+
+	// Cells counts occupancy-grid lookups across all checks (the paper's
+	// fine-grained-parallelism unit of work). Not synchronized; callers
+	// running parallel checks keep one Footprint2D per worker.
+	Cells int64
+	// Checks counts Check invocations.
+	Checks int64
+}
+
+// Check reports whether the robot footprint at pose (x, y, theta), in world
+// coordinates, is free of collisions.
+func (f *Footprint2D) Check(x, y, theta float64) bool {
+	s, c := math.Sincos(theta)
+	return f.CheckOriented(x, y, s, c)
+}
+
+// CheckOriented is Check with the heading supplied as (sin, cos) — planners
+// with a fixed move set precompute these instead of paying a Sincos per
+// collision check.
+func (f *Footprint2D) CheckOriented(x, y, s, c float64) bool {
+	f.Checks++
+	res := f.G.Resolution
+	hl, hw := f.Length/2, f.Width/2
+	// Sample the footprint interior on a lattice at grid resolution; the
+	// half-step inset keeps samples strictly inside the rectangle while the
+	// lattice pitch guarantees no grid cell inside the footprint is missed.
+	nu := int(math.Ceil(f.Length/res)) + 1
+	nv := int(math.Ceil(f.Width/res)) + 1
+	for i := 0; i <= nu; i++ {
+		u := -hl + float64(i)*f.Length/float64(nu)
+		for j := 0; j <= nv; j++ {
+			v := -hw + float64(j)*f.Width/float64(nv)
+			wx := x + c*u - s*v
+			wy := y + s*u + c*v
+			f.Cells++
+			if f.G.OccupiedWorld(wx, wy) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckCell reports whether the footprint centered on grid cell (cx, cy)
+// with the given heading is collision-free.
+func (f *Footprint2D) CheckCell(cx, cy int, theta float64) bool {
+	wx, wy := f.G.CellToWorld(cx, cy)
+	return f.Check(wx, wy, theta)
+}
+
+// CheckCellOriented is CheckCell with a precomputed (sin, cos) heading.
+func (f *Footprint2D) CheckCellOriented(cx, cy int, s, c float64) bool {
+	wx, wy := f.G.CellToWorld(cx, cy)
+	return f.CheckOriented(wx, wy, s, c)
+}
+
+// Point3D checks a point robot (a UAV that "fits in one resolution unit",
+// per the paper's pp3d setup) against a voxel grid.
+type Point3D struct {
+	G *grid.Grid3D
+
+	Cells  int64
+	Checks int64
+}
+
+// Check reports whether voxel (x, y, z) is free.
+func (p *Point3D) Check(x, y, z int) bool {
+	p.Checks++
+	p.Cells++
+	return p.G.Free(x, y, z)
+}
+
+// CheckSphere reports whether every voxel within radius r (in voxels) of
+// (x, y, z) is free, for UAVs larger than one resolution unit.
+func (p *Point3D) CheckSphere(x, y, z, r int) bool {
+	p.Checks++
+	if r <= 0 {
+		p.Cells++
+		return p.G.Free(x, y, z)
+	}
+	r2 := r * r
+	for dz := -r; dz <= r; dz++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if dx*dx+dy*dy+dz*dz > r2 {
+					continue
+				}
+				p.Cells++
+				if p.G.Occupied(x+dx, y+dy, z+dz) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

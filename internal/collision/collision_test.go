@@ -1,0 +1,113 @@
+package collision
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func openGrid(w, h int, res float64) *grid.Grid2D {
+	g := grid.NewGrid2D(w, h)
+	g.Resolution = res
+	return g
+}
+
+func TestFootprintFreeInOpenSpace(t *testing.T) {
+	g := openGrid(100, 100, 0.5)
+	f := &Footprint2D{G: g, Length: 4.8, Width: 1.8}
+	if !f.Check(25, 25, 0) {
+		t.Fatal("footprint in open space reported collision")
+	}
+	if f.Checks != 1 || f.Cells == 0 {
+		t.Fatalf("counters: checks=%d cells=%d", f.Checks, f.Cells)
+	}
+}
+
+func TestFootprintHitsObstacle(t *testing.T) {
+	g := openGrid(100, 100, 0.5)
+	g.Set(50, 50, true) // obstacle at world (25.0-25.5)^2
+	f := &Footprint2D{G: g, Length: 4.8, Width: 1.8}
+	if f.Check(25.25, 25.25, 0) {
+		t.Fatal("footprint centered on obstacle reported free")
+	}
+	// Far away is fine.
+	if !f.Check(10, 10, 0) {
+		t.Fatal("distant footprint reported collision")
+	}
+}
+
+func TestFootprintOrientationMatters(t *testing.T) {
+	g := openGrid(100, 100, 0.5)
+	// A narrow vertical corridor: walls at x=48 and x=55 (world 24 and 27.5),
+	// gap of 3 m. The car is 4.8 long x 1.8 wide: fits vertically (width
+	// across the gap) but not horizontally (length across the gap).
+	for y := 0; y < 100; y++ {
+		g.Set(48, y, true)
+		g.Set(55, y, true)
+	}
+	f := &Footprint2D{G: g, Length: 4.8, Width: 1.8}
+	cx := (24.5 + 27.5) / 2
+	if !f.Check(cx, 25, math.Pi/2) {
+		t.Fatal("car aligned with corridor reported collision")
+	}
+	if f.Check(cx, 25, 0) {
+		t.Fatal("car across corridor reported free")
+	}
+}
+
+func TestFootprintNearBoundary(t *testing.T) {
+	g := openGrid(20, 20, 0.5)
+	f := &Footprint2D{G: g, Length: 4.8, Width: 1.8}
+	// Center close to the map edge: part of the footprint is out of bounds,
+	// which reads as occupied.
+	if f.Check(0.5, 5, 0) {
+		t.Fatal("footprint over the map edge reported free")
+	}
+}
+
+func TestCheckCell(t *testing.T) {
+	g := openGrid(40, 40, 0.5)
+	f := &Footprint2D{G: g, Length: 1, Width: 1}
+	if !f.CheckCell(20, 20, 0) {
+		t.Fatal("CheckCell in open space failed")
+	}
+	g.Set(20, 20, true)
+	if f.CheckCell(20, 20, 0) {
+		t.Fatal("CheckCell on obstacle passed")
+	}
+}
+
+func TestPoint3D(t *testing.T) {
+	g := grid.NewGrid3D(10, 10, 10)
+	p := &Point3D{G: g}
+	if !p.Check(5, 5, 5) {
+		t.Fatal("free voxel reported occupied")
+	}
+	g.Set(5, 5, 5, true)
+	if p.Check(5, 5, 5) {
+		t.Fatal("occupied voxel reported free")
+	}
+	if p.Checks != 2 {
+		t.Fatalf("Checks = %d", p.Checks)
+	}
+}
+
+func TestCheckSphere(t *testing.T) {
+	g := grid.NewGrid3D(20, 20, 20)
+	p := &Point3D{G: g}
+	if !p.CheckSphere(10, 10, 10, 3) {
+		t.Fatal("open sphere reported collision")
+	}
+	g.Set(12, 10, 10, true) // within radius 3
+	if p.CheckSphere(10, 10, 10, 3) {
+		t.Fatal("sphere touching obstacle reported free")
+	}
+	if !p.CheckSphere(10, 10, 10, 1) {
+		t.Fatal("smaller sphere should clear the obstacle")
+	}
+	// Radius 0 degenerates to a point check.
+	if !p.CheckSphere(12, 10, 11, 0) {
+		t.Fatal("radius-0 check failed on free voxel")
+	}
+}

@@ -1,0 +1,110 @@
+package bo
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Iterations = 15
+	cfg.Candidates = 300
+	return cfg
+}
+
+func TestLearningImprovesReward(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BO-chosen samples should beat the random seeding.
+	seedBest := res.Rewards[0]
+	for _, r := range res.Rewards[:5] {
+		if r > seedBest {
+			seedBest = r
+		}
+	}
+	if res.BestReward < seedBest {
+		t.Fatal("BO never improved on random seeding")
+	}
+	if res.BestReward < -0.5 {
+		t.Fatalf("best reward %.3f — learning failed", res.BestReward)
+	}
+}
+
+func TestPaperIterationCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Candidates = 200 // keep the test quick; iteration count is the point
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 45 BO iterations + 5 seeds (paper Fig. 19 runs 45 learning steps).
+	if len(res.Rewards) != 50 {
+		t.Fatalf("evaluated %d samples, want 50", len(res.Rewards))
+	}
+	if res.GPFits != 45 {
+		t.Fatalf("GP fits %d, want 45", res.GPFits)
+	}
+}
+
+func TestComputeHeavierThanCEM(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §V.16: bo is computationally far more intensive than cem.
+	// CEM's entire run makes 75 environment evals and no model work; BO
+	// performs thousands of GP posterior evaluations.
+	if res.Predictions < 1000 {
+		t.Fatalf("only %d predictions — BO not compute-heavy", res.Predictions)
+	}
+}
+
+func TestProfilePhases(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	for _, phase := range []string{"gp-fit", "acquisition", "sort"} {
+		if rep.Fraction(phase) <= 0 {
+			t.Fatalf("phase %q missing", phase)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(smallConfig(), nil)
+	b, _ := Run(smallConfig(), nil)
+	if a.BestReward != b.BestReward {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Iterations = 0 },
+		func(c *Config) { c.InitSamples = 0 },
+		func(c *Config) { c.Candidates = 0 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, nil); err == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestRewardsAllNonPositive(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Rewards {
+		if r > 0 {
+			t.Fatalf("reward[%d] = %v > 0 (reward is -|dist|)", i, r)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cem
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestLearningImprovesReward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 8
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BestPerIter) != 8 {
+		t.Fatalf("iterations recorded: %d", len(res.BestPerIter))
+	}
+	first := res.BestPerIter[0]
+	last := res.BestPerIter[len(res.BestPerIter)-1]
+	if last < first {
+		t.Fatalf("reward degraded: %.3f -> %.3f", first, last)
+	}
+	// Rewards are negative distances; a trained policy should land within
+	// ~40 cm of the goal.
+	if res.BestReward < -0.4 {
+		t.Fatalf("best reward %.3f — learning failed", res.BestReward)
+	}
+}
+
+func TestPaperConfiguration(t *testing.T) {
+	// 5 iterations x 15 samples (paper §V.15).
+	res, err := Run(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewards) != 75 {
+		t.Fatalf("evaluated %d samples, want 75", len(res.Rewards))
+	}
+	if res.Evals != 75 {
+		t.Fatalf("environment evals %d, want 75", res.Evals)
+	}
+}
+
+func TestProfileHasSortPhase(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(DefaultConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	for _, phase := range []string{"sample", "sort", "update"} {
+		if rep.Fraction(phase) <= 0 {
+			t.Fatalf("phase %q missing", phase)
+		}
+	}
+	// The paper measures sort at roughly one third of the kernel; allow a
+	// generous band.
+	if f := rep.Fraction("sort"); f < 0.05 || f > 0.8 {
+		t.Fatalf("sort fraction %.2f outside plausible band", f)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(DefaultConfig(), nil)
+	b, _ := Run(DefaultConfig(), nil)
+	if a.BestReward != b.BestReward {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestSeedMatters(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Run(cfg, nil)
+	cfg.Seed = 99
+	b, _ := Run(cfg, nil)
+	if a.Rewards[0] == b.Rewards[0] {
+		t.Fatal("different seeds produced identical first samples")
+	}
+}
+
+func TestEliteDefaulting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Elite = 0 // auto
+	if _, err := Run(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Elite = 999 // > population, clamps
+	if _, err := Run(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestPolicyVarianceShrinks(t *testing.T) {
+	// Indirect check: with many iterations the population converges, so
+	// late-iteration best rewards should be near the overall best.
+	cfg := DefaultConfig()
+	cfg.Iterations = 10
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.BestPerIter[len(res.BestPerIter)-1]
+	if last < res.BestReward-0.5 {
+		t.Fatalf("final iteration best %.3f far from overall best %.3f", last, res.BestReward)
+	}
+}

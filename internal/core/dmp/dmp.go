@@ -1,0 +1,264 @@
+// Package dmp implements kernel 13.dmp: dynamic movement primitives
+// (paper §V.13, after Schaal et al.) — a control kernel that generates a
+// smooth trajectory tracking a demonstrated path.
+//
+// DMP models each coordinate with a spring-damper "transformation system"
+// modulated by a learned forcing term of Gaussian basis functions; the
+// forcing weights are fit from a single demonstration by locally weighted
+// regression ("imitation learning ... typically through a single
+// demonstration"). The rollout integrates position, velocity, and
+// acceleration incrementally — the tight serial dependence behind the
+// paper's low-ILP (IPC < 1) observation — and the harness separates that
+// "rollout" phase from the "train" regression phase.
+package dmp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/profile"
+	"repro/internal/trajectory"
+)
+
+// Config parameterizes training and rollout.
+type Config struct {
+	// Demo is the demonstrated trajectory; nil generates the default
+	// wheeled-robot demonstration (see DESIGN.md substitutions).
+	Demo *trajectory.Trajectory
+	// Basis is the number of Gaussian basis functions per dimension.
+	Basis int
+	// K and D are the spring and damper gains (D defaults to critical
+	// damping, 2√K).
+	K, D float64
+	// AlphaX is the canonical system decay rate.
+	AlphaX float64
+	// Steps is the number of rollout integration steps.
+	Steps int
+	// Tau scales rollout duration relative to the demonstration (1 =
+	// same speed).
+	Tau float64
+}
+
+// DefaultConfig returns the paper-style setup: 50 basis functions, rollout
+// matched to the demonstration length.
+func DefaultConfig() Config {
+	return Config{
+		Basis:  50,
+		K:      150,
+		AlphaX: 4,
+		Steps:  2000,
+		Tau:    1,
+	}
+}
+
+// DefaultDemo generates the default demonstration: a 1.5 s smooth motion
+// with a lateral detour, like the reference trajectory in the paper's
+// Fig. 15.
+func DefaultDemo() *trajectory.Trajectory {
+	return trajectory.Demonstration(1.5, 300, geom.Vec2{}, geom.Vec2{X: 12, Y: 8}, 2.0)
+}
+
+// Result reports tracking quality and the generated profiles.
+type Result struct {
+	// Generated is the rolled-out trajectory (paper Fig. 15 left).
+	Generated *trajectory.Trajectory
+	// Velocity is the speed profile over time (paper Fig. 15 right).
+	Velocity []float64
+	// TrackRMSE is the RMS position error against the (time-aligned)
+	// demonstration.
+	TrackRMSE float64
+	// EndpointError is the distance between the rollout's and the
+	// demonstration's final points.
+	EndpointError float64
+	// SerialSteps counts rollout integration steps (each dependent on the
+	// previous — the kernel's serialization measure).
+	SerialSteps int64
+}
+
+// dmp1d is the per-dimension transformation system.
+type dmp1d struct {
+	w       []float64 // basis weights
+	centers []float64
+	widths  []float64
+	y0, g   float64
+	k, d    float64
+}
+
+// Run trains on the demonstration and rolls the primitive out. Harness
+// phases: "train" (basis regression) and "rollout" (serial integration).
+func Run(cfg Config, prof *profile.Profile) (Result, error) {
+	if cfg.Basis <= 0 || cfg.Steps <= 1 {
+		return Result{}, errors.New("dmp: Basis and Steps must be positive")
+	}
+	demo := cfg.Demo
+	if demo == nil {
+		demo = DefaultDemo()
+	}
+	if len(demo.Points) < 3 {
+		return Result{}, errors.New("dmp: demonstration too short")
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 150
+	}
+	d := cfg.D
+	if d <= 0 {
+		d = 2 * math.Sqrt(k)
+	}
+	ax := cfg.AlphaX
+	if ax <= 0 {
+		ax = 4
+	}
+	tau := cfg.Tau
+	if tau <= 0 {
+		tau = 1
+	}
+	duration := demo.Duration()
+
+	res := Result{}
+	prof.BeginROI()
+
+	// ---- Train: resample the demo uniformly, differentiate, and fit the
+	// forcing term per dimension with locally weighted regression.
+	prof.Begin("train")
+	n := len(demo.Points)
+	uniform := demo.Resample(n)
+	dt := duration / float64(n-1)
+	xs := make([]float64, n) // canonical phase at each demo sample
+	x := 1.0
+	for i := range xs {
+		xs[i] = x
+		x += -ax * x * dt / duration // canonical runs on the demo's clock
+	}
+	dims := [2][]float64{make([]float64, n), make([]float64, n)}
+	for i, p := range uniform.Points {
+		dims[0][i] = p.P.X
+		dims[1][i] = p.P.Y
+	}
+	var systems [2]dmp1d
+	for dim := 0; dim < 2; dim++ {
+		systems[dim] = fit1D(dims[dim], xs, dt, duration, cfg.Basis, k, d, ax)
+	}
+	prof.End()
+
+	// ---- Rollout: incremental integration of the canonical and
+	// transformation systems. Every step depends on the previous one.
+	prof.Begin("rollout")
+	steps := cfg.Steps
+	rdt := duration * tau / float64(steps-1)
+	gen := &trajectory.Trajectory{Points: make([]trajectory.Point, steps)}
+	vel := make([]float64, steps)
+	y := [2]float64{systems[0].y0, systems[1].y0}
+	v := [2]float64{0, 0}
+	x = 1.0
+	for s := 0; s < steps; s++ {
+		gen.Points[s] = trajectory.Point{
+			T: float64(s) * rdt,
+			P: geom.Vec2{X: y[0], Y: y[1]},
+		}
+		// v is the scaled velocity τẏ; report the physical speed ẏ.
+		vel[s] = math.Hypot(v[0], v[1]) / (tau * duration)
+		for dim := 0; dim < 2; dim++ {
+			sys := &systems[dim]
+			f := sys.force(x)
+			// τ v̇ = K(g−y) − Dv − K(g−y0)x + K f(x)
+			// τ v̇ = K(g−y) − Dv − K(g−y0)x + Kf ; τ ẏ = v
+			vdot := (k*(sys.g-y[dim]) - d*v[dim] - k*(sys.g-sys.y0)*x + k*f) / (tau * duration)
+			v[dim] += vdot * rdt
+			y[dim] += v[dim] / (tau * duration) * rdt
+		}
+		x += -ax * x / (tau * duration) * rdt
+		res.SerialSteps++
+	}
+	prof.End()
+	prof.EndROI()
+
+	res.Generated = gen
+	res.Velocity = vel
+
+	// Tracking error against the time-aligned demonstration.
+	var sum float64
+	for _, p := range gen.Points {
+		ref := uniform.At(p.T / tau)
+		dd := p.P.Sub(ref)
+		sum += dd.Norm2()
+	}
+	res.TrackRMSE = math.Sqrt(sum / float64(len(gen.Points)))
+	res.EndpointError = gen.Points[len(gen.Points)-1].P.Dist(uniform.Points[len(uniform.Points)-1].P)
+	return res, nil
+}
+
+// fit1D learns the forcing weights for one dimension.
+func fit1D(ys, xs []float64, dt, duration float64, basis int, k, d, ax float64) dmp1d {
+	n := len(ys)
+	y0, g := ys[0], ys[n-1]
+
+	// Numerical differentiation (scaled to the canonical clock).
+	vs := make([]float64, n)
+	as := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		vs[i] = (ys[i+1] - ys[i-1]) / (2 * dt) * duration
+	}
+	vs[0], vs[n-1] = 0, 0
+	for i := 1; i < n-1; i++ {
+		as[i] = (vs[i+1] - vs[i-1]) / (2 * dt) * duration
+	}
+
+	// Target forcing: f_t = (τ v̇ + D v − K(g−y))/K + (g−y0) x.
+	ft := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ft[i] = (as[i]+d*vs[i]-k*(g-ys[i]))/k + (g-y0)*xs[i]
+	}
+
+	// Basis centers spaced exponentially in phase (uniform in time).
+	sys := dmp1d{
+		w:       make([]float64, basis),
+		centers: make([]float64, basis),
+		widths:  make([]float64, basis),
+		y0:      y0, g: g, k: k, d: d,
+	}
+	for b := 0; b < basis; b++ {
+		t := float64(b) / float64(basis-1)
+		sys.centers[b] = math.Exp(-ax * t)
+	}
+	for b := 0; b < basis; b++ {
+		var next float64
+		if b+1 < basis {
+			next = sys.centers[b+1]
+		} else {
+			next = sys.centers[b] * 0.5
+		}
+		diff := sys.centers[b] - next
+		sys.widths[b] = 1 / (diff*diff + 1e-9)
+	}
+
+	// Locally weighted regression per basis: w_b = Σψξf / Σψξ².
+	for b := 0; b < basis; b++ {
+		var num, den float64
+		for i := 0; i < n; i++ {
+			psi := math.Exp(-sys.widths[b] * (xs[i] - sys.centers[b]) * (xs[i] - sys.centers[b]))
+			xi := xs[i]
+			num += psi * xi * ft[i]
+			den += psi * xi * xi
+		}
+		if den > 1e-12 {
+			sys.w[b] = num / den
+		}
+	}
+	return sys
+}
+
+// force evaluates the learned forcing term at phase x.
+func (s *dmp1d) force(x float64) float64 {
+	var num, den float64
+	for b := range s.w {
+		psi := math.Exp(-s.widths[b] * (x - s.centers[b]) * (x - s.centers[b]))
+		num += psi * s.w[b]
+		den += psi
+	}
+	if den < 1e-12 {
+		return 0
+	}
+	return num / den * x
+}

@@ -1,0 +1,170 @@
+package dmp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/profile"
+	"repro/internal/trajectory"
+)
+
+func TestTracksDemonstration(t *testing.T) {
+	res, err := Run(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The demo travels ~15 m; the rollout should track within a fraction.
+	if res.TrackRMSE > 1.0 {
+		t.Fatalf("tracking RMSE %.3f m", res.TrackRMSE)
+	}
+	if res.EndpointError > 0.5 {
+		t.Fatalf("endpoint error %.3f m", res.EndpointError)
+	}
+	if res.SerialSteps == 0 {
+		t.Fatal("no integration steps recorded")
+	}
+}
+
+func TestMoreBasisBetterTracking(t *testing.T) {
+	coarse := DefaultConfig()
+	coarse.Basis = 5
+	fine := DefaultConfig()
+	fine.Basis = 80
+	a, err1 := Run(coarse, nil)
+	b, err2 := Run(fine, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.TrackRMSE >= a.TrackRMSE {
+		t.Fatalf("80 basis (%.3f) not better than 5 basis (%.3f)", b.TrackRMSE, a.TrackRMSE)
+	}
+}
+
+func TestGoalConvergence(t *testing.T) {
+	// DMP's defining property: the rollout converges to the demo's goal
+	// even from a different number of steps.
+	cfg := DefaultConfig()
+	cfg.Steps = 3000
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demo := DefaultDemo()
+	goal := demo.Points[len(demo.Points)-1].P
+	last := res.Generated.Points[len(res.Generated.Points)-1].P
+	if last.Dist(goal) > 0.5 {
+		t.Fatalf("rollout ends at %v, goal %v", last, goal)
+	}
+}
+
+func TestVelocityProfileShape(t *testing.T) {
+	res, err := Run(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts and ends near rest; peaks in between (minimum-jerk-like demo).
+	v := res.Velocity
+	if v[0] > 0.5 {
+		t.Fatalf("initial speed %v", v[0])
+	}
+	var peak float64
+	for _, s := range v {
+		if s > peak {
+			peak = s
+		}
+	}
+	if peak < 1 {
+		t.Fatalf("peak speed %v — trajectory never moved", peak)
+	}
+	if v[len(v)-1] > peak/2 {
+		t.Fatalf("final speed %v not decaying (peak %v)", v[len(v)-1], peak)
+	}
+}
+
+func TestTemporalScaling(t *testing.T) {
+	slow := DefaultConfig()
+	slow.Tau = 2 // twice as slow
+	res, err := Run(slow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same endpoint, same path shape, at half the speed.
+	demo := DefaultDemo()
+	goal := demo.Points[len(demo.Points)-1].P
+	last := res.Generated.Points[len(res.Generated.Points)-1].P
+	if last.Dist(goal) > 0.8 {
+		t.Fatalf("scaled rollout ends at %v, goal %v", last, goal)
+	}
+	var peak float64
+	for _, s := range res.Velocity {
+		if s > peak {
+			peak = s
+		}
+	}
+	fast, _ := Run(DefaultConfig(), nil)
+	var fastPeak float64
+	for _, s := range fast.Velocity {
+		if s > fastPeak {
+			fastPeak = s
+		}
+	}
+	if peak > fastPeak {
+		t.Fatalf("tau=2 peak speed %v > tau=1 peak %v", peak, fastPeak)
+	}
+}
+
+func TestCustomDemo(t *testing.T) {
+	demo := trajectory.Demonstration(2, 200, geom.Vec2{}, geom.Vec2{X: 5, Y: 0}, 0)
+	cfg := DefaultConfig()
+	cfg.Demo = demo
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrackRMSE > 0.5 {
+		t.Fatalf("straight-line tracking RMSE %.3f", res.TrackRMSE)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(DefaultConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Fraction("train") <= 0 || rep.Fraction("rollout") <= 0 {
+		t.Fatalf("phases: train=%.2f rollout=%.2f",
+			rep.Fraction("train"), rep.Fraction("rollout"))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Basis = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero basis accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Steps = 1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("single-step rollout accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Demo = &trajectory.Trajectory{}
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("empty demonstration accepted")
+	}
+}
+
+func TestRolloutFinite(t *testing.T) {
+	res, err := Run(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Generated.Points {
+		if math.IsNaN(p.P.X) || math.IsNaN(p.P.Y) || math.IsInf(p.P.X, 0) {
+			t.Fatalf("rollout diverged at step %d: %v", i, p.P)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package core is the parent of the sixteen RTRBench kernel packages — the
+// paper's primary contribution. Each kernel lives in its own subpackage:
+//
+//	Perception: pfl, ekfslam, srec
+//	Planning:   pp2d, pp3d, movtar, prm, rrt (kernels 08-10), sym (11-12)
+//	Control:    dmp, mpc, cem, bo
+//
+// Every kernel package follows the same contract: a Config struct with
+// documented, paper-faithful defaults (DefaultConfig), a
+// Run(Config, *profile.Profile) entry point whose profile receives the
+// region-of-interest and named phase breakdown, and a Result struct with
+// the kernel's quality metrics and operation counters. The public registry
+// over all kernels is repro/rtrbench.
+package core

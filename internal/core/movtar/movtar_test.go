@@ -1,0 +1,125 @@
+package movtar
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/profile"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Size = 64
+	return cfg
+}
+
+func TestCatchesTarget(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("robot never caught the target")
+	}
+	if res.CatchTime <= 0 || res.PathCost <= 0 {
+		t.Fatalf("catch time %d, cost %v", res.CatchTime, res.PathCost)
+	}
+	if res.HeuristicCells == 0 {
+		t.Fatal("backward Dijkstra settled no cells")
+	}
+}
+
+func TestProfileHasBothPhases(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Fraction("heuristic") <= 0 || rep.Fraction("search") <= 0 {
+		t.Fatalf("phases: heuristic=%.3f search=%.3f",
+			rep.Fraction("heuristic"), rep.Fraction("search"))
+	}
+}
+
+func TestHeuristicShareGrowsOnSmallerMaps(t *testing.T) {
+	share := func(size int) float64 {
+		var total, heur float64
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := DefaultConfig()
+			cfg.Size = size
+			cfg.Seed = seed
+			p := profile.New()
+			if _, err := Run(cfg, p); err != nil {
+				t.Fatalf("size %d seed %d: %v", size, seed, err)
+			}
+			rep := p.Snapshot()
+			total++
+			heur += rep.Fraction("heuristic")
+		}
+		return heur / total
+	}
+	small := share(32)
+	large := share(128)
+	// The paper's §V.6 claim: heuristic contribution is input-dependent and
+	// grows as the environment shrinks.
+	if small <= large {
+		t.Fatalf("heuristic share small=%.3f !> large=%.3f", small, large)
+	}
+}
+
+func TestEpsilonSpeedsSearch(t *testing.T) {
+	strict := smallConfig()
+	strict.Epsilon = 1.0
+	loose := smallConfig()
+	loose.Epsilon = 3.0
+	a, err1 := Run(strict, nil)
+	b, err2 := Run(loose, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.Expanded > a.Expanded {
+		t.Fatalf("ε=3 expanded more states than ε=1 (%d > %d)", b.Expanded, a.Expanded)
+	}
+	// Inflation can only trade cost upward.
+	if b.PathCost < a.PathCost-1e-9 {
+		t.Fatal("inflated search found a cheaper path than admissible search")
+	}
+}
+
+func TestCustomTerrain(t *testing.T) {
+	terrain := grid.NewCostGrid2D(48, 48, 1)
+	cfg := DefaultConfig()
+	cfg.Terrain = terrain
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("uniform terrain pursuit failed")
+	}
+}
+
+func TestInvalidEpsilon(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Epsilon = 0.5
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("epsilon < 1 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(smallConfig(), nil)
+	b, _ := Run(smallConfig(), nil)
+	if a.CatchTime != b.CatchTime || a.Expanded != b.Expanded {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestMaxTimeTooShortFails(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxTime = 3 // cannot possibly reach the target
+	res, err := Run(cfg, nil)
+	if err == nil && res.Found {
+		t.Fatal("caught the target within an impossible horizon")
+	}
+}

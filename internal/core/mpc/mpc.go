@@ -1,0 +1,232 @@
+// Package mpc implements kernel 14.mpc: model predictive control of a
+// self-driving car following a long reference trajectory while respecting
+// velocity and acceleration limits (paper §V.14).
+//
+// At every control step the kernel solves a finite-horizon optimization:
+// find the control sequence (acceleration, steering rate) over the horizon
+// that minimizes deviation from the reference plus control effort, subject
+// to box constraints on the controls and a velocity cap. The solver is
+// projected gradient descent on the shooting formulation; solving this
+// optimization is the kernel's dominant phase — the paper measures more
+// than 80% of execution time there.
+package mpc
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/profile"
+	"repro/internal/trajectory"
+)
+
+// Config parameterizes a tracking run.
+type Config struct {
+	// Reference is the trajectory to follow; nil builds the default long
+	// S-curve.
+	Reference *trajectory.Trajectory
+	// Horizon is the number of lookahead steps per optimization.
+	Horizon int
+	// Steps is the number of closed-loop control steps.
+	Steps int
+	// Dt is the control period, seconds.
+	Dt float64
+	// VMax and AMax are the velocity and acceleration caps; OmegaMax caps
+	// the steering rate.
+	VMax, AMax, OmegaMax float64
+	// Iterations is the gradient-descent iteration budget per step.
+	Iterations int
+	// LearnRate is the gradient step size.
+	LearnRate float64
+	// WEffort weights control effort; WVel weights velocity-cap violation.
+	WEffort, WVel float64
+}
+
+// DefaultConfig returns the paper-style setup: a long reference with
+// predefined velocity and acceleration caps.
+func DefaultConfig() Config {
+	return Config{
+		Horizon:    20,
+		Steps:      300,
+		Dt:         0.1,
+		VMax:       8,
+		AMax:       3,
+		OmegaMax:   1.5,
+		Iterations: 40,
+		LearnRate:  0.08,
+		WEffort:    0.05,
+		WVel:       50,
+	}
+}
+
+// DefaultReference builds the default reference: a 60 s S-curve at 5 m/s.
+func DefaultReference() *trajectory.Trajectory {
+	return trajectory.SCurve(60, 1200, 5, 6, 40)
+}
+
+// Result reports tracking quality and workload statistics.
+type Result struct {
+	// TrackRMSE is the closed-loop RMS position error, meters.
+	TrackRMSE float64
+	// MaxDeviation is the worst position error, meters.
+	MaxDeviation float64
+	// VelViolations counts steps where |v| exceeded VMax by > 1%.
+	VelViolations int
+	// Rollouts counts model rollouts performed by the optimizer.
+	Rollouts int64
+	// Path is the executed trajectory.
+	Path *trajectory.Trajectory
+}
+
+// state is the car model: position, heading, speed.
+type state struct {
+	x, y, theta, v float64
+}
+
+// step integrates the kinematic car one period. The drivetrain physically
+// saturates at ±vmax, so the velocity limit is hard in the plant (the cost
+// additionally penalizes approaching it, which keeps the optimizer away
+// from the saturation region when the reference is feasible).
+func step(s state, a, omega, dt, vmax float64) state {
+	return state{
+		x:     s.x + s.v*math.Cos(s.theta)*dt,
+		y:     s.y + s.v*math.Sin(s.theta)*dt,
+		theta: geom.NormalizeAngle(s.theta + omega*dt),
+		v:     geom.Clamp(s.v+a*dt, -vmax, vmax),
+	}
+}
+
+// Run executes the kernel. Harness phases: "optimize" (the per-step solver)
+// and "simulate" (plant integration between solves).
+func Run(cfg Config, prof *profile.Profile) (Result, error) {
+	if cfg.Horizon <= 0 || cfg.Steps <= 0 || cfg.Dt <= 0 {
+		return Result{}, errors.New("mpc: Horizon, Steps, Dt must be positive")
+	}
+	ref := cfg.Reference
+	if ref == nil {
+		ref = DefaultReference()
+	}
+	h := cfg.Horizon
+
+	res := Result{Path: &trajectory.Trajectory{}}
+	// The car starts on the reference, already rolling at the reference
+	// speed and heading (the paper's car follows "a long reference
+	// trajectory" in steady state, not from a standstill).
+	p0 := ref.At(0)
+	p1 := ref.At(cfg.Dt)
+	d := p1.Sub(p0)
+	cur := state{x: p0.X, y: p0.Y, theta: d.Angle(), v: math.Min(d.Norm()/cfg.Dt, cfg.VMax)}
+
+	// Warm-started control sequence: accelerations and steering rates.
+	accel := make([]float64, h)
+	omega := make([]float64, h)
+	gradA := make([]float64, h)
+	gradW := make([]float64, h)
+	trialA := make([]float64, h)
+	trialW := make([]float64, h)
+
+	// cost evaluates the horizon cost of the control sequence from s0 at
+	// time t0. It is the optimization objective.
+	cost := func(s0 state, t0 float64, acc, om []float64) float64 {
+		res.Rollouts++
+		s := s0
+		var c float64
+		for k := 0; k < h; k++ {
+			s = step(s, acc[k], om[k], cfg.Dt, cfg.VMax)
+			r := ref.At(t0 + float64(k+1)*cfg.Dt)
+			dx, dy := s.x-r.X, s.y-r.Y
+			c += dx*dx + dy*dy
+			c += cfg.WEffort * (acc[k]*acc[k] + om[k]*om[k])
+			if over := math.Abs(s.v) - cfg.VMax; over > 0 {
+				c += cfg.WVel * over * over
+			}
+		}
+		return c
+	}
+
+	var sumSq float64
+	prof.BeginROI()
+	for stepI := 0; stepI < cfg.Steps; stepI++ {
+		t := float64(stepI) * cfg.Dt
+
+		// ---- Solve the horizon optimization by projected gradient
+		// descent with central finite differences and a backtracking line
+		// search (normalized steps keep the solver stable over long runs).
+		prof.Begin("optimize")
+		const fd = 1e-4
+		for it := 0; it < cfg.Iterations; it++ {
+			base := cost(cur, t, accel, omega)
+			var gnorm2 float64
+			for k := 0; k < h; k++ {
+				oa := accel[k]
+				accel[k] = oa + fd
+				cp := cost(cur, t, accel, omega)
+				accel[k] = oa - fd
+				cm := cost(cur, t, accel, omega)
+				accel[k] = oa
+				gradA[k] = (cp - cm) / (2 * fd)
+
+				ow := omega[k]
+				omega[k] = ow + fd
+				cp = cost(cur, t, accel, omega)
+				omega[k] = ow - fd
+				cm = cost(cur, t, accel, omega)
+				omega[k] = ow
+				gradW[k] = (cp - cm) / (2 * fd)
+				gnorm2 += gradA[k]*gradA[k] + gradW[k]*gradW[k]
+			}
+			gnorm := math.Sqrt(gnorm2)
+			if gnorm < 1e-12 {
+				break
+			}
+			// Backtracking: shrink the (normalized) step until the cost
+			// decreases, projecting onto the control boxes.
+			improved := false
+			for step := cfg.LearnRate * 10; step > cfg.LearnRate/100; step /= 3 {
+				for k := 0; k < h; k++ {
+					trialA[k] = geom.Clamp(accel[k]-step*gradA[k]/gnorm, -cfg.AMax, cfg.AMax)
+					trialW[k] = geom.Clamp(omega[k]-step*gradW[k]/gnorm, -cfg.OmegaMax, cfg.OmegaMax)
+				}
+				if cost(cur, t, trialA, trialW) < base {
+					copy(accel, trialA)
+					copy(omega, trialW)
+					improved = true
+					break
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		prof.End()
+
+		// ---- Apply the first control to the plant and shift the sequence
+		// (warm start for the next solve).
+		prof.Begin("simulate")
+		cur = step(cur, accel[0], omega[0], cfg.Dt, cfg.VMax)
+		copy(accel, accel[1:])
+		copy(omega, omega[1:])
+		accel[h-1] = 0
+		omega[h-1] = 0
+
+		r := ref.At(t + cfg.Dt)
+		dx, dy := cur.x-r.X, cur.y-r.Y
+		dev := math.Hypot(dx, dy)
+		sumSq += dev * dev
+		if dev > res.MaxDeviation {
+			res.MaxDeviation = dev
+		}
+		if math.Abs(cur.v) > cfg.VMax*1.01 {
+			res.VelViolations++
+		}
+		res.Path.Points = append(res.Path.Points, trajectory.Point{
+			T: t + cfg.Dt,
+			P: geom.Vec2{X: cur.x, Y: cur.y},
+		})
+		prof.End()
+	}
+	prof.EndROI()
+
+	res.TrackRMSE = math.Sqrt(sumSq / float64(cfg.Steps))
+	return res, nil
+}

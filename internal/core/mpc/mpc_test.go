@@ -1,0 +1,135 @@
+package mpc
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/trajectory"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Steps = 60
+	cfg.Horizon = 10
+	cfg.Iterations = 20
+	return cfg
+}
+
+func TestTracksReference(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference moves at 5 m/s with 6 m swings; decent tracking keeps
+	// RMS error within a couple of meters from a standing start.
+	if res.TrackRMSE > 3 {
+		t.Fatalf("tracking RMSE %.3f m", res.TrackRMSE)
+	}
+	if res.Rollouts == 0 {
+		t.Fatal("optimizer did no work")
+	}
+}
+
+func TestRespectsVelocityCap(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VelViolations > cfg.Steps/20 {
+		t.Fatalf("%d velocity violations in %d steps", res.VelViolations, cfg.Steps)
+	}
+}
+
+func TestOptimizationDominates(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Dominant() != "optimize" {
+		t.Fatalf("dominant = %q, want optimize", rep.Dominant())
+	}
+	if f := rep.Fraction("optimize"); f < 0.8 {
+		t.Fatalf("optimize fraction %.2f, want > 0.8 (paper: > 80%%)", f)
+	}
+}
+
+func TestMoreIterationsTrackBetter(t *testing.T) {
+	weak := smallConfig()
+	weak.Iterations = 2
+	strong := smallConfig()
+	strong.Iterations = 40
+	a, err1 := Run(weak, nil)
+	b, err2 := Run(strong, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.TrackRMSE >= a.TrackRMSE {
+		t.Fatalf("40 iters (%.3f) not better than 2 iters (%.3f)", b.TrackRMSE, a.TrackRMSE)
+	}
+}
+
+func TestCustomReference(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Reference = trajectory.SCurve(30, 600, 3, 2, 20)
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrackRMSE > 3 {
+		t.Fatalf("custom reference RMSE %.3f", res.TrackRMSE)
+	}
+}
+
+func TestPathRecorded(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path.Points) != cfg.Steps {
+		t.Fatalf("path has %d points, want %d", len(res.Path.Points), cfg.Steps)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.Dt = 0 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, nil); err == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestInfeasibleReferenceDegradesGracefully(t *testing.T) {
+	// Failure injection: the velocity cap is below the reference speed, so
+	// perfect tracking is impossible. The controller must neither crash
+	// nor violate its constraints; it falls behind boundedly.
+	cfg := smallConfig()
+	cfg.VMax = 2 // reference moves at 5 m/s
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VelViolations > cfg.Steps/10 {
+		t.Fatalf("%d velocity violations while saturated", res.VelViolations)
+	}
+	// It must actually saturate (large deviation), not teleport.
+	if res.MaxDeviation < 1 {
+		t.Fatalf("max deviation %.2f m — caps not binding?", res.MaxDeviation)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(smallConfig(), nil)
+	b, _ := Run(smallConfig(), nil)
+	if a.TrackRMSE != b.TrackRMSE {
+		t.Fatal("MPC (deterministic) diverged between runs")
+	}
+}

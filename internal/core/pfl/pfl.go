@@ -1,0 +1,511 @@
+// Package pfl implements kernel 01.pfl: particle filter localization
+// (Monte Carlo localization) of a mobile robot with an odometer and a laser
+// rangefinder on a known occupancy map (paper §V.1).
+//
+// The filter maintains a population of pose hypotheses (particles), updates
+// them with sampled odometry, weighs them by matching simulated laser
+// ray-casts against the sensed ranges, and resamples when the effective
+// sample size drops. Ray-casting — every particle traversing the map along
+// every beam direction — is the kernel's dominant phase; the paper measures
+// 67-78% of execution time there, and the harness regions in this
+// implementation reproduce that breakdown.
+//
+// Two initialization modes exist, both present in the MCL literature:
+// global (uniform over free space, the paper's Fig. 2 setting — the initial
+// population is over-provisioned so the narrow true-pose basin gets seeded)
+// and tracking (Gaussian around a prior pose, the common deployed setting).
+// Global localization of a 1000 m² building is a genuinely hard inference
+// problem: production systems throw 10^5 particles at it, and some seeds
+// still converge to an aliased room. EXPERIMENTS.md reports the measured
+// convergence rate.
+package pfl
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/maps"
+	"repro/internal/profile"
+	"repro/internal/rng"
+	"repro/internal/sensor"
+)
+
+// Config parameterizes one localization run. All fields have sensible
+// defaults via DefaultConfig; every one is settable from cmd/rtrbench flags,
+// matching the paper's "completely flexible" CLI contract.
+type Config struct {
+	Map    *grid.Grid2D // known environment; nil builds the default indoor map
+	Region int          // which of the 5 building parts to start in (paper evaluates five)
+	// Start overrides the robot's true starting pose (default: the center
+	// of the selected Region).
+	Start     *geom.Pose2
+	Particles int // steady-state particle population size
+	Steps     int // motion/measurement cycles
+	Laser     sensor.Laser
+	Odom      sensor.OdometryModel
+	StepLen   float64 // commanded forward motion per step, meters
+
+	// ModelSigma is the sensor-model range standard deviation used for
+	// weighting (deliberately larger than the laser's true noise: global
+	// localization needs a forgiving likelihood so partially matching
+	// particles survive early resampling rounds).
+	ModelSigma float64
+	// ZHit and ZRand mix the Gaussian hit model with a uniform floor, the
+	// standard beam mixture model.
+	ZHit, ZRand float64
+	// AnnealFrom and AnnealDecay control likelihood annealing: beam
+	// log-likelihood increments are divided by a temperature that starts at
+	// AnnealFrom and decays toward 1. A smooth early likelihood keeps broad
+	// hypotheses alive until the population has found the right basin.
+	AnnealFrom, AnnealDecay float64
+	// InitFactor over-provisions the initial uniform draw by this factor;
+	// the population returns to Particles at the first resampling. Global
+	// localization needs the initial draw to seed the (tiny) true-pose
+	// basin at least once.
+	InitFactor int
+	// InjectRate is the fraction of particles replaced by fresh uniform
+	// samples at each resampling (augmented MCL), enabling recovery from a
+	// wrong converged hypothesis.
+	InjectRate float64
+
+	// Workers shards the measurement update (the ray-casting hot loop)
+	// across this many goroutines. Ray casting is deterministic, so any
+	// worker count produces bit-identical results; the speedup demonstrates
+	// the fine-grained parallelism the paper highlights in this kernel.
+	// 0 or 1 runs serially.
+	Workers int
+
+	// LikelihoodField replaces the beam ray-cast model with AMCL's
+	// likelihood-field model: each measured beam endpoint is scored by its
+	// distance to the nearest obstacle (a precomputed distance transform).
+	// This is the ablation that removes the paper's ray-casting bottleneck
+	// entirely — the reason Intel's ray-casting accelerator (§V.1) targets
+	// the beam model.
+	LikelihoodField bool
+
+	// TrackingPrior, when non-nil, switches to tracking mode: particles
+	// initialize from a Gaussian around this pose instead of uniformly.
+	TrackingPrior *geom.Pose2
+	// TrackingSpread is the positional std-dev (meters) of the tracking
+	// prior; the heading spread is TrackingSpread/2 radians.
+	TrackingSpread float64
+
+	Seed int64
+}
+
+// DefaultConfig returns the "typical, realistic configuration" used in the
+// paper-style evaluation: an indoor building map, 2000 particles, global
+// initialization.
+func DefaultConfig() Config {
+	return Config{
+		Region:      0,
+		Particles:   2000,
+		Steps:       100,
+		Laser:       sensor.DefaultLaser(),
+		Odom:        sensor.DefaultOdometryModel(),
+		StepLen:     0.2,
+		ModelSigma:  0.4,
+		ZHit:        0.9,
+		ZRand:       0.1,
+		AnnealFrom:  16,
+		AnnealDecay: 0.85,
+		InitFactor:  25,
+		InjectRate:  0.005,
+		Seed:        1,
+	}
+}
+
+// DefaultMap builds the synthetic indoor building (Wean Hall substitute)
+// used when Config.Map is nil.
+func DefaultMap(seed int64) *grid.Grid2D {
+	g := maps.IndoorMap(192, 96, seed)
+	g.Resolution = 0.25 // 48 m x 24 m floor
+	return g
+}
+
+// Result reports the outcome of a localization run.
+type Result struct {
+	// Estimate is the filter's mode estimate after the final update.
+	Estimate geom.Pose2
+	// Truth is the robot's true final pose.
+	Truth geom.Pose2
+	// PositionError is the Euclidean distance between estimate and truth.
+	PositionError float64
+	// HeadingError is the absolute heading difference, radians.
+	HeadingError float64
+	// Raycasts counts individual ray-cast operations performed.
+	Raycasts int64
+	// CellsVisited counts occupancy cells touched by ray casting (the
+	// spatial-locality work unit the paper highlights).
+	CellsVisited int64
+	// Resamples counts resampling events (ESS-triggered).
+	Resamples int
+	// EffectiveSampleSize is the final-step ESS, a filter health measure.
+	EffectiveSampleSize float64
+}
+
+type particle struct {
+	pose geom.Pose2
+	logw float64
+}
+
+// Run executes the kernel. The profile (may be nil) receives the ROI and the
+// phase breakdown: "raycast", "motion", "weight", "resample".
+func Run(cfg Config, prof *profile.Profile) (Result, error) {
+	if cfg.Particles <= 0 || cfg.Steps <= 0 {
+		return Result{}, errors.New("pfl: Particles and Steps must be positive")
+	}
+	g := cfg.Map
+	if g == nil {
+		g = DefaultMap(cfg.Seed)
+	}
+	r := rng.New(cfg.Seed)
+
+	// Ground-truth robot starting pose: explicit, or the center of the
+	// requested building region.
+	var truth geom.Pose2
+	if cfg.Start != nil {
+		truth = *cfg.Start
+		if g.OccupiedWorld(truth.X, truth.Y) {
+			return Result{}, errors.New("pfl: start pose is inside an obstacle")
+		}
+	} else {
+		sx, sy := maps.IndoorRegion(g, cfg.Region)
+		wx, wy := g.CellToWorld(sx, sy)
+		truth = geom.Pose2{X: wx, Y: wy, Theta: 0}
+	}
+
+	// Sensor-model parameters with defaults.
+	sigma := cfg.ModelSigma
+	if sigma <= 0 {
+		sigma = 0.4
+	}
+	sigma2 := sigma * sigma
+	zHit, zRand := cfg.ZHit, cfg.ZRand
+	if zHit <= 0 {
+		zHit = 0.9
+	}
+	if zRand <= 0 {
+		zRand = 0.1
+	}
+	randFloor := zRand / cfg.Laser.MaxRange
+	temper := cfg.AnnealFrom
+	if temper < 1 {
+		temper = 1
+	}
+	decay := cfg.AnnealDecay
+	if decay <= 0 || decay >= 1 {
+		decay = 0.85
+	}
+
+	// Initial population.
+	var parts []particle
+	if cfg.TrackingPrior != nil {
+		spread := cfg.TrackingSpread
+		if spread <= 0 {
+			spread = 1.0
+		}
+		parts = make([]particle, cfg.Particles)
+		for i := range parts {
+			parts[i] = particle{pose: samplePriorPose(r, g, *cfg.TrackingPrior, spread)}
+		}
+	} else {
+		initFactor := cfg.InitFactor
+		if initFactor < 1 {
+			initFactor = 1
+		}
+		parts = make([]particle, cfg.Particles*initFactor)
+		for i := range parts {
+			parts[i] = particle{pose: sampleFreePose(r, g)}
+		}
+	}
+	weights := make([]float64, len(parts))
+
+	res := Result{}
+	prof.BeginROI()
+	// The likelihood-field ablation precomputes the obstacle distance
+	// field once (inside the ROI: it replaces per-step ray casting).
+	var distField []float64
+	if cfg.LikelihoodField {
+		prof.Begin("distfield")
+		distField = g.DistanceTransform()
+		prof.End()
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		// -- Simulate the world (outside any kernel phase): move the robot
+		// and take a scan. The commanded motion turns away from obstacles.
+		odo := commandMotion(g, truth, cfg.StepLen)
+		truth = odo.Apply(truth)
+		scan := cfg.Laser.Scan(r, g, truth)
+
+		// -- Motion update: sample the odometry model per particle.
+		prof.Begin("motion")
+		for i := range parts {
+			noisy := cfg.Odom.Sample(r, odo)
+			parts[i].pose = noisy.Apply(parts[i].pose)
+		}
+		prof.End()
+
+		// -- Measurement update: ray-cast every beam for every particle and
+		// accumulate the annealed log-likelihood. Ray-casting here is the
+		// paper's notion — traversing the map per beam and matching the
+		// traverse distance with the sensed data — and dominates execution.
+		// It is deterministic, so the parallel path (Workers > 1) produces
+		// bit-identical results to the serial one.
+		weigh := func(parts []particle, prof *profile.Profile) (raycasts, cells int64) {
+			for i := range parts {
+				p := &parts[i]
+				if g.OccupiedWorld(p.pose.X, p.pose.Y) {
+					p.logw = math.Inf(-1)
+					continue
+				}
+				logw := 0.0
+				if cfg.LikelihoodField {
+					// Ablation: score measured endpoints against the
+					// distance field — no map traversal at all.
+					prof.Begin("weight")
+					for b := 0; b < cfg.Laser.NumBeams; b++ {
+						if scan[b] >= cfg.Laser.MaxRange-1e-9 {
+							continue // max-range readings carry no endpoint
+						}
+						theta := p.pose.Theta + cfg.Laser.BeamAngle(b)
+						exn, eyn := p.pose.X+scan[b]*math.Cos(theta), p.pose.Y+scan[b]*math.Sin(theta)
+						cx, cy := g.WorldToCell(exn, eyn)
+						d := cfg.Laser.MaxRange
+						if g.InBounds(cx, cy) {
+							d = distField[cy*g.W+cx] * g.Resolution
+						}
+						logw += math.Log(zHit*math.Exp(-d*d/(2*sigma2)) + randFloor)
+					}
+					p.logw += logw / temper
+					prof.End()
+					continue
+				}
+				prof.Begin("raycast")
+				for b := 0; b < cfg.Laser.NumBeams; b++ {
+					theta := p.pose.Theta + cfg.Laser.BeamAngle(b)
+					expected, n := g.RaycastCells(p.pose.X, p.pose.Y, theta, cfg.Laser.MaxRange)
+					raycasts++
+					cells += int64(n)
+					d := scan[b] - expected
+					logw += math.Log(zHit*math.Exp(-d*d/(2*sigma2)) + randFloor)
+				}
+				prof.End()
+				prof.Begin("weight")
+				p.logw += logw / temper
+				prof.End()
+			}
+			return raycasts, cells
+		}
+		if cfg.Workers > 1 {
+			// Wall time of the whole fan-out is attributed to "raycast" on
+			// the main profile (per-worker phase times would sum past the
+			// ROI); workers run with profiling off.
+			type shard struct {
+				raycasts, cells int64
+			}
+			workers := cfg.Workers
+			shards := make([]shard, workers)
+			var wg sync.WaitGroup
+			chunk := (len(parts) + workers - 1) / workers
+			prof.Begin("raycast")
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if lo >= len(parts) {
+					break
+				}
+				if hi > len(parts) {
+					hi = len(parts)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					rc, cl := weigh(parts[lo:hi], profile.Disabled())
+					shards[w] = shard{raycasts: rc, cells: cl}
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			prof.End()
+			for _, s := range shards {
+				res.Raycasts += s.raycasts
+				res.CellsVisited += s.cells
+			}
+		} else {
+			rc, cl := weigh(parts, prof)
+			res.Raycasts += rc
+			res.CellsVisited += cl
+		}
+
+		// -- Normalize and resample when the effective sample size drops
+		// (or the over-provisioned initial population must shrink).
+		prof.Begin("weight")
+		ess, ok := normalize(parts, weights)
+		res.EffectiveSampleSize = ess
+		prof.End()
+
+		prof.Begin("resample")
+		if !ok {
+			// Degenerate weights: re-seed uniformly; the filter recovers
+			// on later updates.
+			for i := range parts {
+				parts[i] = particle{pose: sampleFreePose(r, g)}
+			}
+		} else if ess < float64(cfg.Particles)/2 || len(parts) > cfg.Particles {
+			next := make([]particle, cfg.Particles)
+			lowVarianceResample(r, parts, weights[:len(parts)], next)
+			// Augmented MCL: a few fresh uniform samples enable recovery.
+			for i := range next {
+				if r.Float64() < cfg.InjectRate {
+					next[i] = particle{pose: sampleFreePose(r, g)}
+				}
+			}
+			parts = next
+			res.Resamples++
+		}
+		prof.End()
+
+		// Anneal the likelihood temperature toward 1.
+		temper = 1 + (temper-1)*decay
+	}
+	prof.EndROI()
+
+	normalize(parts, weights)
+	res.Estimate = modeEstimate(parts, weights)
+	res.Truth = truth
+	res.PositionError = math.Hypot(res.Estimate.X-truth.X, res.Estimate.Y-truth.Y)
+	res.HeadingError = math.Abs(geom.AngleDiff(res.Estimate.Theta, truth.Theta))
+	return res, nil
+}
+
+// normalize converts cumulative log-weights into normalized linear weights
+// (into the weights buffer) and returns the effective sample size. ok is
+// false when every particle has zero likelihood.
+func normalize(parts []particle, weights []float64) (ess float64, ok bool) {
+	maxLW := math.Inf(-1)
+	for i := range parts {
+		if parts[i].logw > maxLW {
+			maxLW = parts[i].logw
+		}
+	}
+	if math.IsInf(maxLW, -1) {
+		return 0, false
+	}
+	var sum float64
+	for i := range parts {
+		w := math.Exp(parts[i].logw - maxLW)
+		weights[i] = w
+		sum += w
+	}
+	if sum <= 0 {
+		return 0, false
+	}
+	var sum2 float64
+	for i := range parts {
+		weights[i] /= sum
+		sum2 += weights[i] * weights[i]
+	}
+	return 1 / sum2, true
+}
+
+// modeEstimate returns the weighted mean of the particles within 2 m of the
+// highest-weight particle (a single-cluster mode estimator; the posterior
+// can be multi-modal in aliased buildings, where a global mean is
+// meaningless).
+func modeEstimate(parts []particle, weights []float64) geom.Pose2 {
+	best := 0
+	for i := range parts {
+		if weights[i] > weights[best] {
+			best = i
+		}
+	}
+	center := parts[best].pose
+	const radius = 2.0
+	var wsum, ex, ey, sc, ss float64
+	for i, p := range parts {
+		dx := p.pose.X - center.X
+		dy := p.pose.Y - center.Y
+		if dx*dx+dy*dy > radius*radius {
+			continue
+		}
+		w := weights[i]
+		wsum += w
+		ex += w * p.pose.X
+		ey += w * p.pose.Y
+		sc += w * math.Cos(p.pose.Theta)
+		ss += w * math.Sin(p.pose.Theta)
+	}
+	if wsum == 0 {
+		return center
+	}
+	return geom.Pose2{X: ex / wsum, Y: ey / wsum, Theta: math.Atan2(ss/wsum, sc/wsum)}
+}
+
+// sampleAttempts bounds rejection sampling of free poses.
+const sampleAttempts = 100000
+
+func sampleFreePose(r *rng.RNG, g *grid.Grid2D) geom.Pose2 {
+	w := float64(g.W) * g.Resolution
+	h := float64(g.H) * g.Resolution
+	for i := 0; i < sampleAttempts; i++ {
+		x := r.Uniform(0, w)
+		y := r.Uniform(0, h)
+		if !g.OccupiedWorld(x, y) {
+			return geom.Pose2{X: x, Y: y, Theta: r.Uniform(-math.Pi, math.Pi)}
+		}
+	}
+	panic("pfl: could not sample a free pose; map has no free space")
+}
+
+func samplePriorPose(r *rng.RNG, g *grid.Grid2D, prior geom.Pose2, spread float64) geom.Pose2 {
+	for i := 0; i < sampleAttempts; i++ {
+		p := geom.Pose2{
+			X:     prior.X + r.Normal(0, spread),
+			Y:     prior.Y + r.Normal(0, spread),
+			Theta: geom.NormalizeAngle(prior.Theta + r.Normal(0, spread/2)),
+		}
+		if !g.OccupiedWorld(p.X, p.Y) {
+			return p
+		}
+	}
+	return prior
+}
+
+// commandMotion produces the robot's commanded odometry for one step:
+// forward motion, turning when the path ahead is blocked.
+func commandMotion(g *grid.Grid2D, pose geom.Pose2, stepLen float64) sensor.Odometry {
+	ahead := g.Raycast(pose.X, pose.Y, pose.Theta, 3*stepLen)
+	if ahead < 2*stepLen {
+		// Blocked: rotate in place toward the more open side.
+		left := g.Raycast(pose.X, pose.Y, pose.Theta+math.Pi/2, 5*stepLen)
+		right := g.Raycast(pose.X, pose.Y, pose.Theta-math.Pi/2, 5*stepLen)
+		turn := math.Pi / 6
+		if right > left {
+			turn = -turn
+		}
+		return sensor.Odometry{DeltaRot1: turn}
+	}
+	return sensor.Odometry{DeltaTrans: stepLen}
+}
+
+// lowVarianceResample draws len(dst) particles from src (with normalized
+// weights ws) using the standard low-variance (systematic) resampler.
+// Resampled particles restart weight accumulation from zero log-weight.
+func lowVarianceResample(r *rng.RNG, src []particle, ws []float64, dst []particle) {
+	m := len(dst)
+	step := 1 / float64(m)
+	u := r.Uniform(0, step)
+	c := ws[0]
+	i := 0
+	for k := 0; k < m; k++ {
+		for u > c && i < len(src)-1 {
+			i++
+			c += ws[i]
+		}
+		dst[k] = particle{pose: src[i].pose}
+		u += step
+	}
+}

@@ -1,0 +1,207 @@
+package pfl
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/profile"
+)
+
+// trackingConfig returns a fast, deterministic tracking-mode setup: the
+// filter starts from a coarse prior near the true start (region 0 of the
+// default map) and must lock on.
+func trackingConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Particles = 400
+	cfg.Steps = 40
+	prior := geom.Pose2{X: 5.0, Y: 12.1, Theta: 0}
+	cfg.TrackingPrior = &prior
+	cfg.TrackingSpread = 1.5
+	return cfg
+}
+
+func TestTrackingConverges(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := trackingConfig()
+		cfg.Seed = seed
+		res, err := Run(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PositionError > 1 {
+			t.Fatalf("seed %d: position error %.2f m", seed, res.PositionError)
+		}
+	}
+}
+
+func TestGlobalLocalizationConverges(t *testing.T) {
+	// Global localization from a uniform prior (the paper's Fig. 2
+	// scenario). Convergence is seed-dependent — the building has aliased
+	// rooms — so the test pins a seed known to converge; EXPERIMENTS.md
+	// reports the measured rate across seeds.
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PositionError > 1 {
+		t.Fatalf("position error %.2f m — global localization lost", res.PositionError)
+	}
+	if res.HeadingError > 0.3 {
+		t.Fatalf("heading error %.2f rad", res.HeadingError)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := trackingConfig()
+	a, err1 := Run(cfg, nil)
+	b, err2 := Run(cfg, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a.Estimate != b.Estimate || a.Raycasts != b.Raycasts {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	cfg := trackingConfig()
+	a, _ := Run(cfg, nil)
+	cfg.Seed = 2
+	b, _ := Run(cfg, nil)
+	if a.Estimate == b.Estimate {
+		t.Fatal("different seeds produced identical estimates")
+	}
+}
+
+func TestRaycastDominatesProfile(t *testing.T) {
+	cfg := trackingConfig()
+	p := profile.New()
+	if _, err := Run(cfg, p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Dominant() != "raycast" {
+		t.Fatalf("dominant phase = %q, want raycast (paper: 67-78%%)", rep.Dominant())
+	}
+	if f := rep.Fraction("raycast"); f < 0.5 {
+		t.Fatalf("raycast fraction = %.2f, want > 0.5", f)
+	}
+}
+
+func TestAllFiveRegionsRun(t *testing.T) {
+	for region := 0; region < 5; region++ {
+		cfg := trackingConfig()
+		cfg.Region = region
+		cfg.TrackingPrior = nil // global; we only check it executes
+		cfg.InitFactor = 3
+		cfg.Steps = 5
+		cfg.Particles = 100
+		if _, err := Run(cfg, nil); err != nil {
+			t.Fatalf("region %d: %v", region, err)
+		}
+	}
+}
+
+func TestRaycastWorkScalesWithParticles(t *testing.T) {
+	cfg := trackingConfig()
+	cfg.Steps = 10
+	cfg.Particles = 100
+	small, _ := Run(cfg, nil)
+	cfg.Particles = 400
+	big, _ := Run(cfg, nil)
+	if big.Raycasts <= small.Raycasts {
+		t.Fatal("ray casts did not scale with particle count")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Particles = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero particles accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Steps = -1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+}
+
+func TestEffectiveSampleSizeSane(t *testing.T) {
+	res, err := Run(trackingConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveSampleSize < 1 {
+		t.Fatalf("ESS = %v", res.EffectiveSampleSize)
+	}
+	if res.Resamples == 0 {
+		t.Fatal("filter never resampled")
+	}
+}
+
+func TestParallelWeightingBitIdentical(t *testing.T) {
+	serial := trackingConfig()
+	parallel := trackingConfig()
+	parallel.Workers = 4
+	a, err1 := Run(serial, nil)
+	b, err2 := Run(parallel, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Ray casting is deterministic: sharding must not change anything.
+	if a.Estimate != b.Estimate || a.Raycasts != b.Raycasts || a.CellsVisited != b.CellsVisited {
+		t.Fatalf("parallel run diverged: %+v vs %+v", a.Estimate, b.Estimate)
+	}
+}
+
+func TestSensorDropoutTolerated(t *testing.T) {
+	// Failure injection: 20% of beams read max range. The filter must
+	// still track (the mixture model's uniform floor absorbs outliers).
+	cfg := trackingConfig()
+	cfg.Laser.Dropout = 0.2
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PositionError > 2 {
+		t.Fatalf("position error %.2f m under 20%% beam dropout", res.PositionError)
+	}
+}
+
+func TestLikelihoodFieldAblation(t *testing.T) {
+	cfg := trackingConfig()
+	cfg.LikelihoodField = true
+	p := profile.New()
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still localizes...
+	if res.PositionError > 1.5 {
+		t.Fatalf("likelihood-field tracking error %.2f m", res.PositionError)
+	}
+	// ...but the ray-casting bottleneck is gone.
+	if res.Raycasts != 0 {
+		t.Fatalf("likelihood field still cast %d rays", res.Raycasts)
+	}
+	rep := p.Snapshot()
+	if rep.Fraction("raycast") > 0.01 {
+		t.Fatalf("raycast still %.2f of ROI", rep.Fraction("raycast"))
+	}
+	if rep.Fraction("weight") <= 0 {
+		t.Fatal("weight phase missing")
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	res, err := Run(trackingConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raycasts == 0 || res.CellsVisited <= res.Raycasts {
+		t.Fatalf("raycasts=%d cells=%d", res.Raycasts, res.CellsVisited)
+	}
+}

@@ -1,0 +1,182 @@
+package pp2d
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/collision"
+	"repro/internal/grid"
+	"repro/internal/profile"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Map = DefaultMap(160, 1)
+	return cfg
+}
+
+func TestFindsPath(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Path) == 0 {
+		t.Fatal("no path found on default city map")
+	}
+	if res.PathLength <= 0 {
+		t.Fatalf("path length %v", res.PathLength)
+	}
+	if res.Checks == 0 || res.Cells == 0 {
+		t.Fatal("no collision work recorded")
+	}
+}
+
+func TestPathIsCollisionFree(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := &collision.Footprint2D{G: cfg.Map, Length: cfg.CarLength, Width: cfg.CarWidth}
+	w := cfg.Map.W
+	for i := 1; i < len(res.Path); i++ {
+		x0, y0 := res.Path[i-1]%w, res.Path[i-1]/w
+		x1, y1 := res.Path[i]%w, res.Path[i]/w
+		dx, dy := x1-x0, y1-y0
+		if dx < -1 || dx > 1 || dy < -1 || dy > 1 || (dx == 0 && dy == 0) {
+			t.Fatalf("non-adjacent step (%d,%d)->(%d,%d)", x0, y0, x1, y1)
+		}
+		theta := math.Atan2(float64(dy), float64(dx))
+		if !checker.CheckCell(x1, y1, theta) {
+			t.Fatalf("path step %d collides at (%d,%d)", i, x1, y1)
+		}
+	}
+}
+
+func TestCollisionDominatesProfile(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Dominant() != "collision" {
+		t.Fatalf("dominant = %q, want collision (paper: > 65%%)", rep.Dominant())
+	}
+	if f := rep.Fraction("collision"); f < 0.5 {
+		t.Fatalf("collision fraction %.2f", f)
+	}
+}
+
+func TestBlockedMapErrors(t *testing.T) {
+	g := grid.NewGrid2D(50, 50)
+	g.Resolution = 0.5
+	g.Fill(0, 0, 49, 49, true)
+	cfg := DefaultConfig()
+	cfg.Map = g
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("fully blocked map did not error")
+	}
+}
+
+func TestUnreachableGoal(t *testing.T) {
+	g := grid.NewGrid2D(60, 60)
+	g.Resolution = 0.5
+	// A full wall splits the map.
+	for y := 0; y < 60; y++ {
+		g.Set(30, y, true)
+	}
+	cfg := DefaultConfig()
+	cfg.Map = g
+	cfg.StartX, cfg.StartY = 10, 30
+	cfg.GoalX, cfg.GoalY = 50, 30
+	res, err := Run(cfg, nil)
+	if err == nil || res.Found {
+		t.Fatal("wall-separated goal reported reachable")
+	}
+}
+
+func TestExplicitStartGoal(t *testing.T) {
+	g := grid.NewGrid2D(80, 80)
+	g.Resolution = 0.5
+	cfg := DefaultConfig()
+	cfg.Map = g
+	cfg.StartX, cfg.StartY = 20, 20
+	cfg.GoalX, cfg.GoalY = 60, 60
+	res, err := Run(cfg, nil)
+	if err != nil || !res.Found {
+		t.Fatalf("open-map plan failed: %v", err)
+	}
+	// Optimal diagonal distance * resolution.
+	want := 40 * math.Sqrt2 * 0.5
+	if math.Abs(res.PathLength-want) > 1e-6 {
+		t.Fatalf("path length %v, want %v (straight diagonal)", res.PathLength, want)
+	}
+}
+
+func TestCollisionStartRejected(t *testing.T) {
+	g := grid.NewGrid2D(40, 40)
+	g.Resolution = 0.5
+	g.Fill(8, 8, 12, 12, true)
+	cfg := DefaultConfig()
+	cfg.Map = g
+	cfg.StartX, cfg.StartY = 10, 10 // inside the block
+	cfg.GoalX, cfg.GoalY = 30, 30
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("start inside an obstacle accepted")
+	}
+}
+
+func TestInvalidFootprint(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CarLength = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero-length car accepted")
+	}
+}
+
+func TestAnytimePlanningImproves(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AnytimeSchedule = []float64{3, 1.5, 1}
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Anytime) != 3 {
+		t.Fatalf("got %d anytime rounds", len(res.Anytime))
+	}
+	for i := 1; i < len(res.Anytime); i++ {
+		if res.Anytime[i].PathLength > res.Anytime[i-1].PathLength+1e-9 {
+			t.Fatalf("round %d worsened the path: %.2f -> %.2f",
+				i, res.Anytime[i-1].PathLength, res.Anytime[i].PathLength)
+		}
+	}
+	// The final round at ε=1 must match plain optimal A*.
+	plain := smallConfig()
+	opt, err := Run(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.PathLength - opt.PathLength; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("anytime final %.4f != optimal %.4f", res.PathLength, opt.PathLength)
+	}
+}
+
+func TestWeightedSearchFasterButCostlier(t *testing.T) {
+	base := smallConfig()
+	res1, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := smallConfig()
+	weighted.Weight = 3
+	res2, err := Run(weighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Expanded > res1.Expanded {
+		t.Fatalf("weighted A* expanded more states (%d > %d)", res2.Expanded, res1.Expanded)
+	}
+	if res2.PathLength < res1.PathLength-1e-9 {
+		t.Fatal("weighted A* found a shorter path than optimal A*")
+	}
+}

@@ -1,0 +1,134 @@
+// Package pp3d implements kernel 05.pp3d: 3D path planning for an unmanned
+// aerial vehicle (paper §V.5) — A* over a voxel campus with the z dimension
+// added. The UAV "is small and fits in one resolution unit", so collision
+// detection is a voxel occupancy test per candidate move, and the graph
+// search itself — irregular traversal, hard to parallelize — is the second
+// major bottleneck the paper identifies.
+package pp3d
+
+import (
+	"errors"
+
+	"repro/internal/collision"
+	"repro/internal/grid"
+	"repro/internal/maps"
+	"repro/internal/profile"
+	"repro/internal/search"
+)
+
+// Config parameterizes a planning run.
+type Config struct {
+	// Map is the voxel environment; nil builds the default campus
+	// (Freiburg fr_campus substitute).
+	Map *grid.Grid3D
+	// Radius is the UAV's collision radius in voxels; 0 models the paper's
+	// point-sized UAV.
+	Radius int
+	// Start and Goal are voxel coordinates; negative selects a default
+	// long route.
+	StartX, StartY, StartZ int
+	GoalX, GoalY, GoalZ    int
+	// Weight inflates the heuristic (1 = plain A*).
+	Weight float64
+	// Smooth applies line-of-sight shortcutting to the found path
+	// (Result.SmoothedPath), the 3D analogue of the rrtpp kernel's
+	// post-processing.
+	Smooth bool
+	Seed   int64
+}
+
+// DefaultConfig returns the paper-style setup: a long route across the
+// campus for a point UAV.
+func DefaultConfig() Config {
+	return Config{
+		Radius: 0,
+		StartX: -1, StartY: -1, StartZ: -1,
+		GoalX: -1, GoalY: -1, GoalZ: -1,
+		Weight: 1,
+		Seed:   1,
+	}
+}
+
+// DefaultMap builds the synthetic campus used when Config.Map is nil.
+func DefaultMap(w, h, d int, seed int64) *grid.Grid3D {
+	return maps.Campus3D(w, h, d, seed)
+}
+
+// Result reports the planning outcome and workload statistics.
+type Result struct {
+	Found bool
+	// Path is the voxel-index path (IDs encoded (z*H+y)*W+x).
+	Path []int
+	// PathLength is the route length in voxel units.
+	PathLength float64
+	Expanded   int
+	// Checks and Cells count collision queries and voxels touched.
+	Checks int64
+	Cells  int64
+	// SmoothedPath is the line-of-sight shortcut of Path (only when
+	// Config.Smooth is set); it visits a subset of Path's voxels.
+	SmoothedPath []int
+}
+
+// Run executes the kernel. Harness phases: "collision" (voxel checks)
+// nested inside "search" (A*).
+func Run(cfg Config, prof *profile.Profile) (Result, error) {
+	g := cfg.Map
+	if g == nil {
+		g = DefaultMap(160, 160, 24, cfg.Seed)
+	}
+	if cfg.Radius < 0 {
+		return Result{}, errors.New("pp3d: negative radius")
+	}
+
+	sx, sy, sz := cfg.StartX, cfg.StartY, cfg.StartZ
+	gx, gy, gz := cfg.GoalX, cfg.GoalY, cfg.GoalZ
+	if sx < 0 {
+		sx, sy, sz = maps.FreeVoxelNear(g, g.W/16, g.H/16, 2)
+	}
+	if gx < 0 {
+		gx, gy, gz = maps.FreeVoxelNear(g, g.W-1-g.W/16, g.H-1-g.H/16, g.D-3)
+	}
+
+	checker := &collision.Point3D{G: g}
+	base := &search.Grid3DSpace{G: g}
+	space := &search.Grid3DSpace{
+		G: g,
+		Passable: func(x, y, z int) bool {
+			prof.Begin("collision")
+			var ok bool
+			if cfg.Radius > 0 {
+				ok = checker.CheckSphere(x, y, z, cfg.Radius)
+			} else {
+				ok = checker.Check(x, y, z)
+			}
+			prof.End()
+			return ok
+		},
+	}
+
+	prof.BeginROI()
+	prof.Begin("search")
+	sr, err := search.Solve(search.Problem{
+		Space:  space,
+		Start:  base.ID(sx, sy, sz),
+		Goal:   base.ID(gx, gy, gz),
+		H:      base.EuclideanHeuristic(gx, gy, gz),
+		Weight: cfg.Weight,
+	})
+	prof.End()
+	prof.EndROI()
+
+	res := Result{
+		Found:      sr.Found,
+		Path:       sr.Path,
+		PathLength: sr.Cost,
+		Expanded:   sr.Expanded,
+		Checks:     checker.Checks,
+		Cells:      checker.Cells,
+	}
+	if cfg.Smooth && sr.Found {
+		res.SmoothedPath = g.SmoothPath3D(sr.Path)
+	}
+	return res, err
+}

@@ -1,0 +1,138 @@
+package pp3d
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/profile"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Map = DefaultMap(64, 64, 16, 1)
+	return cfg
+}
+
+func TestFindsPath(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Path) < 2 {
+		t.Fatal("no path on the campus map")
+	}
+	if res.Checks == 0 {
+		t.Fatal("no collision checks recorded")
+	}
+}
+
+func TestPathIsValid(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Map
+	prevX, prevY, prevZ := -999, 0, 0
+	for i, id := range res.Path {
+		x := id % g.W
+		y := (id / g.W) % g.H
+		z := id / (g.W * g.H)
+		if g.Occupied(x, y, z) {
+			t.Fatalf("path voxel %d occupied", i)
+		}
+		if i > 0 {
+			dx, dy, dz := x-prevX, y-prevY, z-prevZ
+			if dx < -1 || dx > 1 || dy < -1 || dy > 1 || dz < -1 || dz > 1 {
+				t.Fatalf("non-adjacent step at %d", i)
+			}
+		}
+		prevX, prevY, prevZ = x, y, z
+	}
+}
+
+func TestProfileSplitsCollisionAndSearch(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	cf := rep.Fraction("collision")
+	sf := rep.Fraction("search")
+	if cf <= 0 || sf <= 0 {
+		t.Fatalf("phases missing: collision=%.2f search=%.2f", cf, sf)
+	}
+	// Paper: both collision detection and graph search are major; together
+	// they account for essentially the whole kernel.
+	if cf+sf < 0.8 {
+		t.Fatalf("collision+search = %.2f of ROI", cf+sf)
+	}
+}
+
+func TestRadiusMakesPlanningHarder(t *testing.T) {
+	point := smallConfig()
+	a, err := Run(point, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat := smallConfig()
+	fat.Radius = 1
+	b, err := Run(fat, nil)
+	if err != nil {
+		// A fat UAV may legitimately fail on a tight map; that still
+		// demonstrates the radius bites.
+		return
+	}
+	if b.Cells <= a.Cells {
+		t.Fatal("sphere checks did not touch more voxels than point checks")
+	}
+}
+
+func TestUnreachableGoal(t *testing.T) {
+	g := grid.NewGrid3D(20, 20, 8)
+	// Wall across the whole volume.
+	g.FillBox(10, 0, 0, 10, 19, 7, true)
+	cfg := DefaultConfig()
+	cfg.Map = g
+	cfg.StartX, cfg.StartY, cfg.StartZ = 2, 10, 3
+	cfg.GoalX, cfg.GoalY, cfg.GoalZ = 18, 10, 3
+	res, err := Run(cfg, nil)
+	if err == nil || res.Found {
+		t.Fatal("goal behind a full wall reported reachable")
+	}
+}
+
+func TestNegativeRadiusRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Radius = -1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestSmoothingShortensWaypoints(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Smooth = true
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SmoothedPath) == 0 {
+		t.Fatal("no smoothed path produced")
+	}
+	if len(res.SmoothedPath) > len(res.Path) {
+		t.Fatalf("smoothing grew the path: %d -> %d", len(res.Path), len(res.SmoothedPath))
+	}
+	if res.SmoothedPath[0] != res.Path[0] ||
+		res.SmoothedPath[len(res.SmoothedPath)-1] != res.Path[len(res.Path)-1] {
+		t.Fatal("smoothing changed the endpoints")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(smallConfig(), nil)
+	b, _ := Run(smallConfig(), nil)
+	if a.Expanded != b.Expanded || a.PathLength != b.PathLength {
+		t.Fatal("same seed diverged")
+	}
+}

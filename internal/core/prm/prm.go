@@ -1,0 +1,286 @@
+// Package prm implements kernel 07.prm: probabilistic-roadmap motion
+// planning for a multi-DoF arm manipulator (paper §V.7).
+//
+// PRM has an offline phase — sample random configurations, keep the
+// collision-free ones, connect each to its nearest neighbors with
+// collision-checked edges — and an online phase that connects the start and
+// goal configurations to the roadmap and searches it with A*. The paper
+// notes the online search is the critical path and that frequent L2-norm
+// computations (configuration distances in n-dimensional space) are a
+// bottleneck; the harness phases and counters here expose both.
+package prm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/arm"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/profile"
+	"repro/internal/rng"
+	"repro/internal/search"
+)
+
+// Config parameterizes a roadmap build + query.
+type Config struct {
+	// Arm is the manipulator; nil uses the paper's 5-DoF default.
+	Arm *arm.Arm
+	// Workspace selects the obstacle set; nil uses Map-C (cluttered). Use
+	// arm.MapF() for the free map.
+	Workspace *arm.Workspace
+	// Samples is the number of roadmap samples (collision-free samples
+	// kept, so the roadmap has up to this many nodes).
+	Samples int
+	// K is the number of nearest neighbors to attempt connecting.
+	K int
+	// EdgeStep is the joint-space collision sampling step, radians.
+	EdgeStep float64
+	// Lazy enables Lazy PRM (Bohlin & Kavraki): roadmap edges are added
+	// without collision checks, and only the edges of candidate paths are
+	// validated during the online query — the classic way to move the
+	// collision-detection bottleneck off the offline phase.
+	Lazy bool
+	// Start and Goal configurations; nil picks default reach poses.
+	Start, Goal []float64
+	Seed        int64
+}
+
+// DefaultConfig returns the paper-style setup: a 5-DoF arm in the cluttered
+// map with a 4000-sample roadmap.
+func DefaultConfig() Config {
+	return Config{
+		Samples:  4000,
+		K:        10,
+		EdgeStep: 0.08,
+		Seed:     1,
+	}
+}
+
+// Result reports the query outcome and workload statistics.
+type Result struct {
+	Found bool
+	// Path is the configuration-space path, start to goal.
+	Path [][]float64
+	// PathCost is the summed joint-space L2 length of the path.
+	PathCost float64
+	// RoadmapNodes and RoadmapEdges describe the offline graph.
+	RoadmapNodes, RoadmapEdges int
+	// Expanded counts online A* expansions.
+	Expanded int
+	// L2Norms counts configuration-distance evaluations (the paper's
+	// flagged bottleneck operation).
+	L2Norms int64
+	// SegChecks counts link-versus-obstacle tests during collision checks.
+	SegChecks int64
+	// LazyRejected counts roadmap edges discarded by Lazy PRM's deferred
+	// validation (0 in eager mode).
+	LazyRejected int
+}
+
+// Run executes the kernel. Harness phases: offline "sample" and "connect";
+// online "query" wrapping the A* search (the critical path the paper calls
+// out).
+func Run(cfg Config, prof *profile.Profile) (Result, error) {
+	a := cfg.Arm
+	if a == nil {
+		a = arm.Default5DoF()
+	}
+	ws := cfg.Workspace
+	if ws == nil {
+		ws = arm.MapC()
+	}
+	if cfg.Samples <= 0 || cfg.K <= 0 {
+		return Result{}, errors.New("prm: Samples and K must be positive")
+	}
+	step := cfg.EdgeStep
+	if step <= 0 {
+		step = 0.08
+	}
+	r := rng.New(cfg.Seed)
+	dof := a.DoF()
+
+	start, goal := cfg.Start, cfg.Goal
+	if start == nil {
+		start = arm.DefaultStart(dof)
+	}
+	if goal == nil {
+		goal = arm.DefaultGoal(dof)
+	}
+	scratch := make([]geom.Vec2, 0, dof+1)
+	cfgScratch := make([]float64, dof)
+	if !ws.CollisionFree(a, start, scratch) {
+		return Result{}, errors.New("prm: start configuration in collision")
+	}
+	if !ws.CollisionFree(a, goal, scratch) {
+		return Result{}, errors.New("prm: goal configuration in collision")
+	}
+
+	res := Result{}
+	var l2norms int64
+	dist := func(x, y []float64) float64 {
+		l2norms++
+		return arm.ConfigDist(x, y)
+	}
+
+	prof.BeginROI()
+
+	// ---- Offline phase: sampling.
+	prof.Begin("sample")
+	nodes := make([][]float64, 0, cfg.Samples)
+	tree := kdtree.New(dof, nil)
+	for len(nodes) < cfg.Samples {
+		c := make([]float64, dof)
+		for i := range c {
+			c[i] = r.Uniform(-math.Pi, math.Pi)
+		}
+		if ws.CollisionFree(a, c, scratch) {
+			tree.Insert(c, len(nodes))
+			nodes = append(nodes, c)
+		}
+	}
+	prof.End()
+
+	// ---- Offline phase: connecting k-nearest neighbors. Lazy PRM defers
+	// the edge collision checks to query time.
+	prof.Begin("connect")
+	adj := make([][]edge, len(nodes))
+	for i, c := range nodes {
+		for _, j := range tree.KNearest(c, cfg.K+1) {
+			if j == i || j > i {
+				continue // undirected; connect each pair once
+			}
+			if cfg.Lazy || ws.EdgeFree(a, c, nodes[j], step, scratch, cfgScratch) {
+				d := dist(c, nodes[j])
+				adj[i] = append(adj[i], edge{j, d})
+				adj[j] = append(adj[j], edge{i, d})
+				res.RoadmapEdges++
+			}
+		}
+	}
+	prof.End()
+
+	// ---- Online phase: connect start/goal, then A* over the roadmap.
+	prof.Begin("query")
+	startID := len(nodes)
+	goalID := len(nodes) + 1
+	all := append(append([][]float64{}, nodes...), start, goal)
+	adj = append(adj, nil, nil)
+	connectEndpoint := func(id int, c []float64) {
+		for _, j := range tree.KNearest(c, 3*cfg.K) {
+			if cfg.Lazy || ws.EdgeFree(a, c, nodes[j], step, scratch, cfgScratch) {
+				d := dist(c, nodes[j])
+				adj[id] = append(adj[id], edge{j, d})
+				adj[j] = append(adj[j], edge{id, d})
+			}
+		}
+	}
+	connectEndpoint(startID, start)
+	connectEndpoint(goalID, goal)
+
+	sp := &roadmapSpace{adj: adj}
+	h := func(id int) float64 { return dist(all[id], goal) }
+
+	var sr search.Result
+	var serr error
+	if !cfg.Lazy {
+		sr, serr = search.Solve(search.Problem{Space: sp, Start: startID, Goal: goalID, H: h})
+	} else {
+		// Lazy PRM query loop: search over the optimistic roadmap, validate
+		// only the edges on the candidate path, drop invalid ones, repeat.
+		validated := map[[2]int]bool{}
+		for {
+			sr, serr = search.Solve(search.Problem{Space: sp, Start: startID, Goal: goalID, H: h})
+			if serr != nil || !sr.Found {
+				break
+			}
+			allFree := true
+			for i := 1; i < len(sr.Path); i++ {
+				u, v := sr.Path[i-1], sr.Path[i]
+				key := [2]int{minInt(u, v), maxInt(u, v)}
+				if validated[key] {
+					continue
+				}
+				if ws.EdgeFree(a, all[u], all[v], step, scratch, cfgScratch) {
+					validated[key] = true
+					continue
+				}
+				sp.removeEdge(u, v)
+				res.LazyRejected++
+				allFree = false
+				break
+			}
+			if allFree {
+				break
+			}
+		}
+	}
+	prof.End()
+	prof.EndROI()
+
+	res.RoadmapNodes = len(nodes)
+	res.Found = sr.Found
+	res.Expanded = sr.Expanded
+	res.L2Norms = l2norms
+	res.SegChecks = ws.SegChecks
+	if sr.Found {
+		res.PathCost = sr.Cost
+		for _, id := range sr.Path {
+			res.Path = append(res.Path, all[id])
+		}
+	}
+	if serr != nil {
+		return res, serr
+	}
+	return res, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type edge struct {
+	to   int
+	cost float64
+}
+
+// roadmapSpace adapts the adjacency lists to the search interface.
+type roadmapSpace struct {
+	adj [][]edge
+}
+
+// removeEdge deletes the undirected edge u-v (Lazy PRM discards edges whose
+// deferred collision check fails).
+func (s *roadmapSpace) removeEdge(u, v int) {
+	drop := func(from, to int) {
+		es := s.adj[from]
+		for k, e := range es {
+			if e.to == to {
+				s.adj[from] = append(es[:k], es[k+1:]...)
+				return
+			}
+		}
+	}
+	drop(u, v)
+	drop(v, u)
+}
+
+// NumStates implements search.Sized.
+func (s *roadmapSpace) NumStates() int { return len(s.adj) }
+
+// Neighbors implements search.Space.
+func (s *roadmapSpace) Neighbors(id int, yield func(to int, cost float64)) {
+	for _, e := range s.adj[id] {
+		yield(e.to, e.cost)
+	}
+}

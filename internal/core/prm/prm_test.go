@@ -1,0 +1,177 @@
+package prm
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/geom"
+	"repro/internal/profile"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Samples = 700
+	return cfg
+}
+
+func TestFindsPathInMapC(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Path) < 2 {
+		t.Fatal("no roadmap path in Map-C")
+	}
+	if res.RoadmapNodes == 0 || res.RoadmapEdges == 0 {
+		t.Fatal("empty roadmap")
+	}
+	if res.L2Norms == 0 || res.SegChecks == 0 {
+		t.Fatal("no distance/collision work recorded")
+	}
+}
+
+func TestPathIsCollisionFree(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workspace = arm.MapC()
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arm.Default5DoF()
+	ws := arm.MapC() // fresh workspace: counters don't matter here
+	var scratch []geom.Vec2
+	tmp := make([]float64, a.DoF())
+	for i := 1; i < len(res.Path); i++ {
+		if !ws.EdgeFree(a, res.Path[i-1], res.Path[i], 0.05, scratch, tmp) {
+			t.Fatalf("roadmap path edge %d collides", i)
+		}
+	}
+}
+
+func TestMapFEasierThanMapC(t *testing.T) {
+	free := smallConfig()
+	free.Workspace = arm.MapF()
+	cluttered := smallConfig()
+	cluttered.Workspace = arm.MapC()
+	a, err1 := Run(free, nil)
+	b, err2 := Run(cluttered, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// The free map connects more edges for the same sample budget.
+	if a.RoadmapEdges <= b.RoadmapEdges {
+		t.Fatalf("Map-F edges %d <= Map-C edges %d", a.RoadmapEdges, b.RoadmapEdges)
+	}
+	// And its path should be no longer (direct sweep allowed).
+	if a.PathCost > b.PathCost+1e-9 {
+		t.Fatalf("Map-F path (%v) longer than Map-C path (%v)", a.PathCost, b.PathCost)
+	}
+}
+
+func TestOfflineOnlinePhases(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	for _, phase := range []string{"sample", "connect", "query"} {
+		if rep.Fraction(phase) <= 0 {
+			t.Fatalf("phase %q missing from profile", phase)
+		}
+	}
+	// The offline phases dominate the total; the online query is the
+	// cheap-but-critical-path part (paper: "paid only once and done
+	// offline").
+	if rep.Fraction("connect") < rep.Fraction("query") {
+		t.Fatal("connect phase should dwarf the online query")
+	}
+}
+
+func TestMoreSamplesShorterPaths(t *testing.T) {
+	sparse := smallConfig()
+	sparse.Samples = 400
+	dense := smallConfig()
+	dense.Samples = 2000
+	a, err1 := Run(sparse, nil)
+	b, err2 := Run(dense, nil)
+	if err1 != nil || err2 != nil {
+		t.Skipf("a sparse roadmap may fail to connect: %v %v", err1, err2)
+	}
+	if b.PathCost > a.PathCost*1.5 {
+		t.Fatalf("denser roadmap gave a much worse path: %v vs %v", b.PathCost, a.PathCost)
+	}
+}
+
+func TestLazyPRMSlashesCollisionWork(t *testing.T) {
+	eager := smallConfig()
+	lazy := smallConfig()
+	lazy.Lazy = true
+	a, err1 := Run(eager, nil)
+	b, err2 := Run(lazy, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !b.Found {
+		t.Fatal("lazy PRM found no path")
+	}
+	// The whole point of laziness: orders of magnitude fewer segment tests.
+	if b.SegChecks*5 > a.SegChecks {
+		t.Fatalf("lazy segchecks %d not ≪ eager %d", b.SegChecks, a.SegChecks)
+	}
+	// Deferred validation must have pruned at least one optimistic edge in
+	// the cluttered map.
+	if b.LazyRejected == 0 {
+		t.Fatal("lazy PRM validated nothing")
+	}
+	if a.LazyRejected != 0 {
+		t.Fatal("eager PRM reported lazy rejections")
+	}
+}
+
+func TestLazyPRMPathIsCollisionFree(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Lazy = true
+	cfg.Workspace = arm.MapC()
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arm.Default5DoF()
+	ws := arm.MapC()
+	var scratch []geom.Vec2
+	tmp := make([]float64, a.DoF())
+	for i := 1; i < len(res.Path); i++ {
+		if !ws.EdgeFree(a, res.Path[i-1], res.Path[i], 0.05, scratch, tmp) {
+			t.Fatalf("lazy path edge %d collides", i)
+		}
+	}
+}
+
+func TestCollidingEndpointsRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Start = make([]float64, 5) // straight +X pose collides in Map-C
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("colliding start accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Samples = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.K = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero K accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(smallConfig(), nil)
+	b, _ := Run(smallConfig(), nil)
+	if a.PathCost != b.PathCost || a.RoadmapEdges != b.RoadmapEdges {
+		t.Fatal("same seed diverged")
+	}
+}

@@ -1,0 +1,140 @@
+package srec
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cols, cfg.Rows = 60, 45
+	cfg.Iterations = 30
+	return cfg
+}
+
+func TestICPRecoversAlignment(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true alignment is the identity; after ICP the residual transform
+	// must be small despite the deliberately wrong initial guess.
+	if res.RotationError > 0.05 {
+		t.Fatalf("rotation residual %.4f rad", res.RotationError)
+	}
+	if res.TranslationError > 0.12 {
+		t.Fatalf("translation residual %.4f m", res.TranslationError)
+	}
+	if res.RMSE > 0.1 {
+		t.Fatalf("RMSE %.4f m", res.RMSE)
+	}
+}
+
+func TestWorsensWithoutIterations(t *testing.T) {
+	one := smallConfig()
+	one.Iterations = 1
+	many := smallConfig()
+	a, err1 := Run(one, nil)
+	b, err2 := Run(many, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.TranslationError >= a.TranslationError {
+		t.Fatalf("more iterations did not improve alignment: %v -> %v",
+			a.TranslationError, b.TranslationError)
+	}
+}
+
+func TestCorrespondenceDominates(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(smallConfig(), p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Dominant() != "correspondence" {
+		t.Fatalf("dominant = %q, want correspondence (point-cloud ops)", rep.Dominant())
+	}
+}
+
+func TestVoxelDownsampleReducesWork(t *testing.T) {
+	full := smallConfig()
+	down := smallConfig()
+	down.VoxelSize = 0.1
+	a, err1 := Run(full, nil)
+	b, err2 := Run(down, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.SourcePoints >= a.SourcePoints {
+		t.Fatalf("downsampling did not shrink the cloud: %d -> %d",
+			a.SourcePoints, b.SourcePoints)
+	}
+	if b.NNQueries >= a.NNQueries {
+		t.Fatal("downsampling did not reduce NN queries")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(smallConfig(), nil)
+	b, _ := Run(smallConfig(), nil)
+	if a.RMSE != b.RMSE || a.NNQueries != b.NNQueries {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Cols = 1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("degenerate camera accepted")
+	}
+}
+
+func TestPointToPlaneConvergesFasterAndTighter(t *testing.T) {
+	pt := smallConfig()
+	pt.Method = PointToPoint
+	pl := smallConfig()
+	pl.Method = PointToPlane
+	a, err1 := Run(pt, nil)
+	b, err2 := Run(pl, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// The plane metric is the KinectFusion-style pipeline's choice exactly
+	// because it converges in fewer iterations on structured scenes.
+	if b.Iterations >= a.Iterations {
+		t.Fatalf("plane iterations %d !< point iterations %d", b.Iterations, a.Iterations)
+	}
+	if b.TranslationError >= a.TranslationError {
+		t.Fatalf("plane residual %.4f !< point residual %.4f",
+			b.TranslationError, a.TranslationError)
+	}
+}
+
+func TestNormalsOnRoomWalls(t *testing.T) {
+	// Scan a wall-dominated scene and check the normals are unit length.
+	cfg := smallConfig()
+	cfg.Method = PointToPlane
+	if _, err := Run(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceStopsEarly(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Iterations = 500
+	cfg.ConvergeTol = 1e-3
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 500 {
+		t.Fatalf("never converged in %d iterations", res.Iterations)
+	}
+}

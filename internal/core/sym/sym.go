@@ -1,0 +1,112 @@
+// Package sym implements kernels 11.sym-blkw and 12.sym-fext: symbolic
+// planning on the blocks-world and firefighting domains (paper §V.11-12).
+// Both kernels share one planner (internal/symbolic); they differ only in
+// the domain description, exactly as in the paper ("The kernel uses the
+// same symbolic planner as in sym-blkw").
+package sym
+
+import (
+	"errors"
+
+	"repro/internal/profile"
+	"repro/internal/symbolic"
+)
+
+// Domain selects which problem the planner solves.
+type Domain string
+
+// The two domains of the paper.
+const (
+	BlocksWorld Domain = "blkw"
+	Firefighter Domain = "fext"
+)
+
+// Config parameterizes a planning run.
+type Config struct {
+	Domain Domain
+	// Blocks sizes the blocks-world tower (sym-blkw).
+	Blocks int
+	// Locations and Pours size the firefighting problem (sym-fext).
+	Locations, Pours int
+	// MaxExpansions aborts hopeless searches (0 = unlimited).
+	MaxExpansions int
+	// Additive switches the planner to the h_add heuristic (see
+	// internal/symbolic): informed satisficing search instead of the
+	// default goal-count A*.
+	Additive bool
+}
+
+// DefaultConfig returns the paper-style setup for the given domain.
+func DefaultConfig(d Domain) Config {
+	switch d {
+	case Firefighter:
+		return Config{Domain: Firefighter, Locations: 5, Pours: 3}
+	default:
+		return Config{Domain: BlocksWorld, Blocks: 7}
+	}
+}
+
+// Result reports the plan and the planner's work profile.
+type Result struct {
+	Found bool
+	// Plan is the action sequence.
+	Plan []string
+	// PlanLength is len(Plan).
+	PlanLength int
+	// Stats carries the planner's expansion/string-work counters, including
+	// AvgBranching — the parallelism measure behind the paper's "~3.2x"
+	// sym-fext observation.
+	Stats symbolic.Stats
+	// GroundActions is the size of the grounded action set.
+	GroundActions int
+}
+
+// Run executes the kernel. Harness phases (from the planner): "search" and
+// "strings".
+func Run(cfg Config, prof *profile.Profile) (Result, error) {
+	var prob *symbolic.Problem
+	switch cfg.Domain {
+	case BlocksWorld:
+		n := cfg.Blocks
+		if n <= 0 {
+			n = 7
+		}
+		prob = symbolic.BlocksWorld(n)
+	case Firefighter:
+		l, p := cfg.Locations, cfg.Pours
+		if l <= 0 {
+			l = 5
+		}
+		if p <= 0 {
+			p = 3
+		}
+		prob = symbolic.Firefighter(l, p)
+	default:
+		return Result{}, errors.New("sym: unknown domain " + string(cfg.Domain))
+	}
+
+	h := symbolic.GoalCount
+	if cfg.Additive {
+		h = symbolic.Additive
+	}
+	prof.BeginROI()
+	plan := symbolic.SolveWith(prob, symbolic.SolveOptions{
+		MaxExpansions: cfg.MaxExpansions,
+		Heuristic:     h,
+		Prof:          prof,
+	})
+	prof.EndROI()
+
+	res := Result{GroundActions: len(prob.Actions)}
+	if plan == nil {
+		return res, errors.New("sym: no plan found")
+	}
+	if err := symbolic.Validate(prob, plan); err != nil {
+		return res, err
+	}
+	res.Found = true
+	res.Plan = plan.Steps
+	res.PlanLength = len(plan.Steps)
+	res.Stats = plan.Stats
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package sym
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestBlocksWorldKernel(t *testing.T) {
+	cfg := DefaultConfig(BlocksWorld)
+	cfg.Blocks = 5
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.PlanLength == 0 {
+		t.Fatal("no blocks-world plan")
+	}
+	if res.Stats.Expanded == 0 || res.Stats.StringBytes == 0 {
+		t.Fatalf("stats empty: %+v", res.Stats)
+	}
+}
+
+func TestFirefighterKernel(t *testing.T) {
+	cfg := DefaultConfig(Firefighter)
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no firefighter plan")
+	}
+	// The final pour must appear.
+	found := false
+	for _, s := range res.Plan {
+		if strings.HasPrefix(s, "PourWater1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("plan never extinguishes: %v", res.Plan)
+	}
+}
+
+func TestFextBranchingHigher(t *testing.T) {
+	blkw, err1 := Run(Config{Domain: BlocksWorld, Blocks: 6}, nil)
+	fext, err2 := Run(Config{Domain: Firefighter, Locations: 5, Pours: 3}, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Paper §V.12: the firefighting domain exposes more applicable actions
+	// per state (≈3.2x in the paper's setup).
+	if fext.Stats.AvgBranching() <= blkw.Stats.AvgBranching() {
+		t.Fatalf("fext branching %.2f !> blkw %.2f",
+			fext.Stats.AvgBranching(), blkw.Stats.AvgBranching())
+	}
+}
+
+func TestProfilePhases(t *testing.T) {
+	p := profile.New()
+	if _, err := Run(Config{Domain: Firefighter, Locations: 5, Pours: 3}, p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.Fraction("search") <= 0 || rep.Fraction("strings") <= 0 {
+		t.Fatalf("phases missing: search=%.2f strings=%.2f",
+			rep.Fraction("search"), rep.Fraction("strings"))
+	}
+}
+
+func TestUnknownDomain(t *testing.T) {
+	if _, err := Run(Config{Domain: "nope"}, nil); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+}
+
+func TestMaxExpansionsPropagates(t *testing.T) {
+	cfg := Config{Domain: BlocksWorld, Blocks: 7, MaxExpansions: 2}
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("capped search still produced a plan")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	// Zero-value sizes get defaults rather than panicking.
+	if _, err := Run(Config{Domain: BlocksWorld}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Domain: Firefighter}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package geom provides the 2D/3D geometric primitives shared by the
+// perception, planning, and control kernels: vectors, planar poses, angle
+// arithmetic, and segment/box intersection predicates used by the collision
+// substrates.
+package geom
+
+import "math"
+
+// Vec2 is a point or direction in the plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s*v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{s * v.X, s * v.Y} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3D cross product v×w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec2) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Normalize returns v scaled to unit length; the zero vector is returned
+// unchanged.
+func (v Vec2) Normalize() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Rotate returns v rotated by theta radians counter-clockwise.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{c*v.X - s*v.Y, s*v.X + c*v.Y}
+}
+
+// Angle returns the heading of v in radians, in (-pi, pi].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Vec3 is a point or direction in 3D space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Norm2()) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Normalize returns v scaled to unit length; the zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Pose2 is a planar robot pose: position plus heading.
+type Pose2 struct {
+	X, Y, Theta float64
+}
+
+// Position returns the translational part of the pose.
+func (p Pose2) Position() Vec2 { return Vec2{p.X, p.Y} }
+
+// Transform maps a point expressed in the pose's local frame to the world
+// frame.
+func (p Pose2) Transform(local Vec2) Vec2 {
+	s, c := math.Sincos(p.Theta)
+	return Vec2{
+		p.X + c*local.X - s*local.Y,
+		p.Y + s*local.X + c*local.Y,
+	}
+}
+
+// Compose returns the pose obtained by applying q in p's frame (p ∘ q).
+func (p Pose2) Compose(q Pose2) Pose2 {
+	w := p.Transform(Vec2{q.X, q.Y})
+	return Pose2{w.X, w.Y, NormalizeAngle(p.Theta + q.Theta)}
+}
+
+// NormalizeAngle wraps an angle to (-pi, pi].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	} else if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest signed difference a-b, wrapped to (-pi, pi].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// Segment is a 2D line segment between A and B.
+type Segment struct {
+	A, B Vec2
+}
+
+// Length returns the segment's Euclidean length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Intersects reports whether segments s and t intersect (including
+// end-point touching and collinear overlap).
+func (s Segment) Intersects(t Segment) bool {
+	d1 := direction(t.A, t.B, s.A)
+	d2 := direction(t.A, t.B, s.B)
+	d3 := direction(s.A, s.B, t.A)
+	d4 := direction(s.A, s.B, t.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(t.A, t.B, s.A):
+		return true
+	case d2 == 0 && onSegment(t.A, t.B, s.B):
+		return true
+	case d3 == 0 && onSegment(s.A, s.B, t.A):
+		return true
+	case d4 == 0 && onSegment(s.A, s.B, t.B):
+		return true
+	}
+	return false
+}
+
+func direction(a, b, c Vec2) float64 { return c.Sub(a).Cross(b.Sub(a)) }
+
+func onSegment(a, b, p Vec2) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// DistPointSegment returns the Euclidean distance from point p to segment s.
+func DistPointSegment(p Vec2, s Segment) float64 {
+	ab := s.B.Sub(s.A)
+	denom := ab.Norm2()
+	if denom == 0 {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(ab) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(s.A.Add(ab.Scale(t)))
+}
+
+// AABB is a 2D axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec2
+}
+
+// Contains reports whether p lies inside the box (boundary inclusive).
+func (b AABB) Contains(p Vec2) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}
+
+// IntersectsSegment reports whether segment s touches the box. The test
+// combines endpoint containment with edge-by-edge intersection, which is
+// exact for the axis-aligned case.
+func (b AABB) IntersectsSegment(s Segment) bool {
+	if b.Contains(s.A) || b.Contains(s.B) {
+		return true
+	}
+	corners := [4]Vec2{
+		b.Min,
+		{b.Max.X, b.Min.Y},
+		b.Max,
+		{b.Min.X, b.Max.Y},
+	}
+	for i := 0; i < 4; i++ {
+		edge := Segment{corners[i], corners[(i+1)%4]}
+		if s.Intersects(edge) {
+			return true
+		}
+	}
+	return false
+}
+
+// Circle is a disc with center C and radius R.
+type Circle struct {
+	C Vec2
+	R float64
+}
+
+// Contains reports whether p lies inside the circle (boundary inclusive).
+func (c Circle) Contains(p Vec2) bool { return c.C.Dist(p) <= c.R }
+
+// IntersectsSegment reports whether segment s passes through the circle.
+func (c Circle) IntersectsSegment(s Segment) bool {
+	return DistPointSegment(c.C, s) <= c.R
+}
+
+// Lerp returns the linear interpolation a + t*(b-a).
+func Lerp(a, b, t float64) float64 { return a + t*(b-a) }
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,200 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec2Basics(t *testing.T) {
+	v := Vec2{3, 4}
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v, want 5", v.Norm())
+	}
+	if v.Norm2() != 25 {
+		t.Fatalf("Norm2 = %v, want 25", v.Norm2())
+	}
+	if got := v.Add(Vec2{1, -1}); got != (Vec2{4, 3}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Dot(Vec2{1, 1}); got != 7 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := (Vec2{1, 0}).Cross(Vec2{0, 1}); got != 1 {
+		t.Fatalf("Cross = %v", got)
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	if err := quick.Check(func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		v := Vec2{x, y}
+		r := v.Rotate(math.Mod(theta, 10))
+		return almostEq(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateQuarterTurn(t *testing.T) {
+	r := Vec2{1, 0}.Rotate(math.Pi / 2)
+	if !almostEq(r.X, 0, 1e-12) || !almostEq(r.Y, 1, 1e-12) {
+		t.Fatalf("rotate(e_x, 90°) = %v", r)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleRangeProperty(t *testing.T) {
+	if err := quick.Check(func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e4)
+		n := NormalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi {
+			return false
+		}
+		// The wrapped angle must be equivalent mod 2π.
+		d := math.Mod(a-n, 2*math.Pi)
+		return almostEq(d, 0, 1e-6) || almostEq(math.Abs(d), 2*math.Pi, 1e-6)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPose2Transform(t *testing.T) {
+	p := Pose2{X: 1, Y: 2, Theta: math.Pi / 2}
+	w := p.Transform(Vec2{1, 0}) // forward in local frame = +Y in world
+	if !almostEq(w.X, 1, 1e-12) || !almostEq(w.Y, 3, 1e-12) {
+		t.Fatalf("Transform = %v", w)
+	}
+}
+
+func TestPose2ComposeIdentity(t *testing.T) {
+	if err := quick.Check(func(x, y, th float64) bool {
+		if math.IsNaN(x+y+th) || math.IsInf(x+y+th, 0) {
+			return true
+		}
+		p := Pose2{math.Mod(x, 100), math.Mod(y, 100), NormalizeAngle(th)}
+		q := p.Compose(Pose2{})
+		return almostEq(p.X, q.X, 1e-9) && almostEq(p.Y, q.Y, 1e-9) &&
+			almostEq(AngleDiff(p.Theta, q.Theta), 0, 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cross := Segment{Vec2{0, 0}, Vec2{2, 2}}
+	if !cross.Intersects(Segment{Vec2{0, 2}, Vec2{2, 0}}) {
+		t.Fatal("crossing segments reported disjoint")
+	}
+	if cross.Intersects(Segment{Vec2{3, 0}, Vec2{4, 0}}) {
+		t.Fatal("disjoint segments reported crossing")
+	}
+	// Touching at an endpoint counts.
+	if !cross.Intersects(Segment{Vec2{2, 2}, Vec2{3, 3}}) {
+		t.Fatal("touching segments reported disjoint")
+	}
+	// Collinear overlap counts.
+	if !cross.Intersects(Segment{Vec2{1, 1}, Vec2{3, 3}}) {
+		t.Fatal("collinear overlapping segments reported disjoint")
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	s := Segment{Vec2{0, 0}, Vec2{10, 0}}
+	if d := DistPointSegment(Vec2{5, 3}, s); !almostEq(d, 3, 1e-12) {
+		t.Fatalf("mid distance = %v", d)
+	}
+	if d := DistPointSegment(Vec2{-4, 3}, s); !almostEq(d, 5, 1e-12) {
+		t.Fatalf("endpoint distance = %v", d)
+	}
+	// Degenerate segment.
+	p := Segment{Vec2{1, 1}, Vec2{1, 1}}
+	if d := DistPointSegment(Vec2{4, 5}, p); !almostEq(d, 5, 1e-12) {
+		t.Fatalf("degenerate distance = %v", d)
+	}
+}
+
+func TestAABBSegment(t *testing.T) {
+	b := AABB{Vec2{0, 0}, Vec2{1, 1}}
+	if !b.IntersectsSegment(Segment{Vec2{-1, 0.5}, Vec2{2, 0.5}}) {
+		t.Fatal("through segment missed")
+	}
+	if !b.IntersectsSegment(Segment{Vec2{0.5, 0.5}, Vec2{0.6, 0.6}}) {
+		t.Fatal("contained segment missed")
+	}
+	if b.IntersectsSegment(Segment{Vec2{2, 2}, Vec2{3, 3}}) {
+		t.Fatal("distant segment hit")
+	}
+}
+
+func TestCircleSegment(t *testing.T) {
+	c := Circle{Vec2{0, 0}, 1}
+	if !c.IntersectsSegment(Segment{Vec2{-2, 0}, Vec2{2, 0}}) {
+		t.Fatal("diameter segment missed")
+	}
+	if c.IntersectsSegment(Segment{Vec2{-2, 1.5}, Vec2{2, 1.5}}) {
+		t.Fatal("tangent-above segment hit")
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	if err := quick.Check(func(ax, ay, az, bx, by, bz float64) bool {
+		bad := func(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+		if bad(ax) || bad(ay) || bad(az) || bad(bx) || bad(by) || bad(bz) {
+			return true
+		}
+		a := Vec3{math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100)}
+		b := Vec3{math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100)}
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Norm()*b.Norm())
+		return almostEq(c.Dot(a), 0, tol) && almostEq(c.Dot(b), 0, tol)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+	if Lerp(2, 4, 0.5) != 3 {
+		t.Fatal("Lerp broken")
+	}
+}
+
+func TestNormalizeZeroVec(t *testing.T) {
+	if (Vec2{}).Normalize() != (Vec2{}) {
+		t.Fatal("zero Vec2 normalize changed value")
+	}
+	if (Vec3{}).Normalize() != (Vec3{}) {
+		t.Fatal("zero Vec3 normalize changed value")
+	}
+}

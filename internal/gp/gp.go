@@ -1,0 +1,116 @@
+// Package gp implements Gaussian-process regression with an RBF kernel and
+// the upper-confidence-bound acquisition function — the substrate of the
+// Bayesian-optimization control kernel (paper §V.16: "We use an upper
+// confidence bound (UCB) acquisition function. Training and testing are done
+// using a Gaussian process.").
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// GP is a Gaussian-process regressor over n-dimensional inputs. Fit must be
+// called before Predict.
+type GP struct {
+	// LengthScale is the RBF kernel length scale.
+	LengthScale float64
+	// SignalVar is the kernel signal variance σ_f².
+	SignalVar float64
+	// NoiseVar is the observation noise variance σ_n² added to the diagonal.
+	NoiseVar float64
+
+	xs    [][]float64
+	chol  *mat.Matrix
+	alpha []float64
+}
+
+// New returns a GP with the given hyperparameters.
+func New(lengthScale, signalVar, noiseVar float64) *GP {
+	if lengthScale <= 0 || signalVar <= 0 || noiseVar < 0 {
+		panic("gp: non-positive hyperparameters")
+	}
+	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar}
+}
+
+func (g *GP) kernel(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return g.SignalVar * math.Exp(-s/(2*g.LengthScale*g.LengthScale))
+}
+
+// Fit trains the GP on inputs xs and targets ys. It computes the Cholesky
+// factorization of K + σ_n²I, the cubic-cost matrix operation that makes bo
+// "computationally more intensive" than cem.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("gp: need equal, non-empty inputs and targets")
+	}
+	n := len(xs)
+	g.xs = make([][]float64, n)
+	for i, x := range xs {
+		g.xs[i] = append([]float64(nil), x...)
+	}
+	k := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel(xs[i], xs[j])
+			if i == j {
+				v += g.NoiseVar + 1e-10 // jitter for numerical stability
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	chol, err := mat.Cholesky(k)
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix not positive definite: %w", err)
+	}
+	g.chol = chol
+	g.alpha = mat.CholSolve(chol, ys)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if g.chol == nil {
+		panic("gp: Predict before Fit")
+	}
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i, xi := range g.xs {
+		kstar[i] = g.kernel(xi, x)
+	}
+	for i, a := range g.alpha {
+		mean += kstar[i] * a
+	}
+	// v = L⁻¹ k*; var = k(x,x) - vᵀv.
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := kstar[i]
+		for j := 0; j < i; j++ {
+			s -= g.chol.At(i, j) * v[j]
+		}
+		v[i] = s / g.chol.At(i, i)
+	}
+	variance = g.kernel(x, x)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// UCB returns the upper-confidence-bound acquisition value at x:
+// mean + beta * stddev.
+func (g *GP) UCB(x []float64, beta float64) float64 {
+	m, v := g.Predict(x)
+	return m + beta*math.Sqrt(v)
+}

@@ -1,0 +1,152 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	g := New(0.5, 1.0, 1e-6)
+	xs := [][]float64{{0}, {0.3}, {0.7}, {1}}
+	ys := []float64{1, -0.5, 2, 0}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		m, v := g.Predict(x)
+		if math.Abs(m-ys[i]) > 1e-3 {
+			t.Fatalf("mean at training point %d = %v, want %v", i, m, ys[i])
+		}
+		if v > 1e-3 {
+			t.Fatalf("variance at training point %d = %v, want ~0", i, v)
+		}
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	g := New(0.3, 1.0, 1e-4)
+	if err := g.Fit([][]float64{{0}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{0.01})
+	_, vFar := g.Predict([]float64{5})
+	if vFar <= vNear {
+		t.Fatalf("variance near=%v far=%v — should grow with distance", vNear, vFar)
+	}
+	if math.Abs(vFar-1.0) > 1e-3 {
+		t.Fatalf("far variance = %v, want ~signal variance 1", vFar)
+	}
+}
+
+func TestMeanRevertsToZeroFarAway(t *testing.T) {
+	g := New(0.3, 1.0, 1e-4)
+	if err := g.Fit([][]float64{{0}}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := g.Predict([]float64{10})
+	if math.Abs(m) > 1e-3 {
+		t.Fatalf("far mean = %v, want ~0 (prior mean)", m)
+	}
+}
+
+func TestSmoothFunctionRegression(t *testing.T) {
+	g := New(0.5, 1.0, 1e-4)
+	r := rng.New(1)
+	var xs [][]float64
+	var ys []float64
+	f := func(x float64) float64 { return math.Sin(3 * x) }
+	for i := 0; i < 30; i++ {
+		x := r.Uniform(0, 2)
+		xs = append(xs, []float64{x})
+		ys = append(ys, f(x))
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	// Predictions between data points should track the function closely.
+	for x := 0.2; x < 1.8; x += 0.1 {
+		m, _ := g.Predict([]float64{x})
+		if math.Abs(m-f(x)) > 0.15 {
+			t.Fatalf("prediction at %v: %v, want ~%v", x, m, f(x))
+		}
+	}
+}
+
+func TestUCBDominatesMean(t *testing.T) {
+	g := New(0.5, 1.0, 1e-4)
+	if err := g.Fit([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for x := -1.0; x <= 2; x += 0.25 {
+		m, _ := g.Predict([]float64{x})
+		if u := g.UCB([]float64{x}, 2); u < m-1e-12 {
+			t.Fatalf("UCB %v below mean %v at %v", u, m, x)
+		}
+	}
+}
+
+func TestMultiDimensional(t *testing.T) {
+	g := New(1.0, 1.0, 1e-4)
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	ys := []float64{0, 1, 1, 2}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	// The query is symmetric in the four corners, so the prediction must
+	// stay near the corner mean; RBF interpolation is not exact between
+	// points, so the tolerance is loose.
+	m, _ := g.Predict([]float64{0.5, 0.5})
+	if math.Abs(m-1) > 0.4 {
+		t.Fatalf("center prediction = %v, want ~1", m)
+	}
+	// Symmetry: the two off-diagonal corners predict identically.
+	m1, _ := g.Predict([]float64{0.9, 0.1})
+	m2, _ := g.Predict([]float64{0.1, 0.9})
+	if math.Abs(m1-m2) > 1e-9 {
+		t.Fatalf("asymmetric predictions %v vs %v", m1, m2)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	g := New(1, 1, 0.01)
+	if err := g.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict before Fit did not panic")
+		}
+	}()
+	New(1, 1, 0.01).Predict([]float64{0})
+}
+
+func TestDuplicateInputsStableWithNoise(t *testing.T) {
+	g := New(0.5, 1.0, 0.01)
+	// Identical inputs with different targets: the noise term must keep
+	// the kernel matrix positive definite.
+	err := g.Fit([][]float64{{1}, {1}, {1}}, []float64{0.9, 1.0, 1.1})
+	if err != nil {
+		t.Fatalf("duplicate inputs broke the fit: %v", err)
+	}
+	m, _ := g.Predict([]float64{1})
+	if math.Abs(m-1.0) > 0.05 {
+		t.Fatalf("mean at duplicated input = %v, want ~1", m)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad hyperparameters did not panic")
+		}
+	}()
+	New(0, 1, 0.1)
+}

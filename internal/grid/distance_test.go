@@ -1,0 +1,264 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDistanceTransformSinglePoint(t *testing.T) {
+	g := NewGrid2D(11, 11)
+	g.Set(5, 5, true)
+	d := g.DistanceTransform()
+	for y := 0; y < 11; y++ {
+		for x := 0; x < 11; x++ {
+			want := math.Hypot(float64(x-5), float64(y-5))
+			if math.Abs(d[y*11+x]-want) > 1e-9 {
+				t.Fatalf("d(%d,%d) = %v, want %v", x, y, d[y*11+x], want)
+			}
+		}
+	}
+}
+
+func TestDistanceTransformMatchesBruteForce(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		w, h := 3+r.Intn(25), 3+r.Intn(25)
+		g := NewGrid2D(w, h)
+		nObs := 1 + r.Intn(w*h/3)
+		for i := 0; i < nObs; i++ {
+			g.Set(r.Intn(w), r.Intn(h), true)
+		}
+		d := g.DistanceTransform()
+		// Brute force O(n²) oracle.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				best := math.Inf(1)
+				for oy := 0; oy < h; oy++ {
+					for ox := 0; ox < w; ox++ {
+						if g.Occupied(ox, oy) {
+							dd := math.Hypot(float64(x-ox), float64(y-oy))
+							if dd < best {
+								best = dd
+							}
+						}
+					}
+				}
+				if math.Abs(d[y*w+x]-best) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTransformNoObstacles(t *testing.T) {
+	g := NewGrid2D(5, 5)
+	d := g.DistanceTransform()
+	for _, v := range d {
+		if v < 1e6 {
+			t.Fatalf("obstacle-free distance = %v, want huge", v)
+		}
+	}
+}
+
+func TestSmoothPathStraightensDetour(t *testing.T) {
+	g := NewGrid2D(20, 20)
+	// An L-shaped path in open space collapses to its endpoints.
+	var path []int
+	for x := 0; x <= 10; x++ {
+		path = append(path, 0*20+x)
+	}
+	for y := 1; y <= 10; y++ {
+		path = append(path, y*20+10)
+	}
+	sm := g.SmoothPath(path)
+	if len(sm) != 2 {
+		t.Fatalf("open-space L-path smoothed to %d waypoints, want 2", len(sm))
+	}
+	if sm[0] != path[0] || sm[1] != path[len(path)-1] {
+		t.Fatal("smoothing changed the endpoints")
+	}
+}
+
+func TestSmoothPathRespectsObstacles(t *testing.T) {
+	g := NewGrid2D(20, 20)
+	// A wall between the legs of the L forces the bend to survive.
+	for y := 0; y < 9; y++ {
+		g.Set(5, y+1, true)
+	}
+	var path []int
+	for x := 0; x <= 10; x++ {
+		path = append(path, 0*20+x)
+	}
+	for y := 1; y <= 10; y++ {
+		path = append(path, y*20+10)
+	}
+	sm := g.SmoothPath(path)
+	if len(sm) < 3 {
+		t.Fatalf("smoothing cut through a wall: %d waypoints", len(sm))
+	}
+	// Every consecutive pair must be line-of-sight free.
+	for i := 1; i < len(sm); i++ {
+		x0, y0 := sm[i-1]%20, sm[i-1]/20
+		x1, y1 := sm[i]%20, sm[i]/20
+		if !g.LineFree2D(x0, y0, x1, y1) {
+			t.Fatalf("smoothed segment %d blocked", i)
+		}
+	}
+}
+
+func TestSmoothPathNeverLonger(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		g := NewGrid2D(30, 30)
+		for i := 0; i < 120; i++ {
+			g.Set(r.Intn(30), r.Intn(30), true)
+		}
+		// Build a random valid staircase path through free cells.
+		x, y := 0, 0
+		g.Set(0, 0, false)
+		path := []int{0}
+		for len(path) < 40 {
+			nx, ny := x, y
+			if r.Float64() < 0.5 && x < 29 {
+				nx++
+			} else if y < 29 {
+				ny++
+			}
+			if g.Occupied(nx, ny) {
+				break
+			}
+			x, y = nx, ny
+			path = append(path, y*30+x)
+		}
+		if len(path) < 3 {
+			return true
+		}
+		sm := g.SmoothPath(path)
+		return pathLen(sm, 30) <= pathLen(path, 30)+1e-9
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pathLen(path []int, w int) float64 {
+	var s float64
+	for i := 1; i < len(path); i++ {
+		x0, y0 := path[i-1]%w, path[i-1]/w
+		x1, y1 := path[i]%w, path[i]/w
+		s += math.Hypot(float64(x1-x0), float64(y1-y0))
+	}
+	return s
+}
+
+func TestSmoothPathDegenerate(t *testing.T) {
+	g := NewGrid2D(5, 5)
+	if got := g.SmoothPath(nil); len(got) != 0 {
+		t.Fatal("nil path smoothed to non-empty")
+	}
+	if got := g.SmoothPath([]int{3}); len(got) != 1 {
+		t.Fatal("single-cell path changed")
+	}
+	if got := g.SmoothPath([]int{3, 4}); len(got) != 2 {
+		t.Fatal("two-cell path changed")
+	}
+}
+
+func TestLineFree3DOpenAndBlocked(t *testing.T) {
+	g := NewGrid3D(20, 20, 20)
+	if !g.LineFree3D(1, 1, 1, 18, 17, 16) {
+		t.Fatal("open-space 3D line reported blocked")
+	}
+	g.Set(10, 9, 8, true)
+	// A line passing right through that voxel must now be blocked.
+	if g.LineFree3D(1, 1, 1, 19, 17, 15) {
+		// The dominant-axis walk may round past the voxel; use an
+		// axis-aligned certain hit instead.
+		g2 := NewGrid3D(20, 20, 20)
+		g2.Set(10, 5, 5, true)
+		if g2.LineFree3D(0, 5, 5, 19, 5, 5) {
+			t.Fatal("axis line through obstacle reported clear")
+		}
+	}
+	// Endpoints inside obstacles are blocked.
+	if g.LineFree3D(10, 9, 8, 12, 9, 8) {
+		t.Fatal("line starting inside an obstacle reported clear")
+	}
+}
+
+func TestLineFree3DMatchesEndpoints(t *testing.T) {
+	g := NewGrid3D(10, 10, 10)
+	if !g.LineFree3D(3, 4, 5, 3, 4, 5) {
+		t.Fatal("degenerate free line blocked")
+	}
+	g.Set(3, 4, 5, true)
+	if g.LineFree3D(3, 4, 5, 3, 4, 5) {
+		t.Fatal("degenerate occupied line clear")
+	}
+}
+
+func TestSmoothPath3DStraightens(t *testing.T) {
+	g := NewGrid3D(20, 20, 20)
+	id := func(x, y, z int) int { return (z*g.H+y)*g.W + x }
+	// A staircase path in open space collapses to its endpoints.
+	var path []int
+	for i := 0; i <= 10; i++ {
+		path = append(path, id(i, 0, 0))
+	}
+	for i := 1; i <= 10; i++ {
+		path = append(path, id(10, i, 0))
+	}
+	for i := 1; i <= 10; i++ {
+		path = append(path, id(10, 10, i))
+	}
+	sm := g.SmoothPath3D(path)
+	if len(sm) < 2 || len(sm) >= len(path) {
+		t.Fatalf("smoothed to %d waypoints from %d", len(sm), len(path))
+	}
+	if sm[0] != path[0] || sm[len(sm)-1] != path[len(path)-1] {
+		t.Fatal("endpoints changed")
+	}
+}
+
+func TestSmoothPath3DRespectsWalls(t *testing.T) {
+	g := NewGrid3D(20, 20, 20)
+	// Wall in the middle with a hole the original path threads.
+	g.FillBox(10, 0, 0, 10, 19, 19, true)
+	g.Set(10, 0, 0, false) // hole at the corner
+	id := func(x, y, z int) int { return (z*g.H+y)*g.W + x }
+	var path []int
+	for x := 0; x <= 9; x++ {
+		path = append(path, id(x, 5, 5))
+	}
+	// descend to the hole
+	for y := 4; y >= 0; y-- {
+		path = append(path, id(9, y, 5))
+	}
+	for z := 4; z >= 0; z-- {
+		path = append(path, id(9, 0, z))
+	}
+	path = append(path, id(10, 0, 0), id(11, 0, 0))
+	for x := 12; x <= 19; x++ {
+		path = append(path, id(x, 0, 0))
+	}
+	sm := g.SmoothPath3D(path)
+	// Every smoothed segment must be line-of-sight clear.
+	decode := func(v int) (int, int, int) {
+		x := v % g.W
+		v /= g.W
+		return x, v % g.H, v / g.H
+	}
+	for i := 1; i < len(sm); i++ {
+		x0, y0, z0 := decode(sm[i-1])
+		x1, y1, z1 := decode(sm[i])
+		if !g.LineFree3D(x0, y0, z0, x1, y1, z1) {
+			t.Fatalf("smoothed 3D segment %d blocked", i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package grid implements occupancy grids in two and three dimensions,
+// the Moving AI map format used by the pp2d inputsets, and grid ray casting.
+// It is the shared world-model substrate of the perception kernels (particle
+// filter ray casting) and the planning kernels (collision detection, graph
+// search).
+package grid
+
+import "math"
+
+// Grid2D is a 2D occupancy grid. Cells are addressed by integer (x, y) with
+// (0, 0) at the lower-left corner; world coordinates map to cells through
+// Resolution (meters per cell).
+type Grid2D struct {
+	W, H       int
+	Resolution float64 // meters per cell; 1.0 when unset semantics are pure cells
+	occ        []bool
+}
+
+// NewGrid2D returns an all-free grid of the given size with resolution 1.
+func NewGrid2D(w, h int) *Grid2D {
+	if w <= 0 || h <= 0 {
+		panic("grid: non-positive Grid2D dimensions")
+	}
+	return &Grid2D{W: w, H: h, Resolution: 1, occ: make([]bool, w*h)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Grid2D) Clone() *Grid2D {
+	c := &Grid2D{W: g.W, H: g.H, Resolution: g.Resolution, occ: make([]bool, len(g.occ))}
+	copy(c.occ, g.occ)
+	return c
+}
+
+// InBounds reports whether cell (x, y) lies inside the grid.
+func (g *Grid2D) InBounds(x, y int) bool { return x >= 0 && x < g.W && y >= 0 && y < g.H }
+
+// Occupied reports whether cell (x, y) is an obstacle. Out-of-bounds cells
+// are treated as occupied, which gives the planners a solid world boundary.
+func (g *Grid2D) Occupied(x, y int) bool {
+	if !g.InBounds(x, y) {
+		return true
+	}
+	return g.occ[y*g.W+x]
+}
+
+// Free reports whether cell (x, y) is traversable.
+func (g *Grid2D) Free(x, y int) bool { return !g.Occupied(x, y) }
+
+// Set marks cell (x, y) occupied or free. Out-of-bounds sets are ignored.
+func (g *Grid2D) Set(x, y int, occupied bool) {
+	if g.InBounds(x, y) {
+		g.occ[y*g.W+x] = occupied
+	}
+}
+
+// Fill marks the rectangle [x0, x1] × [y0, y1] (inclusive) occupied or free,
+// clipped to the grid.
+func (g *Grid2D) Fill(x0, y0, x1, y1 int, occupied bool) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := max(y0, 0); y <= min(y1, g.H-1); y++ {
+		for x := max(x0, 0); x <= min(x1, g.W-1); x++ {
+			g.occ[y*g.W+x] = occupied
+		}
+	}
+}
+
+// CountOccupied returns the number of obstacle cells.
+func (g *Grid2D) CountOccupied() int {
+	n := 0
+	for _, o := range g.occ {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// WorldToCell converts world coordinates (meters) to a cell index.
+func (g *Grid2D) WorldToCell(wx, wy float64) (int, int) {
+	return int(math.Floor(wx / g.Resolution)), int(math.Floor(wy / g.Resolution))
+}
+
+// CellToWorld returns the world coordinates of the center of cell (x, y).
+func (g *Grid2D) CellToWorld(x, y int) (float64, float64) {
+	return (float64(x) + 0.5) * g.Resolution, (float64(y) + 0.5) * g.Resolution
+}
+
+// OccupiedWorld reports whether the cell containing world point (wx, wy) is
+// an obstacle.
+func (g *Grid2D) OccupiedWorld(wx, wy float64) bool {
+	x, y := g.WorldToCell(wx, wy)
+	return g.Occupied(x, y)
+}
+
+// Inflate returns a copy of the grid with every obstacle dilated by r cells
+// (Chebyshev radius). Planners use inflation to account for robot extent
+// when treating the robot as a point.
+func (g *Grid2D) Inflate(r int) *Grid2D {
+	if r <= 0 {
+		return g.Clone()
+	}
+	out := NewGrid2D(g.W, g.H)
+	out.Resolution = g.Resolution
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if !g.occ[y*g.W+x] {
+				continue
+			}
+			out.Fill(x-r, y-r, x+r, y+r, true)
+		}
+	}
+	return out
+}
+
+// Scale returns the grid scaled by an integer factor k: every cell becomes a
+// k×k block. This reproduces the map-scaling experiment of the paper's
+// Fig. 21, where the comparison map is "scaled by different factors to
+// evaluate the implementations in larger (or finer-resolution) environments".
+func (g *Grid2D) Scale(k int) *Grid2D {
+	if k <= 1 {
+		return g.Clone()
+	}
+	out := NewGrid2D(g.W*k, g.H*k)
+	out.Resolution = g.Resolution / float64(k)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if g.occ[y*g.W+x] {
+				out.Fill(x*k, y*k, x*k+k-1, y*k+k-1, true)
+			}
+		}
+	}
+	return out
+}
+
+// CostGrid2D is a 2D field of per-cell traversal costs, used by the
+// moving-target planner (every location "has a particular cost for the
+// robot"). Cost 0 marks an impassable cell.
+type CostGrid2D struct {
+	W, H int
+	cost []float64
+}
+
+// NewCostGrid2D returns a cost grid with all cells at the given uniform cost.
+func NewCostGrid2D(w, h int, uniform float64) *CostGrid2D {
+	c := &CostGrid2D{W: w, H: h, cost: make([]float64, w*h)}
+	for i := range c.cost {
+		c.cost[i] = uniform
+	}
+	return c
+}
+
+// InBounds reports whether (x, y) lies inside the grid.
+func (c *CostGrid2D) InBounds(x, y int) bool { return x >= 0 && x < c.W && y >= 0 && y < c.H }
+
+// Cost returns the traversal cost of cell (x, y); out-of-bounds cells and
+// obstacles report +Inf.
+func (c *CostGrid2D) Cost(x, y int) float64 {
+	if !c.InBounds(x, y) {
+		return math.Inf(1)
+	}
+	v := c.cost[y*c.W+x]
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// Passable reports whether cell (x, y) can be traversed.
+func (c *CostGrid2D) Passable(x, y int) bool { return !math.IsInf(c.Cost(x, y), 1) }
+
+// Set assigns the traversal cost of cell (x, y); v <= 0 marks an obstacle.
+func (c *CostGrid2D) Set(x, y int, v float64) {
+	if c.InBounds(x, y) {
+		c.cost[y*c.W+x] = v
+	}
+}

@@ -1,0 +1,77 @@
+package grid
+
+// Grid3D is a 3D voxel occupancy grid used by the UAV planner (pp3d) and the
+// moving-target planner's space-time graph. Voxels are addressed by integer
+// (x, y, z).
+type Grid3D struct {
+	W, H, D    int
+	Resolution float64
+	occ        []bool
+}
+
+// NewGrid3D returns an all-free voxel grid with resolution 1.
+func NewGrid3D(w, h, d int) *Grid3D {
+	if w <= 0 || h <= 0 || d <= 0 {
+		panic("grid: non-positive Grid3D dimensions")
+	}
+	return &Grid3D{W: w, H: h, D: d, Resolution: 1, occ: make([]bool, w*h*d)}
+}
+
+// InBounds reports whether voxel (x, y, z) lies inside the grid.
+func (g *Grid3D) InBounds(x, y, z int) bool {
+	return x >= 0 && x < g.W && y >= 0 && y < g.H && z >= 0 && z < g.D
+}
+
+func (g *Grid3D) idx(x, y, z int) int { return (z*g.H+y)*g.W + x }
+
+// Occupied reports whether voxel (x, y, z) is an obstacle; out-of-bounds
+// voxels are occupied.
+func (g *Grid3D) Occupied(x, y, z int) bool {
+	if !g.InBounds(x, y, z) {
+		return true
+	}
+	return g.occ[g.idx(x, y, z)]
+}
+
+// Free reports whether voxel (x, y, z) is traversable.
+func (g *Grid3D) Free(x, y, z int) bool { return !g.Occupied(x, y, z) }
+
+// Set marks voxel (x, y, z) occupied or free; out-of-bounds sets are ignored.
+func (g *Grid3D) Set(x, y, z int, occupied bool) {
+	if g.InBounds(x, y, z) {
+		g.occ[g.idx(x, y, z)] = occupied
+	}
+}
+
+// FillBox marks the inclusive voxel box occupied or free, clipped to the
+// grid. Map generators build structures (buildings, tree canopies) from
+// boxes.
+func (g *Grid3D) FillBox(x0, y0, z0, x1, y1, z1 int, occupied bool) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	if z0 > z1 {
+		z0, z1 = z1, z0
+	}
+	for z := max(z0, 0); z <= min(z1, g.D-1); z++ {
+		for y := max(y0, 0); y <= min(y1, g.H-1); y++ {
+			for x := max(x0, 0); x <= min(x1, g.W-1); x++ {
+				g.occ[g.idx(x, y, z)] = occupied
+			}
+		}
+	}
+}
+
+// CountOccupied returns the number of obstacle voxels.
+func (g *Grid3D) CountOccupied() int {
+	n := 0
+	for _, o := range g.occ {
+		if o {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,348 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGrid2DBasics(t *testing.T) {
+	g := NewGrid2D(10, 5)
+	if g.Occupied(3, 3) {
+		t.Fatal("fresh grid has obstacles")
+	}
+	g.Set(3, 3, true)
+	if !g.Occupied(3, 3) || g.Free(3, 3) {
+		t.Fatal("Set did not mark the cell")
+	}
+	// Out of bounds is occupied.
+	if !g.Occupied(-1, 0) || !g.Occupied(10, 0) || !g.Occupied(0, 5) {
+		t.Fatal("out-of-bounds cells must read occupied")
+	}
+	g.Set(-1, -1, true) // must not panic
+}
+
+func TestFillAndCount(t *testing.T) {
+	g := NewGrid2D(8, 8)
+	g.Fill(2, 2, 4, 4, true)
+	if got := g.CountOccupied(); got != 9 {
+		t.Fatalf("CountOccupied = %d, want 9", got)
+	}
+	g.Fill(4, 4, 2, 2, false) // reversed corners
+	if got := g.CountOccupied(); got != 0 {
+		t.Fatalf("after clear CountOccupied = %d", got)
+	}
+	g.Fill(-5, -5, 100, 100, true) // clipped
+	if got := g.CountOccupied(); got != 64 {
+		t.Fatalf("clipped fill CountOccupied = %d", got)
+	}
+}
+
+func TestWorldCellRoundTrip(t *testing.T) {
+	g := NewGrid2D(16, 16)
+	g.Resolution = 0.25
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			wx, wy := g.CellToWorld(x, y)
+			cx, cy := g.WorldToCell(wx, wy)
+			if cx != x || cy != y {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", x, y, cx, cy)
+			}
+		}
+	}
+}
+
+func TestInflate(t *testing.T) {
+	g := NewGrid2D(9, 9)
+	g.Set(4, 4, true)
+	inf := g.Inflate(2)
+	if got := inf.CountOccupied(); got != 25 {
+		t.Fatalf("inflated count = %d, want 25", got)
+	}
+	if !inf.Occupied(2, 2) || inf.Occupied(1, 1) {
+		t.Fatal("inflation radius wrong")
+	}
+	// Inflate(0) is a plain copy.
+	c := g.Inflate(0)
+	if c.CountOccupied() != 1 {
+		t.Fatal("Inflate(0) changed the grid")
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := NewGrid2D(3, 3)
+	g.Set(1, 1, true)
+	s := g.Scale(4)
+	if s.W != 12 || s.H != 12 {
+		t.Fatalf("scaled dims %dx%d", s.W, s.H)
+	}
+	if got := s.CountOccupied(); got != 16 {
+		t.Fatalf("scaled count = %d, want 16", got)
+	}
+	if s.Resolution != g.Resolution/4 {
+		t.Fatalf("scaled resolution = %v", s.Resolution)
+	}
+	for x := 4; x < 8; x++ {
+		for y := 4; y < 8; y++ {
+			if !s.Occupied(x, y) {
+				t.Fatalf("block cell (%d,%d) free", x, y)
+			}
+		}
+	}
+}
+
+func TestMovingAIRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		w, h := 2+r.Intn(30), 2+r.Intn(30)
+		g := NewGrid2D(w, h)
+		for i := 0; i < w*h/3; i++ {
+			g.Set(r.Intn(w), r.Intn(h), true)
+		}
+		var buf bytes.Buffer
+		if err := WriteMovingAI(&buf, g); err != nil {
+			return false
+		}
+		parsed, err := ParseMovingAI(&buf)
+		if err != nil {
+			return false
+		}
+		if parsed.W != g.W || parsed.H != g.H {
+			return false
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if parsed.Occupied(x, y) != g.Occupied(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAIParsesTerrainTypes(t *testing.T) {
+	input := "type octile\nheight 2\nwidth 5\nmap\n.G@OT\nSW...\n"
+	g, err := ParseMovingAI(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 of the file is the TOP row (y = H-1 = 1).
+	wantTop := []bool{false, false, true, true, true}
+	wantBot := []bool{true, true, false, false, false}
+	for x := 0; x < 5; x++ {
+		if g.Occupied(x, 1) != wantTop[x] {
+			t.Fatalf("top row x=%d", x)
+		}
+		if g.Occupied(x, 0) != wantBot[x] {
+			t.Fatalf("bottom row x=%d", x)
+		}
+	}
+}
+
+func TestMovingAIErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing map":   "type octile\nheight 2\nwidth 2\n",
+		"bad terrain":   "height 1\nwidth 1\nmap\nX\n",
+		"short row":     "height 1\nwidth 5\nmap\n..\n",
+		"missing rows":  "height 3\nwidth 2\nmap\n..\n",
+		"bad height":    "height x\nwidth 2\nmap\n..\n",
+		"no dimensions": "map\n..\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseMovingAI(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMovingAINeverPanicsOnGarbage(t *testing.T) {
+	// Robustness: arbitrary byte soup must yield an error, never a panic.
+	if err := quick.Check(func(raw []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("parser panicked")
+			}
+		}()
+		_, _ = ParseMovingAI(bytes.NewReader(raw))
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Headers with hostile dimension values.
+	for _, in := range []string{
+		"height 999999999999999999999\nwidth 2\nmap\n..\n",
+		"height -5\nwidth 2\nmap\n..\n",
+		"height 2\nwidth 0\nmap\n\n\n",
+		"type octile\nheight 1\nwidth 1\nmap\n",
+	} {
+		if _, err := ParseMovingAI(strings.NewReader(in)); err == nil {
+			t.Errorf("hostile input accepted: %q", in)
+		}
+	}
+}
+
+func TestRaycastOpenSpace(t *testing.T) {
+	g := NewGrid2D(100, 100)
+	d := g.Raycast(50, 50, 0, 20)
+	if d != 20 {
+		t.Fatalf("open-space ray = %v, want maxRange 20", d)
+	}
+}
+
+func TestRaycastHitsWall(t *testing.T) {
+	g := NewGrid2D(100, 100)
+	for y := 0; y < 100; y++ {
+		g.Set(60, y, true)
+	}
+	d := g.Raycast(50.5, 50.5, 0, 100)
+	// The wall cell starts at x=60; ray starts at 50.5.
+	if math.Abs(d-9.5) > 1e-9 {
+		t.Fatalf("wall ray = %v, want 9.5", d)
+	}
+	// Diagonal ray.
+	d = g.Raycast(50.5, 50.5, math.Pi/4, 100)
+	want := 9.5 * math.Sqrt2
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("diagonal ray = %v, want %v", d, want)
+	}
+}
+
+func TestRaycastFromOccupied(t *testing.T) {
+	g := NewGrid2D(10, 10)
+	g.Set(5, 5, true)
+	if d := g.Raycast(5.5, 5.5, 0, 10); d != 0 {
+		t.Fatalf("ray from obstacle = %v, want 0", d)
+	}
+}
+
+func TestRaycastBackward(t *testing.T) {
+	g := NewGrid2D(100, 100)
+	for y := 0; y < 100; y++ {
+		g.Set(40, y, true)
+	}
+	d := g.Raycast(50.5, 50.5, math.Pi, 100)
+	// Wall cell [40,41) — the ray traveling -x hits its right edge at 41.
+	if math.Abs(d-9.5) > 1e-9 {
+		t.Fatalf("backward ray = %v, want 9.5", d)
+	}
+}
+
+func TestRaycastMatchesBruteForce(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		g := NewGrid2D(40, 40)
+		for i := 0; i < 80; i++ {
+			g.Set(r.Intn(40), r.Intn(40), true)
+		}
+		ox := r.Uniform(5, 35)
+		oy := r.Uniform(5, 35)
+		if g.OccupiedWorld(ox, oy) {
+			return true
+		}
+		theta := r.Uniform(-math.Pi, math.Pi)
+		got := g.Raycast(ox, oy, theta, 30)
+
+		// Brute force: march in tiny steps until an occupied cell.
+		const step = 1e-3
+		brute := 30.0
+		for d := step; d <= 30; d += step {
+			if g.OccupiedWorld(ox+d*math.Cos(theta), oy+d*math.Sin(theta)) {
+				brute = d
+				break
+			}
+		}
+		return math.Abs(got-brute) < 0.01
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaycastCellsCountsWork(t *testing.T) {
+	g := NewGrid2D(100, 100)
+	_, cells := g.RaycastCells(50.5, 50.5, 0, 20)
+	if cells < 19 || cells > 22 {
+		t.Fatalf("cells visited = %d, want ~20", cells)
+	}
+}
+
+func TestLineFree2D(t *testing.T) {
+	g := NewGrid2D(20, 20)
+	if !g.LineFree2D(1, 1, 18, 18) {
+		t.Fatal("clear diagonal reported blocked")
+	}
+	g.Set(10, 10, true)
+	if g.LineFree2D(1, 1, 18, 18) {
+		t.Fatal("blocked diagonal reported clear")
+	}
+	if !g.LineFree2D(1, 1, 1, 1) {
+		t.Fatal("trivial line reported blocked")
+	}
+	if g.LineFree2D(10, 10, 10, 10) {
+		t.Fatal("line inside obstacle reported clear")
+	}
+}
+
+func TestGrid3DBasics(t *testing.T) {
+	g := NewGrid3D(4, 5, 6)
+	if g.Occupied(1, 2, 3) {
+		t.Fatal("fresh voxel occupied")
+	}
+	g.Set(1, 2, 3, true)
+	if !g.Occupied(1, 2, 3) {
+		t.Fatal("Set did not mark voxel")
+	}
+	if !g.Occupied(-1, 0, 0) || !g.Occupied(0, 0, 6) {
+		t.Fatal("out-of-bounds voxels must read occupied")
+	}
+	g.FillBox(0, 0, 0, 1, 1, 1, true)
+	if g.CountOccupied() != 8+1-0 && g.CountOccupied() != 9 {
+		t.Fatalf("CountOccupied = %d", g.CountOccupied())
+	}
+}
+
+func TestGrid3DFillBoxClipsAndSwaps(t *testing.T) {
+	g := NewGrid3D(3, 3, 3)
+	g.FillBox(2, 2, 2, 0, 0, 0, true) // reversed corners
+	if g.CountOccupied() != 27 {
+		t.Fatalf("CountOccupied = %d, want 27", g.CountOccupied())
+	}
+	g2 := NewGrid3D(3, 3, 3)
+	g2.FillBox(-5, -5, -5, 10, 10, 10, true) // clipped
+	if g2.CountOccupied() != 27 {
+		t.Fatalf("clipped CountOccupied = %d", g2.CountOccupied())
+	}
+}
+
+func TestCostGrid(t *testing.T) {
+	c := NewCostGrid2D(5, 5, 2)
+	if c.Cost(2, 2) != 2 {
+		t.Fatalf("Cost = %v", c.Cost(2, 2))
+	}
+	c.Set(2, 2, 0) // obstacle
+	if !math.IsInf(c.Cost(2, 2), 1) || c.Passable(2, 2) {
+		t.Fatal("zero-cost cell must be impassable")
+	}
+	if !math.IsInf(c.Cost(-1, 0), 1) {
+		t.Fatal("out-of-bounds cost must be +Inf")
+	}
+	c.Set(1, 1, 7)
+	if c.Cost(1, 1) != 7 {
+		t.Fatal("Set did not update cost")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewGrid2D(4, 4)
+	c := g.Clone()
+	c.Set(1, 1, true)
+	if g.Occupied(1, 1) {
+		t.Fatal("Clone shares storage")
+	}
+}

@@ -1,0 +1,128 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The Moving AI Lab benchmark map format (Sturtevant, TCIAIG 2012) is the
+// format of the paper's pp2d inputset (Boston_1_1024). A map file looks like:
+//
+//	type octile
+//	height 4
+//	width 4
+//	map
+//	....
+//	.@@.
+//	.TT.
+//	....
+//
+// Passable terrain is '.' or 'G'; '@', 'O', 'T', 'S', 'W' are treated as
+// obstacles for a ground robot. The parser accepts any of these characters
+// and rejects everything else.
+
+// ParseMovingAI reads a Moving AI format map.
+func ParseMovingAI(r io.Reader) (*Grid2D, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+
+	var width, height int
+	sawMap := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "type"):
+			// The type line ("octile") does not affect occupancy.
+		case strings.HasPrefix(line, "height"):
+			v, err := headerValue(line, "height")
+			if err != nil {
+				return nil, err
+			}
+			height = v
+		case strings.HasPrefix(line, "width"):
+			v, err := headerValue(line, "width")
+			if err != nil {
+				return nil, err
+			}
+			width = v
+		case line == "map":
+			sawMap = true
+		}
+		if sawMap {
+			break
+		}
+	}
+	if !sawMap {
+		return nil, fmt.Errorf("movingai: missing 'map' header")
+	}
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("movingai: invalid dimensions %dx%d", width, height)
+	}
+
+	g := NewGrid2D(width, height)
+	row := 0
+	for sc.Scan() && row < height {
+		line := sc.Text()
+		if len(line) < width {
+			return nil, fmt.Errorf("movingai: row %d has %d cells, want %d", row, len(line), width)
+		}
+		// Moving AI maps list rows top to bottom; our grid's y grows upward.
+		y := height - 1 - row
+		for x := 0; x < width; x++ {
+			switch line[x] {
+			case '.', 'G':
+				// free
+			case '@', 'O', 'T', 'S', 'W':
+				g.Set(x, y, true)
+			default:
+				return nil, fmt.Errorf("movingai: unknown terrain %q at (%d,%d)", line[x], x, row)
+			}
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if row != height {
+		return nil, fmt.Errorf("movingai: got %d map rows, want %d", row, height)
+	}
+	return g, nil
+}
+
+func headerValue(line, key string) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != key {
+		return 0, fmt.Errorf("movingai: malformed %s line %q", key, line)
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, fmt.Errorf("movingai: malformed %s value %q", key, fields[1])
+	}
+	return v, nil
+}
+
+// WriteMovingAI serializes a grid in Moving AI format, using '.' for free
+// cells and '@' for obstacles.
+func WriteMovingAI(w io.Writer, g *Grid2D) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "type octile\nheight %d\nwidth %d\nmap\n", g.H, g.W)
+	line := make([]byte, g.W+1)
+	line[g.W] = '\n'
+	for row := 0; row < g.H; row++ {
+		y := g.H - 1 - row
+		for x := 0; x < g.W; x++ {
+			if g.Occupied(x, y) {
+				line[x] = '@'
+			} else {
+				line[x] = '.'
+			}
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,95 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scenario is one benchmark problem from a Moving AI ".scen" file: a start
+// and goal on a named map, with the published optimal octile length. The
+// Moving AI pathfinding benchmarks (the source of the paper's Boston map)
+// distribute problem sets in this format; pp2d batch runs consume them.
+type Scenario struct {
+	Bucket         int
+	MapName        string
+	MapW, MapH     int
+	StartX, StartY int // column, row from the TOP of the map file
+	GoalX, GoalY   int
+	OptimalLength  float64
+}
+
+// StartCell converts the scenario's start to this package's coordinates
+// (y grows upward) for a map of height h.
+func (s Scenario) StartCell(h int) (int, int) { return s.StartX, h - 1 - s.StartY }
+
+// GoalCell converts the scenario's goal to this package's coordinates.
+func (s Scenario) GoalCell(h int) (int, int) { return s.GoalX, h - 1 - s.GoalY }
+
+// ParseScen reads a Moving AI scenario file. The leading "version" line is
+// optional, matching files found in the wild.
+func ParseScen(r io.Reader) ([]Scenario, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Scenario
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(text), "version") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 9 {
+			return nil, fmt.Errorf("scen: line %d has %d fields, want 9", line, len(fields))
+		}
+		var s Scenario
+		var err error
+		ints := []*int{&s.Bucket, &s.MapW, &s.MapH, &s.StartX, &s.StartY, &s.GoalX, &s.GoalY}
+		idx := []int{0, 2, 3, 4, 5, 6, 7}
+		for k, dst := range ints {
+			*dst, err = strconv.Atoi(fields[idx[k]])
+			if err != nil {
+				return nil, fmt.Errorf("scen: line %d field %d: %v", line, idx[k], err)
+			}
+		}
+		s.MapName = fields[1]
+		s.OptimalLength, err = strconv.ParseFloat(fields[8], 64)
+		if err != nil {
+			return nil, fmt.Errorf("scen: line %d optimal length: %v", line, err)
+		}
+		if s.MapW <= 0 || s.MapH <= 0 {
+			return nil, fmt.Errorf("scen: line %d: non-positive map size", line)
+		}
+		if s.StartX < 0 || s.StartX >= s.MapW || s.StartY < 0 || s.StartY >= s.MapH ||
+			s.GoalX < 0 || s.GoalX >= s.MapW || s.GoalY < 0 || s.GoalY >= s.MapH {
+			return nil, fmt.Errorf("scen: line %d: coordinates outside the map", line)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteScen serializes scenarios in Moving AI format (version 1 header).
+func WriteScen(w io.Writer, scens []Scenario) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "version 1"); err != nil {
+		return err
+	}
+	for _, s := range scens {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.8f\n",
+			s.Bucket, s.MapName, s.MapW, s.MapH,
+			s.StartX, s.StartY, s.GoalX, s.GoalY, s.OptimalLength); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestParseScenBasic(t *testing.T) {
+	in := "version 1\n" +
+		"0\tmaps/dao/arena.map\t49\t49\t1\t11\t1\t13\t2.41421356\n" +
+		"5\tcity.map\t100\t100\t0\t0\t99\t99\t140.00712\n"
+	scens, err := ParseScen(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 2 {
+		t.Fatalf("parsed %d scenarios", len(scens))
+	}
+	s := scens[0]
+	if s.Bucket != 0 || s.MapName != "maps/dao/arena.map" || s.MapW != 49 ||
+		s.StartX != 1 || s.StartY != 11 || s.GoalX != 1 || s.GoalY != 13 {
+		t.Fatalf("scenario = %+v", s)
+	}
+	if s.OptimalLength < 2.41 || s.OptimalLength > 2.42 {
+		t.Fatalf("optimal = %v", s.OptimalLength)
+	}
+}
+
+func TestParseScenWithoutVersionHeader(t *testing.T) {
+	in := "0\tm.map\t10\t10\t0\t0\t9\t9\t12.7\n"
+	scens, err := ParseScen(strings.NewReader(in))
+	if err != nil || len(scens) != 1 {
+		t.Fatalf("scens=%d err=%v", len(scens), err)
+	}
+}
+
+func TestParseScenErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"short line":     "0\tm.map\t10\t10\t0\t0\t9\n",
+		"bad int":        "x\tm.map\t10\t10\t0\t0\t9\t9\t1.0\n",
+		"bad float":      "0\tm.map\t10\t10\t0\t0\t9\t9\tzzz\n",
+		"zero size":      "0\tm.map\t0\t10\t0\t0\t0\t9\t1.0\n",
+		"out of bounds":  "0\tm.map\t10\t10\t0\t0\t10\t9\t1.0\n",
+		"negative start": "0\tm.map\t10\t10\t-1\t0\t9\t9\t1.0\n",
+	} {
+		if _, err := ParseScen(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScenCoordinateConversion(t *testing.T) {
+	// Row 0 in scen coordinates is the TOP row => our y = H-1.
+	s := Scenario{StartX: 3, StartY: 0, GoalX: 4, GoalY: 9, MapW: 10, MapH: 10}
+	x, y := s.StartCell(10)
+	if x != 3 || y != 9 {
+		t.Fatalf("StartCell = (%d,%d)", x, y)
+	}
+	x, y = s.GoalCell(10)
+	if x != 4 || y != 0 {
+		t.Fatalf("GoalCell = (%d,%d)", x, y)
+	}
+}
+
+func TestScenRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		scens := make([]Scenario, n)
+		for i := range scens {
+			w, h := 2+r.Intn(100), 2+r.Intn(100)
+			scens[i] = Scenario{
+				Bucket:  r.Intn(50),
+				MapName: "maps/some.map",
+				MapW:    w, MapH: h,
+				StartX: r.Intn(w), StartY: r.Intn(h),
+				GoalX: r.Intn(w), GoalY: r.Intn(h),
+				OptimalLength: r.Uniform(0, 500),
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteScen(&buf, scens); err != nil {
+			return false
+		}
+		parsed, err := ParseScen(&buf)
+		if err != nil || len(parsed) != n {
+			return false
+		}
+		for i := range scens {
+			a, b := scens[i], parsed[i]
+			if a.Bucket != b.Bucket || a.MapName != b.MapName ||
+				a.StartX != b.StartX || a.GoalY != b.GoalY {
+				return false
+			}
+			if d := a.OptimalLength - b.OptimalLength; d > 1e-6 || d < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseScenNeverPanics(t *testing.T) {
+	if err := quick.Check(func(raw []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("scen parser panicked")
+			}
+		}()
+		_, _ = ParseScen(bytes.NewReader(raw))
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

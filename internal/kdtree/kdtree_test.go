@@ -1,0 +1,230 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomPoints(r *rng.RNG, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = r.Uniform(-10, 10)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(3, nil)
+	if _, _, ok := tr.Nearest([]float64{0, 0, 0}); ok {
+		t.Fatal("Nearest on empty tree reported a result")
+	}
+	if got := tr.Radius([]float64{0, 0, 0}, 1); len(got) != 0 {
+		t.Fatal("Radius on empty tree returned points")
+	}
+	if got := tr.KNearest([]float64{0, 0, 0}, 3); len(got) != 0 {
+		t.Fatal("KNearest on empty tree returned points")
+	}
+}
+
+func TestNearestSinglePoint(t *testing.T) {
+	tr := New(2, nil)
+	tr.Insert([]float64{1, 2}, 42)
+	id, d2, ok := tr.Nearest([]float64{4, 6})
+	if !ok || id != 42 || math.Abs(d2-25) > 1e-12 {
+		t.Fatalf("Nearest = (%d, %v, %v)", id, d2, ok)
+	}
+}
+
+func TestNearestMatchesLinearOracle(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(5)
+		n := 1 + r.Intn(200)
+		pts := randomPoints(r, n, dim)
+		tr := New(dim, nil)
+		lin := NewLinear(dim, nil)
+		for i, p := range pts {
+			tr.Insert(p, i)
+			lin.Insert(p, i)
+		}
+		for q := 0; q < 20; q++ {
+			query := randomPoints(r, 1, dim)[0]
+			_, d1, ok1 := tr.Nearest(query)
+			_, d2, ok2 := lin.Nearest(query)
+			if ok1 != ok2 || math.Abs(d1-d2) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiusMatchesLinearOracle(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(4)
+		n := 1 + r.Intn(150)
+		pts := randomPoints(r, n, dim)
+		tr := New(dim, nil)
+		lin := NewLinear(dim, nil)
+		for i, p := range pts {
+			tr.Insert(p, i)
+			lin.Insert(p, i)
+		}
+		query := randomPoints(r, 1, dim)[0]
+		r2 := r.Uniform(1, 50)
+		a := tr.Radius(query, r2)
+		b := lin.Radius(query, r2)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNearestOrderedAndCorrect(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(3)
+		n := 5 + r.Intn(100)
+		pts := randomPoints(r, n, dim)
+		tr := New(dim, nil)
+		for i, p := range pts {
+			tr.Insert(p, i)
+		}
+		query := randomPoints(r, 1, dim)[0]
+		k := 1 + r.Intn(10)
+		got := tr.KNearest(query, k)
+
+		// Oracle: sort all points by distance.
+		type pd struct {
+			id int
+			d  float64
+		}
+		all := make([]pd, n)
+		for i, p := range pts {
+			all[i] = pd{i, SqEuclidean(p, query)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		// Compare by distance (ties make ID comparison fragile).
+		for i, id := range got {
+			if math.Abs(SqEuclidean(pts[id], query)-all[i].d) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNearestDegenerateK(t *testing.T) {
+	tr := New(2, nil)
+	tr.Insert([]float64{0, 0}, 0)
+	if got := tr.KNearest([]float64{1, 1}, 0); got != nil {
+		t.Fatal("k=0 returned points")
+	}
+	if got := tr.KNearest([]float64{1, 1}, 5); len(got) != 1 {
+		t.Fatalf("k>n returned %d points", len(got))
+	}
+}
+
+func TestCustomMetric(t *testing.T) {
+	// Manhattan-squared-ish metric: just |dx| + |dy| (still valid for
+	// nearest as long as both structures share it).
+	manhattan := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+	// NOTE: k-d pruning assumes the metric dominates per-axis squared
+	// distance; Manhattan >= per-axis |d| >= d² is not generally true, so
+	// only exercise the Linear index with custom metrics.
+	lin := NewLinear(2, manhattan)
+	lin.Insert([]float64{0, 0}, 0)
+	lin.Insert([]float64{3, 0}, 1)
+	id, d, ok := lin.Nearest([]float64{2, 0})
+	if !ok || id != 1 || d != 1 {
+		t.Fatalf("Nearest = (%d, %v, %v)", id, d, ok)
+	}
+}
+
+func TestInsertDimensionMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	New(3, nil).Insert([]float64{1, 2}, 0)
+}
+
+func TestInsertCopiesPoint(t *testing.T) {
+	tr := New(2, nil)
+	p := []float64{1, 1}
+	tr.Insert(p, 0)
+	p[0] = 99 // mutate caller's slice
+	_, d2, _ := tr.Nearest([]float64{1, 1})
+	if d2 != 0 {
+		t.Fatal("tree aliased the caller's point slice")
+	}
+}
+
+func TestDistCallsCounted(t *testing.T) {
+	r := rng.New(4)
+	tr := New(3, nil)
+	for i, p := range randomPoints(r, 100, 3) {
+		tr.Insert(p, i)
+	}
+	before := tr.DistCalls
+	tr.Nearest([]float64{0, 0, 0})
+	if tr.DistCalls <= before {
+		t.Fatal("DistCalls not incremented")
+	}
+	// The k-d tree should prune: far fewer than n distance calls on
+	// clustered queries (statistical, generous bound).
+	calls := tr.DistCalls - before
+	if calls > 100 {
+		t.Fatalf("nearest visited %d nodes out of 100 — no pruning?", calls)
+	}
+}
+
+func TestLen(t *testing.T) {
+	tr := New(2, nil)
+	lin := NewLinear(2, nil)
+	for i := 0; i < 10; i++ {
+		tr.Insert([]float64{float64(i), 0}, i)
+		lin.Insert([]float64{float64(i), 0}, i)
+	}
+	if tr.Len() != 10 || lin.Len() != 10 {
+		t.Fatalf("Len = %d / %d", tr.Len(), lin.Len())
+	}
+}

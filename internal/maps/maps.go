@@ -1,0 +1,333 @@
+// Package maps generates the synthetic inputsets that stand in for the
+// datasets used by the paper:
+//
+//   - IndoorMap replaces the CMU Wean Hall occupancy map used by the
+//     particle filter kernel (corridors and rooms; five regions evaluated).
+//   - CityMap replaces Boston_1_1024 from the Moving AI benchmark for pp2d
+//     (street grid with city blocks).
+//   - Campus3D replaces the Freiburg fr_campus 3D scan for pp3d (buildings,
+//     trees, and an overpass in a voxel grid).
+//   - MovtarTerrain builds the moving-target planner's cost landscapes
+//     ("every location in the environment has a particular cost").
+//   - PRobMap recreates the small PythonRobotics a_star demo map used in the
+//     paper's Fig. 21 library comparison.
+//
+// All generators are deterministic in their seed, so inputsets are
+// reproducible across runs and machines.
+package maps
+
+import (
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// IndoorMap builds a corridor-and-room building floor plan of w×h cells.
+// The layout follows the structure that drives particle filter ray-casting
+// cost: long straight corridors (long rays) connecting rooms with clutter
+// (short rays).
+func IndoorMap(w, h int, seed int64) *grid.Grid2D {
+	r := rng.New(seed)
+	g := grid.NewGrid2D(w, h)
+
+	// Solid outer walls.
+	g.Fill(0, 0, w-1, 0, true)
+	g.Fill(0, h-1, w-1, h-1, true)
+	g.Fill(0, 0, 0, h-1, true)
+	g.Fill(w-1, 0, w-1, h-1, true)
+
+	// A horizontal main corridor across the middle of the floor.
+	corridorHalf := maxInt(2, h/20)
+	cy := h / 2
+
+	// Rooms above and below the corridor, separated by walls with doors.
+	// Room widths are randomized per wall: a localization filter relies on
+	// asymmetric structure to break perceptual aliasing between rooms.
+	minRoom := maxInt(6, w/24)
+	for x0 := 1; x0 < w-minRoom; {
+		roomW := minRoom + r.Intn(maxInt(1, w/8))
+		if x0+roomW >= w-1 {
+			roomW = w - 1 - x0
+		}
+		// Wall between rooms (vertical), with a gap only at the corridor.
+		for y := 1; y < h-1; y++ {
+			if y >= cy-corridorHalf && y <= cy+corridorHalf {
+				continue
+			}
+			g.Set(x0+roomW-1, y, true)
+		}
+		// Wall along the corridor with a random door per room side.
+		doorTop := x0 + 1 + r.Intn(maxInt(1, roomW-3))
+		doorBot := x0 + 1 + r.Intn(maxInt(1, roomW-3))
+		for x := x0; x < x0+roomW-1 && x < w-1; x++ {
+			if x != doorTop && x != doorTop+1 {
+				g.Set(x, cy+corridorHalf, true)
+			}
+			if x != doorBot && x != doorBot+1 {
+				g.Set(x, cy-corridorHalf, true)
+			}
+		}
+		// Clutter inside the rooms (desks, shelves): varied random boxes,
+		// another aliasing breaker.
+		for k := 0; k < 2+r.Intn(4); k++ {
+			bx := x0 + 1 + r.Intn(maxInt(1, roomW-4))
+			byTop := cy + corridorHalf + 2 + r.Intn(maxInt(1, h/2-corridorHalf-6))
+			g.Fill(bx, byTop, bx+1+r.Intn(3), byTop+1+r.Intn(3), true)
+			byBot := 2 + r.Intn(maxInt(1, h/2-corridorHalf-6))
+			g.Fill(bx, byBot, bx+1+r.Intn(3), byBot+1+r.Intn(3), true)
+		}
+		x0 += roomW
+	}
+
+	// Alcoves: irregular niches carved into the corridor walls. They give
+	// a laser scan a distinctive side profile at every corridor position,
+	// which is what makes localization along a long corridor well-posed
+	// (real buildings have doorframes, radiators, and display cases doing
+	// this job).
+	nAlcoves := maxInt(4, w/12)
+	for k := 0; k < nAlcoves; k++ {
+		ax := 2 + r.Intn(w-8)
+		aw := 2 + r.Intn(4)
+		depth := 2 + r.Intn(3)
+		if r.Float64() < 0.5 {
+			g.Fill(ax, cy+corridorHalf, ax+aw, cy+corridorHalf+depth, false)
+		} else {
+			g.Fill(ax, cy-corridorHalf-depth, ax+aw, cy-corridorHalf, false)
+		}
+	}
+	return g
+}
+
+// IndoorRegion identifies one of the five building parts the paper evaluates
+// pfl in. Region returns a free-space starting pose area (cell coordinates)
+// for region i in [0, 5).
+func IndoorRegion(g *grid.Grid2D, i int) (x, y int) {
+	// Regions are spread along the main corridor, which is guaranteed free.
+	n := 5
+	i = ((i % n) + n) % n
+	x = g.W * (2*i + 1) / (2 * n)
+	y = g.H / 2
+	for dx := 0; dx < g.W; dx++ {
+		if g.Free(x+dx, y) {
+			return x + dx, y
+		}
+		if g.Free(x-dx, y) {
+			return x - dx, y
+		}
+	}
+	return x, y
+}
+
+// CityMap builds a street-grid city snapshot of w×h cells: rectangular
+// blocks (obstacles) separated by streets, with occasional plazas and
+// diagonal avenues cleared, mimicking the obstacle statistics of the Boston
+// map used by pp2d.
+func CityMap(w, h int, seed int64) *grid.Grid2D {
+	r := rng.New(seed)
+	g := grid.NewGrid2D(w, h)
+
+	// Block pitch and street width are sized so a car-scale footprint
+	// (~10 cells long at the default 0.5 m resolution) can traverse and
+	// turn at intersections.
+	block := maxInt(24, w/12) // building block pitch
+	street := maxInt(10, block/3)
+	for by := 0; by < h; by += block {
+		for bx := 0; bx < w; bx += block {
+			// Leave some lots empty (parks) to vary obstacle patterns.
+			if r.Float64() < 0.12 {
+				continue
+			}
+			// Building footprint fills the lot minus the street margin,
+			// jittered so edges are not perfectly aligned.
+			x0 := bx + street + r.Intn(2)
+			y0 := by + street + r.Intn(2)
+			x1 := bx + block - 1 - r.Intn(2)
+			y1 := by + block - 1 - r.Intn(2)
+			if x1 > x0 && y1 > y0 {
+				g.Fill(x0, y0, x1, y1, true)
+			}
+		}
+	}
+	// A river with bridges: a horizontal obstacle band with gaps, which
+	// forces long detours like Boston's Charles River crossings.
+	ry := h / 2
+	for x := 0; x < w; x++ {
+		for y := ry - street; y <= ry+street; y++ {
+			g.Set(x, y, true)
+		}
+	}
+	nBridges := maxInt(2, w/(4*block))
+	for b := 0; b < nBridges; b++ {
+		bx := (b*2 + 1) * w / (2 * nBridges)
+		g.Fill(bx-street/2, ry-street, bx+street/2, ry+street, false)
+	}
+	return g
+}
+
+// FreeCellNear returns a free cell at or near (x, y), searching outward in
+// Chebyshev rings. It panics if the entire grid is occupied.
+func FreeCellNear(g *grid.Grid2D, x, y int) (int, int) {
+	for r := 0; r < g.W+g.H; r++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if maxInt(absInt(dx), absInt(dy)) != r {
+					continue
+				}
+				if g.InBounds(x+dx, y+dy) && g.Free(x+dx, y+dy) {
+					return x + dx, y + dy
+				}
+			}
+		}
+	}
+	panic("maps: no free cell in grid")
+}
+
+// Campus3D builds a voxel campus: buildings of varying heights, tree
+// canopies (occupied boxes floating above free trunks), and an overpass the
+// UAV can fly under or over — the 3D obstacle patterns that drive pp3d's
+// collision checks and graph search.
+func Campus3D(w, h, d int, seed int64) *grid.Grid3D {
+	r := rng.New(seed)
+	g := grid.NewGrid3D(w, h, d)
+
+	// Ground plane.
+	g.FillBox(0, 0, 0, w-1, h-1, 0, true)
+
+	block := maxInt(8, w/12)
+	for by := block / 2; by < h-block; by += block {
+		for bx := block / 2; bx < w-block; bx += block {
+			roll := r.Float64()
+			switch {
+			case roll < 0.35: // building
+				bw := 2 + r.Intn(block/2)
+				bh := 2 + r.Intn(block/2)
+				height := 2 + r.Intn(maxInt(2, d-3))
+				g.FillBox(bx, by, 1, bx+bw, by+bh, height, true)
+			case roll < 0.55: // tree: thin trunk, wide canopy
+				trunkH := 1 + r.Intn(maxInt(1, d/3))
+				g.FillBox(bx, by, 1, bx, by, trunkH, true)
+				g.FillBox(bx-1, by-1, trunkH+1, bx+1, by+1, minInt(trunkH+2, d-1), true)
+			}
+		}
+	}
+	// Overpass: a horizontal slab at mid altitude spanning the map, with a
+	// clear corridor beneath it.
+	oz := d / 2
+	g.FillBox(0, h/3, oz, w-1, h/3+1, oz, true)
+	return g
+}
+
+// FreeVoxelNear returns a free voxel at or near (x, y, z).
+func FreeVoxelNear(g *grid.Grid3D, x, y, z int) (int, int, int) {
+	for r := 0; r < g.W+g.H+g.D; r++ {
+		for dz := -r; dz <= r; dz++ {
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					if maxInt(absInt(dx), maxInt(absInt(dy), absInt(dz))) != r {
+						continue
+					}
+					if g.InBounds(x+dx, y+dy, z+dz) && g.Free(x+dx, y+dy, z+dz) {
+						return x + dx, y + dy, z + dz
+					}
+				}
+			}
+		}
+	}
+	panic("maps: no free voxel in grid")
+}
+
+// MovtarTerrain builds a cost landscape for the moving-target kernel: most
+// cells have small cost, ridges of high cost cross the map, and a few
+// regions are impassable. Costs are in [1, 10]; obstacles are 0.
+func MovtarTerrain(w, h int, seed int64) *grid.CostGrid2D {
+	r := rng.New(seed)
+	c := grid.NewCostGrid2D(w, h, 1)
+
+	// High-cost ridges (e.g. rough terrain) as thick diagonal bands.
+	nRidges := maxInt(2, w/32)
+	for k := 0; k < nRidges; k++ {
+		x0 := r.Intn(w)
+		dir := 1
+		if r.Float64() < 0.5 {
+			dir = -1
+		}
+		cost := 4 + 6*r.Float64()
+		for y := 0; y < h; y++ {
+			x := x0 + dir*y/2
+			for dx := -2; dx <= 2; dx++ {
+				if c.InBounds(x+dx, y) {
+					c.Set(x+dx, y, cost)
+				}
+			}
+		}
+	}
+	// Impassable blocks.
+	nBlocks := maxInt(1, w*h/4096)
+	for k := 0; k < nBlocks; k++ {
+		bx, by := r.Intn(w), r.Intn(h)
+		bw, bh := 2+r.Intn(w/8), 2+r.Intn(h/8)
+		for y := by; y < minInt(by+bh, h); y++ {
+			for x := bx; x < minInt(bx+bw, w); x++ {
+				c.Set(x, y, 0)
+			}
+		}
+	}
+	// Keep the borders passable so target trajectories can circulate.
+	for x := 0; x < w; x++ {
+		c.Set(x, 0, 1)
+		c.Set(x, h-1, 1)
+	}
+	for y := 0; y < h; y++ {
+		c.Set(0, y, 1)
+		c.Set(w-1, y, 1)
+	}
+	return c
+}
+
+// PRobMap recreates the PythonRobotics a_star demo environment used in the
+// paper's Fig. 21 comparison: a ~60×60 bounded area with a wall rising from
+// the bottom at one third of the width and a wall descending from the top at
+// two thirds, forcing an S-shaped route from (10,10) to (50,50).
+func PRobMap() *grid.Grid2D {
+	const n = 61
+	g := grid.NewGrid2D(n, n)
+	// Border walls.
+	g.Fill(0, 0, n-1, 0, true)
+	g.Fill(0, n-1, n-1, n-1, true)
+	g.Fill(0, 0, 0, n-1, true)
+	g.Fill(n-1, 0, n-1, n-1, true)
+	// Wall from the bottom up to 2/3 height at x = 20.
+	g.Fill(20, 0, 20, 40, true)
+	// Wall from the top down to 1/3 height at x = 40.
+	g.Fill(40, 20, 40, n-1, true)
+	return g
+}
+
+// PRobStartGoal returns the start and goal cells of the PythonRobotics demo
+// scenario, scaled by factor k (matching grid.Grid2D.Scale).
+func PRobStartGoal(k int) (sx, sy, gx, gy int) {
+	if k < 1 {
+		k = 1
+	}
+	return 10 * k, 10 * k, 50 * k, 50 * k
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package maps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestIndoorMapStructure(t *testing.T) {
+	g := IndoorMap(192, 96, 1)
+	// Outer walls are solid.
+	for x := 0; x < g.W; x++ {
+		if !g.Occupied(x, 0) || !g.Occupied(x, g.H-1) {
+			t.Fatalf("missing outer wall at x=%d", x)
+		}
+	}
+	for y := 0; y < g.H; y++ {
+		if !g.Occupied(0, y) || !g.Occupied(g.W-1, y) {
+			t.Fatalf("missing outer wall at y=%d", y)
+		}
+	}
+	// The main corridor is traversable.
+	free := 0
+	for x := 1; x < g.W-1; x++ {
+		if g.Free(x, g.H/2) {
+			free++
+		}
+	}
+	if free < g.W/2 {
+		t.Fatalf("corridor mostly blocked: %d free cells", free)
+	}
+	// Deterministic in the seed.
+	h := IndoorMap(192, 96, 1)
+	for i := 0; i < g.W*g.H; i++ {
+		if g.Occupied(i%g.W, i/g.W) != h.Occupied(i%g.W, i/g.W) {
+			t.Fatal("IndoorMap not deterministic")
+		}
+	}
+}
+
+func TestIndoorRegionsAreFree(t *testing.T) {
+	g := IndoorMap(192, 96, 1)
+	for region := 0; region < 5; region++ {
+		x, y := IndoorRegion(g, region)
+		if !g.Free(x, y) {
+			t.Fatalf("region %d start (%d,%d) occupied", region, x, y)
+		}
+	}
+	// Regions wrap and accept negatives.
+	x, y := IndoorRegion(g, -1)
+	if !g.Free(x, y) {
+		t.Fatal("negative region index broken")
+	}
+}
+
+func TestCityMapHasStreets(t *testing.T) {
+	g := CityMap(256, 256, 1)
+	occ := g.CountOccupied()
+	total := 256 * 256
+	if occ < total/10 || occ > total*9/10 {
+		t.Fatalf("city occupancy %d/%d out of plausible band", occ, total)
+	}
+	// The map must be mostly connected: flood fill from a free corner cell
+	// should reach a large share of free cells.
+	var sx, sy int
+	found := false
+	for y := 0; y < 20 && !found; y++ {
+		for x := 0; x < 20 && !found; x++ {
+			if g.Free(x, y) {
+				sx, sy, found = x, y, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no free cell near origin")
+	}
+	reached := floodCount(g, sx, sy)
+	freeCells := total - occ
+	if reached < freeCells/2 {
+		t.Fatalf("flood reached %d of %d free cells — streets disconnected", reached, freeCells)
+	}
+}
+
+func floodCount(g *grid.Grid2D, sx, sy int) int {
+	seen := make([]bool, g.W*g.H)
+	stack := []int{sy*g.W + sx}
+	seen[stack[0]] = true
+	count := 0
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		x, y := id%g.W, id/g.W
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if g.InBounds(nx, ny) && g.Free(nx, ny) && !seen[ny*g.W+nx] {
+				seen[ny*g.W+nx] = true
+				stack = append(stack, ny*g.W+nx)
+			}
+		}
+	}
+	return count
+}
+
+func TestFreeCellNear(t *testing.T) {
+	g := grid.NewGrid2D(10, 10)
+	g.Fill(0, 0, 9, 9, true)
+	g.Set(7, 7, false)
+	x, y := FreeCellNear(g, 0, 0)
+	if x != 7 || y != 7 {
+		t.Fatalf("FreeCellNear = (%d,%d)", x, y)
+	}
+}
+
+func TestCampus3D(t *testing.T) {
+	g := Campus3D(80, 80, 16, 1)
+	// Ground plane occupied.
+	for x := 0; x < 80; x += 7 {
+		for y := 0; y < 80; y += 7 {
+			if g.Free(x, y, 0) {
+				t.Fatalf("ground free at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Sky mostly free at top altitude.
+	freeTop := 0
+	for x := 0; x < 80; x++ {
+		for y := 0; y < 80; y++ {
+			if g.Free(x, y, 15) {
+				freeTop++
+			}
+		}
+	}
+	if freeTop < 80*80/2 {
+		t.Fatalf("top altitude mostly blocked: %d free", freeTop)
+	}
+	// Some buildings exist above ground.
+	if g.CountOccupied() <= 80*80 {
+		t.Fatal("campus has no structures above the ground plane")
+	}
+}
+
+func TestFreeVoxelNear(t *testing.T) {
+	g := grid.NewGrid3D(10, 10, 10)
+	g.FillBox(0, 0, 0, 9, 9, 9, true)
+	g.Set(3, 4, 5, false)
+	x, y, z := FreeVoxelNear(g, 0, 0, 0)
+	if x != 3 || y != 4 || z != 5 {
+		t.Fatalf("FreeVoxelNear = (%d,%d,%d)", x, y, z)
+	}
+}
+
+func TestMovtarTerrain(t *testing.T) {
+	c := MovtarTerrain(128, 128, 1)
+	// Borders passable (target trajectories circulate there).
+	for x := 0; x < 128; x++ {
+		if !c.Passable(x, 0) || !c.Passable(x, 127) {
+			t.Fatalf("border blocked at x=%d", x)
+		}
+	}
+	// Costs in range; some high-cost ridge cells exist.
+	high := 0
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			v := c.Cost(x, y)
+			if c.Passable(x, y) && (v < 1 || v > 10) {
+				t.Fatalf("cost %v out of [1,10] at (%d,%d)", v, x, y)
+			}
+			if c.Passable(x, y) && v > 3 {
+				high++
+			}
+		}
+	}
+	if high == 0 {
+		t.Fatal("terrain has no ridges")
+	}
+}
+
+func TestPRobMap(t *testing.T) {
+	g := PRobMap()
+	sx, sy, gx, gy := PRobStartGoal(1)
+	if !g.Free(sx, sy) || !g.Free(gx, gy) {
+		t.Fatal("P-Rob start/goal not free")
+	}
+	// The two internal walls exist.
+	if !g.Occupied(20, 10) || !g.Occupied(40, 50) {
+		t.Fatal("internal walls missing")
+	}
+	// Gap above the first wall and below the second.
+	if !g.Free(20, 45) || !g.Free(40, 15) {
+		t.Fatal("wall gaps missing")
+	}
+}
+
+func TestPRobStartGoalScales(t *testing.T) {
+	if err := quick.Check(func(k8 uint8) bool {
+		k := int(k8%16) + 1
+		g := PRobMap().Scale(k)
+		sx, sy, gx, gy := PRobStartGoal(k)
+		return g.Free(sx, sy) && g.Free(gx, gy)
+	}, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := CityMap(128, 128, 9)
+	b := CityMap(128, 128, 9)
+	if a.CountOccupied() != b.CountOccupied() {
+		t.Fatal("CityMap not deterministic")
+	}
+	c := Campus3D(40, 40, 10, 9)
+	d := Campus3D(40, 40, 10, 9)
+	if c.CountOccupied() != d.CountOccupied() {
+		t.Fatal("Campus3D not deterministic")
+	}
+}

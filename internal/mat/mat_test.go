@@ -1,0 +1,277 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(r *rng.RNG, n int) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = r.Uniform(-2, 2)
+	}
+	return m
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v", c)
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	for n := 1; n <= 6; n++ {
+		a := randomMatrix(r, n)
+		c := Mul(a, Identity(n))
+		for i := range a.Data {
+			if !almostEq(c.Data[i], a.Data[i], 1e-12) {
+				t.Fatalf("A*I != A at n=%d", n)
+			}
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	r := rng.New(2)
+	a := randomMatrix(r, 5)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = r.Uniform(-1, 1)
+	}
+	got := MulVec(a, x)
+	xm := New(5, 1)
+	copy(xm.Data, x)
+	want := Mul(a, xm)
+	for i := range got {
+		if !almostEq(got[i], want.Data[i], 1e-12) {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng.New(3)
+	a := New(3, 5)
+	for i := range a.Data {
+		a.Data[i] = r.Uniform(-1, 1)
+	}
+	tt := Transpose(Transpose(a))
+	for i := range a.Data {
+		if a.Data[i] != tt.Data[i] {
+			t.Fatal("transpose not an involution")
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 -> x=1, y=3
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("Solve on a singular matrix did not error")
+	}
+	if Det(a) != 0 {
+		t.Fatal("singular determinant non-zero")
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(5)
+		a := randomMatrix(r, n)
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)*3)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		prod := Mul(a, inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(prod.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetProduct(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(4)
+		a, b := randomMatrix(r, n), randomMatrix(r, n)
+		da, db, dab := Det(a), Det(b), Det(Mul(a, b))
+		return almostEq(dab, da*db, 1e-6*(1+math.Abs(da*db)))
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(5)
+		// Build SPD: A = B*Bᵀ + n*I.
+		b := randomMatrix(r, n)
+		a := Mul(b, Transpose(b))
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		// Check A = L*Lᵀ.
+		llt := Mul(l, Transpose(l))
+		for i := range a.Data {
+			if !almostEq(llt.Data[i], a.Data[i], 1e-8) {
+				return false
+			}
+		}
+		// Check solve.
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = r.Uniform(-1, 1)
+		}
+		x := CholSolve(l, rhs)
+		ax := MulVec(a, x)
+		for i := range rhs {
+			if !almostEq(ax[i], rhs[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(4)
+		b := randomMatrix(r, n)
+		a := Mul(b, Transpose(b)) // symmetric PSD
+		vals, vecs := SymEigen(a)
+		// Check A*v_i = λ_i*v_i per eigenpair.
+		for j := 0; j < n; j++ {
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, j)
+			}
+			av := MulVec(a, v)
+			for i := 0; i < n; i++ {
+				if !almostEq(av[i], vals[j]*v[i], 1e-6*(1+math.Abs(vals[j]))) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenOrthonormal(t *testing.T) {
+	r := rng.New(5)
+	b := randomMatrix(r, 4)
+	a := Mul(b, Transpose(b))
+	_, vecs := SymEigen(a)
+	vtv := Mul(Transpose(vecs), vecs)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(vtv.At(i, j), want, 1e-8) {
+				t.Fatalf("VᵀV[%d][%d] = %v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMaxEigenVector(t *testing.T) {
+	// Diagonal matrix: max eigenvector is the axis of the largest entry.
+	a := FromRows([][]float64{{1, 0, 0}, {0, 5, 0}, {0, 0, 3}})
+	v := MaxEigenVector(a)
+	if math.Abs(v[1]) < 0.99 {
+		t.Fatalf("max eigenvector = %v, want ±e2", v)
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	a := Identity(3)
+	x := []float64{1, 2, 3}
+	if got := QuadForm(a, x); !almostEq(got, 14, 1e-12) {
+		t.Fatalf("QuadForm = %v", got)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mul":      func() { Mul(New(2, 3), New(2, 3)) },
+		"mulvec":   func() { MulVec(New(2, 3), []float64{1}) },
+		"add":      func() { Add(New(2, 2), New(3, 3)) },
+		"new":      func() { New(0, 1) },
+		"fromrows": func() { FromRows([][]float64{{1, 2}, {3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Identity(2)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}

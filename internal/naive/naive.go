@@ -1,0 +1,284 @@
+// Package naive contains deliberately inefficient A* implementations that
+// stand in for the educational libraries of the paper's Fig. 21 comparison:
+//
+//   - Interp mimics PythonRobotics' a_star.py: dynamically typed boxed
+//     values, nodes stored in maps keyed by formatted strings, and an open
+//     "set" scanned linearly for its minimum each iteration (Python's
+//     min(open_set, ...) idiom). This reproduces the interpreter-style
+//     overhead that makes P-Rob 357x-3469x slower than RTRBench.
+//
+//   - Copy mimics CppRobotics' a_star.cpp, whose "main source of
+//     inefficiency is passing large data structures to functions needlessly
+//     by value instead of by reference" (paper §VII): every neighbor
+//     expansion receives a fresh copy of the occupancy data.
+//
+// Both produce the same optimal paths as the optimized pp2d kernel — they
+// are correctness-equivalent, performance-degenerate baselines, and the
+// property tests hold them to that.
+package naive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Result mirrors the optimized planner's output for comparison.
+type Result struct {
+	Found    bool
+	Path     [][2]int
+	Cost     float64
+	Expanded int
+}
+
+// Interp runs P-Rob-style A* from (sx, sy) to (gx, gy) on g with 8-connected
+// moves and octile costs, treating the robot as a point (the PythonRobotics
+// demo setup).
+func Interp(g *grid.Grid2D, sx, sy, gx, gy int) Result {
+	// Boxed, dynamically-typed node records, keyed by formatted strings —
+	// the data layout an interpreter would give us.
+	type anyMap = map[string]interface{}
+	key := func(x, y int) string { return fmt.Sprintf("%d,%d", x, y) }
+
+	newNode := func(x, y int, cost float64, parent string) anyMap {
+		return anyMap{"x": x, "y": y, "cost": cost, "parent": parent}
+	}
+	heuristic := func(x, y int) float64 {
+		dx, dy := float64(x-gx), float64(y-gy)
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+
+	open := map[string]anyMap{}
+	closed := map[string]anyMap{}
+	open[key(sx, sy)] = newNode(sx, sy, 0, "")
+
+	moves := [][3]float64{
+		{1, 0, 1}, {-1, 0, 1}, {0, 1, 1}, {0, -1, 1},
+		{1, 1, math.Sqrt2}, {1, -1, math.Sqrt2}, {-1, 1, math.Sqrt2}, {-1, -1, math.Sqrt2},
+	}
+
+	var res Result
+	for len(open) > 0 {
+		// Linear scan for the open node with minimal f — the
+		// min(open_set, key=...) pattern.
+		var bestKey string
+		bestF := math.Inf(1)
+		for k, n := range open {
+			f := n["cost"].(float64) + heuristic(n["x"].(int), n["y"].(int))
+			if f < bestF {
+				bestF, bestKey = f, k
+			}
+		}
+		cur := open[bestKey]
+		delete(open, bestKey)
+		closed[bestKey] = cur
+		res.Expanded++
+
+		cx, cy := cur["x"].(int), cur["y"].(int)
+		if cx == gx && cy == gy {
+			res.Found = true
+			res.Cost = cur["cost"].(float64)
+			res.Path = interpPath(closed, bestKey, key(sx, sy))
+			return res
+		}
+
+		for _, m := range moves {
+			nx, ny := cx+int(m[0]), cy+int(m[1])
+			if !g.InBounds(nx, ny) || g.Occupied(nx, ny) {
+				continue
+			}
+			// Disallow corner cutting, matching the optimized kernel.
+			if m[0] != 0 && m[1] != 0 &&
+				(g.Occupied(cx+int(m[0]), cy) || g.Occupied(cx, cy+int(m[1]))) {
+				continue
+			}
+			nk := key(nx, ny)
+			if _, ok := closed[nk]; ok {
+				continue
+			}
+			ncost := cur["cost"].(float64) + m[2]
+			if exist, ok := open[nk]; ok && exist["cost"].(float64) <= ncost {
+				continue
+			}
+			open[nk] = newNode(nx, ny, ncost, bestKey)
+		}
+	}
+	return res
+}
+
+func interpPath(closed map[string]map[string]interface{}, goalKey, startKey string) [][2]int {
+	var rev [][2]int
+	k := goalKey
+	for {
+		n := closed[k]
+		rev = append(rev, [2]int{n["x"].(int), n["y"].(int)})
+		if k == startKey {
+			break
+		}
+		k = n["parent"].(string)
+	}
+	out := make([][2]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Copy runs C-Rob-style A*: algorithmically identical to the optimized
+// planner (binary-heap open list), but the occupancy data is copied into
+// every expansion call instead of being passed by reference.
+func Copy(g *grid.Grid2D, sx, sy, gx, gy int) Result {
+	w, h := g.W, g.H
+	// Flatten occupancy once; the waste is in re-copying it per expansion.
+	occ := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			occ[y*w+x] = g.Occupied(x, y)
+		}
+	}
+
+	n := w * h
+	gScore := make([]float64, n)
+	parent := make([]int32, n)
+	closed := make([]bool, n)
+	for i := range gScore {
+		gScore[i] = math.Inf(1)
+		parent[i] = -1
+	}
+
+	var heap []item
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].f <= heap[i].f {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(heap) && heap[l].f < heap[s].f {
+				s = l
+			}
+			if r < len(heap) && heap[r].f < heap[s].f {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[s], heap[i] = heap[i], heap[s]
+			i = s
+		}
+		return top
+	}
+
+	heur := func(id int) float64 {
+		x, y := id%w, id/w
+		dx, dy := float64(x-gx), float64(y-gy)
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+
+	start := sy*w + sx
+	goal := gy*w + gx
+	gScore[start] = 0
+	parent[start] = int32(start)
+	push(item{start, heur(start)})
+
+	var res Result
+	for len(heap) > 0 {
+		cur := pop()
+		if closed[cur.id] {
+			continue
+		}
+		closed[cur.id] = true
+		res.Expanded++
+		if cur.id == goal {
+			res.Found = true
+			res.Cost = gScore[cur.id]
+			for id := goal; ; id = int(parent[id]) {
+				res.Path = append(res.Path, [2]int{id % w, id / w})
+				if id == start {
+					break
+				}
+			}
+			for i, j := 0, len(res.Path)-1; i < j; i, j = i+1, j-1 {
+				res.Path[i], res.Path[j] = res.Path[j], res.Path[i]
+			}
+			return res
+		}
+		// The needless by-value pass: the map, the g-scores, and the closed
+		// set are all copied into the expansion call — the "passing large
+		// data structures to functions needlessly by value" pathology the
+		// paper found in C-Rob. Reads go through the copies; writes go to
+		// the real arrays so the algorithm stays correct.
+		expandCopy(
+			append([]bool(nil), occ...),
+			append([]float64(nil), gScore...),
+			append([]bool(nil), closed...),
+			w, h, cur.id, gScore, parent, closed, heur, push)
+	}
+	return res
+}
+
+type item struct {
+	id int
+	f  float64
+}
+
+// expandCopy generates successors of id, reading from its own private
+// copies of the occupancy data, g-scores, and closed set.
+func expandCopy(occ []bool, gCopy []float64, closedCopy []bool,
+	w, h, id int, gScore []float64, parent []int32, closed []bool,
+	heur func(int) float64, push func(item)) {
+	x, y := id%w, id/w
+	occAt := func(x, y int) bool {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return true
+		}
+		return occ[y*w+x]
+	}
+	try := func(nx, ny int, cost float64) {
+		if occAt(nx, ny) {
+			return
+		}
+		nid := ny*w + nx
+		if closedCopy[nid] {
+			return
+		}
+		ng := gCopy[id] + cost
+		if ng >= gCopy[nid] {
+			return
+		}
+		gScore[nid] = ng
+		parent[nid] = int32(id)
+		push(item{nid, ng + heur(nid)})
+	}
+	try(x+1, y, 1)
+	try(x-1, y, 1)
+	try(x, y+1, 1)
+	try(x, y-1, 1)
+	if !occAt(x+1, y) && !occAt(x, y+1) {
+		try(x+1, y+1, math.Sqrt2)
+	}
+	if !occAt(x-1, y) && !occAt(x, y+1) {
+		try(x-1, y+1, math.Sqrt2)
+	}
+	if !occAt(x+1, y) && !occAt(x, y-1) {
+		try(x+1, y-1, math.Sqrt2)
+	}
+	if !occAt(x-1, y) && !occAt(x, y-1) {
+		try(x-1, y-1, math.Sqrt2)
+	}
+}

@@ -1,0 +1,116 @@
+package naive
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/maps"
+	"repro/internal/rng"
+	"repro/internal/search"
+)
+
+// optimizedCost runs the suite's point A* as the reference implementation.
+func optimizedCost(g *grid.Grid2D, sx, sy, gx, gy int) (float64, bool) {
+	sp := &search.Grid2DSpace{G: g}
+	res, err := search.Solve(search.Problem{
+		Space: sp,
+		Start: sp.ID(sx, sy),
+		Goal:  sp.ID(gx, gy),
+		H:     sp.OctileHeuristic(gx, gy),
+	})
+	return res.Cost, err == nil
+}
+
+func TestBaselinesMatchOptimizedOnPRobMap(t *testing.T) {
+	g := maps.PRobMap()
+	sx, sy, gx, gy := maps.PRobStartGoal(1)
+	want, ok := optimizedCost(g, sx, sy, gx, gy)
+	if !ok {
+		t.Fatal("optimized found no path on the P-Rob map")
+	}
+	ri := Interp(g, sx, sy, gx, gy)
+	rc := Copy(g, sx, sy, gx, gy)
+	if !ri.Found || !rc.Found {
+		t.Fatal("baseline found no path")
+	}
+	if math.Abs(ri.Cost-want) > 1e-9 {
+		t.Fatalf("Interp cost %v != optimized %v", ri.Cost, want)
+	}
+	if math.Abs(rc.Cost-want) > 1e-9 {
+		t.Fatalf("Copy cost %v != optimized %v", rc.Cost, want)
+	}
+}
+
+func TestBaselinesEquivalentOnRandomMaps(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		g := grid.NewGrid2D(15, 15)
+		for i := 0; i < 50; i++ {
+			g.Set(r.Intn(15), r.Intn(15), true)
+		}
+		g.Set(0, 0, false)
+		g.Set(14, 14, false)
+		want, ok := optimizedCost(g, 0, 0, 14, 14)
+		ri := Interp(g, 0, 0, 14, 14)
+		rc := Copy(g, 0, 0, 14, 14)
+		if ri.Found != ok || rc.Found != ok {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return math.Abs(ri.Cost-want) < 1e-9 && math.Abs(rc.Cost-want) < 1e-9
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsAreValid(t *testing.T) {
+	g := maps.PRobMap()
+	sx, sy, gx, gy := maps.PRobStartGoal(1)
+	for name, res := range map[string]Result{
+		"interp": Interp(g, sx, sy, gx, gy),
+		"copy":   Copy(g, sx, sy, gx, gy),
+	} {
+		if !res.Found {
+			t.Fatalf("%s: no path", name)
+		}
+		p := res.Path
+		if p[0] != [2]int{sx, sy} || p[len(p)-1] != [2]int{gx, gy} {
+			t.Fatalf("%s: endpoints %v...%v", name, p[0], p[len(p)-1])
+		}
+		for i, cell := range p {
+			if g.Occupied(cell[0], cell[1]) {
+				t.Fatalf("%s: path cell %v occupied", name, cell)
+			}
+			if i > 0 {
+				dx := abs(cell[0] - p[i-1][0])
+				dy := abs(cell[1] - p[i-1][1])
+				if dx > 1 || dy > 1 || (dx == 0 && dy == 0) {
+					t.Fatalf("%s: non-adjacent step %v -> %v", name, p[i-1], cell)
+				}
+			}
+		}
+	}
+}
+
+func TestNoCornerCutting(t *testing.T) {
+	// Two diagonal obstacles: the only legal route is the long way around.
+	g := grid.NewGrid2D(3, 3)
+	g.Set(1, 0, true)
+	g.Set(0, 1, true)
+	ri := Interp(g, 0, 0, 2, 2)
+	rc := Copy(g, 0, 0, 2, 2)
+	if ri.Found || rc.Found {
+		t.Fatal("baselines cut a blocked corner (start is walled in)")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,118 @@
+// Package physics simulates the ball-throwing robot used by the learning
+// kernels (cem, bo). It replaces the paper's V-REP simulation (see
+// DESIGN.md): a 2-DoF planar arm releases a ball whose flight is integrated
+// ballistically; the learner only ever observes the reward, so the
+// optimization code paths are identical to the paper's setup.
+package physics
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ThrowParams are the learnable throwing parameters: the two joint angles at
+// release and the scalar release force (paper §V.15: "learn the best force
+// and configuration (joints' angles)").
+type ThrowParams struct {
+	Joint1, Joint2 float64 // radians
+	Force          float64 // Newtons (impulse magnitude)
+}
+
+// Bounds describe the legal parameter box the learners sample from.
+type Bounds struct {
+	Lo, Hi ThrowParams
+}
+
+// DefaultBounds returns a sensible search box: shoulder in [0, π/2], elbow
+// in [-π/2, π/2], force in [1, 30] N.
+func DefaultBounds() Bounds {
+	return Bounds{
+		Lo: ThrowParams{Joint1: 0, Joint2: -math.Pi / 2, Force: 1},
+		Hi: ThrowParams{Joint1: math.Pi / 2, Joint2: math.Pi / 2, Force: 30},
+	}
+}
+
+// Clamp limits p to the bounds box.
+func (b Bounds) Clamp(p ThrowParams) ThrowParams {
+	return ThrowParams{
+		Joint1: geom.Clamp(p.Joint1, b.Lo.Joint1, b.Hi.Joint1),
+		Joint2: geom.Clamp(p.Joint2, b.Lo.Joint2, b.Hi.Joint2),
+		Force:  geom.Clamp(p.Force, b.Lo.Force, b.Hi.Force),
+	}
+}
+
+// Vec converts the parameters to a 3-vector for generic optimizers.
+func (p ThrowParams) Vec() []float64 { return []float64{p.Joint1, p.Joint2, p.Force} }
+
+// ParamsFromVec rebuilds parameters from a 3-vector.
+func ParamsFromVec(v []float64) ThrowParams {
+	return ThrowParams{Joint1: v[0], Joint2: v[1], Force: v[2]}
+}
+
+// World is the throwing scenario: a 2-DoF arm on a pedestal throwing at a
+// goal marker on the ground.
+type World struct {
+	Link1, Link2 float64 // arm link lengths, meters
+	BaseHeight   float64 // pedestal height, meters
+	BallMass     float64 // kg
+	Gravity      float64 // m/s², positive down
+	GoalX        float64 // goal distance from the base, meters
+	Dt           float64 // integration step, seconds
+
+	// Evals counts physics rollouts, the learning kernels' sample budget.
+	Evals int64
+}
+
+// DefaultWorld returns the scenario used by the kernels' default configs.
+func DefaultWorld() *World {
+	return &World{
+		Link1: 0.5, Link2: 0.4,
+		BaseHeight: 0.8,
+		BallMass:   0.15,
+		Gravity:    9.81,
+		GoalX:      3.0,
+		Dt:         1e-3,
+	}
+}
+
+// Throw simulates one throw and returns the ball's landing x coordinate.
+func (w *World) Throw(p ThrowParams) float64 {
+	w.Evals++
+	// Release point from arm forward kinematics.
+	t1 := p.Joint1
+	t12 := p.Joint1 + p.Joint2
+	x := w.Link1*math.Cos(t1) + w.Link2*math.Cos(t12)
+	y := w.BaseHeight + w.Link1*math.Sin(t1) + w.Link2*math.Sin(t12)
+
+	// The impulse acts along the end-effector's tangential direction
+	// (perpendicular to the last link), launching the ball.
+	dirX := -math.Sin(t12)
+	dirY := math.Cos(t12)
+	v := p.Force / w.BallMass * 0.1 // impulse over 0.1 s contact
+	vx := v * dirX
+	vy := v * dirY
+
+	// Explicit Euler ballistic integration until ground impact.
+	for y > 0 {
+		x += vx * w.Dt
+		y += vy * w.Dt
+		vy -= w.Gravity * w.Dt
+		if vy < 0 && y <= 0 {
+			break
+		}
+		// A wildly misconfigured throw going straight up terminates too.
+		if y > 1e3 {
+			break
+		}
+	}
+	return x
+}
+
+// Reward returns the learning reward of a throw: negative absolute distance
+// between the landing point and the goal ("the reward ... is how close the
+// final location of the ball is to the goal"). Higher is better; 0 is a
+// perfect hit.
+func (w *World) Reward(p ThrowParams) float64 {
+	return -math.Abs(w.Throw(p) - w.GoalX)
+}

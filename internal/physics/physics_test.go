@@ -1,0 +1,115 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestThrowDeterministic(t *testing.T) {
+	p := ThrowParams{Joint1: 0.8, Joint2: -0.2, Force: 15}
+	a := DefaultWorld().Throw(p)
+	b := DefaultWorld().Throw(p)
+	if a != b {
+		t.Fatalf("same throw landed at %v and %v", a, b)
+	}
+}
+
+func TestRewardNonPositiveAndPerfectAtGoal(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		w := DefaultWorld()
+		b := DefaultBounds()
+		p := ThrowParams{
+			Joint1: r.Uniform(b.Lo.Joint1, b.Hi.Joint1),
+			Joint2: r.Uniform(b.Lo.Joint2, b.Hi.Joint2),
+			Force:  r.Uniform(b.Lo.Force, b.Hi.Force),
+		}
+		return w.Reward(p) <= 0
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHarderThrowsFlyFarther(t *testing.T) {
+	w := DefaultWorld()
+	// A forward-throwing configuration: joint1+joint2 < 0 makes the
+	// tangential release direction point toward +X.
+	base := ThrowParams{Joint1: 0.3, Joint2: -0.8, Force: 5}
+	prev := w.Throw(base)
+	for f := 10.0; f <= 30; f += 5 {
+		p := base
+		p.Force = f
+		d := w.Throw(p)
+		if d <= prev {
+			t.Fatalf("force %v landed at %v, not farther than %v", f, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestGoalIsReachable(t *testing.T) {
+	// Some parameter in the bounds box must land close to the goal —
+	// otherwise the learning kernels cannot show improving rewards.
+	w := DefaultWorld()
+	b := DefaultBounds()
+	r := rng.New(1)
+	best := math.Inf(-1)
+	for i := 0; i < 3000; i++ {
+		p := ThrowParams{
+			Joint1: r.Uniform(b.Lo.Joint1, b.Hi.Joint1),
+			Joint2: r.Uniform(b.Lo.Joint2, b.Hi.Joint2),
+			Force:  r.Uniform(b.Lo.Force, b.Hi.Force),
+		}
+		if rew := w.Reward(p); rew > best {
+			best = rew
+		}
+	}
+	if best < -0.1 {
+		t.Fatalf("best random reward = %v; goal unreachable within bounds", best)
+	}
+}
+
+func TestBoundsClamp(t *testing.T) {
+	b := DefaultBounds()
+	p := b.Clamp(ThrowParams{Joint1: 99, Joint2: -99, Force: 0})
+	if p.Joint1 != b.Hi.Joint1 || p.Joint2 != b.Lo.Joint2 || p.Force != b.Lo.Force {
+		t.Fatalf("Clamp = %+v", p)
+	}
+}
+
+func TestVecRoundTrip(t *testing.T) {
+	p := ThrowParams{Joint1: 0.1, Joint2: 0.2, Force: 3}
+	if got := ParamsFromVec(p.Vec()); got != p {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestEvalsCounted(t *testing.T) {
+	w := DefaultWorld()
+	w.Throw(ThrowParams{Force: 5})
+	w.Reward(ThrowParams{Force: 5})
+	if w.Evals != 2 {
+		t.Fatalf("Evals = %d, want 2", w.Evals)
+	}
+}
+
+func TestBallLandsOnGround(t *testing.T) {
+	// Landing x must be finite for any bounded throw.
+	w := DefaultWorld()
+	b := DefaultBounds()
+	r := rng.New(2)
+	for i := 0; i < 200; i++ {
+		p := ThrowParams{
+			Joint1: r.Uniform(b.Lo.Joint1, b.Hi.Joint1),
+			Joint2: r.Uniform(b.Lo.Joint2, b.Hi.Joint2),
+			Force:  r.Uniform(b.Lo.Force, b.Hi.Force),
+		}
+		x := w.Throw(p)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("throw diverged: %v for %+v", x, p)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package pointcloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b geom.Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestIdentityRigid(t *testing.T) {
+	p := geom.Vec3{X: 1, Y: 2, Z: 3}
+	if got := IdentityRigid().Apply(p); got != p {
+		t.Fatalf("identity moved the point: %v", got)
+	}
+}
+
+func TestFromEulerYawQuarterTurn(t *testing.T) {
+	tr := FromEuler(math.Pi/2, 0, 0, geom.Vec3{})
+	got := tr.Apply(geom.Vec3{X: 1})
+	if !vecAlmostEq(got, geom.Vec3{Y: 1}, 1e-12) {
+		t.Fatalf("yaw 90° of e_x = %v", got)
+	}
+}
+
+func TestComposeMatchesSequentialApply(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		a := FromEuler(r.Uniform(-3, 3), r.Uniform(-1, 1), r.Uniform(-3, 3),
+			geom.Vec3{X: r.Uniform(-5, 5), Y: r.Uniform(-5, 5), Z: r.Uniform(-5, 5)})
+		b := FromEuler(r.Uniform(-3, 3), r.Uniform(-1, 1), r.Uniform(-3, 3),
+			geom.Vec3{X: r.Uniform(-5, 5), Y: r.Uniform(-5, 5), Z: r.Uniform(-5, 5)})
+		p := geom.Vec3{X: r.Uniform(-5, 5), Y: r.Uniform(-5, 5), Z: r.Uniform(-5, 5)}
+		return vecAlmostEq(a.Compose(b).Apply(p), a.Apply(b.Apply(p)), 1e-9)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRigidPreservesDistances(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		tr := FromEuler(r.Uniform(-3, 3), r.Uniform(-1.5, 1.5), r.Uniform(-3, 3),
+			geom.Vec3{X: 1, Y: 2, Z: 3})
+		p := geom.Vec3{X: r.Uniform(-5, 5), Y: r.Uniform(-5, 5), Z: r.Uniform(-5, 5)}
+		q := geom.Vec3{X: r.Uniform(-5, 5), Y: r.Uniform(-5, 5), Z: r.Uniform(-5, 5)}
+		return almostEq(p.Dist(q), tr.Apply(p).Dist(tr.Apply(q)), 1e-9)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := New(3)
+	c.Points = append(c.Points,
+		geom.Vec3{X: 0, Y: 0, Z: 0},
+		geom.Vec3{X: 2, Y: 4, Z: 6},
+	)
+	got := c.Centroid()
+	if !vecAlmostEq(got, geom.Vec3{X: 1, Y: 2, Z: 3}, 1e-12) {
+		t.Fatalf("centroid = %v", got)
+	}
+	if (&Cloud{}).Centroid() != (geom.Vec3{}) {
+		t.Fatal("empty centroid not zero")
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	c := New(10)
+	for i := 0; i < 10; i++ {
+		c.Points = append(c.Points, geom.Vec3{X: r.Uniform(-2, 2), Y: r.Uniform(-2, 2), Z: r.Uniform(-2, 2)})
+	}
+	fwd := FromEuler(0.7, 0.2, -0.3, geom.Vec3{X: 1, Y: -2, Z: 0.5})
+	moved := c.Transform(fwd)
+	if vecAlmostEq(moved.Points[0], c.Points[0], 1e-12) {
+		t.Fatal("transform was a no-op")
+	}
+	// The original cloud is untouched (Transform copies).
+	if c.Len() != 10 {
+		t.Fatal("source length changed")
+	}
+}
+
+func TestVoxelDownsample(t *testing.T) {
+	c := New(4)
+	c.Points = append(c.Points,
+		geom.Vec3{X: 0.1, Y: 0.1, Z: 0.1},
+		geom.Vec3{X: 0.2, Y: 0.2, Z: 0.2}, // same 0.5-voxel as above
+		geom.Vec3{X: 3, Y: 3, Z: 3},
+	)
+	d := c.VoxelDownsample(0.5)
+	if d.Len() != 2 {
+		t.Fatalf("downsampled to %d points, want 2", d.Len())
+	}
+	// Zero voxel size is a no-op copy.
+	if c.VoxelDownsample(0).Len() != 3 {
+		t.Fatal("voxel 0 changed the cloud")
+	}
+}
+
+func TestScanProducesPointsInsideRoom(t *testing.T) {
+	room := NewRoom(6, 5, 2.8, 5, 1)
+	cam := Camera{
+		Pose: FromEuler(0.7, 0, 0, geom.Vec3{X: 0.5, Y: 0.5, Z: 1.4}),
+		HFov: 1.2, VFov: 0.9,
+		Cols: 40, Rows: 30,
+		MaxRange: 20,
+	}
+	cloud := room.Scan(cam)
+	if cloud.Len() == 0 {
+		t.Fatal("scan saw nothing")
+	}
+	for _, p := range cloud.Points {
+		if p.X < -1e-6 || p.X > 6+1e-6 || p.Y < -1e-6 || p.Y > 5+1e-6 || p.Z < -1e-6 || p.Z > 2.8+1e-6 {
+			t.Fatalf("scan point %v outside the room", p)
+		}
+	}
+}
+
+func TestScanHitsFurniture(t *testing.T) {
+	// One big box right in front of the camera: rays must stop at its face.
+	room := &RoomModel{W: 10, D: 10, H: 3,
+		Boxes: []Box{{Min: geom.Vec3{X: 4, Y: 0, Z: 0}, Max: geom.Vec3{X: 5, Y: 10, Z: 3}}}}
+	cam := Camera{
+		Pose: IdentityRigid(),
+		HFov: 0.3, VFov: 0.3,
+		Cols: 5, Rows: 5,
+		MaxRange: 20,
+	}
+	cam.Pose.T = geom.Vec3{X: 1, Y: 5, Z: 1.5}
+	cloud := room.Scan(cam)
+	if cloud.Len() == 0 {
+		t.Fatal("scan saw nothing")
+	}
+	for _, p := range cloud.Points {
+		if p.X > 4.01 {
+			t.Fatalf("ray went through the box: %v", p)
+		}
+		if !almostEq(p.X, 4, 0.05) {
+			t.Fatalf("ray did not stop at the box face: %v", p)
+		}
+	}
+}
+
+func TestAddNoiseDeterministic(t *testing.T) {
+	mk := func() *Cloud {
+		c := New(5)
+		for i := 0; i < 5; i++ {
+			c.Points = append(c.Points, geom.Vec3{X: float64(i)})
+		}
+		c.AddNoise(rng.New(7), 0.01)
+		return c
+	}
+	a, b := mk(), mk()
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("noise not reproducible for equal seeds")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package profile is the suite's region-of-interest (ROI) harness. It plays
+// the role zsim hooks play in the original RTRBench: kernels mark the start
+// and end of their ROI and of named phases inside it (ray-casting, collision
+// detection, nearest-neighbor search, matrix operations, sorting, ...), and
+// the harness accumulates wall time and operation counts per phase.
+//
+// The paper's evaluation numbers are fractions of ROI time spent in each
+// bottleneck phase; Report.Fraction reproduces exactly that quantity. Like
+// the zsim hooks ("no effect on correctness and virtually zero effect on
+// performance", §VI), a disabled Profile turns every call into a cheap no-op
+// so benchmarks can run without instrumentation overhead.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile accumulates phase timings and counters for one kernel execution.
+// A nil or disabled Profile is safe to use; all methods become no-ops.
+// Profile is not safe for concurrent use by multiple goroutines; parallel
+// kernels keep one Profile per worker and Merge them.
+type Profile struct {
+	disabled bool
+
+	roiStart time.Time
+	roiTotal time.Duration
+	inROI    bool
+
+	phases   map[string]*phase
+	counters map[string]int64
+
+	stack []frame // active nested phases
+}
+
+type phase struct {
+	total time.Duration
+	calls int64
+}
+
+type frame struct {
+	name  string
+	start time.Time
+	// child time is subtracted from the parent so phase fractions are
+	// exclusive: nested regions never double-count.
+	child time.Duration
+}
+
+// New returns an enabled, empty profile.
+func New() *Profile {
+	return &Profile{
+		phases:   make(map[string]*phase),
+		counters: make(map[string]int64),
+	}
+}
+
+// Disabled returns a profile whose methods are no-ops.
+func Disabled() *Profile { return &Profile{disabled: true} }
+
+// Enabled reports whether the profile records anything.
+func (p *Profile) Enabled() bool { return p != nil && !p.disabled }
+
+// BeginROI marks the start of the kernel's region of interest.
+func (p *Profile) BeginROI() {
+	if !p.Enabled() {
+		return
+	}
+	p.inROI = true
+	p.roiStart = time.Now()
+}
+
+// EndROI marks the end of the region of interest.
+func (p *Profile) EndROI() {
+	if !p.Enabled() || !p.inROI {
+		return
+	}
+	p.roiTotal += time.Since(p.roiStart)
+	p.inROI = false
+}
+
+// Begin opens a named phase. Phases may nest; time spent in an inner phase
+// is attributed to the inner phase only.
+func (p *Profile) Begin(name string) {
+	if !p.Enabled() {
+		return
+	}
+	p.stack = append(p.stack, frame{name: name, start: time.Now()})
+}
+
+// End closes the innermost open phase.
+func (p *Profile) End() {
+	if !p.Enabled() || len(p.stack) == 0 {
+		return
+	}
+	f := p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	elapsed := time.Since(f.start)
+	ph := p.phases[f.name]
+	if ph == nil {
+		ph = &phase{}
+		p.phases[f.name] = ph
+	}
+	ph.total += elapsed - f.child
+	ph.calls++
+	if len(p.stack) > 0 {
+		p.stack[len(p.stack)-1].child += elapsed
+	}
+}
+
+// Span runs fn inside a named phase. It is the preferred form for short
+// regions because it cannot be left unbalanced.
+func (p *Profile) Span(name string, fn func()) {
+	p.Begin(name)
+	fn()
+	p.End()
+}
+
+// Count adds delta to a named operation counter (cells visited, distance
+// evaluations, string bytes touched, ...).
+func (p *Profile) Count(name string, delta int64) {
+	if !p.Enabled() {
+		return
+	}
+	p.counters[name] += delta
+}
+
+// Merge folds other's phases and counters into p. ROI time is summed.
+func (p *Profile) Merge(other *Profile) {
+	if !p.Enabled() || other == nil || other.disabled {
+		return
+	}
+	p.roiTotal += other.roiTotal
+	for name, ph := range other.phases {
+		dst := p.phases[name]
+		if dst == nil {
+			dst = &phase{}
+			p.phases[name] = dst
+		}
+		dst.total += ph.total
+		dst.calls += ph.calls
+	}
+	for name, v := range other.counters {
+		p.counters[name] += v
+	}
+}
+
+// Report is an immutable snapshot of a profile.
+type Report struct {
+	ROI      time.Duration
+	Phases   []PhaseStat
+	Counters map[string]int64
+}
+
+// PhaseStat is the accumulated cost of one named phase.
+type PhaseStat struct {
+	Name  string
+	Total time.Duration
+	Calls int64
+}
+
+// Snapshot returns the current report. Open phases and an open ROI are not
+// included.
+func (p *Profile) Snapshot() Report {
+	r := Report{Counters: map[string]int64{}}
+	if !p.Enabled() {
+		return r
+	}
+	r.ROI = p.roiTotal
+	for name, ph := range p.phases {
+		r.Phases = append(r.Phases, PhaseStat{Name: name, Total: ph.total, Calls: ph.calls})
+	}
+	sort.Slice(r.Phases, func(i, j int) bool { return r.Phases[i].Total > r.Phases[j].Total })
+	for k, v := range p.counters {
+		r.Counters[k] = v
+	}
+	return r
+}
+
+// Fraction returns the share of ROI time spent in the named phase, in
+// [0, 1]. It returns 0 when the ROI is empty or the phase is unknown.
+func (r Report) Fraction(name string) float64 {
+	if r.ROI <= 0 {
+		return 0
+	}
+	for _, ph := range r.Phases {
+		if ph.Name == name {
+			return float64(ph.Total) / float64(r.ROI)
+		}
+	}
+	return 0
+}
+
+// Phase returns the stats for a named phase and whether it exists.
+func (r Report) Phase(name string) (PhaseStat, bool) {
+	for _, ph := range r.Phases {
+		if ph.Name == name {
+			return ph, true
+		}
+	}
+	return PhaseStat{}, false
+}
+
+// Dominant returns the name of the phase with the largest share of ROI time,
+// or "" if no phases were recorded.
+func (r Report) Dominant() string {
+	if len(r.Phases) == 0 {
+		return ""
+	}
+	return r.Phases[0].Name
+}
+
+// String renders the report as the characterization table used by
+// cmd/report: phase, time, calls, and percentage of ROI.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ROI: %v\n", r.ROI)
+	for _, ph := range r.Phases {
+		pct := 0.0
+		if r.ROI > 0 {
+			pct = 100 * float64(ph.Total) / float64(r.ROI)
+		}
+		fmt.Fprintf(&b, "  %-24s %12v  calls=%-10d %5.1f%%\n", ph.Name, ph.Total, ph.Calls, pct)
+	}
+	if len(r.Counters) > 0 {
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  #%-23s %d\n", k, r.Counters[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+// Package rng provides a deterministic, seedable random number generator
+// used by every stochastic kernel in the suite.
+//
+// All RTRBench kernels take an explicit seed so that runs are reproducible:
+// the same seed, configuration, and inputset always produce the same particle
+// sets, samples, and noise sequences. The generator is a small, fast
+// xorshift-based PRNG (splitmix64 seeded xorshift128+) rather than
+// math/rand's global source, so kernels never contend on a shared lock and
+// benchmark timings are not perturbed by unrelated random consumers.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator. It is not safe for
+// concurrent use; create one RNG per goroutine.
+type RNG struct {
+	s0, s1 uint64
+
+	// cached spare Gaussian deviate (Box-Muller produces two at a time)
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a generator seeded with seed. Two generators created with the
+// same seed produce identical sequences.
+func New(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed using splitmix64, which
+// decorrelates nearby seeds.
+func (r *RNG) Seed(seed int64) {
+	x := uint64(seed)
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1 // xorshift state must be non-zero
+	}
+	r.hasSpare = false
+}
+
+// Uint64 returns the next 64 pseudo-random bits (xorshift128+).
+func (r *RNG) Uint64() uint64 {
+	x := r.s0
+	y := r.s1
+	r.s0 = y
+	x ^= x << 23
+	r.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return r.s1 + y
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *RNG) Float64() float64 {
+	// Use the top 53 bits for a uniformly distributed double.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform deviate in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a Gaussian deviate with the given mean and standard
+// deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mean + stddev*u*m
+}
+
+// StdNormal returns a standard Gaussian deviate (mean 0, stddev 1).
+func (r *RNG) StdNormal() float64 { return r.Normal(0, 1) }
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork returns a new generator whose stream is decorrelated from r's but
+// fully determined by r's current state. Kernels use Fork to hand independent
+// streams to sub-components (e.g. one per particle batch) while staying
+// reproducible.
+func (r *RNG) Fork() *RNG {
+	return New(int64(r.Uint64()))
+}

@@ -1,0 +1,271 @@
+package search
+
+import "math"
+
+// Incremental is a D* Lite planner (Koenig & Likhachev, 2002): it computes
+// a shortest path once and then *repairs* it after edge-cost changes or
+// robot motion, reusing previous search effort instead of replanning from
+// scratch. It is the incremental counterpart of the suite's A*: the paper's
+// planning kernels assume static worlds, and D* Lite is the standard answer
+// when the pp2d/pp3d environments change mid-execution (the "dynamic
+// environments" the RRT kernels motivate).
+//
+// The space must be undirected (successor and predecessor sets coincide),
+// which holds for all of the suite's grid spaces, and must be Sized.
+type Incremental struct {
+	sp    Space
+	h     func(a, b int) float64
+	start int
+	goal  int
+	km    float64
+	last  int
+
+	g, rhs []float64
+	open   *keyHeap
+
+	// Expanded counts vertex expansions across all Plan calls — the
+	// measure of how much work repair saves versus a fresh search.
+	Expanded int
+}
+
+// NewIncremental prepares a D* Lite instance for the given undirected sized
+// space, start, goal, and a consistent heuristic h(a, b) estimating the
+// cost between two states.
+func NewIncremental(sp Space, start, goal int, h func(a, b int) float64) *Incremental {
+	sized, ok := sp.(Sized)
+	if !ok || sized.NumStates() <= 0 {
+		panic("search: Incremental requires a Sized space")
+	}
+	n := sized.NumStates()
+	d := &Incremental{
+		sp: sp, h: h, start: start, goal: goal, last: start,
+		g: make([]float64, n), rhs: make([]float64, n),
+		open: newKeyHeap(n),
+	}
+	for i := range d.g {
+		d.g[i] = math.Inf(1)
+		d.rhs[i] = math.Inf(1)
+	}
+	d.rhs[goal] = 0
+	d.open.push(goal, d.key(goal))
+	return d
+}
+
+func (d *Incremental) key(s int) [2]float64 {
+	m := math.Min(d.g[s], d.rhs[s])
+	return [2]float64{m + d.h(d.start, s) + d.km, m}
+}
+
+func keyLess(a, b [2]float64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func (d *Incremental) updateVertex(u int) {
+	if u != d.goal {
+		best := math.Inf(1)
+		d.sp.Neighbors(u, func(s int, c float64) {
+			if v := c + d.g[s]; v < best {
+				best = v
+			}
+		})
+		d.rhs[u] = best
+	}
+	d.open.remove(u)
+	if d.g[u] != d.rhs[u] {
+		d.open.push(u, d.key(u))
+	}
+}
+
+// computeShortestPath is the core repair loop.
+func (d *Incremental) computeShortestPath() {
+	for d.open.len() > 0 {
+		u, kOld := d.open.top()
+		kStart := d.key(d.start)
+		if !keyLess(kOld, kStart) && d.rhs[d.start] == d.g[d.start] {
+			break
+		}
+		kNew := d.key(u)
+		switch {
+		case keyLess(kOld, kNew):
+			d.open.pop()
+			d.open.push(u, kNew)
+		case d.g[u] > d.rhs[u]:
+			d.open.pop()
+			d.g[u] = d.rhs[u]
+			d.Expanded++
+			d.sp.Neighbors(u, func(s int, c float64) {
+				d.updateVertex(s)
+			})
+		default:
+			d.open.pop()
+			d.g[u] = math.Inf(1)
+			d.Expanded++
+			d.updateVertex(u)
+			d.sp.Neighbors(u, func(s int, c float64) {
+				d.updateVertex(s)
+			})
+		}
+	}
+}
+
+// Plan computes (or repairs) the shortest path from the current start to
+// the goal. It returns the path and its cost, or ErrNoPath.
+func (d *Incremental) Plan() ([]int, float64, error) {
+	d.computeShortestPath()
+	if math.IsInf(d.rhs[d.start], 1) {
+		return nil, 0, ErrNoPath
+	}
+	// Extract by greedy descent: from start repeatedly step to the
+	// successor minimizing c + g.
+	path := []int{d.start}
+	cur := d.start
+	var cost float64
+	for cur != d.goal {
+		best := -1
+		bestV := math.Inf(1)
+		var bestC float64
+		d.sp.Neighbors(cur, func(s int, c float64) {
+			if v := c + d.g[s]; v < bestV {
+				bestV, best, bestC = v, s, c
+			}
+		})
+		if best < 0 || math.IsInf(bestV, 1) {
+			return nil, 0, ErrNoPath
+		}
+		cost += bestC
+		cur = best
+		path = append(path, cur)
+		if len(path) > len(d.g)+1 {
+			return nil, 0, ErrNoPath // cycle guard (inconsistent state)
+		}
+	}
+	return path, cost, nil
+}
+
+// MoveTo informs the planner that the robot advanced to state s (usually
+// along the last planned path). Subsequent Plan calls search from s.
+func (d *Incremental) MoveTo(s int) {
+	if s == d.start {
+		return
+	}
+	d.km += d.h(d.last, s)
+	d.last = s
+	d.start = s
+}
+
+// NotifyChanged tells the planner that the edges incident to the given
+// states changed (e.g. cells toggled between free and blocked). The
+// affected vertices and their neighbors are re-evaluated; the next Plan
+// call repairs the solution.
+func (d *Incremental) NotifyChanged(ids ...int) {
+	for _, u := range ids {
+		d.updateVertex(u)
+		d.sp.Neighbors(u, func(s int, c float64) {
+			d.updateVertex(s)
+		})
+	}
+}
+
+// keyHeap is a binary min-heap over [2]float64 lexicographic keys with a
+// dense position index, sized to the state universe.
+type keyHeap struct {
+	items []int
+	keys  [][2]float64
+	pos   []int32 // slot+1; 0 = absent
+}
+
+func newKeyHeap(universe int) *keyHeap {
+	return &keyHeap{pos: make([]int32, universe)}
+}
+
+func (h *keyHeap) len() int { return len(h.items) }
+
+func (h *keyHeap) push(item int, key [2]float64) {
+	if h.pos[item] != 0 {
+		// Replace in place.
+		i := int(h.pos[item]) - 1
+		old := h.keys[i]
+		h.keys[i] = key
+		if keyLess(key, old) {
+			h.up(i)
+		} else {
+			h.down(i)
+		}
+		return
+	}
+	h.items = append(h.items, item)
+	h.keys = append(h.keys, key)
+	h.pos[item] = int32(len(h.items))
+	h.up(len(h.items) - 1)
+}
+
+func (h *keyHeap) top() (int, [2]float64) { return h.items[0], h.keys[0] }
+
+func (h *keyHeap) pop() int {
+	item := h.items[0]
+	h.swap(0, len(h.items)-1)
+	h.items = h.items[:len(h.items)-1]
+	h.keys = h.keys[:len(h.keys)-1]
+	h.pos[item] = 0
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return item
+}
+
+func (h *keyHeap) remove(item int) {
+	p := h.pos[item]
+	if p == 0 {
+		return
+	}
+	i := int(p) - 1
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	h.keys = h.keys[:last]
+	h.pos[item] = 0
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *keyHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.items[i]] = int32(i + 1)
+	h.pos[h.items[j]] = int32(j + 1)
+}
+
+func (h *keyHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(h.keys[i], h.keys[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *keyHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && keyLess(h.keys[l], h.keys[smallest]) {
+			smallest = l
+		}
+		if r < n && keyLess(h.keys[r], h.keys[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

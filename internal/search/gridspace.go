@@ -1,0 +1,209 @@
+package search
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Grid2DSpace adapts an occupancy grid to the search interface with
+// 8-connected moves and octile edge costs. State IDs encode cells as
+// y*W + x.
+type Grid2DSpace struct {
+	G *grid.Grid2D
+	// Passable overrides the traversability test; nil means grid free-ness.
+	// pp2d installs its footprint collision checker here, which is how
+	// collision detection ends up on the search's critical path.
+	Passable func(x, y int) bool
+	// FourConnected restricts moves to the cardinal directions.
+	FourConnected bool
+}
+
+// NumStates implements Sized.
+func (s *Grid2DSpace) NumStates() int { return s.G.W * s.G.H }
+
+// ID returns the state ID of cell (x, y).
+func (s *Grid2DSpace) ID(x, y int) int { return y*s.G.W + x }
+
+// Cell returns the cell of state ID id.
+func (s *Grid2DSpace) Cell(id int) (x, y int) { return id % s.G.W, id / s.G.W }
+
+func (s *Grid2DSpace) passable(x, y int) bool {
+	if !s.G.InBounds(x, y) {
+		return false
+	}
+	if s.Passable != nil {
+		return s.Passable(x, y)
+	}
+	return s.G.Free(x, y)
+}
+
+// Neighbors implements Space.
+func (s *Grid2DSpace) Neighbors(id int, yield func(to int, cost float64)) {
+	x, y := s.Cell(id)
+	const diagCost = math.Sqrt2
+	// Cardinal moves.
+	if s.passable(x+1, y) {
+		yield(id+1, 1)
+	}
+	if s.passable(x-1, y) {
+		yield(id-1, 1)
+	}
+	if s.passable(x, y+1) {
+		yield(id+s.G.W, 1)
+	}
+	if s.passable(x, y-1) {
+		yield(id-s.G.W, 1)
+	}
+	if s.FourConnected {
+		return
+	}
+	// Diagonal moves require both adjacent cardinals to be free so the
+	// robot cannot cut obstacle corners.
+	if s.passable(x+1, y+1) && s.passable(x+1, y) && s.passable(x, y+1) {
+		yield(id+s.G.W+1, diagCost)
+	}
+	if s.passable(x-1, y+1) && s.passable(x-1, y) && s.passable(x, y+1) {
+		yield(id+s.G.W-1, diagCost)
+	}
+	if s.passable(x+1, y-1) && s.passable(x+1, y) && s.passable(x, y-1) {
+		yield(id-s.G.W+1, diagCost)
+	}
+	if s.passable(x-1, y-1) && s.passable(x-1, y) && s.passable(x, y-1) {
+		yield(id-s.G.W-1, diagCost)
+	}
+}
+
+// EuclideanHeuristic returns the straight-line distance heuristic to cell
+// (gx, gy); it is the heuristic the paper uses for pp2d ("We use Euclidean
+// distance as the heuristic function").
+func (s *Grid2DSpace) EuclideanHeuristic(gx, gy int) Heuristic {
+	w := s.G.W
+	return func(id int) float64 {
+		x, y := id%w, id/w
+		dx, dy := float64(x-gx), float64(y-gy)
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+}
+
+// OctileHeuristic returns the octile-distance heuristic to cell (gx, gy),
+// which is admissible and tighter than Euclidean for 8-connected grids.
+func (s *Grid2DSpace) OctileHeuristic(gx, gy int) Heuristic {
+	w := s.G.W
+	return func(id int) float64 {
+		x, y := id%w, id/w
+		dx := math.Abs(float64(x - gx))
+		dy := math.Abs(float64(y - gy))
+		if dx < dy {
+			dx, dy = dy, dx
+		}
+		return dx + (math.Sqrt2-1)*dy
+	}
+}
+
+// Grid3DSpace adapts a voxel grid with 26-connected moves and Euclidean
+// edge costs. State IDs encode voxels as (z*H + y)*W + x.
+type Grid3DSpace struct {
+	G *grid.Grid3D
+	// Passable overrides the traversability test; nil means voxel free-ness.
+	Passable func(x, y, z int) bool
+	// SixConnected restricts moves to the axis directions.
+	SixConnected bool
+}
+
+// NumStates implements Sized.
+func (s *Grid3DSpace) NumStates() int { return s.G.W * s.G.H * s.G.D }
+
+// ID returns the state ID of voxel (x, y, z).
+func (s *Grid3DSpace) ID(x, y, z int) int { return (z*s.G.H+y)*s.G.W + x }
+
+// Voxel returns the voxel of state ID id.
+func (s *Grid3DSpace) Voxel(id int) (x, y, z int) {
+	x = id % s.G.W
+	id /= s.G.W
+	y = id % s.G.H
+	z = id / s.G.H
+	return
+}
+
+func (s *Grid3DSpace) passable(x, y, z int) bool {
+	if !s.G.InBounds(x, y, z) {
+		return false
+	}
+	if s.Passable != nil {
+		return s.Passable(x, y, z)
+	}
+	return s.G.Free(x, y, z)
+}
+
+// Neighbors implements Space.
+func (s *Grid3DSpace) Neighbors(id int, yield func(to int, cost float64)) {
+	x, y, z := s.Voxel(id)
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				n := dx*dx + dy*dy + dz*dz
+				if s.SixConnected && n != 1 {
+					continue
+				}
+				nx, ny, nz := x+dx, y+dy, z+dz
+				if !s.passable(nx, ny, nz) {
+					continue
+				}
+				yield(s.ID(nx, ny, nz), math.Sqrt(float64(n)))
+			}
+		}
+	}
+}
+
+// EuclideanHeuristic returns the straight-line distance heuristic to voxel
+// (gx, gy, gz).
+func (s *Grid3DSpace) EuclideanHeuristic(gx, gy, gz int) Heuristic {
+	return func(id int) float64 {
+		x, y, z := s.Voxel(id)
+		dx, dy, dz := float64(x-gx), float64(y-gy), float64(z-gz)
+		return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	}
+}
+
+// CostGrid2DSpace adapts a cost field to the search interface: moving into a
+// cell pays the geometric step length times the destination cell's cost.
+// The moving-target kernel plans over this space (and its time-extended
+// variant).
+type CostGrid2DSpace struct {
+	C *grid.CostGrid2D
+}
+
+// NumStates implements Sized.
+func (s *CostGrid2DSpace) NumStates() int { return s.C.W * s.C.H }
+
+// ID returns the state ID of cell (x, y).
+func (s *CostGrid2DSpace) ID(x, y int) int { return y*s.C.W + x }
+
+// Cell returns the cell of state ID id.
+func (s *CostGrid2DSpace) Cell(id int) (x, y int) { return id % s.C.W, id / s.C.W }
+
+// Neighbors implements Space (8-connected).
+func (s *CostGrid2DSpace) Neighbors(id int, yield func(to int, cost float64)) {
+	x, y := s.Cell(id)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			c := s.C.Cost(nx, ny)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			step := 1.0
+			if dx != 0 && dy != 0 {
+				step = math.Sqrt2
+			}
+			yield(s.ID(nx, ny), step*c)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package sensor simulates the robot's proprioceptive and exteroceptive
+// sensors: the odometer and laser rangefinder that feed the particle filter
+// ("the odometer measures the distance traveled by the robot at each step...
+// the laser rangefinder casts rays in different directions"), and the
+// range-bearing landmark sensor that feeds EKF-SLAM ("the robot constantly
+// reads its distance and angle with the landmarks... We add
+// Gaussian-distributed noise to each sensor measurement").
+package sensor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// Odometry is one step of relative motion in the robot frame, as reported by
+// wheel encoders.
+type Odometry struct {
+	DeltaTrans float64 // distance traveled, meters
+	DeltaRot1  float64 // heading change before translating
+	DeltaRot2  float64 // heading change after translating
+}
+
+// Apply returns the pose obtained by executing the odometry step from p.
+func (o Odometry) Apply(p geom.Pose2) geom.Pose2 {
+	theta := p.Theta + o.DeltaRot1
+	return geom.Pose2{
+		X:     p.X + o.DeltaTrans*math.Cos(theta),
+		Y:     p.Y + o.DeltaTrans*math.Sin(theta),
+		Theta: geom.NormalizeAngle(theta + o.DeltaRot2),
+	}
+}
+
+// OdometryModel holds the standard odometry noise parameters (rotational and
+// translational noise mixing, as in Thrun et al.'s Probabilistic Robotics).
+type OdometryModel struct {
+	Alpha1, Alpha2, Alpha3, Alpha4 float64
+}
+
+// DefaultOdometryModel returns typical indoor-robot noise parameters.
+func DefaultOdometryModel() OdometryModel {
+	return OdometryModel{Alpha1: 0.02, Alpha2: 0.02, Alpha3: 0.05, Alpha4: 0.02}
+}
+
+// Sample draws a noisy execution of odometry o for one particle.
+func (m OdometryModel) Sample(r *rng.RNG, o Odometry) Odometry {
+	t, r1, r2 := o.DeltaTrans, o.DeltaRot1, o.DeltaRot2
+	return Odometry{
+		DeltaRot1:  r1 + r.Normal(0, math.Sqrt(m.Alpha1*r1*r1+m.Alpha2*t*t)),
+		DeltaTrans: t + r.Normal(0, math.Sqrt(m.Alpha3*t*t+m.Alpha4*(r1*r1+r2*r2))),
+		DeltaRot2:  r2 + r.Normal(0, math.Sqrt(m.Alpha1*r2*r2+m.Alpha2*t*t)),
+	}
+}
+
+// Laser is a simulated planar laser rangefinder attached to the robot.
+type Laser struct {
+	NumBeams int
+	FOV      float64 // total field of view, radians
+	MaxRange float64 // meters
+	Sigma    float64 // per-beam Gaussian range noise
+	// Dropout is the probability that a beam fails and returns MaxRange
+	// (glass, absorption, specular surfaces). Failure-injection tests use
+	// it to exercise filter robustness.
+	Dropout float64
+}
+
+// DefaultLaser returns a 37-beam, 270°, 25 m scanner with 5 cm noise,
+// a typical indoor lidar decimated to 7.5° spacing. The count is odd so one
+// beam points straight ahead — in corridor environments the long forward
+// ray carries most of the position information along the corridor axis.
+func DefaultLaser() Laser {
+	return Laser{NumBeams: 37, FOV: 1.5 * math.Pi, MaxRange: 25, Sigma: 0.05}
+}
+
+// BeamAngle returns the robot-frame angle of beam i.
+func (l Laser) BeamAngle(i int) float64 {
+	if l.NumBeams == 1 {
+		return 0
+	}
+	return -l.FOV/2 + l.FOV*float64(i)/float64(l.NumBeams-1)
+}
+
+// Scan casts all beams from the given pose on the map and returns the
+// measured ranges with Gaussian noise added (clamped to [0, MaxRange]).
+// Dropped-out beams read MaxRange.
+func (l Laser) Scan(r *rng.RNG, g *grid.Grid2D, pose geom.Pose2) []float64 {
+	out := make([]float64, l.NumBeams)
+	for i := range out {
+		if r != nil && l.Dropout > 0 && r.Float64() < l.Dropout {
+			out[i] = l.MaxRange
+			continue
+		}
+		theta := pose.Theta + l.BeamAngle(i)
+		d := g.Raycast(pose.X, pose.Y, theta, l.MaxRange)
+		if r != nil && l.Sigma > 0 {
+			d += r.Normal(0, l.Sigma)
+		}
+		out[i] = geom.Clamp(d, 0, l.MaxRange)
+	}
+	return out
+}
+
+// Landmark is a point feature in the EKF-SLAM world.
+type Landmark struct {
+	ID int
+	P  geom.Vec2
+}
+
+// RangeBearing is one landmark observation: distance and relative angle.
+type RangeBearing struct {
+	ID      int
+	Range   float64
+	Bearing float64
+}
+
+// RangeBearingSensor observes landmarks within MaxRange with Gaussian noise.
+type RangeBearingSensor struct {
+	MaxRange   float64
+	SigmaRange float64
+	SigmaBear  float64
+}
+
+// Observe returns the noisy observations of all landmarks visible from pose.
+func (s RangeBearingSensor) Observe(r *rng.RNG, pose geom.Pose2, lms []Landmark) []RangeBearing {
+	var out []RangeBearing
+	for _, lm := range lms {
+		dx := lm.P.X - pose.X
+		dy := lm.P.Y - pose.Y
+		d := math.Hypot(dx, dy)
+		if s.MaxRange > 0 && d > s.MaxRange {
+			continue
+		}
+		b := geom.NormalizeAngle(math.Atan2(dy, dx) - pose.Theta)
+		if r != nil {
+			d += r.Normal(0, s.SigmaRange)
+			b = geom.NormalizeAngle(b + r.Normal(0, s.SigmaBear))
+		}
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, RangeBearing{ID: lm.ID, Range: d, Bearing: b})
+	}
+	return out
+}

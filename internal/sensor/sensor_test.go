@@ -1,0 +1,139 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+func TestOdometryApply(t *testing.T) {
+	p := geom.Pose2{X: 1, Y: 1, Theta: 0}
+	o := Odometry{DeltaRot1: math.Pi / 2, DeltaTrans: 2, DeltaRot2: -math.Pi / 2}
+	q := o.Apply(p)
+	if math.Abs(q.X-1) > 1e-12 || math.Abs(q.Y-3) > 1e-12 {
+		t.Fatalf("pose after odometry = %+v", q)
+	}
+	if math.Abs(q.Theta) > 1e-12 {
+		t.Fatalf("heading after odometry = %v", q.Theta)
+	}
+}
+
+func TestOdometryModelNoiseless(t *testing.T) {
+	m := OdometryModel{} // zero alphas = no noise
+	r := rng.New(1)
+	o := Odometry{DeltaTrans: 1, DeltaRot1: 0.1, DeltaRot2: -0.1}
+	s := m.Sample(r, o)
+	if s != o {
+		t.Fatalf("zero-noise sample changed odometry: %+v", s)
+	}
+}
+
+func TestOdometryModelAddsNoise(t *testing.T) {
+	m := DefaultOdometryModel()
+	r := rng.New(2)
+	o := Odometry{DeltaTrans: 1}
+	var spread float64
+	for i := 0; i < 100; i++ {
+		s := m.Sample(r, o)
+		spread += math.Abs(s.DeltaTrans - 1)
+	}
+	if spread == 0 {
+		t.Fatal("noisy model produced exact odometry 100 times")
+	}
+}
+
+func TestLaserBeamAngles(t *testing.T) {
+	l := Laser{NumBeams: 3, FOV: math.Pi, MaxRange: 10}
+	if a := l.BeamAngle(0); math.Abs(a+math.Pi/2) > 1e-12 {
+		t.Fatalf("beam 0 angle = %v", a)
+	}
+	if a := l.BeamAngle(1); math.Abs(a) > 1e-12 {
+		t.Fatalf("beam 1 angle = %v", a)
+	}
+	if a := l.BeamAngle(2); math.Abs(a-math.Pi/2) > 1e-12 {
+		t.Fatalf("beam 2 angle = %v", a)
+	}
+	single := Laser{NumBeams: 1, FOV: math.Pi}
+	if single.BeamAngle(0) != 0 {
+		t.Fatal("single-beam angle not forward")
+	}
+}
+
+func TestLaserScanAgainstWall(t *testing.T) {
+	g := grid.NewGrid2D(100, 100)
+	for y := 0; y < 100; y++ {
+		g.Set(60, y, true)
+	}
+	l := Laser{NumBeams: 1, FOV: 0, MaxRange: 50, Sigma: 0}
+	scan := l.Scan(nil, g, geom.Pose2{X: 50.5, Y: 50.5, Theta: 0})
+	if len(scan) != 1 {
+		t.Fatalf("scan size %d", len(scan))
+	}
+	if math.Abs(scan[0]-9.5) > 1e-9 {
+		t.Fatalf("scan = %v, want 9.5", scan[0])
+	}
+}
+
+func TestLaserScanClampsToMaxRange(t *testing.T) {
+	g := grid.NewGrid2D(50, 50)
+	l := Laser{NumBeams: 5, FOV: 1, MaxRange: 8, Sigma: 0.5}
+	scan := l.Scan(rng.New(1), g, geom.Pose2{X: 25, Y: 25})
+	for _, d := range scan {
+		if d < 0 || d > 8 {
+			t.Fatalf("scan value %v outside [0, 8]", d)
+		}
+	}
+}
+
+func TestRangeBearingObserve(t *testing.T) {
+	s := RangeBearingSensor{MaxRange: 100}
+	lms := []Landmark{{ID: 7, P: geom.Vec2{X: 3, Y: 4}}}
+	obs := s.Observe(nil, geom.Pose2{}, lms)
+	if len(obs) != 1 || obs[0].ID != 7 {
+		t.Fatalf("obs = %+v", obs)
+	}
+	if math.Abs(obs[0].Range-5) > 1e-12 {
+		t.Fatalf("range = %v", obs[0].Range)
+	}
+	want := math.Atan2(4, 3)
+	if math.Abs(obs[0].Bearing-want) > 1e-12 {
+		t.Fatalf("bearing = %v, want %v", obs[0].Bearing, want)
+	}
+}
+
+func TestRangeBearingHeadingSubtracted(t *testing.T) {
+	s := RangeBearingSensor{MaxRange: 100}
+	lms := []Landmark{{ID: 0, P: geom.Vec2{X: 0, Y: 5}}}
+	obs := s.Observe(nil, geom.Pose2{Theta: math.Pi / 2}, lms)
+	if math.Abs(obs[0].Bearing) > 1e-12 {
+		t.Fatalf("bearing = %v, want 0 (landmark dead ahead)", obs[0].Bearing)
+	}
+}
+
+func TestRangeBearingMaxRange(t *testing.T) {
+	s := RangeBearingSensor{MaxRange: 2}
+	lms := []Landmark{
+		{ID: 0, P: geom.Vec2{X: 1, Y: 0}},
+		{ID: 1, P: geom.Vec2{X: 50, Y: 0}},
+	}
+	obs := s.Observe(nil, geom.Pose2{}, lms)
+	if len(obs) != 1 || obs[0].ID != 0 {
+		t.Fatalf("obs = %+v, want only landmark 0", obs)
+	}
+}
+
+func TestRangeBearingNoiseDeterministic(t *testing.T) {
+	s := RangeBearingSensor{MaxRange: 100, SigmaRange: 0.1, SigmaBear: 0.05}
+	lms := []Landmark{{ID: 0, P: geom.Vec2{X: 10, Y: 0}}}
+	a := s.Observe(rng.New(5), geom.Pose2{}, lms)
+	b := s.Observe(rng.New(5), geom.Pose2{}, lms)
+	if a[0] != b[0] {
+		t.Fatal("noise not reproducible for equal seeds")
+	}
+	if a[0].Range == 10 {
+		t.Fatal("noisy observation exactly equals truth (suspicious)")
+	}
+}

@@ -1,0 +1,284 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// BlocksWorld builds the paper's blocks-world problem (§V.11, Fig. 13) with
+// n blocks named B1..Bn. The initial state stacks all blocks in one tower
+// (B1 on B2 on ... on Bn on Table); the goal reverses the tower. Reversing a
+// tower forces the planner to unstack everything, which exercises deep
+// search like the "realistic NP-hard search problems" the paper cites.
+func BlocksWorld(n int) *Problem {
+	if n < 2 {
+		panic("symbolic: blocks world needs at least 2 blocks")
+	}
+	blocks := make([]string, n)
+	for i := range blocks {
+		blocks[i] = fmt.Sprintf("B%d", i+1)
+	}
+	symbols := append(append([]string{}, blocks...), "Table")
+
+	d := &Domain{
+		Symbols: symbols,
+		Static:  []string{"Block"},
+		Schemas: []Schema{
+			{
+				// Move block b from block x onto block y.
+				Name:   "Move",
+				Params: []string{"b", "x", "y"},
+				Pre: []TAtom{
+					T("Block", "b"), T("Block", "x"), T("Block", "y"),
+					T("On", "b", "x"), T("Clear", "b"), T("Clear", "y"),
+				},
+				Add:      []TAtom{T("On", "b", "y"), T("Clear", "x")},
+				Del:      []TAtom{T("On", "b", "x"), T("Clear", "y")},
+				Distinct: [][2]string{{"b", "x"}, {"b", "y"}, {"x", "y"}},
+			},
+			{
+				// Move block b from block x onto the table.
+				Name:   "MoveToTable",
+				Params: []string{"b", "x"},
+				Pre: []TAtom{
+					T("Block", "b"), T("Block", "x"),
+					T("On", "b", "x"), T("Clear", "b"),
+				},
+				Add:      []TAtom{T("On", "b", "Table"), T("Clear", "x")},
+				Del:      []TAtom{T("On", "b", "x")},
+				Distinct: [][2]string{{"b", "x"}},
+			},
+			{
+				// Move block b from the table onto block y.
+				Name:   "MoveFromTable",
+				Params: []string{"b", "y"},
+				Pre: []TAtom{
+					T("Block", "b"), T("Block", "y"),
+					T("On", "b", "Table"), T("Clear", "b"), T("Clear", "y"),
+				},
+				Add:      []TAtom{T("On", "b", "y")},
+				Del:      []TAtom{T("On", "b", "Table"), T("Clear", "y")},
+				Distinct: [][2]string{{"b", "y"}},
+			},
+		},
+	}
+
+	var init []string
+	for _, b := range blocks {
+		init = append(init, Atom("Block", b))
+	}
+	// Tower: B1 on B2 on ... on Bn on Table.
+	for i := 0; i < n-1; i++ {
+		init = append(init, Atom("On", blocks[i], blocks[i+1]))
+	}
+	init = append(init, Atom("On", blocks[n-1], "Table"), Atom("Clear", blocks[0]))
+
+	// Goal: reversed tower, Bn on ... on B1 on Table.
+	var goal []string
+	for i := n - 1; i > 0; i-- {
+		goal = append(goal, Atom("On", blocks[i], blocks[i-1]))
+	}
+	goal = append(goal, Atom("On", blocks[0], "Table"))
+
+	return NewProblem(d, init, goal)
+}
+
+// BlocksWorldRandom builds a blocks-world instance with random initial and
+// goal stackings drawn from seed — substantially harder than the tower
+// reversal of BlocksWorld and the instance family used by the heuristic
+// ablation benchmarks.
+func BlocksWorldRandom(n int, seed int64) *Problem {
+	if n < 2 {
+		panic("symbolic: blocks world needs at least 2 blocks")
+	}
+	base := BlocksWorld(n) // reuse the domain; replace init and goal
+	r := rng.New(seed)
+	blocks := make([]string, n)
+	for i := range blocks {
+		blocks[i] = fmt.Sprintf("B%d", i+1)
+	}
+
+	stacking := func() []string {
+		perm := r.Perm(n)
+		var atoms []string
+		// Partition the permuted blocks into stacks: each block goes on
+		// the previous one or starts a new stack on the table.
+		prevOnStack := -1
+		covered := make(map[int]bool)
+		for _, b := range perm {
+			if prevOnStack >= 0 && r.Float64() < 0.6 {
+				atoms = append(atoms, Atom("On", blocks[b], blocks[prevOnStack]))
+				covered[prevOnStack] = true
+			} else {
+				atoms = append(atoms, Atom("On", blocks[b], "Table"))
+			}
+			prevOnStack = b
+		}
+		for _, b := range perm {
+			if !covered[b] {
+				atoms = append(atoms, Atom("Clear", blocks[b]))
+			}
+		}
+		return atoms
+	}
+
+	init := stacking()
+	for _, b := range blocks {
+		init = append(init, Atom("Block", b))
+	}
+	// The goal only constrains On-atoms (Clear follows from them).
+	var goal []string
+	for _, a := range stacking() {
+		if len(a) > 3 && a[:3] == "On(" {
+			goal = append(goal, a)
+		}
+	}
+	return NewProblem(base.Domain, init, goal)
+}
+
+// Firefighter builds the paper's firefighting problem (§V.12, Fig. 14),
+// inspired by MIT's 1st Summer School on Cognitive Robotics final challenge:
+// a mobile robot carries a quadcopter; the quadcopter pours water on a fire
+// but has a one-pour water tank and battery, so each pour requires landing
+// on the robot, driving to the water and charger stations, refilling,
+// recharging, and flying back. The fire needs `pours` pours to go out
+// (ExtThree with pours = 3, matching the paper's goal atom).
+func Firefighter(nLocs, pours int) *Problem {
+	if nLocs < 3 {
+		panic("symbolic: firefighter needs at least 3 locations")
+	}
+	if pours < 1 || pours > 3 {
+		panic("symbolic: pours must be in [1,3]")
+	}
+	locs := make([]string, nLocs)
+	for i := range locs {
+		locs[i] = fmt.Sprintf("L%d", i+1)
+	}
+	water := locs[0]   // water station
+	charger := locs[1] // charging station
+	fire := locs[2]    // fire location
+	symbols := append(append([]string{}, locs...), "Q", "R")
+
+	fireLevel := func(k int) string { return fmt.Sprintf("Fire%d", k) }
+
+	d := &Domain{
+		Symbols: symbols,
+		Static:  []string{"Loc", "Quad", "Rob"},
+		Schemas: []Schema{
+			{
+				// The robot drives alone while the quadcopter is airborne
+				// (paper's MoveToLoc: preconditions include InAir(Q)).
+				Name:   "MoveToLoc",
+				Params: []string{"x", "y"},
+				Pre: []TAtom{
+					T("Loc", "x"), T("Loc", "y"),
+					T("At", "R", "x"), T("InAir", "Q"),
+				},
+				Add:      []TAtom{T("At", "R", "y")},
+				Del:      []TAtom{T("At", "R", "x")},
+				Distinct: [][2]string{{"x", "y"}},
+			},
+			{
+				// The robot drives carrying the landed quadcopter.
+				Name:   "MoveTogether",
+				Params: []string{"x", "y"},
+				Pre: []TAtom{
+					T("Loc", "x"), T("Loc", "y"),
+					T("At", "R", "x"), T("At", "Q", "x"), T("OnRob", "Q"),
+				},
+				Add:      []TAtom{T("At", "R", "y"), T("At", "Q", "y")},
+				Del:      []TAtom{T("At", "R", "x"), T("At", "Q", "x")},
+				Distinct: [][2]string{{"x", "y"}},
+			},
+			{
+				// The quadcopter flies between locations on its own.
+				Name:   "FlyTo",
+				Params: []string{"x", "y"},
+				Pre: []TAtom{
+					T("Loc", "x"), T("Loc", "y"),
+					T("At", "Q", "x"), T("InAir", "Q"), T("FullBat", "Q"),
+				},
+				Add:      []TAtom{T("At", "Q", "y")},
+				Del:      []TAtom{T("At", "Q", "x")},
+				Distinct: [][2]string{{"x", "y"}},
+			},
+			{
+				Name:   "Land",
+				Params: []string{"x"},
+				Pre: []TAtom{
+					T("Loc", "x"),
+					T("At", "R", "x"), T("At", "Q", "x"), T("InAir", "Q"),
+				},
+				Add: []TAtom{T("OnRob", "Q")},
+				Del: []TAtom{T("InAir", "Q")},
+			},
+			{
+				Name:   "TakeOff",
+				Params: []string{"x"},
+				Pre: []TAtom{
+					T("Loc", "x"),
+					T("At", "Q", "x"), T("OnRob", "Q"), T("FullBat", "Q"),
+				},
+				Add: []TAtom{T("InAir", "Q")},
+				Del: []TAtom{T("OnRob", "Q")},
+			},
+			{
+				// FillWater: quadcopter docked on the robot at the water
+				// station (paper's Fig. 14 preconditions).
+				Name:   "FillWater",
+				Params: nil,
+				Pre: []TAtom{
+					T("OnRob", "Q"), T("EmptyTank", "Q"),
+					T("At", "R", water), T("At", "Q", water),
+				},
+				Add: []TAtom{T("FullTank", "Q")},
+				Del: []TAtom{T("EmptyTank", "Q")},
+			},
+			{
+				Name:   "Charge",
+				Params: nil,
+				Pre: []TAtom{
+					T("OnRob", "Q"), T("LowBat", "Q"),
+					T("At", "R", charger), T("At", "Q", charger),
+				},
+				Add: []TAtom{T("FullBat", "Q")},
+				Del: []TAtom{T("LowBat", "Q")},
+			},
+		},
+	}
+
+	// Pouring reduces the fire level and drains both tank and battery, so
+	// every pour forces a full resupply round trip. One ground action per
+	// fire level.
+	for k := pours; k >= 1; k-- {
+		after := fireLevel(k - 1)
+		if k == 1 {
+			after = "ExtThree(F)"
+		}
+		d.Schemas = append(d.Schemas, Schema{
+			Name:   fmt.Sprintf("PourWater%d", k),
+			Params: nil,
+			Pre: []TAtom{
+				T("At", "Q", fire), T("InAir", "Q"),
+				T("FullTank", "Q"), T(fireLevel(k)),
+			},
+			Add: []TAtom{T(after), T("EmptyTank", "Q"), T("LowBat", "Q")},
+			Del: []TAtom{T(fireLevel(k)), T("FullTank", "Q"), T("FullBat", "Q")},
+		})
+	}
+
+	var init []string
+	for _, l := range locs {
+		init = append(init, Atom("Loc", l))
+	}
+	init = append(init,
+		Atom("Quad", "Q"), Atom("Rob", "R"),
+		Atom("At", "R", charger), Atom("At", "Q", charger),
+		Atom("OnRob", "Q"),
+		Atom("EmptyTank", "Q"), Atom("FullBat", "Q"),
+		fireLevel(pours),
+	)
+	goal := []string{"ExtThree(F)"}
+	return NewProblem(d, init, goal)
+}

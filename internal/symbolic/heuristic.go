@@ -1,0 +1,112 @@
+package symbolic
+
+import "math"
+
+// HeuristicKind selects the planner's heuristic.
+type HeuristicKind int
+
+const (
+	// GoalCount counts unsatisfied goal atoms — cheap and the suite's
+	// default (the paper's planner characterization does not depend on the
+	// heuristic's strength, only on search + string work).
+	GoalCount HeuristicKind = iota
+	// Additive is the delete-relaxation h_add (Bonet & Geffner): the cost
+	// of each goal atom under the relaxation that ignores delete effects,
+	// summed. Far more informed, much more expensive per node — the classic
+	// planning-systems trade-off, exposed as an ablation.
+	Additive
+)
+
+// addEvaluator computes h_add for states of one problem. It pre-indexes
+// atoms and actions once; Eval runs a Bellman-Ford-style fixpoint per call.
+type addEvaluator struct {
+	atomIndex map[string]int
+	atoms     int
+	// Per action: precondition atom ids and added atom ids.
+	pre  [][]int32
+	add  [][]int32
+	goal []int32
+	cost []float64 // scratch, len == atoms
+}
+
+func newAddEvaluator(p *Problem) *addEvaluator {
+	e := &addEvaluator{atomIndex: map[string]int{}}
+	idx := func(a string) int32 {
+		if i, ok := e.atomIndex[a]; ok {
+			return int32(i)
+		}
+		i := len(e.atomIndex)
+		e.atomIndex[a] = i
+		return int32(i)
+	}
+	for _, a := range p.Init {
+		idx(a)
+	}
+	e.pre = make([][]int32, len(p.Actions))
+	e.add = make([][]int32, len(p.Actions))
+	for ai := range p.Actions {
+		act := &p.Actions[ai]
+		for _, a := range act.Pre {
+			e.pre[ai] = append(e.pre[ai], idx(a))
+		}
+		for _, a := range act.Add {
+			e.add[ai] = append(e.add[ai], idx(a))
+		}
+	}
+	for _, g := range p.Goal {
+		e.goal = append(e.goal, idx(g))
+	}
+	e.atoms = len(e.atomIndex)
+	e.cost = make([]float64, e.atoms)
+	return e
+}
+
+// Eval returns h_add of the state given by atoms; +Inf when some goal atom
+// is unreachable under the delete relaxation.
+func (e *addEvaluator) Eval(atoms []string) float64 {
+	for i := range e.cost {
+		e.cost[i] = math.Inf(1)
+	}
+	for _, a := range atoms {
+		if i, ok := e.atomIndex[a]; ok {
+			e.cost[i] = 0
+		}
+		// Atoms outside the indexed universe can never be preconditions of
+		// indexed actions, so they are irrelevant to the relaxation.
+	}
+	// Fixpoint: relax every action until no atom cost improves.
+	for changed := true; changed; {
+		changed = false
+		for ai := range e.pre {
+			var sum float64
+			feasible := true
+			for _, pid := range e.pre[ai] {
+				c := e.cost[pid]
+				if math.IsInf(c, 1) {
+					feasible = false
+					break
+				}
+				sum += c
+			}
+			if !feasible {
+				continue
+			}
+			newCost := sum + 1
+			for _, aid := range e.add[ai] {
+				if newCost < e.cost[aid] {
+					e.cost[aid] = newCost
+					changed = true
+				}
+			}
+		}
+	}
+	var h float64
+	for _, g := range e.goal {
+		c := e.cost[g]
+		if math.IsInf(c, 1) {
+			return math.Inf(1)
+		}
+		h += c
+	}
+	return h
+}

@@ -1,0 +1,510 @@
+// Package symbolic implements the STRIPS-style symbolic planner behind the
+// sym-blkw and sym-fext kernels. Problems are represented "using high-level,
+// human-readable symbols" (paper §V.11): states are sets of ground atoms
+// like On(A,B), actions have preconditions and add/delete effects, and the
+// planner searches the implicit state graph with A*.
+//
+// Atoms are deliberately kept as strings and states as sorted atom lists
+// keyed by their joined text. That choice is faithful to the paper, whose
+// characterization identifies "string manipulation inside nodes" as one of
+// the kernel's two dominant operations; the planner counts the string bytes
+// it touches so the harness can report that share.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/profile"
+)
+
+// Atom builds the canonical text of a ground atom: "Pred(a,b)".
+func Atom(pred string, args ...string) string {
+	if len(args) == 0 {
+		return pred
+	}
+	return pred + "(" + strings.Join(args, ",") + ")"
+}
+
+// Schema is a lifted action with variable parameters. Template atoms use
+// parameter names verbatim as argument placeholders; grounding substitutes
+// symbols for them.
+type Schema struct {
+	Name   string
+	Params []string
+
+	// Pre are positive preconditions, Neg negative ones (atom must be
+	// absent). Add and Del are the effects.
+	Pre, Neg, Add, Del []TAtom
+
+	// Distinct lists parameter pairs that must bind to different symbols.
+	Distinct [][2]string
+}
+
+// TAtom is a template atom: predicate plus arguments, each argument either a
+// parameter name (bound at grounding) or a constant symbol.
+type TAtom struct {
+	Pred string
+	Args []string
+}
+
+// T is shorthand for constructing a template atom.
+func T(pred string, args ...string) TAtom { return TAtom{Pred: pred, Args: args} }
+
+func (t TAtom) ground(binding map[string]string) string {
+	if len(t.Args) == 0 {
+		return t.Pred
+	}
+	args := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		if s, ok := binding[a]; ok {
+			args[i] = s
+		} else {
+			args[i] = a // constant
+		}
+	}
+	return Atom(t.Pred, args...)
+}
+
+// GroundAction is a fully instantiated action.
+type GroundAction struct {
+	Name               string
+	Pre, Neg, Add, Del []string
+}
+
+// Domain is a planning domain: the symbol universe and the action schemas.
+type Domain struct {
+	Symbols []string
+	Schemas []Schema
+
+	// Static lists predicates that never appear in any effect. Ground
+	// actions whose static preconditions fail against the initial state are
+	// pruned at grounding time.
+	Static []string
+}
+
+// Problem is a planning problem instance.
+type Problem struct {
+	Domain  *Domain
+	Init    []string // initial ground atoms
+	Goal    []string // conjunctive goal atoms
+	Actions []GroundAction
+}
+
+// NewProblem grounds the domain against the initial state and returns a
+// ready-to-solve problem.
+func NewProblem(d *Domain, init, goal []string) *Problem {
+	p := &Problem{Domain: d, Init: dedupSorted(init), Goal: dedupSorted(goal)}
+	p.Actions = d.groundAll(p.Init)
+	return p
+}
+
+func dedupSorted(atoms []string) []string {
+	out := make([]string, len(atoms))
+	copy(out, atoms)
+	sort.Strings(out)
+	j := 0
+	for i, a := range out {
+		if i == 0 || a != out[j-1] {
+			out[j] = a
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// groundAll enumerates every binding of every schema's parameters over the
+// symbol universe, applying Distinct constraints and pruning on static
+// preconditions.
+func (d *Domain) groundAll(init []string) []GroundAction {
+	static := make(map[string]bool, len(d.Static))
+	for _, s := range d.Static {
+		static[s] = true
+	}
+	initSet := make(map[string]bool, len(init))
+	for _, a := range init {
+		initSet[a] = true
+	}
+
+	var out []GroundAction
+	for si := range d.Schemas {
+		sc := &d.Schemas[si]
+		binding := make(map[string]string, len(sc.Params))
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(sc.Params) {
+				ga, ok := sc.instantiate(binding, static, initSet)
+				if ok {
+					out = append(out, ga)
+				}
+				return
+			}
+			for _, sym := range d.Symbols {
+				binding[sc.Params[i]] = sym
+				ok := true
+				for _, pair := range sc.Distinct {
+					a, aOK := binding[pair[0]]
+					b, bOK := binding[pair[1]]
+					if aOK && bOK && a == b {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					rec(i + 1)
+				}
+			}
+			delete(binding, sc.Params[i])
+		}
+		rec(0)
+	}
+	return out
+}
+
+func (sc *Schema) instantiate(binding map[string]string, static, initSet map[string]bool) (GroundAction, bool) {
+	ga := GroundAction{}
+	args := make([]string, len(sc.Params))
+	for i, p := range sc.Params {
+		args[i] = binding[p]
+	}
+	ga.Name = Atom(sc.Name, args...)
+	for _, t := range sc.Pre {
+		a := t.ground(binding)
+		if static[t.Pred] {
+			// Static preconditions are resolved now: failing ones prune
+			// the ground action entirely; passing ones need no runtime
+			// check.
+			if !initSet[a] {
+				return GroundAction{}, false
+			}
+			continue
+		}
+		ga.Pre = append(ga.Pre, a)
+	}
+	for _, t := range sc.Neg {
+		a := t.ground(binding)
+		if static[t.Pred] {
+			if initSet[a] {
+				return GroundAction{}, false
+			}
+			continue
+		}
+		ga.Neg = append(ga.Neg, a)
+	}
+	for _, t := range sc.Add {
+		ga.Add = append(ga.Add, t.ground(binding))
+	}
+	for _, t := range sc.Del {
+		ga.Del = append(ga.Del, t.ground(binding))
+	}
+	return ga, true
+}
+
+// Stats captures the planner's work profile for the harness: node and string
+// work as the paper's characterization splits it.
+type Stats struct {
+	Expanded      int   // states expanded
+	Generated     int   // successor states generated
+	StringBytes   int64 // bytes of atom text hashed/joined/compared
+	BranchSum     int   // total applicable actions over expanded states
+	DuplicateHits int   // successors that mapped to an already-interned state
+}
+
+// AvgBranching returns the mean number of applicable actions per expanded
+// state (the parallelism measure behind the paper's "~3.2x" sym-fext claim).
+func (s Stats) AvgBranching() float64 {
+	if s.Expanded == 0 {
+		return 0
+	}
+	return float64(s.BranchSum) / float64(s.Expanded)
+}
+
+// Plan is a solution: the action names in execution order.
+type Plan struct {
+	Steps []string
+	Stats Stats
+}
+
+// SolveOptions parameterize SolveWith.
+type SolveOptions struct {
+	// MaxExpansions aborts the search (0 = unlimited).
+	MaxExpansions int
+	// Heuristic selects GoalCount (default, optimal plans for unit costs
+	// with this admissible-enough count on our domains) or Additive
+	// (informed but inadmissible: satisficing plans, far fewer expansions).
+	Heuristic HeuristicKind
+	// Prof receives the "search"/"strings" phase breakdown; may be nil.
+	Prof *profile.Profile
+}
+
+// Solve searches for a plan with A*, using the count of unsatisfied goal
+// atoms as the heuristic. It returns nil when no plan exists within
+// maxExpansions (0 = unlimited).
+//
+// The profile (may be nil) receives the kernel's two dominant phases as the
+// paper characterizes them: "strings" (atom joining, hashing, interning —
+// the string manipulation inside nodes) and "search" (everything else in
+// the best-first loop).
+func Solve(p *Problem, maxExpansions int, prof *profile.Profile) *Plan {
+	return SolveWith(p, SolveOptions{MaxExpansions: maxExpansions, Prof: prof})
+}
+
+// SolveWith is Solve with an explicit heuristic choice.
+func SolveWith(p *Problem, opts SolveOptions) *Plan {
+	maxExpansions := opts.MaxExpansions
+	prof := opts.Prof
+	stats := Stats{}
+
+	// State interning: canonical key -> id; id -> atom list.
+	type stateRec struct {
+		atoms []string
+		key   string
+	}
+	var states []stateRec
+	index := map[string]int{}
+	intern := func(atoms []string) (int, bool) {
+		prof.Begin("strings")
+		key := strings.Join(atoms, ";")
+		stats.StringBytes += int64(len(key))
+		defer prof.End()
+		if id, ok := index[key]; ok {
+			return id, false
+		}
+		id := len(states)
+		states = append(states, stateRec{atoms: atoms, key: key})
+		index[key] = id
+		return id, true
+	}
+
+	startID, _ := intern(p.Init)
+
+	goalSet := make(map[string]bool, len(p.Goal))
+	for _, g := range p.Goal {
+		goalSet[g] = true
+	}
+	var heuristic func(atoms []string) float64
+	switch opts.Heuristic {
+	case Additive:
+		eval := newAddEvaluator(p)
+		heuristic = func(atoms []string) float64 { return eval.Eval(atoms) }
+	default:
+		heuristic = func(atoms []string) float64 {
+			missing := len(p.Goal)
+			for _, a := range atoms {
+				stats.StringBytes += int64(len(a))
+				if goalSet[a] {
+					missing--
+				}
+			}
+			return float64(missing)
+		}
+	}
+	isGoal := func(atoms []string) bool {
+		have := make(map[string]bool, len(atoms))
+		for _, a := range atoms {
+			have[a] = true
+		}
+		for _, g := range p.Goal {
+			if !have[g] {
+				return false
+			}
+		}
+		return true
+	}
+
+	type openNode struct {
+		id int
+	}
+	// A* over interned states. Bookkeeping mirrors internal/search but keeps
+	// the action labels on the tree edges for plan extraction.
+	gScore := map[int]float64{startID: 0}
+	parent := map[int]int{startID: startID}
+	parentAct := map[int]string{}
+	closed := map[int]bool{}
+
+	type heapItem struct {
+		id int
+		f  float64
+	}
+	heap := []heapItem{{startID, heuristic(states[startID].atoms)}}
+	push := func(it heapItem) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			par := (i - 1) / 2
+			if heap[par].f <= heap[i].f {
+				break
+			}
+			heap[par], heap[i] = heap[i], heap[par]
+			i = par
+		}
+	}
+	pop := func() heapItem {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(heap) && heap[l].f < heap[s].f {
+				s = l
+			}
+			if r < len(heap) && heap[r].f < heap[s].f {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[s], heap[i] = heap[i], heap[s]
+			i = s
+		}
+		return top
+	}
+
+	_ = openNode{}
+
+	prof.Begin("search")
+	for len(heap) > 0 {
+		cur := pop()
+		if closed[cur.id] {
+			continue
+		}
+		closed[cur.id] = true
+		curAtoms := states[cur.id].atoms
+		stats.Expanded++
+
+		if isGoal(curAtoms) {
+			// Reconstruct the action sequence.
+			var rev []string
+			for id := cur.id; id != startID; id = parent[id] {
+				rev = append(rev, parentAct[id])
+			}
+			steps := make([]string, len(rev))
+			for i := range rev {
+				steps[i] = rev[len(rev)-1-i]
+			}
+			prof.End()
+			return &Plan{Steps: steps, Stats: stats}
+		}
+		if maxExpansions > 0 && stats.Expanded >= maxExpansions {
+			prof.End()
+			return nil
+		}
+
+		have := make(map[string]bool, len(curAtoms))
+		for _, a := range curAtoms {
+			have[a] = true
+		}
+
+		for ai := range p.Actions {
+			act := &p.Actions[ai]
+			if !applicable(act, have, &stats) {
+				continue
+			}
+			stats.BranchSum++
+			prof.Begin("strings")
+			next := apply(curAtoms, act, &stats)
+			prof.End()
+			id, fresh := intern(next)
+			stats.Generated++
+			if !fresh {
+				stats.DuplicateHits++
+			}
+			if closed[id] {
+				continue
+			}
+			ng := gScore[cur.id] + 1
+			if old, ok := gScore[id]; ok && old <= ng {
+				continue
+			}
+			gScore[id] = ng
+			parent[id] = cur.id
+			parentAct[id] = act.Name
+			push(heapItem{id, ng + heuristic(states[id].atoms)})
+		}
+	}
+	prof.End()
+	return nil
+}
+
+func applicable(act *GroundAction, have map[string]bool, stats *Stats) bool {
+	for _, a := range act.Pre {
+		stats.StringBytes += int64(len(a))
+		if !have[a] {
+			return false
+		}
+	}
+	for _, a := range act.Neg {
+		stats.StringBytes += int64(len(a))
+		if have[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// apply returns the successor atom list (sorted, deduped) after executing
+// act in the state given by atoms.
+func apply(atoms []string, act *GroundAction, stats *Stats) []string {
+	del := make(map[string]bool, len(act.Del))
+	for _, d := range act.Del {
+		del[d] = true
+	}
+	out := make([]string, 0, len(atoms)+len(act.Add))
+	for _, a := range atoms {
+		if !del[a] {
+			out = append(out, a)
+		}
+	}
+	out = append(out, act.Add...)
+	sort.Strings(out)
+	// Dedup in place (Add atoms may already be present).
+	j := 0
+	for i, a := range out {
+		stats.StringBytes += int64(len(a))
+		if i == 0 || a != out[j-1] {
+			out[j] = a
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// Validate executes the plan from the problem's initial state and reports
+// whether every action is applicable in sequence and the final state
+// satisfies the goal. Tests use it as the planner's correctness oracle.
+func Validate(p *Problem, plan *Plan) error {
+	byName := make(map[string]*GroundAction, len(p.Actions))
+	for i := range p.Actions {
+		byName[p.Actions[i].Name] = &p.Actions[i]
+	}
+	state := make(map[string]bool, len(p.Init))
+	for _, a := range p.Init {
+		state[a] = true
+	}
+	var st Stats
+	for i, step := range plan.Steps {
+		act, ok := byName[step]
+		if !ok {
+			return fmt.Errorf("symbolic: step %d: unknown action %q", i, step)
+		}
+		if !applicable(act, state, &st) {
+			return fmt.Errorf("symbolic: step %d: action %q not applicable", i, step)
+		}
+		for _, d := range act.Del {
+			delete(state, d)
+		}
+		for _, a := range act.Add {
+			state[a] = true
+		}
+	}
+	for _, g := range p.Goal {
+		if !state[g] {
+			return fmt.Errorf("symbolic: goal atom %q not satisfied", g)
+		}
+	}
+	return nil
+}

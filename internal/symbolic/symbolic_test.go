@@ -1,0 +1,272 @@
+package symbolic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomFormatting(t *testing.T) {
+	if got := Atom("On", "A", "B"); got != "On(A,B)" {
+		t.Fatalf("Atom = %q", got)
+	}
+	if got := Atom("Fire3"); got != "Fire3" {
+		t.Fatalf("nullary Atom = %q", got)
+	}
+}
+
+func TestBlocksWorldSolvesAndValidates(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		prob := BlocksWorld(n)
+		plan := Solve(prob, 0, nil)
+		if plan == nil {
+			t.Fatalf("no plan for %d blocks", n)
+		}
+		if err := Validate(prob, plan); err != nil {
+			t.Fatalf("%d blocks: %v", n, err)
+		}
+		if len(plan.Steps) == 0 {
+			t.Fatalf("%d blocks: empty plan", n)
+		}
+	}
+}
+
+func TestBlocksWorldTwoBlocksOptimal(t *testing.T) {
+	// Reversing a 2-tower (A on B -> B on A) takes exactly 2 moves:
+	// A to the table, B onto A.
+	prob := BlocksWorld(2)
+	plan := Solve(prob, 0, nil)
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	if len(plan.Steps) != 2 {
+		t.Fatalf("plan = %v, want 2 steps", plan.Steps)
+	}
+}
+
+func TestFirefighterSolvesAndValidates(t *testing.T) {
+	for pours := 1; pours <= 3; pours++ {
+		prob := Firefighter(5, pours)
+		plan := Solve(prob, 0, nil)
+		if plan == nil {
+			t.Fatalf("no plan for %d pours", pours)
+		}
+		if err := Validate(prob, plan); err != nil {
+			t.Fatalf("pours=%d: %v", pours, err)
+		}
+		// Each pour requires at least a takeoff-fly-pour sequence.
+		if len(plan.Steps) < 3*pours {
+			t.Fatalf("pours=%d: implausibly short plan %v", pours, plan.Steps)
+		}
+		// The goal atom is achieved only through PourWater1.
+		found := false
+		for _, s := range plan.Steps {
+			if strings.HasPrefix(s, "PourWater1") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("plan never pours the final water: %v", plan.Steps)
+		}
+	}
+}
+
+func TestFirefighterMorePoursLongerPlans(t *testing.T) {
+	p1 := Solve(Firefighter(5, 1), 0, nil)
+	p3 := Solve(Firefighter(5, 3), 0, nil)
+	if p1 == nil || p3 == nil {
+		t.Fatal("missing plans")
+	}
+	if len(p3.Steps) <= len(p1.Steps) {
+		t.Fatalf("3 pours (%d steps) not longer than 1 pour (%d steps)",
+			len(p3.Steps), len(p1.Steps))
+	}
+}
+
+func TestGroundingPrunesStatic(t *testing.T) {
+	prob := BlocksWorld(3)
+	// Move(b,x,y) requires Block(b), Block(x), Block(y) with all distinct:
+	// 3*2*1 = 6; MoveToTable: 3*2 = 6; MoveFromTable: 3*2 = 6.
+	if len(prob.Actions) != 18 {
+		t.Fatalf("ground actions = %d, want 18", len(prob.Actions))
+	}
+	// No ground action mentions Table as a Block.
+	for _, a := range prob.Actions {
+		if strings.HasPrefix(a.Name, "Move(") && strings.Contains(a.Name, "Table") {
+			t.Fatalf("static pruning failed: %s", a.Name)
+		}
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	prob := BlocksWorld(3)
+	if err := Validate(prob, &Plan{Steps: []string{"Move(B1,B2,B3)"}}); err == nil {
+		t.Fatal("inapplicable action accepted (B3 not clear)")
+	}
+	if err := Validate(prob, &Plan{Steps: []string{"Teleport(B1)"}}); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	if err := Validate(prob, &Plan{Steps: nil}); err == nil {
+		t.Fatal("empty plan accepted though goal not initially satisfied")
+	}
+}
+
+func TestMaxExpansionsAborts(t *testing.T) {
+	prob := BlocksWorld(6)
+	if plan := Solve(prob, 2, nil); plan != nil {
+		t.Fatal("expansion-capped search still returned a plan")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	prob := Firefighter(5, 2)
+	plan := Solve(prob, 0, nil)
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	st := plan.Stats
+	if st.Expanded == 0 || st.Generated == 0 || st.StringBytes == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.AvgBranching() <= 0 {
+		t.Fatalf("branching = %v", st.AvgBranching())
+	}
+}
+
+func TestNegativePreconditions(t *testing.T) {
+	d := &Domain{
+		Symbols: []string{"X"},
+		Schemas: []Schema{{
+			Name:   "Flip",
+			Params: []string{"a"},
+			Pre:    []TAtom{T("Thing", "a")},
+			Neg:    []TAtom{T("Flipped", "a")},
+			Add:    []TAtom{T("Flipped", "a")},
+		}},
+		Static: []string{"Thing"},
+	}
+	prob := NewProblem(d, []string{"Thing(X)"}, []string{"Flipped(X)"})
+	plan := Solve(prob, 0, nil)
+	if plan == nil || len(plan.Steps) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Once flipped, the action must not be applicable again: a goal that
+	// needs a double flip is unsolvable.
+	prob2 := NewProblem(d, []string{"Thing(X)", "Flipped(X)"}, []string{"DoubleFlipped(X)"})
+	if Solve(prob2, 1000, nil) != nil {
+		t.Fatal("unsatisfiable goal got a plan")
+	}
+}
+
+func TestDedupSortedProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		atoms := make([]string, len(raw))
+		for i, b := range raw {
+			atoms[i] = Atom("P", string(rune('a'+b%5)))
+		}
+		out := dedupSorted(atoms)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] >= out[i] {
+				return false
+			}
+		}
+		// Every input atom is present in the output.
+		set := map[string]bool{}
+		for _, a := range out {
+			set[a] = true
+		}
+		for _, a := range atoms {
+			if !set[a] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksWorldRandomSolvesAndValidates(t *testing.T) {
+	for n := 4; n <= 8; n += 2 {
+		for seed := int64(1); seed <= 3; seed++ {
+			prob := BlocksWorldRandom(n, seed)
+			plan := Solve(prob, 500000, nil)
+			if plan == nil {
+				t.Fatalf("n=%d seed=%d: no plan", n, seed)
+			}
+			if err := Validate(prob, plan); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestBlocksWorldRandomDeterministic(t *testing.T) {
+	a := BlocksWorldRandom(6, 7)
+	b := BlocksWorldRandom(6, 7)
+	if len(a.Init) != len(b.Init) {
+		t.Fatal("random instance not deterministic")
+	}
+	for i := range a.Init {
+		if a.Init[i] != b.Init[i] {
+			t.Fatal("random instance not deterministic")
+		}
+	}
+}
+
+func TestAdditiveHeuristicFindsValidPlans(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		prob := BlocksWorldRandom(7, seed)
+		plan := SolveWith(prob, SolveOptions{Heuristic: Additive, MaxExpansions: 500000})
+		if plan == nil {
+			t.Fatalf("seed %d: no plan with h_add", seed)
+		}
+		if err := Validate(prob, plan); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAdditiveHeuristicMoreInformed(t *testing.T) {
+	// Across a batch of random instances, h_add must expand no more states
+	// in total than goal-count (it is strictly more informed on this
+	// domain family).
+	var gcTotal, addTotal int
+	for seed := int64(1); seed <= 5; seed++ {
+		prob := BlocksWorldRandom(8, seed)
+		gc := SolveWith(prob, SolveOptions{Heuristic: GoalCount, MaxExpansions: 2000000})
+		ha := SolveWith(prob, SolveOptions{Heuristic: Additive, MaxExpansions: 2000000})
+		if gc == nil || ha == nil {
+			t.Fatalf("seed %d: missing plan", seed)
+		}
+		gcTotal += gc.Stats.Expanded
+		addTotal += ha.Stats.Expanded
+	}
+	if addTotal >= gcTotal {
+		t.Fatalf("h_add expanded %d, goal-count %d", addTotal, gcTotal)
+	}
+}
+
+func TestAdditiveHeuristicOnFirefighter(t *testing.T) {
+	prob := Firefighter(5, 3)
+	gc := SolveWith(prob, SolveOptions{Heuristic: GoalCount})
+	ha := SolveWith(prob, SolveOptions{Heuristic: Additive})
+	if gc == nil || ha == nil {
+		t.Fatal("missing plan")
+	}
+	if err := Validate(prob, ha); err != nil {
+		t.Fatal(err)
+	}
+	if ha.Stats.Expanded > gc.Stats.Expanded {
+		t.Fatalf("h_add expanded more: %d > %d", ha.Stats.Expanded, gc.Stats.Expanded)
+	}
+}
+
+func TestBlocksWorldPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlocksWorld(1) did not panic")
+		}
+	}()
+	BlocksWorld(1)
+}

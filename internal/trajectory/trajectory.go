@@ -1,0 +1,133 @@
+// Package trajectory provides the timed-path types shared by the control
+// kernels: the reference trajectories MPC tracks, the demonstrations DMP
+// learns from, and path-cost utilities for the planners.
+package trajectory
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Point is one sample of a timed 2D trajectory.
+type Point struct {
+	T float64 // seconds
+	P geom.Vec2
+}
+
+// Trajectory is a time-ordered sequence of samples.
+type Trajectory struct {
+	Points []Point
+}
+
+// Duration returns the time span of the trajectory.
+func (tr *Trajectory) Duration() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T - tr.Points[0].T
+}
+
+// Length returns the arc length of the trajectory.
+func (tr *Trajectory) Length() float64 {
+	var s float64
+	for i := 1; i < len(tr.Points); i++ {
+		s += tr.Points[i].P.Dist(tr.Points[i-1].P)
+	}
+	return s
+}
+
+// At returns the position at time t by linear interpolation, clamped to the
+// trajectory's time range.
+func (tr *Trajectory) At(t float64) geom.Vec2 {
+	pts := tr.Points
+	if len(pts) == 0 {
+		return geom.Vec2{}
+	}
+	if t <= pts[0].T {
+		return pts[0].P
+	}
+	if t >= pts[len(pts)-1].T {
+		return pts[len(pts)-1].P
+	}
+	// Binary search for the segment containing t.
+	lo, hi := 0, len(pts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if pts[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := pts[lo], pts[hi]
+	if b.T == a.T {
+		return a.P
+	}
+	u := (t - a.T) / (b.T - a.T)
+	return geom.Vec2{
+		X: geom.Lerp(a.P.X, b.P.X, u),
+		Y: geom.Lerp(a.P.Y, b.P.Y, u),
+	}
+}
+
+// Resample returns the trajectory re-sampled at n uniformly spaced times.
+func (tr *Trajectory) Resample(n int) *Trajectory {
+	if n < 2 || len(tr.Points) == 0 {
+		return tr
+	}
+	t0 := tr.Points[0].T
+	dur := tr.Duration()
+	out := &Trajectory{Points: make([]Point, n)}
+	for i := 0; i < n; i++ {
+		t := t0 + dur*float64(i)/float64(n-1)
+		out.Points[i] = Point{T: t, P: tr.At(t)}
+	}
+	return out
+}
+
+// PathLength2D returns the Euclidean length of a cell-index path on a grid
+// of width w (IDs encoded y*w+x), in cell units. Planners report path cost
+// with it.
+func PathLength2D(path []int, w int) float64 {
+	var s float64
+	for i := 1; i < len(path); i++ {
+		x0, y0 := path[i-1]%w, path[i-1]/w
+		x1, y1 := path[i]%w, path[i]/w
+		dx, dy := float64(x1-x0), float64(y1-y0)
+		s += math.Sqrt(dx*dx + dy*dy)
+	}
+	return s
+}
+
+// SCurve generates a smooth S-shaped reference trajectory of the given
+// duration: a sinusoidal lateral sweep along a forward motion. It models the
+// "long reference trajectory" the paper's MPC kernel follows.
+func SCurve(duration float64, n int, speed, amplitude, wavelength float64) *Trajectory {
+	out := &Trajectory{Points: make([]Point, n)}
+	for i := 0; i < n; i++ {
+		t := duration * float64(i) / float64(n-1)
+		x := speed * t
+		y := amplitude * math.Sin(2*math.Pi*x/wavelength)
+		out.Points[i] = Point{T: t, P: geom.Vec2{X: x, Y: y}}
+	}
+	return out
+}
+
+// Demonstration generates the synthetic wheeled-robot demonstration used to
+// train DMP (substituting the paper's in-house robot data): a minimum-jerk
+// point-to-point profile with a sinusoidal detour.
+func Demonstration(duration float64, n int, start, goal geom.Vec2, detour float64) *Trajectory {
+	out := &Trajectory{Points: make([]Point, n)}
+	dir := goal.Sub(start)
+	normal := geom.Vec2{X: -dir.Y, Y: dir.X}.Normalize()
+	for i := 0; i < n; i++ {
+		u := float64(i) / float64(n-1)
+		// Minimum-jerk position profile: 10u^3 - 15u^4 + 6u^5.
+		s := u * u * u * (10 + u*(-15+6*u))
+		p := start.Add(dir.Scale(s))
+		p = p.Add(normal.Scale(detour * math.Sin(math.Pi*u)))
+		out.Points[i] = Point{T: duration * u, P: p}
+	}
+	return out
+}

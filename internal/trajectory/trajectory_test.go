@@ -1,0 +1,115 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func line(n int) *Trajectory {
+	tr := &Trajectory{}
+	for i := 0; i < n; i++ {
+		tr.Points = append(tr.Points, Point{T: float64(i), P: geom.Vec2{X: float64(i)}})
+	}
+	return tr
+}
+
+func TestAtInterpolates(t *testing.T) {
+	tr := line(5)
+	p := tr.At(2.5)
+	if math.Abs(p.X-2.5) > 1e-12 || p.Y != 0 {
+		t.Fatalf("At(2.5) = %v", p)
+	}
+}
+
+func TestAtClamps(t *testing.T) {
+	tr := line(5)
+	if tr.At(-10) != (geom.Vec2{X: 0}) {
+		t.Fatal("At before start did not clamp")
+	}
+	if tr.At(100) != (geom.Vec2{X: 4}) {
+		t.Fatal("At after end did not clamp")
+	}
+	if (&Trajectory{}).At(1) != (geom.Vec2{}) {
+		t.Fatal("At on empty trajectory not zero")
+	}
+}
+
+func TestDurationLength(t *testing.T) {
+	tr := line(5)
+	if tr.Duration() != 4 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	if math.Abs(tr.Length()-4) > 1e-12 {
+		t.Fatalf("Length = %v", tr.Length())
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := line(5)
+	rs := tr.Resample(9)
+	if len(rs.Points) != 9 {
+		t.Fatalf("resampled %d points", len(rs.Points))
+	}
+	if rs.Points[0].P != tr.Points[0].P || rs.Points[8].P != tr.Points[4].P {
+		t.Fatal("resample endpoints changed")
+	}
+	if math.Abs(rs.Points[4].P.X-2) > 1e-12 {
+		t.Fatalf("midpoint = %v", rs.Points[4].P)
+	}
+}
+
+func TestPathLength2D(t *testing.T) {
+	// Path (0,0)->(1,0)->(1,1) on a width-10 grid.
+	path := []int{0, 1, 11}
+	if got := PathLength2D(path, 10); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("PathLength2D = %v", got)
+	}
+	if PathLength2D(nil, 10) != 0 {
+		t.Fatal("empty path has non-zero length")
+	}
+}
+
+func TestSCurve(t *testing.T) {
+	tr := SCurve(10, 101, 2, 1, 5)
+	if math.Abs(tr.Duration()-10) > 1e-9 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	last := tr.Points[len(tr.Points)-1]
+	if math.Abs(last.P.X-20) > 1e-9 {
+		t.Fatalf("final x = %v, want 20 (speed*duration)", last.P.X)
+	}
+	// Amplitude bound respected.
+	for _, p := range tr.Points {
+		if math.Abs(p.P.Y) > 1+1e-9 {
+			t.Fatalf("y = %v exceeds amplitude", p.P.Y)
+		}
+	}
+}
+
+func TestDemonstrationEndpoints(t *testing.T) {
+	start := geom.Vec2{X: 1, Y: 2}
+	goal := geom.Vec2{X: 10, Y: 7}
+	tr := Demonstration(2, 100, start, goal, 1.5)
+	if tr.Points[0].P.Dist(start) > 1e-9 {
+		t.Fatalf("demo start = %v", tr.Points[0].P)
+	}
+	if tr.Points[len(tr.Points)-1].P.Dist(goal) > 1e-9 {
+		t.Fatalf("demo end = %v", tr.Points[len(tr.Points)-1].P)
+	}
+	// The detour makes the path longer than the straight line.
+	if tr.Length() <= start.Dist(goal) {
+		t.Fatal("demonstration has no detour")
+	}
+}
+
+func TestAtBinarySearchManyPoints(t *testing.T) {
+	tr := line(1000)
+	for _, q := range []float64{0.1, 123.45, 500, 998.9} {
+		p := tr.At(q)
+		if math.Abs(p.X-q) > 1e-9 {
+			t.Fatalf("At(%v) = %v", q, p)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package viz renders occupancy grids, paths, and particle clouds as ASCII
+// art for the examples and for debugging test failures. It has no role in
+// the benchmarks themselves (rendering is never inside a kernel ROI).
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Glyphs used by Render, exported so callers can document their output.
+const (
+	GlyphFree     = ' '
+	GlyphObstacle = '#'
+	GlyphPath     = '*'
+	GlyphStart    = 'S'
+	GlyphGoal     = 'G'
+	GlyphMark     = 'o'
+)
+
+// Map renders a grid with optional overlays, downsampling to at most
+// maxCols text columns (aspect is preserved approximately; one text row
+// covers two grid rows to compensate for character cells being tall).
+type Map struct {
+	g       *grid.Grid2D
+	maxCols int
+	overlay map[[2]int]byte // cell -> glyph, in full-resolution cells
+}
+
+// NewMap prepares a renderer for g, targeting at most maxCols text columns
+// (minimum 16).
+func NewMap(g *grid.Grid2D, maxCols int) *Map {
+	if maxCols < 16 {
+		maxCols = 16
+	}
+	return &Map{g: g, maxCols: maxCols, overlay: map[[2]int]byte{}}
+}
+
+// Path overlays a cell-index path (IDs encoded y*W+x).
+func (m *Map) Path(path []int) *Map {
+	for i, id := range path {
+		x, y := id%m.g.W, id/m.g.W
+		glyph := byte(GlyphPath)
+		if i == 0 {
+			glyph = GlyphStart
+		} else if i == len(path)-1 {
+			glyph = GlyphGoal
+		}
+		m.overlay[[2]int{x, y}] = glyph
+	}
+	return m
+}
+
+// MarkCell overlays a single cell with the generic marker glyph.
+func (m *Map) MarkCell(x, y int) *Map {
+	m.overlay[[2]int{x, y}] = GlyphMark
+	return m
+}
+
+// MarkWorld overlays the cell containing a world-coordinate point.
+func (m *Map) MarkWorld(p geom.Vec2) *Map {
+	x, y := m.g.WorldToCell(p.X, p.Y)
+	return m.MarkCell(x, y)
+}
+
+// String renders the map: top row first, one character per block of cells.
+// Overlay glyphs win over terrain; within a block, the most "interesting"
+// glyph (start/goal > path/mark > obstacle) is shown.
+func (m *Map) String() string {
+	step := (m.g.W + m.maxCols - 1) / m.maxCols
+	if step < 1 {
+		step = 1
+	}
+	stepY := step * 2 // character cells are ~2x taller than wide
+
+	rank := func(b byte) int {
+		switch b {
+		case GlyphStart, GlyphGoal:
+			return 3
+		case GlyphPath, GlyphMark:
+			return 2
+		case GlyphObstacle:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	var sb strings.Builder
+	for yTop := m.g.H - 1; yTop >= 0; yTop -= stepY {
+		for x0 := 0; x0 < m.g.W; x0 += step {
+			best := byte(GlyphFree)
+			for dy := 0; dy < stepY; dy++ {
+				for dx := 0; dx < step; dx++ {
+					x, y := x0+dx, yTop-dy
+					if !m.g.InBounds(x, y) {
+						continue
+					}
+					glyph := byte(GlyphFree)
+					if ov, ok := m.overlay[[2]int{x, y}]; ok {
+						glyph = ov
+					} else if m.g.Occupied(x, y) {
+						glyph = GlyphObstacle
+					}
+					if rank(glyph) > rank(best) {
+						best = glyph
+					}
+				}
+			}
+			sb.WriteByte(best)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series renders a numeric series as a fixed-width ASCII sparkline with the
+// given height in rows (used by the examples for reward/velocity curves).
+func Series(xs []float64, width, height int) string {
+	if len(xs) == 0 || width < 2 || height < 1 {
+		return ""
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	cols := make([]int, width)
+	for c := 0; c < width; c++ {
+		i := c * (len(xs) - 1) / (width - 1)
+		cols[c] = int((xs[i] - min) / span * float64(height-1))
+	}
+	var sb strings.Builder
+	for row := height - 1; row >= 0; row-- {
+		for c := 0; c < width; c++ {
+			if cols[c] >= row {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func TestMapRendersObstaclesAndPath(t *testing.T) {
+	g := grid.NewGrid2D(32, 32)
+	g.Fill(10, 10, 20, 20, true)
+	path := []int{0, 1, 2, 3*32 + 3}
+	out := NewMap(g, 32).Path(path).String()
+	if !strings.Contains(out, "#") {
+		t.Fatal("no obstacles rendered")
+	}
+	if !strings.ContainsRune(out, 'S') || !strings.ContainsRune(out, 'G') {
+		t.Fatal("start/goal glyphs missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("empty rendering")
+	}
+	// Every line has the same width.
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Fatal("ragged rendering")
+		}
+	}
+}
+
+func TestMapDownsamples(t *testing.T) {
+	g := grid.NewGrid2D(512, 512)
+	out := NewMap(g, 64).String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[0]) > 70 {
+		t.Fatalf("rendering %d columns wide, want <= ~64", len(lines[0]))
+	}
+}
+
+func TestMarkWorld(t *testing.T) {
+	g := grid.NewGrid2D(16, 16)
+	g.Resolution = 0.5
+	out := NewMap(g, 16).MarkWorld(geom.Vec2{X: 4, Y: 4}).String()
+	if !strings.ContainsRune(out, 'o') {
+		t.Fatal("world marker missing")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series([]float64{0, 1, 2, 3, 4, 5}, 12, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("height %d, want 4", len(lines))
+	}
+	// The rising series fills the bottom row fully and the top row partly.
+	bottom := lines[3]
+	if strings.Count(bottom, "#") != 12 {
+		t.Fatalf("bottom row = %q", bottom)
+	}
+	top := lines[0]
+	if strings.Count(top, "#") == 0 || strings.Count(top, "#") == 12 {
+		t.Fatalf("top row = %q", top)
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	if Series(nil, 10, 3) != "" {
+		t.Fatal("empty series rendered")
+	}
+	if Series([]float64{5, 5, 5}, 10, 3) == "" {
+		t.Fatal("constant series not rendered")
+	}
+}

@@ -1,0 +1,95 @@
+package rtrbench
+
+import (
+	"testing"
+
+	"repro/internal/core/mpc"
+	"repro/internal/core/pfl"
+	"repro/internal/core/pp2d"
+	"repro/internal/geom"
+	"repro/internal/maps"
+	"repro/internal/trajectory"
+)
+
+// TestPipelineIntegration runs the paper's Fig. 1 pipeline end-to-end on a
+// shared world model: localize on the city map, plan from the estimate,
+// track the plan — asserting that each stage's output is good enough for
+// the next stage to succeed. This is the examples/delivery2d scenario as a
+// regression test.
+func TestPipelineIntegration(t *testing.T) {
+	const seed = 1
+	city := pp2d.DefaultMap(192, seed)
+
+	// Stage 1: localization (tracking mode around the true start).
+	sx, sy := maps.FreeCellNear(city, city.W/8, city.H/8)
+	wx, wy := city.CellToWorld(sx, sy)
+	start := geom.Pose2{X: wx, Y: wy}
+	locCfg := pfl.DefaultConfig()
+	locCfg.Map = city
+	locCfg.Particles = 500
+	locCfg.Steps = 30
+	locCfg.Start = &start
+	prior := start
+	locCfg.TrackingPrior = &prior
+	locCfg.TrackingSpread = 2
+	loc, err := pfl.Run(locCfg, nil)
+	if err != nil {
+		t.Fatalf("perception: %v", err)
+	}
+	if loc.PositionError > 1 {
+		t.Fatalf("perception: estimate error %.2f m too large to plan from", loc.PositionError)
+	}
+
+	// Stage 2: planning from the estimate.
+	planCfg := pp2d.DefaultConfig()
+	ex, ey := city.WorldToCell(loc.Estimate.X, loc.Estimate.Y)
+	sxp, syp, ok := pp2d.FeasibleCellNear(city, planCfg.CarLength, planCfg.CarWidth, ex, ey)
+	if !ok {
+		t.Fatal("planning: no feasible start near the estimate")
+	}
+	gx, gy, ok := pp2d.FeasibleCellNear(city, planCfg.CarLength, planCfg.CarWidth,
+		city.W-city.W/8, city.H-city.H/8)
+	if !ok {
+		t.Fatal("planning: no feasible goal")
+	}
+	planCfg.Map = city
+	planCfg.StartX, planCfg.StartY = sxp, syp
+	planCfg.GoalX, planCfg.GoalY = gx, gy
+	plan, err := pp2d.Run(planCfg, nil)
+	if err != nil {
+		t.Fatalf("planning: %v", err)
+	}
+	if !plan.Found || plan.PathLength <= 0 {
+		t.Fatal("planning: no route")
+	}
+
+	// Stage 3: control along the route.
+	ref := &trajectory.Trajectory{}
+	var dist float64
+	var prev geom.Vec2
+	const speed = 5.0
+	for i, id := range plan.Path {
+		p := geom.Vec2{
+			X: (float64(id%city.W) + 0.5) * city.Resolution,
+			Y: (float64(id/city.W) + 0.5) * city.Resolution,
+		}
+		if i > 0 {
+			dist += p.Dist(prev)
+		}
+		ref.Points = append(ref.Points, trajectory.Point{T: dist / speed, P: p})
+		prev = p
+	}
+	ctlCfg := mpc.DefaultConfig()
+	ctlCfg.Reference = ref
+	ctlCfg.Steps = 100
+	ctl, err := mpc.Run(ctlCfg, nil)
+	if err != nil {
+		t.Fatalf("control: %v", err)
+	}
+	if ctl.TrackRMSE > 2 {
+		t.Fatalf("control: RMS tracking error %.2f m", ctl.TrackRMSE)
+	}
+	if ctl.VelViolations > 0 {
+		t.Fatalf("control: %d velocity violations", ctl.VelViolations)
+	}
+}

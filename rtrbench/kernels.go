@@ -1,0 +1,456 @@
+package rtrbench
+
+import (
+	"repro/internal/arm"
+	"repro/internal/core/bo"
+	"repro/internal/core/cem"
+	"repro/internal/core/dmp"
+	"repro/internal/core/ekfslam"
+	"repro/internal/core/movtar"
+	"repro/internal/core/mpc"
+	"repro/internal/core/pfl"
+	"repro/internal/core/pp2d"
+	"repro/internal/core/pp3d"
+	"repro/internal/core/prm"
+	"repro/internal/core/rrt"
+	"repro/internal/core/srec"
+	"repro/internal/core/sym"
+	"repro/internal/profile"
+
+	"strconv"
+)
+
+// newResult converts an internal profile report into the public Result.
+func newResult(kernel string, stage Stage, rep profile.Report) Result {
+	res := Result{
+		Kernel:   kernel,
+		Stage:    stage,
+		ROI:      rep.ROI,
+		Counters: rep.Counters,
+		Metrics:  map[string]float64{},
+		Series:   map[string][]float64{},
+	}
+	for _, ph := range rep.Phases {
+		res.Phases = append(res.Phases, Phase{
+			Name:     ph.Name,
+			Duration: ph.Total,
+			Calls:    ph.Calls,
+			Fraction: rep.Fraction(ph.Name),
+		})
+	}
+	return res
+}
+
+// armWorkspace maps the "mapf"/"mapc" variant strings used by the
+// sampling-based planners to the paper's Fig. 9 workspaces. The default is
+// Map-C (cluttered).
+func armWorkspace(variant string) *arm.Workspace {
+	switch variant {
+	case "mapf", "free", "f":
+		return arm.MapF()
+	default:
+		return arm.MapC()
+	}
+}
+
+func init() {
+	register(Info{
+		Name: "pfl", Index: 1, Stage: Perception,
+		Description:      "Particle filter localization with odometry and a laser rangefinder",
+		PaperBottlenecks: []string{"Ray-casting"},
+		ExpectDominant:   []string{"raycast"},
+		run: func(o Options) (Result, error) {
+			cfg := pfl.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Particles = 300
+				cfg.Steps = 25
+				m := pfl.DefaultMap(cfg.Seed)
+				cfg.Map = m
+			}
+			if o.Variant != "" {
+				if reg, err := strconv.Atoi(o.Variant); err == nil {
+					cfg.Region = reg
+				}
+			}
+			p := profile.New()
+			kr, err := pfl.Run(cfg, p)
+			res := newResult("pfl", Perception, p.Snapshot())
+			res.Metrics["position_error_m"] = kr.PositionError
+			res.Metrics["heading_error_rad"] = kr.HeadingError
+			res.Metrics["raycasts"] = float64(kr.Raycasts)
+			res.Metrics["cells_visited"] = float64(kr.CellsVisited)
+			res.Metrics["ess"] = kr.EffectiveSampleSize
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "ekfslam", Index: 2, Stage: Perception,
+		Description:      "Simultaneous localization and mapping with an Extended Kalman Filter",
+		PaperBottlenecks: []string{"Matrix operations"},
+		ExpectDominant:   []string{"matrix"},
+		run: func(o Options) (Result, error) {
+			cfg := ekfslam.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Steps = 120
+			}
+			p := profile.New()
+			kr, err := ekfslam.Run(cfg, p)
+			res := newResult("ekfslam", Perception, p.Snapshot())
+			res.Metrics["pose_error_m"] = kr.PoseError
+			res.Metrics["landmark_error_m"] = kr.MeanLandmarkError
+			res.Metrics["landmarks_seen"] = float64(kr.LandmarksSeen)
+			res.Metrics["updates"] = float64(kr.Updates)
+			res.Metrics["uncertainty"] = kr.Uncertainty
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "srec", Index: 3, Stage: Perception,
+		Description:      "3D scene reconstruction by ICP registration of depth scans",
+		PaperBottlenecks: []string{"Point cloud operations", "matrix operations"},
+		ExpectDominant:   []string{"correspondence"},
+		run: func(o Options) (Result, error) {
+			cfg := srec.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Cols, cfg.Rows = 80, 60
+				cfg.Iterations = 12
+			}
+			if o.Variant == "plane" {
+				cfg.Method = srec.PointToPlane
+			}
+			p := profile.New()
+			kr, err := srec.Run(cfg, p)
+			res := newResult("srec", Perception, p.Snapshot())
+			res.Metrics["rmse_m"] = kr.RMSE
+			res.Metrics["rot_error_rad"] = kr.RotationError
+			res.Metrics["trans_error_m"] = kr.TranslationError
+			res.Metrics["iterations"] = float64(kr.Iterations)
+			res.Metrics["nn_queries"] = float64(kr.NNQueries)
+			res.Metrics["source_points"] = float64(kr.SourcePoints)
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "pp2d", Index: 4, Stage: Planning,
+		Description:      "2D path planning for a car footprint with A*",
+		PaperBottlenecks: []string{"Collision detection"},
+		ExpectDominant:   []string{"collision"},
+		run: func(o Options) (Result, error) {
+			cfg := pp2d.DefaultConfig()
+			cfg.Seed = o.seed()
+			size := 512
+			if o.Size == SizeSmall {
+				size = 160
+			}
+			cfg.Map = pp2d.DefaultMap(size, cfg.Seed)
+			p := profile.New()
+			kr, err := pp2d.Run(cfg, p)
+			res := newResult("pp2d", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["path_length_m"] = kr.PathLength
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["collision_checks"] = float64(kr.Checks)
+			res.Metrics["cells_touched"] = float64(kr.Cells)
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "pp3d", Index: 5, Stage: Planning,
+		Description:      "3D path planning for a UAV with A*",
+		PaperBottlenecks: []string{"Collision detection", "graph search"},
+		ExpectDominant:   []string{"collision", "search"},
+		run: func(o Options) (Result, error) {
+			cfg := pp3d.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Map = pp3d.DefaultMap(64, 64, 16, cfg.Seed)
+			}
+			p := profile.New()
+			kr, err := pp3d.Run(cfg, p)
+			res := newResult("pp3d", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["path_length"] = kr.PathLength
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["collision_checks"] = float64(kr.Checks)
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "movtar", Index: 6, Stage: Planning,
+		Description:      "Catching a moving target with Weighted A* over space-time",
+		PaperBottlenecks: []string{"Input-dependent"},
+		ExpectDominant:   []string{"search", "heuristic"},
+		run: func(o Options) (Result, error) {
+			cfg := movtar.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Size = 96
+			}
+			if o.Variant != "" {
+				if n, err := strconv.Atoi(o.Variant); err == nil && n > 8 {
+					cfg.Size = n
+				}
+			}
+			p := profile.New()
+			kr, err := movtar.Run(cfg, p)
+			res := newResult("movtar", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["catch_time"] = float64(kr.CatchTime)
+			res.Metrics["path_cost"] = kr.PathCost
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["heuristic_cells"] = float64(kr.HeuristicCells)
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "prm", Index: 7, Stage: Planning,
+		Description:      "Probabilistic roadmap planning for a 5-DoF arm",
+		PaperBottlenecks: []string{"Graph search", "L2-norm calculations"},
+		ExpectDominant:   []string{"connect", "sample", "query"},
+		run: func(o Options) (Result, error) {
+			cfg := prm.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Samples = 700
+			}
+			cfg.Workspace = armWorkspace(o.Variant)
+			p := profile.New()
+			kr, err := prm.Run(cfg, p)
+			res := newResult("prm", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["path_cost_rad"] = kr.PathCost
+			res.Metrics["roadmap_nodes"] = float64(kr.RoadmapNodes)
+			res.Metrics["roadmap_edges"] = float64(kr.RoadmapEdges)
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["l2_norms"] = float64(kr.L2Norms)
+			res.Metrics["seg_checks"] = float64(kr.SegChecks)
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "rrt", Index: 8, Stage: Planning,
+		Description:      "Rapidly-exploring random tree planning for a 5-DoF arm",
+		PaperBottlenecks: []string{"Collision detection", "nearest neighbor search"},
+		ExpectDominant:   []string{"collision"},
+		run: func(o Options) (Result, error) {
+			cfg := rrtConfig(o)
+			p := profile.New()
+			// The "connect" variant runs the bidirectional RRT-Connect
+			// extension (see internal/core/rrt RunConnect).
+			runFn := rrt.Run
+			if o.Variant == "connect" {
+				runFn = rrt.RunConnect
+			}
+			kr, err := runFn(cfg, p)
+			return rrtResult("rrt", p, kr), err
+		},
+	})
+
+	register(Info{
+		Name: "rrtstar", Index: 9, Stage: Planning,
+		Description:      "Asymptotically optimal RRT* with neighborhood rewiring",
+		PaperBottlenecks: []string{"Collision detection", "nearest neighbor search"},
+		ExpectDominant:   []string{"collision", "nn"},
+		run: func(o Options) (Result, error) {
+			cfg := rrtConfig(o)
+			p := profile.New()
+			kr, err := rrt.RunStar(cfg, p)
+			return rrtResult("rrtstar", p, kr), err
+		},
+	})
+
+	register(Info{
+		Name: "rrtpp", Index: 10, Stage: Planning,
+		Description:      "RRT with shortcut post-processing",
+		PaperBottlenecks: []string{"Collision detection", "nearest neighbor search"},
+		ExpectDominant:   []string{"collision"},
+		run: func(o Options) (Result, error) {
+			cfg := rrtConfig(o)
+			p := profile.New()
+			kr, err := rrt.RunPP(cfg, p)
+			return rrtResult("rrtpp", p, kr), err
+		},
+	})
+
+	register(Info{
+		Name: "sym-blkw", Index: 11, Stage: Planning,
+		Description:      "Symbolic planning: blocks world",
+		PaperBottlenecks: []string{"Graph search", "string manipulation"},
+		ExpectDominant:   []string{"search", "strings"},
+		run: func(o Options) (Result, error) {
+			cfg := sym.DefaultConfig(sym.BlocksWorld)
+			if o.Size == SizeSmall {
+				cfg.Blocks = 5
+			}
+			p := profile.New()
+			kr, err := sym.Run(cfg, p)
+			return symResult("sym-blkw", p, kr), err
+		},
+	})
+
+	register(Info{
+		Name: "sym-fext", Index: 12, Stage: Planning,
+		Description:      "Symbolic planning: firefighting robots",
+		PaperBottlenecks: []string{"Graph search", "string manipulation"},
+		ExpectDominant:   []string{"search", "strings"},
+		run: func(o Options) (Result, error) {
+			cfg := sym.DefaultConfig(sym.Firefighter)
+			if o.Size == SizeSmall {
+				cfg.Locations = 4
+				cfg.Pours = 2
+			}
+			p := profile.New()
+			kr, err := sym.Run(cfg, p)
+			return symResult("sym-fext", p, kr), err
+		},
+	})
+
+	register(Info{
+		Name: "dmp", Index: 13, Stage: Control,
+		Description:      "Dynamic movement primitives trajectory generation",
+		PaperBottlenecks: []string{"Fine-grained serialization"},
+		ExpectDominant:   []string{"rollout", "train"},
+		run: func(o Options) (Result, error) {
+			cfg := dmp.DefaultConfig()
+			if o.Size == SizeSmall {
+				cfg.Steps = 600
+			}
+			p := profile.New()
+			kr, err := dmp.Run(cfg, p)
+			res := newResult("dmp", Control, p.Snapshot())
+			if err == nil {
+				res.Metrics["track_rmse_m"] = kr.TrackRMSE
+				res.Metrics["endpoint_error_m"] = kr.EndpointError
+				res.Metrics["serial_steps"] = float64(kr.SerialSteps)
+				res.Series["velocity"] = kr.Velocity
+				xs := make([]float64, len(kr.Generated.Points))
+				ys := make([]float64, len(kr.Generated.Points))
+				for i, pt := range kr.Generated.Points {
+					xs[i], ys[i] = pt.P.X, pt.P.Y
+				}
+				res.Series["traj_x"] = xs
+				res.Series["traj_y"] = ys
+			}
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "mpc", Index: 14, Stage: Control,
+		Description:      "Model predictive control tracking a reference trajectory",
+		PaperBottlenecks: []string{"Optimization"},
+		ExpectDominant:   []string{"optimize"},
+		run: func(o Options) (Result, error) {
+			cfg := mpc.DefaultConfig()
+			if o.Size == SizeSmall {
+				cfg.Steps = 50
+				cfg.Horizon = 10
+				cfg.Iterations = 15
+			}
+			p := profile.New()
+			kr, err := mpc.Run(cfg, p)
+			res := newResult("mpc", Control, p.Snapshot())
+			res.Metrics["track_rmse_m"] = kr.TrackRMSE
+			res.Metrics["max_deviation_m"] = kr.MaxDeviation
+			res.Metrics["vel_violations"] = float64(kr.VelViolations)
+			res.Metrics["rollouts"] = float64(kr.Rollouts)
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "cem", Index: 15, Stage: Control,
+		Description:      "Cross-entropy method learning a ball-throwing policy",
+		PaperBottlenecks: []string{"Sort"},
+		ExpectDominant:   []string{"sort", "sample", "update"},
+		run: func(o Options) (Result, error) {
+			cfg := cem.DefaultConfig()
+			cfg.Seed = o.seed()
+			p := profile.New()
+			kr, err := cem.Run(cfg, p)
+			res := newResult("cem", Control, p.Snapshot())
+			res.Metrics["best_reward"] = kr.BestReward
+			res.Metrics["evals"] = float64(kr.Evals)
+			res.Series["rewards"] = kr.Rewards
+			res.Series["best_per_iter"] = kr.BestPerIter
+			return res, err
+		},
+	})
+
+	register(Info{
+		Name: "bo", Index: 16, Stage: Control,
+		Description:      "Bayesian optimization (GP-UCB) of the throwing policy",
+		PaperBottlenecks: []string{"Sort"},
+		ExpectDominant:   []string{"acquisition", "gp-fit", "sort"},
+		run: func(o Options) (Result, error) {
+			cfg := bo.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Iterations = 15
+				cfg.Candidates = 400
+			}
+			p := profile.New()
+			kr, err := bo.Run(cfg, p)
+			res := newResult("bo", Control, p.Snapshot())
+			res.Metrics["best_reward"] = kr.BestReward
+			res.Metrics["evals"] = float64(kr.Evals)
+			res.Metrics["gp_fits"] = float64(kr.GPFits)
+			res.Metrics["predictions"] = float64(kr.Predictions)
+			res.Series["rewards"] = kr.Rewards
+			return res, err
+		},
+	})
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func rrtConfig(o Options) rrt.Config {
+	cfg := rrt.DefaultConfig()
+	cfg.Seed = o.seed()
+	if o.Size == SizeSmall {
+		cfg.MaxSamples = 10000
+	}
+	cfg.Workspace = armWorkspace(o.Variant)
+	return cfg
+}
+
+func rrtResult(name string, p *profile.Profile, kr rrt.Result) Result {
+	res := newResult(name, Planning, p.Snapshot())
+	res.Metrics["found"] = boolMetric(kr.Found)
+	res.Metrics["path_cost_rad"] = kr.PathCost
+	res.Metrics["samples"] = float64(kr.Samples)
+	res.Metrics["tree_nodes"] = float64(kr.TreeNodes)
+	res.Metrics["nn_queries"] = float64(kr.NNQueries)
+	res.Metrics["dist_calls"] = float64(kr.DistCalls)
+	res.Metrics["seg_checks"] = float64(kr.SegChecks)
+	res.Metrics["rewires"] = float64(kr.Rewires)
+	res.Metrics["shortcuts"] = float64(kr.Shortcuts)
+	return res
+}
+
+func symResult(name string, p *profile.Profile, kr sym.Result) Result {
+	res := newResult(name, Planning, p.Snapshot())
+	res.Metrics["found"] = boolMetric(kr.Found)
+	res.Metrics["plan_length"] = float64(kr.PlanLength)
+	res.Metrics["expanded"] = float64(kr.Stats.Expanded)
+	res.Metrics["generated"] = float64(kr.Stats.Generated)
+	res.Metrics["string_bytes"] = float64(kr.Stats.StringBytes)
+	res.Metrics["avg_branching"] = kr.Stats.AvgBranching()
+	res.Metrics["ground_actions"] = float64(kr.GroundActions)
+	return res
+}

@@ -1,0 +1,179 @@
+// Package rtrbench is the public API of the RTRBench-Go suite: sixteen
+// real-time robotics kernels spanning the perception → planning → control
+// pipeline, each runnable with a typical, realistic default configuration
+// or a reduced test-sized one, and each reporting the phase-level execution
+// breakdown the original paper's characterization is built on.
+//
+// Quick use:
+//
+//	res, err := rtrbench.Run("pfl", rtrbench.Options{Size: rtrbench.SizeSmall, Seed: 1})
+//	fmt.Println(res.Dominant(), res.Fraction("raycast"))
+//
+// Kernels() lists the registry; each entry carries the pipeline stage and
+// the bottlenecks the paper's Table I attributes to the kernel, so callers
+// can verify the reproduction (“does the measured dominant phase match the
+// published one?”) programmatically.
+package rtrbench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stage is a robot software pipeline stage (paper Fig. 1).
+type Stage string
+
+// The three pipeline stages.
+const (
+	Perception Stage = "Perception"
+	Planning   Stage = "Planning"
+	Control    Stage = "Control"
+)
+
+// Size selects a configuration scale.
+type Size int
+
+const (
+	// SizeSmall is a reduced configuration for unit tests and smoke runs
+	// (sub-second per kernel).
+	SizeSmall Size = iota
+	// SizeDefault is the paper-style "typical, realistic configuration"
+	// on a representative inputset.
+	SizeDefault
+)
+
+// Options control a kernel run.
+type Options struct {
+	Size Size
+	// Seed makes stochastic kernels reproducible. Zero means seed 1.
+	Seed int64
+	// Variant selects a kernel sub-configuration where one exists (e.g.
+	// "mapf"/"mapc" for the arm planners, a region index for pfl). Empty
+	// selects the default.
+	Variant string
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Phase is one instrumented region of a kernel's region of interest.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	Calls    int64
+	// Fraction is the share of ROI time spent exclusively in this phase.
+	Fraction float64
+}
+
+// Result is the outcome of one kernel execution.
+type Result struct {
+	Kernel string
+	Stage  Stage
+	// ROI is the total region-of-interest wall time.
+	ROI time.Duration
+	// Phases are sorted by descending duration.
+	Phases []Phase
+	// Counters are kernel operation counts (ray casts, collision checks,
+	// L2 norms, string bytes, ...).
+	Counters map[string]int64
+	// Metrics are kernel-specific scalar outputs (path cost, estimation
+	// error, best reward, ...).
+	Metrics map[string]float64
+	// Series are kernel-specific numeric series (reward curves, velocity
+	// profiles) used to regenerate the paper's figures.
+	Series map[string][]float64
+}
+
+// Dominant returns the name of the phase with the largest share of ROI
+// time, or "" when no phases were recorded.
+func (r Result) Dominant() string {
+	if len(r.Phases) == 0 {
+		return ""
+	}
+	return r.Phases[0].Name
+}
+
+// Fraction returns the ROI share of the named phase (0 when absent).
+func (r Result) Fraction(name string) float64 {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Fraction
+		}
+	}
+	return 0
+}
+
+// Metric returns a named metric (0 when absent).
+func (r Result) Metric(name string) float64 { return r.Metrics[name] }
+
+// Info describes one registered kernel.
+type Info struct {
+	// Name is the kernel's short name (e.g. "pfl", "rrtstar").
+	Name string
+	// Index is the kernel's number in the paper's Table I (1-16).
+	Index int
+	Stage Stage
+	// Description is a one-line summary.
+	Description string
+	// PaperBottlenecks lists the bottleneck(s) Table I attributes to the
+	// kernel.
+	PaperBottlenecks []string
+	// ExpectDominant lists the harness phase names that would confirm the
+	// paper's characterization when one of them is the measured dominant
+	// phase.
+	ExpectDominant []string
+
+	run func(Options) (Result, error)
+}
+
+var registry []Info
+
+func register(info Info) {
+	registry = append(registry, info)
+}
+
+// Kernels returns the registry in Table I order.
+func Kernels() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Lookup finds a kernel by name.
+func Lookup(name string) (Info, bool) {
+	for _, k := range registry {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Info{}, false
+}
+
+// Run executes the named kernel with the given options.
+func Run(name string, opts Options) (Result, error) {
+	k, ok := Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("rtrbench: unknown kernel %q", name)
+	}
+	return k.run(opts)
+}
+
+// RunAll executes every kernel and returns the results in Table I order.
+// The first error aborts the sweep.
+func RunAll(opts Options) ([]Result, error) {
+	var out []Result
+	for _, k := range Kernels() {
+		r, err := k.run(opts)
+		if err != nil {
+			return out, fmt.Errorf("rtrbench: kernel %s: %w", k.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
