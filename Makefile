@@ -1,0 +1,30 @@
+# RTRBench-Go build and verification targets.
+
+GO ?= go
+
+.PHONY: all build test race bench ci fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Table/figure regeneration harness (see bench_test.go).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# The full verification gate: gofmt + vet + build + race tests.
+ci:
+	sh scripts/ci.sh

@@ -534,3 +534,39 @@ func armWithDoF(dof int) *arm.Arm {
 	}
 	return arm.New(geom.Vec2{}, links...)
 }
+
+// BenchmarkProfileDisabledOverhead measures the disabled-Profile fast path
+// — the paper's "virtually zero effect on performance" hook contract. The
+// benchmark body exercises every hot-path entry point (ROI, nested phases,
+// counters, steps) and asserts the whole sequence stays allocation-free;
+// a regression here would tax every uninstrumented kernel run.
+func BenchmarkProfileDisabledOverhead(b *testing.B) {
+	p := profile.Disabled()
+	fn := func() {} // pre-built so Span's closure isn't counted
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.BeginROI()
+		p.Begin("outer")
+		p.Begin("inner")
+		p.Count("ops", 1)
+		p.StepDone()
+		p.End()
+		p.End()
+		p.Span("span", fn)
+		p.EndROI()
+	}); allocs != 0 {
+		b.Fatalf("disabled profile allocates: %v allocs/op", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BeginROI()
+		p.Begin("outer")
+		p.Begin("inner")
+		p.Count("ops", 1)
+		p.StepDone()
+		p.End()
+		p.End()
+		p.Span("span", fn)
+		p.EndROI()
+	}
+}

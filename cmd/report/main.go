@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +26,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/maps"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/rtrbench"
 )
@@ -43,10 +43,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		variant  = flag.String("variant", "", "kernel variant (e.g. mapf/mapc, pfl region)")
 		jsonOut  = flag.Bool("json", false, "with -table1: emit machine-readable JSON instead of text")
+		deadline = flag.Duration("deadline", 0, "per-step real-time deadline (e.g. 10ms); 0 = off")
+		stepLat  = flag.Bool("steplat", false, "record per-step latency even without a deadline")
 	)
 	flag.Parse()
 
-	opts := rtrbench.Options{Seed: *seed, Variant: *variant}
+	opts := rtrbench.Options{Seed: *seed, Variant: *variant, Deadline: *deadline, StepLatency: *stepLat}
 	if *size == "default" {
 		opts.Size = rtrbench.SizeDefault
 	}
@@ -112,58 +114,64 @@ func runTable1(opts rtrbench.Options) {
 	fmt.Println("(* = measured dominant phase confirms the paper's characterization)")
 }
 
-// runTable1JSON emits the Table I sweep as JSON (one object per kernel)
-// for downstream tooling: CI dashboards, regression tracking, plotting.
-func runTable1JSON(opts rtrbench.Options) {
-	type phaseJSON struct {
-		Name     string  `json:"name"`
-		Seconds  float64 `json:"seconds"`
-		Calls    int64   `json:"calls"`
-		Fraction float64 `json:"fraction"`
+// kernelReport converts a public Result into the rtrbench.report/v1 schema
+// row shared with cmd/rtrbench --format=json.
+func kernelReport(k rtrbench.Info, res rtrbench.Result) obs.KernelReport {
+	row := obs.KernelReport{
+		Kernel:           k.Name,
+		Stage:            string(k.Stage),
+		Index:            k.Index,
+		PaperBottlenecks: k.PaperBottlenecks,
+		ROISeconds:       res.ROI.Seconds(),
+		Dominant:         res.Dominant(),
+		Inconsistent:     res.Inconsistent,
+		Counters:         res.Counters,
+		Metrics:          res.Metrics,
 	}
-	type kernelJSON struct {
-		Index            int                `json:"index"`
-		Kernel           string             `json:"kernel"`
-		Stage            string             `json:"stage"`
-		ROISeconds       float64            `json:"roi_seconds"`
-		Dominant         string             `json:"dominant"`
-		MatchesPaper     bool               `json:"matches_paper"`
-		PaperBottlenecks []string           `json:"paper_bottlenecks"`
-		Phases           []phaseJSON        `json:"phases"`
-		Metrics          map[string]float64 `json:"metrics"`
-		Error            string             `json:"error,omitempty"`
-	}
-	var out []kernelJSON
-	for _, k := range rtrbench.Kernels() {
-		row := kernelJSON{
-			Index: k.Index, Kernel: k.Name, Stage: string(k.Stage),
-			PaperBottlenecks: k.PaperBottlenecks,
+	for _, e := range k.ExpectDominant {
+		if e == row.Dominant {
+			row.MatchesPaper = true
 		}
+	}
+	for _, p := range res.Phases {
+		row.Phases = append(row.Phases, obs.PhaseReport{
+			Name: p.Name, Seconds: p.Duration.Seconds(),
+			Calls: p.Calls, Fraction: p.Fraction,
+		})
+	}
+	if s := res.Steps; s != nil {
+		row.Steps = &obs.StepReport{
+			Count:           s.Count,
+			MinSeconds:      s.Min.Seconds(),
+			MeanSeconds:     s.Mean.Seconds(),
+			P50Seconds:      s.P50.Seconds(),
+			P95Seconds:      s.P95.Seconds(),
+			P99Seconds:      s.P99.Seconds(),
+			MaxSeconds:      s.Max.Seconds(),
+			DeadlineSeconds: s.Deadline.Seconds(),
+			DeadlineMisses:  s.Misses,
+		}
+	}
+	return row
+}
+
+// runTable1JSON emits the Table I sweep as rtrbench.report/v1 JSON (one
+// object per kernel) for downstream tooling: CI dashboards, regression
+// tracking, plotting. The schema is shared with cmd/rtrbench --format=json.
+func runTable1JSON(opts rtrbench.Options) {
+	var out []obs.KernelReport
+	for _, k := range rtrbench.Kernels() {
 		res, err := rtrbench.Run(k.Name, opts)
 		if err != nil {
-			row.Error = err.Error()
-			out = append(out, row)
+			out = append(out, obs.KernelReport{
+				Kernel: k.Name, Stage: string(k.Stage), Index: k.Index,
+				PaperBottlenecks: k.PaperBottlenecks, Error: err.Error(),
+			})
 			continue
 		}
-		row.ROISeconds = res.ROI.Seconds()
-		row.Dominant = res.Dominant()
-		for _, e := range k.ExpectDominant {
-			if e == row.Dominant {
-				row.MatchesPaper = true
-			}
-		}
-		for _, p := range res.Phases {
-			row.Phases = append(row.Phases, phaseJSON{
-				Name: p.Name, Seconds: p.Duration.Seconds(),
-				Calls: p.Calls, Fraction: p.Fraction,
-			})
-		}
-		row.Metrics = res.Metrics
-		out = append(out, row)
+		out = append(out, kernelReport(k, res))
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := obs.WriteJSONAll(os.Stdout, out); err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
 	}
@@ -176,8 +184,20 @@ func runOne(name string, opts rtrbench.Options) {
 		os.Exit(1)
 	}
 	fmt.Printf("kernel %s (%s)  ROI %v\n", res.Kernel, res.Stage, res.ROI)
+	if res.Inconsistent {
+		fmt.Println("  WARNING: inconsistent profile snapshot (open phases or ROI)")
+	}
 	for _, p := range res.Phases {
 		fmt.Printf("  %-16s %12v  calls=%-10d %5.1f%%\n", p.Name, p.Duration, p.Calls, 100*p.Fraction)
+	}
+	if s := res.Steps; s != nil && s.Count > 0 {
+		fmt.Printf("  steps %-16d p50=%v p95=%v p99=%v max=%v\n",
+			s.Count, s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+		if s.Deadline > 0 {
+			fmt.Printf("  deadline %v: %d misses (%.1f%%)\n",
+				s.Deadline, s.Misses, 100*float64(s.Misses)/float64(s.Count))
+		}
 	}
 	keys := make([]string, 0, len(res.Metrics))
 	for k := range res.Metrics {

@@ -14,13 +14,21 @@
 //	rtrbench rrt --samples 30000 --bias 0.1 --radius 0.9 --map mapc
 //	rtrbench pfl --particles 5000 --steps 200 --region 3
 //	rtrbench movtar --size 384 --epsilon 3
+//
+// Every kernel additionally accepts the shared observability flags:
+//
+//	--format text|json|csv|trace   report format (trace loads in Perfetto)
+//	--out FILE                     write the report to a file
+//	--deadline DUR                 per-step real-time deadline, e.g. 10ms
+//	--steplat                      step-latency histogram without a deadline
+//	--cpuprofile FILE              Go CPU profile of the run
+//	--memprofile FILE              heap profile at exit
+//	--httpdebug ADDR               live net/http/pprof + /metrics server
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"repro/internal/arm"
@@ -84,28 +92,6 @@ func listKernels() {
 	}
 }
 
-// report prints the harness profile and kernel metrics after a run.
-func report(p *profile.Profile, metrics map[string]interface{}) {
-	rep := p.Snapshot()
-	fmt.Printf("ROI: %v\n", rep.ROI.Round(time.Microsecond))
-	for _, ph := range rep.Phases {
-		pct := 0.0
-		if rep.ROI > 0 {
-			pct = 100 * float64(ph.Total) / float64(rep.ROI)
-		}
-		fmt.Printf("  phase %-16s %12v  calls=%-10d %5.1f%%\n",
-			ph.Name, ph.Total.Round(time.Microsecond), ph.Calls, pct)
-	}
-	keys := make([]string, 0, len(metrics))
-	for k := range metrics {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-22s %v\n", k, metrics[k])
-	}
-}
-
 func loadMap2D(path string) (*grid.Grid2D, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -126,20 +112,23 @@ type runner func(args []string) error
 
 var runners = map[string]runner{
 	"pfl": func(args []string) error {
-		fs := flag.NewFlagSet("pfl", flag.ExitOnError)
+		h := newHarness("pfl")
 		cfg := pfl.DefaultConfig()
-		fs.IntVar(&cfg.Particles, "particles", cfg.Particles, "particle population size")
-		fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "motion/measurement cycles")
-		fs.IntVar(&cfg.Region, "region", cfg.Region, "building region to start in (0-4)")
-		fs.IntVar(&cfg.Laser.NumBeams, "beams", cfg.Laser.NumBeams, "laser beams per scan")
-		fs.Float64Var(&cfg.Laser.MaxRange, "range", cfg.Laser.MaxRange, "laser max range, m")
-		fs.Float64Var(&cfg.StepLen, "steplen", cfg.StepLen, "commanded step length, m")
-		fs.IntVar(&cfg.InitFactor, "initfactor", cfg.InitFactor, "initial population over-provisioning")
-		fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "goroutines for the measurement update (0/1 = serial)")
-		fs.BoolVar(&cfg.LikelihoodField, "likelihoodfield", cfg.LikelihoodField, "use the likelihood-field sensor model (no ray casting)")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		mapPath := fs.String("map", "", "Moving AI map file (default: synthetic building)")
-		fs.Parse(args)
+		h.fs.IntVar(&cfg.Particles, "particles", cfg.Particles, "particle population size")
+		h.fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "motion/measurement cycles")
+		h.fs.IntVar(&cfg.Region, "region", cfg.Region, "building region to start in (0-4)")
+		h.fs.IntVar(&cfg.Laser.NumBeams, "beams", cfg.Laser.NumBeams, "laser beams per scan")
+		h.fs.Float64Var(&cfg.Laser.MaxRange, "range", cfg.Laser.MaxRange, "laser max range, m")
+		h.fs.Float64Var(&cfg.StepLen, "steplen", cfg.StepLen, "commanded step length, m")
+		h.fs.IntVar(&cfg.InitFactor, "initfactor", cfg.InitFactor, "initial population over-provisioning")
+		h.fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "goroutines for the measurement update (0/1 = serial)")
+		h.fs.BoolVar(&cfg.LikelihoodField, "likelihoodfield", cfg.LikelihoodField, "use the likelihood-field sensor model (no ray casting)")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		mapPath := h.fs.String("map", "", "Moving AI map file (default: synthetic building)")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
 		if *mapPath != "" {
 			g, err := loadMap2D(*mapPath)
 			if err != nil {
@@ -148,83 +137,89 @@ var runners = map[string]runner{
 			g.Resolution = 0.25
 			cfg.Map = g
 		}
-		p := profile.New()
+		p := h.newProfile()
 		res, err := pfl.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"position_error_m": res.PositionError,
 			"heading_error":    res.HeadingError,
 			"raycasts":         res.Raycasts,
 			"cells_visited":    res.CellsVisited,
 		})
-		return nil
 	},
 
 	"ekfslam": func(args []string) error {
-		fs := flag.NewFlagSet("ekfslam", flag.ExitOnError)
+		h := newHarness("ekfslam")
 		cfg := ekfslam.DefaultConfig()
-		fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "simulation steps")
-		fs.Float64Var(&cfg.Dt, "dt", cfg.Dt, "step period, s")
-		fs.Float64Var(&cfg.V, "v", cfg.V, "forward velocity, m/s")
-		fs.Float64Var(&cfg.Omega, "omega", cfg.Omega, "angular velocity, rad/s")
-		fs.Float64Var(&cfg.Sensor.SigmaRange, "sigr", cfg.Sensor.SigmaRange, "range noise std")
-		fs.Float64Var(&cfg.Sensor.SigmaBear, "sigb", cfg.Sensor.SigmaBear, "bearing noise std")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		fs.Parse(args)
-		p := profile.New()
+		h.fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "simulation steps")
+		h.fs.Float64Var(&cfg.Dt, "dt", cfg.Dt, "step period, s")
+		h.fs.Float64Var(&cfg.V, "v", cfg.V, "forward velocity, m/s")
+		h.fs.Float64Var(&cfg.Omega, "omega", cfg.Omega, "angular velocity, rad/s")
+		h.fs.Float64Var(&cfg.Sensor.SigmaRange, "sigr", cfg.Sensor.SigmaRange, "range noise std")
+		h.fs.Float64Var(&cfg.Sensor.SigmaBear, "sigb", cfg.Sensor.SigmaBear, "bearing noise std")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		p := h.newProfile()
 		res, err := ekfslam.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"pose_error_m":     res.PoseError,
 			"landmark_error_m": res.MeanLandmarkError,
 			"landmarks_seen":   res.LandmarksSeen,
 			"updates":          res.Updates,
 		})
-		return nil
 	},
 
 	"srec": func(args []string) error {
-		fs := flag.NewFlagSet("srec", flag.ExitOnError)
+		h := newHarness("srec")
 		cfg := srec.DefaultConfig()
-		fs.IntVar(&cfg.Cols, "cols", cfg.Cols, "depth image columns")
-		fs.IntVar(&cfg.Rows, "rows", cfg.Rows, "depth image rows")
-		fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "max ICP iterations")
-		fs.Float64Var(&cfg.SensorNoise, "noise", cfg.SensorNoise, "depth noise std, m")
-		fs.Float64Var(&cfg.VoxelSize, "voxel", cfg.VoxelSize, "downsample voxel size (0 = off)")
-		method := fs.String("method", "point", "ICP metric: point | plane")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		fs.Parse(args)
+		h.fs.IntVar(&cfg.Cols, "cols", cfg.Cols, "depth image columns")
+		h.fs.IntVar(&cfg.Rows, "rows", cfg.Rows, "depth image rows")
+		h.fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "max ICP iterations")
+		h.fs.Float64Var(&cfg.SensorNoise, "noise", cfg.SensorNoise, "depth noise std, m")
+		h.fs.Float64Var(&cfg.VoxelSize, "voxel", cfg.VoxelSize, "downsample voxel size (0 = off)")
+		method := h.fs.String("method", "point", "ICP metric: point | plane")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
 		cfg.Method = srec.Method(*method)
-		p := profile.New()
+		p := h.newProfile()
 		res, err := srec.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"rmse_m":        res.RMSE,
 			"rot_error":     res.RotationError,
 			"trans_error_m": res.TranslationError,
 			"iterations":    res.Iterations,
 			"points":        res.SourcePoints,
 		})
-		return nil
 	},
 
 	"pp2d": func(args []string) error {
-		fs := flag.NewFlagSet("pp2d", flag.ExitOnError)
+		h := newHarness("pp2d")
 		cfg := pp2d.DefaultConfig()
-		size := fs.Int("size", 512, "synthetic city edge, cells")
-		fs.Float64Var(&cfg.CarLength, "length", cfg.CarLength, "car length, m")
-		fs.Float64Var(&cfg.CarWidth, "width", cfg.CarWidth, "car width, m")
-		fs.Float64Var(&cfg.Weight, "weight", cfg.Weight, "heuristic inflation")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		mapPath := fs.String("map", "", "Moving AI map file (default: synthetic city)")
-		scenPath := fs.String("scen", "", "Moving AI .scen file: batch-run its problems (requires --map)")
-		fs.Parse(args)
+		size := h.fs.Int("size", 512, "synthetic city edge, cells")
+		h.fs.Float64Var(&cfg.CarLength, "length", cfg.CarLength, "car length, m")
+		h.fs.Float64Var(&cfg.CarWidth, "width", cfg.CarWidth, "car width, m")
+		h.fs.Float64Var(&cfg.Weight, "weight", cfg.Weight, "heuristic inflation")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		mapPath := h.fs.String("map", "", "Moving AI map file (default: synthetic city)")
+		scenPath := h.fs.String("scen", "", "Moving AI .scen file: batch-run its problems (requires --map)")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
 		if *mapPath != "" {
 			g, err := loadMap2D(*mapPath)
 			if err != nil {
@@ -238,92 +233,97 @@ var runners = map[string]runner{
 		if *scenPath != "" {
 			return runScenBatch(cfg.Map, *scenPath)
 		}
-		p := profile.New()
+		p := h.newProfile()
 		res, err := pp2d.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"found":            res.Found,
 			"path_length_m":    res.PathLength,
 			"expanded":         res.Expanded,
 			"collision_checks": res.Checks,
 			"cells_touched":    res.Cells,
 		})
-		return nil
 	},
 
 	"pp3d": func(args []string) error {
-		fs := flag.NewFlagSet("pp3d", flag.ExitOnError)
+		h := newHarness("pp3d")
 		cfg := pp3d.DefaultConfig()
-		w := fs.Int("w", 160, "campus width, voxels")
-		h := fs.Int("h", 160, "campus depth, voxels")
-		d := fs.Int("d", 24, "campus height, voxels")
-		fs.IntVar(&cfg.Radius, "radius", cfg.Radius, "UAV radius, voxels (0 = point)")
-		fs.Float64Var(&cfg.Weight, "weight", cfg.Weight, "heuristic inflation")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		fs.Parse(args)
-		cfg.Map = pp3d.DefaultMap(*w, *h, *d, cfg.Seed)
-		p := profile.New()
+		w := h.fs.Int("w", 160, "campus width, voxels")
+		hgt := h.fs.Int("h", 160, "campus depth, voxels")
+		d := h.fs.Int("d", 24, "campus height, voxels")
+		h.fs.IntVar(&cfg.Radius, "radius", cfg.Radius, "UAV radius, voxels (0 = point)")
+		h.fs.Float64Var(&cfg.Weight, "weight", cfg.Weight, "heuristic inflation")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		cfg.Map = pp3d.DefaultMap(*w, *hgt, *d, cfg.Seed)
+		p := h.newProfile()
 		res, err := pp3d.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"found":            res.Found,
 			"path_length":      res.PathLength,
 			"expanded":         res.Expanded,
 			"collision_checks": res.Checks,
 		})
-		return nil
 	},
 
 	"movtar": func(args []string) error {
-		fs := flag.NewFlagSet("movtar", flag.ExitOnError)
+		h := newHarness("movtar")
 		cfg := movtar.DefaultConfig()
-		fs.IntVar(&cfg.Size, "size", cfg.Size, "terrain edge, cells")
-		fs.Float64Var(&cfg.Epsilon, "epsilon", cfg.Epsilon, "WA* inflation")
-		fs.IntVar(&cfg.TargetPeriod, "period", cfg.TargetPeriod, "robot steps per target step")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		fs.Parse(args)
-		p := profile.New()
+		h.fs.IntVar(&cfg.Size, "size", cfg.Size, "terrain edge, cells")
+		h.fs.Float64Var(&cfg.Epsilon, "epsilon", cfg.Epsilon, "WA* inflation")
+		h.fs.IntVar(&cfg.TargetPeriod, "period", cfg.TargetPeriod, "robot steps per target step")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		p := h.newProfile()
 		res, err := movtar.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"found":      res.Found,
 			"catch_time": res.CatchTime,
 			"path_cost":  res.PathCost,
 			"expanded":   res.Expanded,
 		})
-		return nil
 	},
 
 	"prm": func(args []string) error {
-		fs := flag.NewFlagSet("prm", flag.ExitOnError)
+		h := newHarness("prm")
 		cfg := prm.DefaultConfig()
-		fs.IntVar(&cfg.Samples, "samples", cfg.Samples, "roadmap samples")
-		fs.IntVar(&cfg.K, "k", cfg.K, "neighbors to connect")
-		fs.BoolVar(&cfg.Lazy, "lazy", cfg.Lazy, "Lazy PRM: defer edge collision checks to query time")
-		fs.Float64Var(&cfg.EdgeStep, "edgestep", cfg.EdgeStep, "edge collision step, rad")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		mapName := fs.String("map", "mapc", "workspace: mapc | mapf")
-		fs.Parse(args)
+		h.fs.IntVar(&cfg.Samples, "samples", cfg.Samples, "roadmap samples")
+		h.fs.IntVar(&cfg.K, "k", cfg.K, "neighbors to connect")
+		h.fs.BoolVar(&cfg.Lazy, "lazy", cfg.Lazy, "Lazy PRM: defer edge collision checks to query time")
+		h.fs.Float64Var(&cfg.EdgeStep, "edgestep", cfg.EdgeStep, "edge collision step, rad")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		mapName := h.fs.String("map", "mapc", "workspace: mapc | mapf")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
 		cfg.Workspace = armWorkspace(*mapName)
-		p := profile.New()
+		p := h.newProfile()
 		res, err := prm.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"found":         res.Found,
 			"path_cost_rad": res.PathCost,
 			"roadmap_nodes": res.RoadmapNodes,
 			"roadmap_edges": res.RoadmapEdges,
 			"l2_norms":      res.L2Norms,
 		})
-		return nil
 	},
 
 	"rrt":     rrtRunner("rrt", rrt.Run),
@@ -331,109 +331,123 @@ var runners = map[string]runner{
 	"rrtpp":   rrtRunner("rrtpp", rrt.RunPP),
 
 	"sym-blkw": func(args []string) error {
-		fs := flag.NewFlagSet("sym-blkw", flag.ExitOnError)
+		h := newHarness("sym-blkw")
 		cfg := sym.DefaultConfig(sym.BlocksWorld)
-		fs.IntVar(&cfg.Blocks, "blocks", cfg.Blocks, "tower height")
-		fs.IntVar(&cfg.MaxExpansions, "maxexp", cfg.MaxExpansions, "expansion cap (0 = off)")
-		fs.BoolVar(&cfg.Additive, "hadd", cfg.Additive, "use the additive (h_add) heuristic")
-		fs.Parse(args)
-		return runSym(cfg)
+		h.fs.IntVar(&cfg.Blocks, "blocks", cfg.Blocks, "tower height")
+		h.fs.IntVar(&cfg.MaxExpansions, "maxexp", cfg.MaxExpansions, "expansion cap (0 = off)")
+		h.fs.BoolVar(&cfg.Additive, "hadd", cfg.Additive, "use the additive (h_add) heuristic")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		return runSym(h, cfg)
 	},
 
 	"sym-fext": func(args []string) error {
-		fs := flag.NewFlagSet("sym-fext", flag.ExitOnError)
+		h := newHarness("sym-fext")
 		cfg := sym.DefaultConfig(sym.Firefighter)
-		fs.IntVar(&cfg.Locations, "locations", cfg.Locations, "number of locations")
-		fs.IntVar(&cfg.Pours, "pours", cfg.Pours, "pours to extinguish the fire")
-		fs.IntVar(&cfg.MaxExpansions, "maxexp", cfg.MaxExpansions, "expansion cap (0 = off)")
-		fs.BoolVar(&cfg.Additive, "hadd", cfg.Additive, "use the additive (h_add) heuristic")
-		fs.Parse(args)
-		return runSym(cfg)
+		h.fs.IntVar(&cfg.Locations, "locations", cfg.Locations, "number of locations")
+		h.fs.IntVar(&cfg.Pours, "pours", cfg.Pours, "pours to extinguish the fire")
+		h.fs.IntVar(&cfg.MaxExpansions, "maxexp", cfg.MaxExpansions, "expansion cap (0 = off)")
+		h.fs.BoolVar(&cfg.Additive, "hadd", cfg.Additive, "use the additive (h_add) heuristic")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		return runSym(h, cfg)
 	},
 
 	"dmp": func(args []string) error {
-		fs := flag.NewFlagSet("dmp", flag.ExitOnError)
+		h := newHarness("dmp")
 		cfg := dmp.DefaultConfig()
-		fs.IntVar(&cfg.Basis, "basis", cfg.Basis, "Gaussian basis functions")
-		fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "rollout steps")
-		fs.Float64Var(&cfg.Tau, "tau", cfg.Tau, "temporal scaling")
-		fs.Float64Var(&cfg.K, "k", cfg.K, "spring gain")
-		fs.Parse(args)
-		p := profile.New()
+		h.fs.IntVar(&cfg.Basis, "basis", cfg.Basis, "Gaussian basis functions")
+		h.fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "rollout steps")
+		h.fs.Float64Var(&cfg.Tau, "tau", cfg.Tau, "temporal scaling")
+		h.fs.Float64Var(&cfg.K, "k", cfg.K, "spring gain")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		p := h.newProfile()
 		res, err := dmp.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"track_rmse_m":     res.TrackRMSE,
 			"endpoint_error_m": res.EndpointError,
 			"serial_steps":     res.SerialSteps,
 		})
-		return nil
 	},
 
 	"mpc": func(args []string) error {
-		fs := flag.NewFlagSet("mpc", flag.ExitOnError)
+		h := newHarness("mpc")
 		cfg := mpc.DefaultConfig()
-		fs.IntVar(&cfg.Horizon, "horizon", cfg.Horizon, "lookahead steps")
-		fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "closed-loop steps")
-		fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "solver iterations per step")
-		fs.Float64Var(&cfg.VMax, "vmax", cfg.VMax, "velocity cap, m/s")
-		fs.Float64Var(&cfg.AMax, "amax", cfg.AMax, "acceleration cap, m/s²")
-		fs.Parse(args)
-		p := profile.New()
+		h.fs.IntVar(&cfg.Horizon, "horizon", cfg.Horizon, "lookahead steps")
+		h.fs.IntVar(&cfg.Steps, "steps", cfg.Steps, "closed-loop steps")
+		h.fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "solver iterations per step")
+		h.fs.Float64Var(&cfg.VMax, "vmax", cfg.VMax, "velocity cap, m/s")
+		h.fs.Float64Var(&cfg.AMax, "amax", cfg.AMax, "acceleration cap, m/s²")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		p := h.newProfile()
 		res, err := mpc.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"track_rmse_m":    res.TrackRMSE,
 			"max_deviation_m": res.MaxDeviation,
 			"vel_violations":  res.VelViolations,
 			"rollouts":        res.Rollouts,
 		})
-		return nil
 	},
 
 	"cem": func(args []string) error {
-		fs := flag.NewFlagSet("cem", flag.ExitOnError)
+		h := newHarness("cem")
 		cfg := cem.DefaultConfig()
-		fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "learning iterations")
-		fs.IntVar(&cfg.SamplesPerIter, "samples", cfg.SamplesPerIter, "samples per iteration")
-		fs.IntVar(&cfg.Elite, "elite", cfg.Elite, "elite set size")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		fs.Parse(args)
-		p := profile.New()
+		h.fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "learning iterations")
+		h.fs.IntVar(&cfg.SamplesPerIter, "samples", cfg.SamplesPerIter, "samples per iteration")
+		h.fs.IntVar(&cfg.Elite, "elite", cfg.Elite, "elite set size")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		p := h.newProfile()
 		res, err := cem.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"best_reward": res.BestReward,
 			"evals":       res.Evals,
 		})
-		return nil
 	},
 
 	"bo": func(args []string) error {
-		fs := flag.NewFlagSet("bo", flag.ExitOnError)
+		h := newHarness("bo")
 		cfg := bo.DefaultConfig()
-		fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "BO iterations")
-		fs.IntVar(&cfg.Candidates, "candidates", cfg.Candidates, "acquisition pool size")
-		fs.Float64Var(&cfg.Beta, "beta", cfg.Beta, "UCB exploration weight")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		fs.Parse(args)
-		p := profile.New()
+		h.fs.IntVar(&cfg.Iterations, "iters", cfg.Iterations, "BO iterations")
+		h.fs.IntVar(&cfg.Candidates, "candidates", cfg.Candidates, "acquisition pool size")
+		h.fs.Float64Var(&cfg.Beta, "beta", cfg.Beta, "UCB exploration weight")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
+		p := h.newProfile()
 		res, err := bo.Run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"best_reward": res.BestReward,
 			"evals":       res.Evals,
 			"gp_fits":     res.GPFits,
 		})
-		return nil
 	},
 }
 
@@ -481,24 +495,27 @@ func runScenBatch(g *grid.Grid2D, path string) error {
 
 func rrtRunner(name string, run func(rrt.Config, *profile.Profile) (rrt.Result, error)) runner {
 	return func(args []string) error {
-		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		h := newHarness(name)
 		cfg := rrt.DefaultConfig()
 		// Flag names follow the original kernel's CLI (paper Fig. 20).
-		fs.Float64Var(&cfg.Bias, "bias", cfg.Bias, "random number generation bias (goal bias)")
-		fs.Float64Var(&cfg.Epsilon, "epsilon", cfg.Epsilon, "epsilon (minimum movement)")
-		fs.Float64Var(&cfg.Radius, "radius", cfg.Radius, "neighborhood distance")
-		fs.IntVar(&cfg.MaxSamples, "samples", cfg.MaxSamples, "maximum samples")
-		fs.IntVar(&cfg.ShortcutIters, "shortcuts", cfg.ShortcutIters, "post-processing shortcut iterations")
-		fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-		mapName := fs.String("map", "mapc", "workspace: mapc | mapf")
-		fs.Parse(args)
+		h.fs.Float64Var(&cfg.Bias, "bias", cfg.Bias, "random number generation bias (goal bias)")
+		h.fs.Float64Var(&cfg.Epsilon, "epsilon", cfg.Epsilon, "epsilon (minimum movement)")
+		h.fs.Float64Var(&cfg.Radius, "radius", cfg.Radius, "neighborhood distance")
+		h.fs.IntVar(&cfg.MaxSamples, "samples", cfg.MaxSamples, "maximum samples")
+		h.fs.IntVar(&cfg.ShortcutIters, "shortcuts", cfg.ShortcutIters, "post-processing shortcut iterations")
+		h.fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+		mapName := h.fs.String("map", "mapc", "workspace: mapc | mapf")
+		if err := h.parse(args); err != nil {
+			return err
+		}
+		defer h.close()
 		cfg.Workspace = armWorkspace(*mapName)
-		p := profile.New()
+		p := h.newProfile()
 		res, err := run(cfg, p)
 		if err != nil {
 			return err
 		}
-		report(p, map[string]interface{}{
+		return h.report(p, map[string]interface{}{
 			"found":         res.Found,
 			"path_cost_rad": res.PathCost,
 			"samples":       res.Samples,
@@ -506,26 +523,29 @@ func rrtRunner(name string, run func(rrt.Config, *profile.Profile) (rrt.Result, 
 			"rewires":       res.Rewires,
 			"shortcuts":     res.Shortcuts,
 		})
-		return nil
 	}
 }
 
-func runSym(cfg sym.Config) error {
-	p := profile.New()
+func runSym(h *harness, cfg sym.Config) error {
+	p := h.newProfile()
 	res, err := sym.Run(cfg, p)
 	if err != nil {
 		return err
 	}
-	report(p, map[string]interface{}{
+	if err := h.report(p, map[string]interface{}{
 		"found":          res.Found,
 		"plan_length":    res.PlanLength,
 		"expanded":       res.Stats.Expanded,
 		"avg_branching":  res.Stats.AvgBranching(),
 		"string_bytes":   res.Stats.StringBytes,
 		"ground_actions": res.GroundActions,
-	})
-	for i, step := range res.Plan {
-		fmt.Printf("  %2d. %s\n", i+1, step)
+	}); err != nil {
+		return err
+	}
+	if h.format == "text" && h.out == "" {
+		for i, step := range res.Plan {
+			fmt.Printf("  %2d. %s\n", i+1, step)
+		}
 	}
 	return nil
 }

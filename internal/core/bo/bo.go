@@ -168,6 +168,9 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 
 		// Environment rollout (outside the ROI).
 		evaluate(cands[0].x)
+		// One step = one full BO iteration, rollout included (the step
+		// clock spans ROI gaps; see profile.StepDone).
+		prof.StepDone()
 	}
 
 	res.Evals = world.Evals

@@ -162,6 +162,9 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		}
 		prof.End()
 		prof.EndROI()
+		// One step = one full learning iteration, rollouts included (the
+		// step clock spans ROI gaps; see profile.StepDone).
+		prof.StepDone()
 	}
 
 	res.Evals = world.Evals

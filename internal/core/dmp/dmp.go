@@ -141,6 +141,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		systems[dim] = fit1D(dims[dim], xs, dt, duration, cfg.Basis, k, d, ax)
 	}
 	prof.End()
+	prof.StepDone() // training is one step; each rollout tick is another
 
 	// ---- Rollout: incremental integration of the canonical and
 	// transformation systems. Every step depends on the previous one.
@@ -170,6 +171,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		}
 		x += -ax * x / (tau * duration) * rdt
 		res.SerialSteps++
+		prof.StepDone()
 	}
 	prof.End()
 	prof.EndROI()

@@ -208,6 +208,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 
 		res.TruePath = append(res.TruePath, truth)
 		res.EstimatedPath = append(res.EstimatedPath, geom.Pose2{X: mu[0], Y: mu[1], Theta: mu[2]})
+		prof.StepDone()
 	}
 	prof.EndROI()
 

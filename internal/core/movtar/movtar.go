@@ -183,6 +183,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		Weight: cfg.Epsilon,
 	})
 	prof.End()
+	prof.StepDone()
 	prof.EndROI()
 
 	res.Found = sr.Found

@@ -224,6 +224,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 			P: geom.Vec2{X: cur.x, Y: cur.y},
 		})
 		prof.End()
+		prof.StepDone()
 	}
 	prof.EndROI()
 

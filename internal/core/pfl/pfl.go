@@ -370,6 +370,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 
 		// Anneal the likelihood temperature toward 1.
 		temper = 1 + (temper-1)*decay
+		prof.StepDone()
 	}
 	prof.EndROI()
 

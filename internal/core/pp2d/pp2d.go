@@ -159,6 +159,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		}
 	}
 	prof.End()
+	prof.StepDone() // one-shot planner: the whole episode is one step
 	prof.EndROI()
 
 	res.Checks = checker.Checks

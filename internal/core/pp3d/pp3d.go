@@ -117,6 +117,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		Weight: cfg.Weight,
 	})
 	prof.End()
+	prof.StepDone() // one-shot planner: the whole episode is one step
 	prof.EndROI()
 
 	res := Result{

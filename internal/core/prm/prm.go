@@ -137,6 +137,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		if ws.CollisionFree(a, c, scratch) {
 			tree.Insert(c, len(nodes))
 			nodes = append(nodes, c)
+			prof.StepDone() // one step per accepted roadmap sample
 		}
 	}
 	prof.End()
@@ -159,6 +160,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		}
 	}
 	prof.End()
+	prof.StepDone() // roadmap connection is one step
 
 	// ---- Online phase: connect start/goal, then A* over the roadmap.
 	prof.Begin("query")
@@ -216,6 +218,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		}
 	}
 	prof.End()
+	prof.StepDone() // the online query is one step
 	prof.EndROI()
 
 	res.RoadmapNodes = len(nodes)

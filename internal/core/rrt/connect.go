@@ -74,6 +74,7 @@ func RunConnect(cfg Config, prof *profile.Profile) (Result, error) {
 		// EXTEND tree A toward the sample.
 		aid, _ := extendA(sample)
 		if aid < 0 {
+			p.prof.StepDone() // one step per sampling iteration
 			continue
 		}
 
@@ -103,6 +104,7 @@ func RunConnect(cfg Config, prof *profile.Profile) (Result, error) {
 				break
 			}
 		}
+		p.prof.StepDone()
 	}
 
 	if bridgeA >= 0 {

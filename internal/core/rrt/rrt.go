@@ -267,13 +267,16 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		ni := p.nearest(sample)
 		p.steer(p.nodes[ni].cfg, sample, newCfg)
 		if !p.edgeFree(p.nodes[ni].cfg, newCfg) {
+			prof.StepDone() // one step per sampling iteration
 			continue
 		}
 		id := p.addNode(newCfg, ni, p.nodes[ni].cost+arm.ConfigDist(p.nodes[ni].cfg, newCfg))
 		if arm.ConfigDist(newCfg, p.cfg.Goal) <= p.cfg.GoalTol && p.edgeFree(newCfg, p.cfg.Goal) {
 			p.finish(id)
+			prof.StepDone()
 			break
 		}
+		prof.StepDone()
 	}
 	p.collectStats()
 	prof.EndROI()
@@ -308,6 +311,7 @@ func RunStar(cfg Config, prof *profile.Profile) (Result, error) {
 		ni := p.nearest(sample)
 		p.steer(p.nodes[ni].cfg, sample, newCfg)
 		if !p.edgeFree(p.nodes[ni].cfg, newCfg) {
+			prof.StepDone() // one step per sampling iteration
 			continue
 		}
 
@@ -368,6 +372,7 @@ func RunStar(cfg Config, prof *profile.Profile) (Result, error) {
 				bestGoal, bestCost = id, total
 			}
 		}
+		prof.StepDone()
 	}
 	// Rewiring keeps lowering node costs after they connect to the goal,
 	// so re-evaluate every goal-tolerant node with its final tree cost.
@@ -440,10 +445,12 @@ func RunPP(cfg Config, prof *profile.Profile) (Result, error) {
 		free := ws.EdgeFree(a, path[i], path[j], step, scratch, cfgTmp)
 		prof.Begin("shortcut")
 		if !free {
+			prof.StepDone() // one step per shortcut attempt
 			continue
 		}
 		path = append(path[:i+1], path[j:]...)
 		res.Shortcuts++
+		prof.StepDone()
 	}
 	prof.End()
 	prof.EndROI()

@@ -233,6 +233,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		prof.Begin("apply")
 		moving.TransformInPlace(step)
 		prof.End()
+		prof.StepDone()
 
 		if prevErr-meanErr < cfg.ConvergeTol*prevErr {
 			prevErr = meanErr

@@ -95,6 +95,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		Heuristic:     h,
 		Prof:          prof,
 	})
+	prof.StepDone() // one-shot planner: the whole episode is one step
 	prof.EndROI()
 
 	res := Result{GroundActions: len(prob.Actions)}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h.Summary())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v", q, v)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if StepsFromSummary(s) != nil {
+		t.Fatal("empty summary with no deadline should map to nil StepReport")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(3 * time.Millisecond)
+	// With one sample every quantile must be exact (clamped to min==max).
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != 3*time.Millisecond {
+			t.Fatalf("single-sample Quantile(%v) = %v", q, v)
+		}
+	}
+	if h.Mean() != 3*time.Millisecond || h.Count() != 1 {
+		t.Fatalf("mean=%v count=%d", h.Mean(), h.Count())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// All samples land in one bucket: quantiles must stay within the exact
+	// observed [min, max].
+	h := NewHistogram()
+	lo, hi := 1000*time.Nanosecond, 1100*time.Nanosecond
+	for i := 0; i < 100; i++ {
+		h.Record(lo + time.Duration(i)%(hi-lo))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if v := h.Quantile(q); v < lo || v > hi {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// A uniform spread over two decades; log buckets guarantee ~26%
+	// relative error per quantile. Check P50 and P99 against exact ranks.
+	h := NewHistogram()
+	var samples []time.Duration
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * 10 * time.Microsecond // 10µs .. 10ms
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	check := func(q float64, exact time.Duration) {
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if rel > 0.30 {
+			t.Fatalf("Quantile(%v) = %v, exact %v, rel err %.2f", q, got, exact, rel)
+		}
+	}
+	check(0.50, samples[499])
+	check(0.95, samples[949])
+	check(0.99, samples[989])
+	if h.Max() != samples[999] {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Min() != samples[0] {
+		t.Fatalf("min = %v", h.Min())
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second) // clamps to 0
+	h.Record(0)
+	h.Record(time.Duration(math.MaxInt64 / 2)) // beyond the last bucket bound
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min = %v", h.Min())
+	}
+	if h.Max() != time.Duration(math.MaxInt64/2) {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if v := h.Quantile(1); v != h.Max() {
+		t.Fatalf("q1 = %v", v)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	build := func(ds ...time.Duration) *Histogram {
+		h := NewHistogram()
+		for _, d := range ds {
+			h.Record(d)
+		}
+		return h
+	}
+	a1 := build(time.Microsecond, 5*time.Millisecond)
+	b1 := build(20*time.Microsecond, time.Second)
+	c1 := build(300 * time.Nanosecond)
+	// (a ⊕ b) ⊕ c
+	a1.Merge(b1)
+	a1.Merge(c1)
+
+	a2 := build(time.Microsecond, 5*time.Millisecond)
+	b2 := build(20*time.Microsecond, time.Second)
+	c2 := build(300 * time.Nanosecond)
+	// a ⊕ (b ⊕ c)
+	b2.Merge(c2)
+	a2.Merge(b2)
+
+	if *a1 != *a2 {
+		t.Fatalf("merge not associative:\n%+v\n%+v", a1.Summary(), a2.Summary())
+	}
+	if a1.Count() != 5 || a1.Min() != 300*time.Nanosecond || a1.Max() != time.Second {
+		t.Fatalf("merged stats wrong: %+v", a1.Summary())
+	}
+
+	// Merging an empty or nil histogram is a no-op.
+	before := *a1
+	a1.Merge(NewHistogram())
+	a1.Merge(nil)
+	if *a1 != before {
+		t.Fatal("empty/nil merge changed the histogram")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("reset left data: %+v", h.Summary())
+	}
+	h.Record(2 * time.Millisecond)
+	if h.Count() != 1 || h.Min() != 2*time.Millisecond {
+		t.Fatalf("histogram unusable after reset: %+v", h.Summary())
+	}
+}
+
+func TestBucketBoundsMonotone(t *testing.T) {
+	for i := 1; i < len(bucketBounds); i++ {
+		if bucketBounds[i] <= bucketBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, bucketBounds[i], bucketBounds[i-1])
+		}
+	}
+	// Every sample must land in the bucket whose bounds contain it.
+	for _, ns := range []int64{0, 99, 100, 101, 999, 12345, 1e6, 1e9, 5e11} {
+		b := bucketFor(ns)
+		if ns >= histMinNs && b < histBuckets-1 {
+			if ns < bucketBounds[b] || ns >= bucketBounds[b+1] {
+				t.Fatalf("ns=%d in bucket %d [%d, %d)", ns, b, bucketBounds[b], bucketBounds[b+1])
+			}
+		}
+	}
+}

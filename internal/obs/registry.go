@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a goroutine-safe set of named monotonic counters, exposed
+// live on the debug server's /metrics endpoint while a kernel runs. A
+// profile publishes into a Registry when live export is enabled (see
+// profile.PublishLive); the hot-path cost is one sync.Map load and one
+// atomic add per counter bump, and zero when live export is off.
+type Registry struct {
+	counters sync.Map // string -> *atomic.Int64
+}
+
+// LiveCounters is the process-global registry the debug server exposes by
+// default.
+var LiveCounters = &Registry{}
+
+// counter returns the counter cell for name, creating it on first use.
+func (r *Registry) counter(name string) *atomic.Int64 {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := r.counters.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// Add adds delta to the named counter.
+func (r *Registry) Add(name string, delta int64) {
+	r.counter(name).Add(delta)
+}
+
+// Snapshot returns a point-in-time copy of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	r.counters.Range(func(k, v interface{}) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// Reset zeroes every counter (the cells survive so cached pointers held by
+// publishers stay valid).
+func (r *Registry) Reset() {
+	r.counters.Range(func(_, v interface{}) bool {
+		v.(*atomic.Int64).Store(0)
+		return true
+	})
+}
+
+// WriteMetrics renders the registry in the Prometheus text exposition
+// format (counters only), sorted by name for stable output.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "rtrbench_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, snap[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps arbitrary counter names onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_].
+func sanitizeMetricName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SchemaVersion identifies the flat kernel-report schema emitted by
+// `rtrbench <kernel> --format=json|csv` and `report -table1 -json`. Bump it
+// when a field changes meaning; additions are backward compatible.
+const SchemaVersion = "rtrbench.report/v1"
+
+// PhaseReport is one instrumented phase in the flat report schema.
+type PhaseReport struct {
+	Name     string  `json:"name"`
+	Seconds  float64 `json:"seconds"`
+	Calls    int64   `json:"calls"`
+	Fraction float64 `json:"fraction"`
+}
+
+// StepReport is the per-step latency distribution plus real-time deadline
+// accounting — the quantity a real-time suite reports that a plain phase
+// breakdown cannot: not just where time went, but how it was distributed
+// across the kernel's control/iteration cycles.
+type StepReport struct {
+	Count           int64   `json:"count"`
+	MinSeconds      float64 `json:"min_seconds"`
+	MeanSeconds     float64 `json:"mean_seconds"`
+	P50Seconds      float64 `json:"p50_seconds"`
+	P95Seconds      float64 `json:"p95_seconds"`
+	P99Seconds      float64 `json:"p99_seconds"`
+	MaxSeconds      float64 `json:"max_seconds"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	DeadlineMisses  int64   `json:"deadline_misses"`
+}
+
+// StepsFromSummary converts a histogram summary into the schema form,
+// returning nil when nothing was recorded and no deadline was set.
+func StepsFromSummary(s Summary) *StepReport {
+	if s.Count == 0 && s.Deadline == 0 {
+		return nil
+	}
+	return &StepReport{
+		Count:           s.Count,
+		MinSeconds:      s.Min.Seconds(),
+		MeanSeconds:     s.Mean.Seconds(),
+		P50Seconds:      s.P50.Seconds(),
+		P95Seconds:      s.P95.Seconds(),
+		P99Seconds:      s.P99.Seconds(),
+		MaxSeconds:      s.Max.Seconds(),
+		DeadlineSeconds: s.Deadline.Seconds(),
+		DeadlineMisses:  s.Misses,
+	}
+}
+
+// KernelReport is one kernel execution in the shared machine-readable
+// schema. cmd/rtrbench emits one report per run; cmd/report emits an array
+// (one per kernel of the Table I sweep). Fields tied to the paper's
+// characterization (Index, PaperBottlenecks, MatchesPaper) are filled only
+// by sweeps that know the registry entry.
+type KernelReport struct {
+	Schema           string             `json:"schema"`
+	Kernel           string             `json:"kernel"`
+	Stage            string             `json:"stage,omitempty"`
+	Index            int                `json:"index,omitempty"`
+	ROISeconds       float64            `json:"roi_seconds"`
+	Dominant         string             `json:"dominant,omitempty"`
+	PaperBottlenecks []string           `json:"paper_bottlenecks,omitempty"`
+	MatchesPaper     bool               `json:"matches_paper,omitempty"`
+	Inconsistent     bool               `json:"inconsistent,omitempty"`
+	Phases           []PhaseReport      `json:"phases,omitempty"`
+	Counters         map[string]int64   `json:"counters,omitempty"`
+	Metrics          map[string]float64 `json:"metrics,omitempty"`
+	Steps            *StepReport        `json:"steps,omitempty"`
+	Error            string             `json:"error,omitempty"`
+}
+
+// WriteJSON writes one report as an indented JSON document.
+func WriteJSON(w io.Writer, r KernelReport) error {
+	r.Schema = SchemaVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONAll writes a sweep of reports as one JSON array.
+func WriteJSONAll(w io.Writer, rs []KernelReport) error {
+	for i := range rs {
+		rs[i].Schema = SchemaVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// csvHeader is the flat CSV layout: one row per record. `record` is one of
+// roi, phase, counter, metric, step; durations are in seconds. calls and
+// fraction are only meaningful for phase rows and step rows (calls = sample
+// count, fraction unused).
+var csvHeader = []string{"schema", "kernel", "record", "name", "value", "calls", "fraction"}
+
+// WriteCSVAll writes one or more reports as a single flat CSV table with a
+// header row — the uniform exposition format batch tooling (spreadsheets,
+// pandas, gnuplot) consumes directly.
+func WriteCSVAll(w io.Writer, rs []KernelReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := writeCSVRows(cw, r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes a single report as a flat CSV table with a header row.
+func WriteCSV(w io.Writer, r KernelReport) error {
+	return WriteCSVAll(w, []KernelReport{r})
+}
+
+func writeCSVRows(cw *csv.Writer, r KernelReport) error {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := func(record, name, value string, calls int64, fraction float64) error {
+		return cw.Write([]string{
+			SchemaVersion, r.Kernel, record, name, value,
+			strconv.FormatInt(calls, 10), f(fraction),
+		})
+	}
+	if err := row("roi", "", f(r.ROISeconds), 0, 1); err != nil {
+		return err
+	}
+	if r.Error != "" {
+		if err := row("error", "", r.Error, 0, 0); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.Phases {
+		if err := row("phase", p.Name, f(p.Seconds), p.Calls, p.Fraction); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.Counters) {
+		if err := row("counter", k, strconv.FormatInt(r.Counters[k], 10), 0, 0); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedFloatKeys(r.Metrics) {
+		if err := row("metric", k, f(r.Metrics[k]), 0, 0); err != nil {
+			return err
+		}
+	}
+	if s := r.Steps; s != nil {
+		steps := []struct {
+			name  string
+			value float64
+		}{
+			{"min", s.MinSeconds}, {"mean", s.MeanSeconds},
+			{"p50", s.P50Seconds}, {"p95", s.P95Seconds},
+			{"p99", s.P99Seconds}, {"max", s.MaxSeconds},
+			{"deadline", s.DeadlineSeconds},
+			{"deadline_misses", float64(s.DeadlineMisses)},
+		}
+		for _, st := range steps {
+			if err := row("step", st.name, f(st.value), s.Count, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedFloatKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

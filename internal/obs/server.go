@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves Go's runtime profilers (net/http/pprof) and a
+// /metrics endpoint of live suite counters while a kernel runs — the
+// `--httpdebug` flag of cmd/rtrbench. It binds its own mux (nothing leaks
+// onto http.DefaultServeMux) and its own listener so tests can use port 0.
+type DebugServer struct {
+	// URL is the server's base address, e.g. "http://127.0.0.1:6060".
+	URL string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug starts a debug server on addr (host:port; port 0 picks a free
+// port). reg supplies the /metrics counters; nil uses LiveCounters.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = LiveCounters
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteMetrics(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "rtrbench debug server\n\n/metrics\n/debug/pprof/\n")
+	})
+
+	s := &DebugServer{
+		URL: "http://" + ln.Addr().String(),
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() {
+		// ErrServerClosed on Close is the expected shutdown path.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the server and releases the port.
+func (s *DebugServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one event in the Chrome trace_event JSON format, loadable in
+// chrome://tracing and Perfetto's legacy-trace importer. Only the subset the
+// suite emits is modeled: complete events ("X", a name + start + duration)
+// and instant events ("i", e.g. a deadline miss).
+//
+// Reference: the trace_event format spec ("JSON Object Format"); timestamps
+// and durations are in microseconds.
+type TraceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"` // instant-event scope
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// Track (tid) assignments for the suite's trace lanes. Phases nest on one
+// track (the profile's phase stack guarantees proper nesting); step
+// boundaries and deadline misses get their own track so the latency cadence
+// is visible as a separate lane in the viewer.
+const (
+	TracePid       = 1
+	TraceTidPhases = 1
+	TraceTidSteps  = 2
+)
+
+// traceFile is the top-level "JSON Object Format" wrapper.
+type traceFile struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteTrace writes events as a complete Chrome trace JSON document.
+// A nil or empty event slice still produces a valid (empty) trace.
+func WriteTrace(w io.Writer, events []TraceEvent, meta map[string]string) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       meta,
+	})
+}

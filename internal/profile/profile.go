@@ -8,7 +8,24 @@
 // bottleneck phase; Report.Fraction reproduces exactly that quantity. Like
 // the zsim hooks ("no effect on correctness and virtually zero effect on
 // performance", §VI), a disabled Profile turns every call into a cheap no-op
-// so benchmarks can run without instrumentation overhead.
+// so benchmarks can run without instrumentation overhead; bench_test.go
+// asserts the disabled fast path stays allocation-free.
+//
+// On top of the phase breakdown the profile offers three observability
+// extensions (all opt-in, all no-ops until enabled):
+//
+//   - Step latency: kernels call StepDone at the end of each iteration of
+//     their main loop (a filter cycle, an ICP iteration, a sampling step, a
+//     full planning episode for one-shot planners). SetDeadline arms a
+//     real-time deadline; the snapshot reports the per-step latency
+//     distribution (p50/p95/p99/max) and the deadline-miss count — the
+//     quantity a real-time suite must report that a phase table cannot.
+//   - Tracing: EnableTrace records begin/end events for every phase, ROI,
+//     and step; Report.Trace exports them as Chrome trace_event JSON
+//     (chrome://tracing, Perfetto).
+//   - Live counters: PublishLive mirrors operation counters, step counts,
+//     and deadline misses into an obs.Registry so the --httpdebug /metrics
+//     endpoint can expose them while the kernel runs.
 package profile
 
 import (
@@ -16,12 +33,14 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Profile accumulates phase timings and counters for one kernel execution.
 // A nil or disabled Profile is safe to use; all methods become no-ops.
 // Profile is not safe for concurrent use by multiple goroutines; parallel
-// kernels keep one Profile per worker and Merge them.
+// kernels keep one Profile per worker and Merge them (see Sharded).
 type Profile struct {
 	disabled bool
 
@@ -33,6 +52,23 @@ type Profile struct {
 	counters map[string]int64
 
 	stack []frame // active nested phases
+
+	// inconsistent records that merged-in state was structurally unsound
+	// (an open ROI or open phases on the source profile).
+	inconsistent bool
+
+	// Step latency (nil steps = tracking off; see EnableSteps/SetDeadline).
+	steps    *obs.Histogram
+	deadline time.Duration
+	misses   int64
+	stepMark time.Time
+
+	// Tracing (see EnableTrace).
+	traced bool
+	spans  []span
+
+	// Live counter export (see PublishLive).
+	live *obs.Registry
 }
 
 type phase struct {
@@ -46,6 +82,16 @@ type frame struct {
 	// child time is subtracted from the parent so phase fractions are
 	// exclusive: nested regions never double-count.
 	child time.Duration
+}
+
+// span is one recorded trace interval (or instant, when dur < 0 is never
+// used — misses are flagged separately).
+type span struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+	tid   int
+	miss  bool // step exceeded the deadline
 }
 
 // New returns an enabled, empty profile.
@@ -62,13 +108,57 @@ func Disabled() *Profile { return &Profile{disabled: true} }
 // Enabled reports whether the profile records anything.
 func (p *Profile) Enabled() bool { return p != nil && !p.disabled }
 
-// BeginROI marks the start of the kernel's region of interest.
+// EnableSteps turns on per-step latency recording without a deadline.
+func (p *Profile) EnableSteps() {
+	if !p.Enabled() || p.steps != nil {
+		return
+	}
+	p.steps = obs.NewHistogram()
+}
+
+// SetDeadline arms a per-step real-time deadline and enables step latency
+// recording. A non-positive d disables the deadline but keeps recording.
+func (p *Profile) SetDeadline(d time.Duration) {
+	if !p.Enabled() {
+		return
+	}
+	p.EnableSteps()
+	if d < 0 {
+		d = 0
+	}
+	p.deadline = d
+}
+
+// EnableTrace turns on begin/end event recording for phases, the ROI, and
+// steps. The snapshot exports them in Chrome trace_event form.
+func (p *Profile) EnableTrace() {
+	if !p.Enabled() {
+		return
+	}
+	p.traced = true
+}
+
+// PublishLive mirrors counters, step totals, and deadline misses into reg
+// as they happen, for live exposition on the debug server's /metrics
+// endpoint. A nil reg turns mirroring off.
+func (p *Profile) PublishLive(reg *obs.Registry) {
+	if !p.Enabled() {
+		return
+	}
+	p.live = reg
+}
+
+// BeginROI marks the start of the kernel's region of interest. The first
+// BeginROI also starts the first step interval when step tracking is on.
 func (p *Profile) BeginROI() {
 	if !p.Enabled() {
 		return
 	}
 	p.inROI = true
 	p.roiStart = time.Now()
+	if p.steps != nil && p.stepMark.IsZero() {
+		p.stepMark = p.roiStart
+	}
 }
 
 // EndROI marks the end of the region of interest.
@@ -76,8 +166,12 @@ func (p *Profile) EndROI() {
 	if !p.Enabled() || !p.inROI {
 		return
 	}
-	p.roiTotal += time.Since(p.roiStart)
+	elapsed := time.Since(p.roiStart)
+	p.roiTotal += elapsed
 	p.inROI = false
+	if p.traced {
+		p.spans = append(p.spans, span{name: "ROI", start: p.roiStart, dur: elapsed, tid: obs.TraceTidPhases})
+	}
 }
 
 // Begin opens a named phase. Phases may nest; time spent in an inner phase
@@ -107,6 +201,11 @@ func (p *Profile) End() {
 	if len(p.stack) > 0 {
 		p.stack[len(p.stack)-1].child += elapsed
 	}
+	if p.traced {
+		// The trace span keeps the inclusive duration: the viewer shows
+		// nesting visually, while the phase table stays exclusive.
+		p.spans = append(p.spans, span{name: f.name, start: f.start, dur: elapsed, tid: obs.TraceTidPhases})
+	}
 }
 
 // Span runs fn inside a named phase. It is the preferred form for short
@@ -124,14 +223,97 @@ func (p *Profile) Count(name string, delta int64) {
 		return
 	}
 	p.counters[name] += delta
+	if p.live != nil {
+		p.live.Add(name, delta)
+	}
 }
 
-// Merge folds other's phases and counters into p. ROI time is summed.
+// StepDone closes one step interval: it records the wall time since the
+// previous StepDone (or since the first BeginROI for the first step) into
+// the latency histogram and checks it against the armed deadline. A no-op
+// until EnableSteps or SetDeadline is called, so the hot path of
+// uninstrumented runs pays a single branch.
+func (p *Profile) StepDone() {
+	if !p.Enabled() || p.steps == nil {
+		return
+	}
+	now := time.Now()
+	if p.stepMark.IsZero() {
+		// No interval open yet (StepDone before any BeginROI): start one.
+		p.stepMark = now
+		return
+	}
+	d := now.Sub(p.stepMark)
+	p.stepMark = now
+	p.steps.Record(d)
+	miss := p.deadline > 0 && d > p.deadline
+	if miss {
+		p.misses++
+	}
+	if p.traced {
+		p.spans = append(p.spans, span{name: "step", start: now.Add(-d), dur: d, tid: obs.TraceTidSteps, miss: miss})
+	}
+	if p.live != nil {
+		p.live.Add("steps_total", 1)
+		if miss {
+			p.live.Add("deadline_misses_total", 1)
+		}
+	}
+}
+
+// Reset clears all accumulated data — phases, counters, ROI time, step
+// latencies, misses, trace events, and the inconsistency flag — while
+// keeping configuration (deadline, step tracking, tracing, live registry).
+// Harness loops reuse one Profile across repetitions without reallocating
+// the maps. Open phases and an open ROI are discarded.
+func (p *Profile) Reset() {
+	if !p.Enabled() {
+		return
+	}
+	p.roiStart = time.Time{}
+	p.roiTotal = 0
+	p.inROI = false
+	for k := range p.phases {
+		delete(p.phases, k)
+	}
+	for k := range p.counters {
+		delete(p.counters, k)
+	}
+	p.stack = p.stack[:0]
+	p.inconsistent = false
+	if p.steps != nil {
+		p.steps.Reset()
+	}
+	p.misses = 0
+	p.stepMark = time.Time{}
+	p.spans = p.spans[:0]
+}
+
+// Merge folds other's phases, counters, ROI time, step latencies, deadline
+// misses, and trace events into p.
+//
+// Merge on a nil or disabled receiver is a deliberate no-op: a disabled
+// aggregate discards worker data instead of resurrecting instrumentation
+// the caller turned off. Merging a nil or disabled other is likewise a
+// no-op.
+//
+// If other has an open ROI or open phases at merge time (a worker that was
+// not quiesced), Merge folds the in-flight ROI time accrued so far and
+// marks the receiver's snapshots Inconsistent rather than silently dropping
+// the in-flight work. other is never mutated.
 func (p *Profile) Merge(other *Profile) {
 	if !p.Enabled() || other == nil || other.disabled {
 		return
 	}
 	p.roiTotal += other.roiTotal
+	if other.inROI {
+		// In-flight ROI time: count what has accrued, flag the snapshot.
+		p.roiTotal += time.Since(other.roiStart)
+		p.inconsistent = true
+	}
+	if len(other.stack) > 0 || other.inconsistent {
+		p.inconsistent = true
+	}
 	for name, ph := range other.phases {
 		dst := p.phases[name]
 		if dst == nil {
@@ -144,13 +326,39 @@ func (p *Profile) Merge(other *Profile) {
 	for name, v := range other.counters {
 		p.counters[name] += v
 	}
+	if other.steps != nil {
+		p.EnableSteps()
+		p.steps.Merge(other.steps)
+		p.misses += other.misses
+		if p.deadline == 0 {
+			p.deadline = other.deadline
+		}
+	}
+	if len(other.spans) > 0 {
+		p.spans = append(p.spans, other.spans...)
+	}
 }
 
 // Report is an immutable snapshot of a profile.
 type Report struct {
-	ROI      time.Duration
-	Phases   []PhaseStat
+	ROI    time.Duration
+	Phases []PhaseStat
+	// Counters are operation counts (always non-nil).
 	Counters map[string]int64
+	// Steps is the per-step latency distribution and deadline accounting;
+	// Steps.Count == 0 and Steps.Deadline == 0 mean step tracking was off.
+	Steps obs.Summary
+	// Inconsistent is set when the snapshot was taken with phases still
+	// open or the ROI still running (in-flight time is NOT included in the
+	// totals), or when Merge folded in a profile in that state. Tests treat
+	// it as a harness bug.
+	Inconsistent bool
+	// OpenPhases lists the names on the phase stack at snapshot time,
+	// innermost last (diagnostic detail for Inconsistent).
+	OpenPhases []string
+	// Trace holds the Chrome trace_event export when tracing was enabled,
+	// with timestamps rebased so the earliest event starts at 0.
+	Trace []obs.TraceEvent
 }
 
 // PhaseStat is the accumulated cost of one named phase.
@@ -161,7 +369,9 @@ type PhaseStat struct {
 }
 
 // Snapshot returns the current report. Open phases and an open ROI are not
-// included.
+// folded into the totals; instead the report's Inconsistent flag is raised
+// and OpenPhases lists the offenders, so harness bugs surface instead of
+// silently dropping in-flight time.
 func (p *Profile) Snapshot() Report {
 	r := Report{Counters: map[string]int64{}}
 	if !p.Enabled() {
@@ -175,7 +385,53 @@ func (p *Profile) Snapshot() Report {
 	for k, v := range p.counters {
 		r.Counters[k] = v
 	}
+	if p.inROI || len(p.stack) > 0 || p.inconsistent {
+		r.Inconsistent = true
+		for _, f := range p.stack {
+			r.OpenPhases = append(r.OpenPhases, f.name)
+		}
+	}
+	if p.steps != nil {
+		r.Steps = p.steps.Summary()
+		r.Steps.Deadline = p.deadline
+		r.Steps.Misses = p.misses
+	}
+	if p.traced {
+		r.Trace = p.traceEvents()
+	}
 	return r
+}
+
+// traceEvents converts recorded spans to trace_event form, rebased so the
+// earliest span is t=0.
+func (p *Profile) traceEvents() []obs.TraceEvent {
+	if len(p.spans) == 0 {
+		return []obs.TraceEvent{}
+	}
+	epoch := p.spans[0].start
+	for _, s := range p.spans[1:] {
+		if s.start.Before(epoch) {
+			epoch = s.start
+		}
+	}
+	events := make([]obs.TraceEvent, 0, len(p.spans))
+	for _, s := range p.spans {
+		ev := obs.TraceEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.dur) / float64(time.Microsecond),
+			Pid:  obs.TracePid,
+			Tid:  s.tid,
+		}
+		if s.miss {
+			ev.Args = map[string]interface{}{"deadline_miss": true}
+		}
+		events = append(events, ev)
+	}
+	// The viewer requires events sorted by timestamp.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	return events
 }
 
 // Fraction returns the share of ROI time spent in the named phase, in
@@ -212,16 +468,27 @@ func (r Report) Dominant() string {
 }
 
 // String renders the report as the characterization table used by
-// cmd/report: phase, time, calls, and percentage of ROI.
+// cmd/report: phase, time, calls, and percentage of ROI, followed by the
+// step-latency distribution when recorded.
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ROI: %v\n", r.ROI)
+	if r.Inconsistent {
+		fmt.Fprintf(&b, "  WARNING: inconsistent snapshot (open phases: %v)\n", r.OpenPhases)
+	}
 	for _, ph := range r.Phases {
 		pct := 0.0
 		if r.ROI > 0 {
 			pct = 100 * float64(ph.Total) / float64(r.ROI)
 		}
 		fmt.Fprintf(&b, "  %-24s %12v  calls=%-10d %5.1f%%\n", ph.Name, ph.Total, ph.Calls, pct)
+	}
+	if r.Steps.Count > 0 {
+		fmt.Fprintf(&b, "  steps %d  p50=%v p95=%v p99=%v max=%v\n",
+			r.Steps.Count, r.Steps.P50, r.Steps.P95, r.Steps.P99, r.Steps.Max)
+		if r.Steps.Deadline > 0 {
+			fmt.Fprintf(&b, "  deadline %v  misses=%d\n", r.Steps.Deadline, r.Steps.Misses)
+		}
 	}
 	if len(r.Counters) > 0 {
 		keys := make([]string, 0, len(r.Counters))

@@ -1,0 +1,76 @@
+package profile
+
+import "sync"
+
+// Sharded hands each worker goroutine its own Profile so parallel kernels
+// can instrument without sharing a clock or taking a lock on the hot path.
+// Profile itself is intentionally single-threaded (zero synchronization
+// cost in the common case, mirroring the paper's "virtually zero effect on
+// performance" hook contract); Sharded restores goroutine safety at the
+// boundaries: Shard is safe to call concurrently, and Snapshot merges every
+// shard into one aggregate report.
+//
+// Usage:
+//
+//	sh := profile.NewSharded(p) // p configures the shards (deadline, steps)
+//	for w := 0; w < workers; w++ {
+//		shard := sh.Shard()
+//		go func() { ... shard.Begin("phase") ... }()
+//	}
+//	// after all workers have quiesced:
+//	rep := sh.Snapshot()
+//
+// Snapshot must not race with shard use: merge only after the workers have
+// finished (a shard snapshotted mid-phase yields an Inconsistent report,
+// not a data race on the aggregate — but the shard's own fields would race).
+type Sharded struct {
+	mu     sync.Mutex
+	parent *Profile
+	shards []*Profile
+}
+
+// NewSharded returns a sharded wrapper whose shards inherit parent's
+// configuration (enabled/disabled state, deadline, step tracking, tracing).
+// A nil parent behaves like New(). If parent is disabled, every shard is
+// disabled and Snapshot returns an empty report — the disabled no-op
+// contract extends across the fan-out.
+func NewSharded(parent *Profile) *Sharded {
+	if parent == nil {
+		parent = New()
+	}
+	return &Sharded{parent: parent}
+}
+
+// Shard returns a fresh Profile for one worker. Safe for concurrent use.
+func (s *Sharded) Shard() *Profile {
+	if !s.parent.Enabled() {
+		return Disabled()
+	}
+	p := New()
+	if s.parent.steps != nil {
+		p.EnableSteps()
+		p.deadline = s.parent.deadline
+	}
+	p.traced = s.parent.traced
+	p.live = s.parent.live
+	s.mu.Lock()
+	s.shards = append(s.shards, p)
+	s.mu.Unlock()
+	return p
+}
+
+// Snapshot merges every shard into the parent profile and returns the
+// aggregate report. Call it after the workers have quiesced; a shard with
+// an open ROI or phase marks the report Inconsistent (see Profile.Merge).
+// Snapshot may be called repeatedly — each call re-merges shards created
+// since the last call and only those, so no shard is double-counted.
+func (s *Sharded) Snapshot() Report {
+	s.mu.Lock()
+	pending := s.shards
+	s.shards = nil
+	s.mu.Unlock()
+	for _, sh := range pending {
+		s.parent.Merge(sh)
+	}
+	return s.parent.Snapshot()
+}

@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedParallelWorkers is the suite's race check for the sharded
+// harness: run it under `go test -race` (scripts/ci.sh does). Each worker
+// owns its shard exclusively; only Shard and Snapshot synchronize.
+func TestShardedParallelWorkers(t *testing.T) {
+	parent := New()
+	parent.SetDeadline(time.Second)
+	sh := NewSharded(parent)
+
+	const workers = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		shard := sh.Shard()
+		go func() {
+			defer wg.Done()
+			shard.BeginROI()
+			for i := 0; i < iters; i++ {
+				shard.Span("work", func() { spin(50 * time.Microsecond) })
+				shard.Count("ops", 1)
+				shard.StepDone()
+			}
+			shard.EndROI()
+		}()
+	}
+	wg.Wait()
+
+	r := sh.Snapshot()
+	if r.Inconsistent {
+		t.Fatalf("quiesced workers yielded inconsistent report: %v", r.OpenPhases)
+	}
+	if r.Counters["ops"] != workers*iters {
+		t.Fatalf("ops = %d, want %d", r.Counters["ops"], workers*iters)
+	}
+	work, ok := r.Phase("work")
+	if !ok || work.Calls != workers*iters {
+		t.Fatalf("work calls = %d", work.Calls)
+	}
+	if r.Steps.Count != workers*iters {
+		t.Fatalf("steps = %d", r.Steps.Count)
+	}
+	if r.Steps.Misses != 0 {
+		t.Fatalf("misses = %d with a 1s deadline", r.Steps.Misses)
+	}
+}
+
+func TestShardedConcurrentShardCreation(t *testing.T) {
+	sh := NewSharded(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shard := sh.Shard()
+			shard.BeginROI()
+			shard.Count("n", 1)
+			shard.EndROI()
+		}()
+	}
+	wg.Wait()
+	if r := sh.Snapshot(); r.Counters["n"] != 16 {
+		t.Fatalf("n = %d", r.Counters["n"])
+	}
+}
+
+func TestShardedDisabledParent(t *testing.T) {
+	sh := NewSharded(Disabled())
+	shard := sh.Shard()
+	if shard.Enabled() {
+		t.Fatal("shard of disabled parent is enabled")
+	}
+	shard.BeginROI()
+	shard.Count("n", 1)
+	shard.EndROI()
+	if r := sh.Snapshot(); r.ROI != 0 || len(r.Counters) != 0 {
+		t.Fatalf("disabled sharded recorded: %+v", r)
+	}
+}
+
+func TestShardedRepeatedSnapshotNoDoubleCount(t *testing.T) {
+	sh := NewSharded(nil)
+	s1 := sh.Shard()
+	s1.Count("n", 1)
+	r := sh.Snapshot()
+	if r.Counters["n"] != 1 {
+		t.Fatalf("n = %d", r.Counters["n"])
+	}
+	// A second snapshot with no new shards must not re-merge s1.
+	r = sh.Snapshot()
+	if r.Counters["n"] != 1 {
+		t.Fatalf("double-counted: n = %d", r.Counters["n"])
+	}
+	s2 := sh.Shard()
+	s2.Count("n", 4)
+	if r = sh.Snapshot(); r.Counters["n"] != 5 {
+		t.Fatalf("n = %d", r.Counters["n"])
+	}
+}
+
+func TestShardedInheritsStepConfig(t *testing.T) {
+	parent := New()
+	parent.SetDeadline(time.Microsecond)
+	sh := NewSharded(parent)
+	shard := sh.Shard()
+	shard.BeginROI()
+	spin(time.Millisecond)
+	shard.StepDone()
+	shard.EndROI()
+	r := sh.Snapshot()
+	if r.Steps.Count != 1 || r.Steps.Misses != 1 {
+		t.Fatalf("shard did not inherit deadline: %+v", r.Steps)
+	}
+	if r.Steps.Deadline != time.Microsecond {
+		t.Fatalf("deadline = %v", r.Steps.Deadline)
+	}
+}

@@ -20,15 +20,41 @@ import (
 	"strconv"
 )
 
+// newProfile builds a kernel profile configured from the run options
+// (deadline and step-latency tracking).
+func newProfile(o Options) *profile.Profile {
+	p := profile.New()
+	if o.Deadline > 0 {
+		p.SetDeadline(o.Deadline)
+	} else if o.StepLatency {
+		p.EnableSteps()
+	}
+	return p
+}
+
 // newResult converts an internal profile report into the public Result.
 func newResult(kernel string, stage Stage, rep profile.Report) Result {
 	res := Result{
-		Kernel:   kernel,
-		Stage:    stage,
-		ROI:      rep.ROI,
-		Counters: rep.Counters,
-		Metrics:  map[string]float64{},
-		Series:   map[string][]float64{},
+		Kernel:       kernel,
+		Stage:        stage,
+		ROI:          rep.ROI,
+		Counters:     rep.Counters,
+		Metrics:      map[string]float64{},
+		Series:       map[string][]float64{},
+		Inconsistent: rep.Inconsistent,
+	}
+	if rep.Steps.Count > 0 || rep.Steps.Deadline > 0 {
+		res.Steps = &StepStats{
+			Count:    rep.Steps.Count,
+			Min:      rep.Steps.Min,
+			Mean:     rep.Steps.Mean,
+			P50:      rep.Steps.P50,
+			P95:      rep.Steps.P95,
+			P99:      rep.Steps.P99,
+			Max:      rep.Steps.Max,
+			Deadline: rep.Steps.Deadline,
+			Misses:   rep.Steps.Misses,
+		}
 	}
 	for _, ph := range rep.Phases {
 		res.Phases = append(res.Phases, Phase{
@@ -73,7 +99,7 @@ func init() {
 					cfg.Region = reg
 				}
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := pfl.Run(cfg, p)
 			res := newResult("pfl", Perception, p.Snapshot())
 			res.Metrics["position_error_m"] = kr.PositionError
@@ -96,7 +122,7 @@ func init() {
 			if o.Size == SizeSmall {
 				cfg.Steps = 120
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := ekfslam.Run(cfg, p)
 			res := newResult("ekfslam", Perception, p.Snapshot())
 			res.Metrics["pose_error_m"] = kr.PoseError
@@ -123,7 +149,7 @@ func init() {
 			if o.Variant == "plane" {
 				cfg.Method = srec.PointToPlane
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := srec.Run(cfg, p)
 			res := newResult("srec", Perception, p.Snapshot())
 			res.Metrics["rmse_m"] = kr.RMSE
@@ -149,7 +175,7 @@ func init() {
 				size = 160
 			}
 			cfg.Map = pp2d.DefaultMap(size, cfg.Seed)
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := pp2d.Run(cfg, p)
 			res := newResult("pp2d", Planning, p.Snapshot())
 			res.Metrics["found"] = boolMetric(kr.Found)
@@ -172,7 +198,7 @@ func init() {
 			if o.Size == SizeSmall {
 				cfg.Map = pp3d.DefaultMap(64, 64, 16, cfg.Seed)
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := pp3d.Run(cfg, p)
 			res := newResult("pp3d", Planning, p.Snapshot())
 			res.Metrics["found"] = boolMetric(kr.Found)
@@ -199,7 +225,7 @@ func init() {
 					cfg.Size = n
 				}
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := movtar.Run(cfg, p)
 			res := newResult("movtar", Planning, p.Snapshot())
 			res.Metrics["found"] = boolMetric(kr.Found)
@@ -223,7 +249,7 @@ func init() {
 				cfg.Samples = 700
 			}
 			cfg.Workspace = armWorkspace(o.Variant)
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := prm.Run(cfg, p)
 			res := newResult("prm", Planning, p.Snapshot())
 			res.Metrics["found"] = boolMetric(kr.Found)
@@ -244,7 +270,7 @@ func init() {
 		ExpectDominant:   []string{"collision"},
 		run: func(o Options) (Result, error) {
 			cfg := rrtConfig(o)
-			p := profile.New()
+			p := newProfile(o)
 			// The "connect" variant runs the bidirectional RRT-Connect
 			// extension (see internal/core/rrt RunConnect).
 			runFn := rrt.Run
@@ -263,7 +289,7 @@ func init() {
 		ExpectDominant:   []string{"collision", "nn"},
 		run: func(o Options) (Result, error) {
 			cfg := rrtConfig(o)
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := rrt.RunStar(cfg, p)
 			return rrtResult("rrtstar", p, kr), err
 		},
@@ -276,7 +302,7 @@ func init() {
 		ExpectDominant:   []string{"collision"},
 		run: func(o Options) (Result, error) {
 			cfg := rrtConfig(o)
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := rrt.RunPP(cfg, p)
 			return rrtResult("rrtpp", p, kr), err
 		},
@@ -292,7 +318,7 @@ func init() {
 			if o.Size == SizeSmall {
 				cfg.Blocks = 5
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := sym.Run(cfg, p)
 			return symResult("sym-blkw", p, kr), err
 		},
@@ -309,7 +335,7 @@ func init() {
 				cfg.Locations = 4
 				cfg.Pours = 2
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := sym.Run(cfg, p)
 			return symResult("sym-fext", p, kr), err
 		},
@@ -325,7 +351,7 @@ func init() {
 			if o.Size == SizeSmall {
 				cfg.Steps = 600
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := dmp.Run(cfg, p)
 			res := newResult("dmp", Control, p.Snapshot())
 			if err == nil {
@@ -357,7 +383,7 @@ func init() {
 				cfg.Horizon = 10
 				cfg.Iterations = 15
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := mpc.Run(cfg, p)
 			res := newResult("mpc", Control, p.Snapshot())
 			res.Metrics["track_rmse_m"] = kr.TrackRMSE
@@ -376,7 +402,7 @@ func init() {
 		run: func(o Options) (Result, error) {
 			cfg := cem.DefaultConfig()
 			cfg.Seed = o.seed()
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := cem.Run(cfg, p)
 			res := newResult("cem", Control, p.Snapshot())
 			res.Metrics["best_reward"] = kr.BestReward
@@ -399,7 +425,7 @@ func init() {
 				cfg.Iterations = 15
 				cfg.Candidates = 400
 			}
-			p := profile.New()
+			p := newProfile(o)
 			kr, err := bo.Run(cfg, p)
 			res := newResult("bo", Control, p.Snapshot())
 			res.Metrics["best_reward"] = kr.BestReward

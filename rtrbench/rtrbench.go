@@ -52,6 +52,14 @@ type Options struct {
 	// "mapf"/"mapc" for the arm planners, a region index for pfl). Empty
 	// selects the default.
 	Variant string
+	// Deadline arms a per-step real-time deadline: every kernel step
+	// (iteration, sample, or planning episode — see the kernel docs) is
+	// timed, and Result.Steps reports the latency distribution and how
+	// many steps overran. Zero means no deadline.
+	Deadline time.Duration
+	// StepLatency records the per-step latency distribution without a
+	// deadline. Implied by a non-zero Deadline.
+	StepLatency bool
 }
 
 func (o Options) seed() int64 {
@@ -87,6 +95,30 @@ type Result struct {
 	// Series are kernel-specific numeric series (reward curves, velocity
 	// profiles) used to regenerate the paper's figures.
 	Series map[string][]float64
+	// Steps is the per-step latency distribution; nil unless the run had
+	// Options.Deadline or Options.StepLatency set.
+	Steps *StepStats
+	// Inconsistent reports that the profile snapshot was structurally
+	// unsound (phases or ROI left open) — a harness bug, not a kernel
+	// property.
+	Inconsistent bool
+}
+
+// StepStats is the per-step latency distribution of one kernel run, the
+// real-time quantity (latency quantiles + deadline misses) that a phase
+// table cannot express.
+type StepStats struct {
+	Count int64
+	Min   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+	// Deadline echoes Options.Deadline; zero when only StepLatency was set.
+	Deadline time.Duration
+	// Misses counts steps whose latency exceeded Deadline.
+	Misses int64
 }
 
 // Dominant returns the name of the phase with the largest share of ROI

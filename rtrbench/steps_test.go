@@ -1,0 +1,80 @@
+package rtrbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeadlineOptionSurfacesSteps checks the public contract of the
+// observability extension: a run with Options.Deadline reports the step
+// latency distribution and deadline accounting; a run without it reports
+// nil Steps.
+func TestDeadlineOptionSurfacesSteps(t *testing.T) {
+	opts := Options{Size: SizeSmall, Seed: 1, Deadline: time.Nanosecond}
+	res, err := Run("mpc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Steps
+	if s == nil {
+		t.Fatal("Deadline set but Steps nil")
+	}
+	if s.Count == 0 {
+		t.Fatal("no steps recorded")
+	}
+	// A 1ns deadline is unmeetable: every step must miss.
+	if s.Misses != s.Count {
+		t.Fatalf("misses = %d, want %d", s.Misses, s.Count)
+	}
+	if s.Deadline != time.Nanosecond {
+		t.Fatalf("deadline = %v", s.Deadline)
+	}
+	if s.P50 <= 0 || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if res.Inconsistent {
+		t.Fatal("clean run flagged inconsistent")
+	}
+}
+
+func TestStepLatencyWithoutDeadline(t *testing.T) {
+	res, err := Run("ekfslam", Options{Size: SizeSmall, Seed: 1, StepLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == nil || res.Steps.Count == 0 {
+		t.Fatalf("StepLatency set but no steps: %+v", res.Steps)
+	}
+	if res.Steps.Deadline != 0 || res.Steps.Misses != 0 {
+		t.Fatalf("deadline accounting without a deadline: %+v", res.Steps)
+	}
+}
+
+func TestNoStepsByDefault(t *testing.T) {
+	res, err := Run("dmp", Options{Size: SizeSmall, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != nil {
+		t.Fatalf("Steps reported without opt-in: %+v", res.Steps)
+	}
+}
+
+// TestEveryKernelReportsSteps asserts the tentpole's coverage claim: every
+// registered kernel has StepDone instrumentation, so a deadline run always
+// yields a latency distribution.
+func TestEveryKernelReportsSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite")
+	}
+	for _, k := range Kernels() {
+		res, err := Run(k.Name, Options{Size: SizeSmall, Seed: 1, StepLatency: true})
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if res.Steps == nil || res.Steps.Count == 0 {
+			t.Errorf("%s: no step latency recorded", k.Name)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — the suite's verification gate. Runs formatting, vet, build, and
+# the test suite with the race detector (the profile.Sharded tests are the
+# concurrency-sensitive part). Usage: scripts/ci.sh  (or: make ci)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+if go test -race -count=1 ./... ; then
+    :
+else
+    status=$?
+    echo "go test -race failed" >&2
+    exit $status
+fi
+
+echo "CI OK"
