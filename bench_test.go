@@ -16,7 +16,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/arm"
@@ -91,7 +93,7 @@ func BenchmarkFig21(b *testing.B) {
 			cfg.CarWidth = g.Resolution * 0.5
 			cfg.StartX, cfg.StartY, cfg.GoalX, cfg.GoalY = sx, sy, gx, gy
 			for i := 0; i < b.N; i++ {
-				if _, err := pp2d.Run(cfg, profile.Disabled()); err != nil {
+				if _, err := pp2d.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -124,7 +126,7 @@ func BenchmarkMovtarSize(b *testing.B) {
 				cfg := movtar.DefaultConfig()
 				cfg.Size = size
 				p := profile.New()
-				if _, err := movtar.Run(cfg, p); err != nil {
+				if _, err := movtar.Run(context.Background(), cfg, p); err != nil {
 					b.Fatal(err)
 				}
 				heurPct = 100 * p.Snapshot().Fraction("heuristic")
@@ -140,7 +142,7 @@ func BenchmarkMovtarSize(b *testing.B) {
 func BenchmarkRRTFamily(b *testing.B) {
 	variants := []struct {
 		name string
-		run  func(rrt.Config, *profile.Profile) (rrt.Result, error)
+		run  func(context.Context, rrt.Config, *profile.Profile) (rrt.Result, error)
 	}{
 		{"rrt", rrt.Run},
 		{"rrtpp", rrt.RunPP},
@@ -154,7 +156,7 @@ func BenchmarkRRTFamily(b *testing.B) {
 				cfg := rrt.DefaultConfig()
 				cfg.MaxSamples = 10000
 				cfg.Seed = int64(i%5) + 1
-				res, err := v.run(cfg, profile.Disabled())
+				res, err := v.run(context.Background(), cfg, profile.Disabled())
 				if err != nil {
 					continue // some seeds exhaust the budget; skip
 				}
@@ -176,7 +178,7 @@ func BenchmarkSymDomains(b *testing.B) {
 		b.Run(string(domain), func(b *testing.B) {
 			var branching float64
 			for i := 0; i < b.N; i++ {
-				res, err := sym.Run(sym.DefaultConfig(domain), profile.Disabled())
+				res, err := sym.Run(context.Background(), sym.DefaultConfig(domain), profile.Disabled())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -338,7 +340,7 @@ func BenchmarkAblationFootprint(b *testing.B) {
 		cfg := pp2d.DefaultConfig()
 		cfg.Map = g
 		for i := 0; i < b.N; i++ {
-			if _, err := pp2d.Run(cfg, profile.Disabled()); err != nil {
+			if _, err := pp2d.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -376,7 +378,7 @@ func BenchmarkAblationArmDoF(b *testing.B) {
 				cfg.Start = arm.DefaultStart(dof)
 				cfg.Goal = arm.DefaultGoal(dof)
 				cfg.Seed = int64(i%3) + 1
-				rrt.Run(cfg, profile.Disabled()) //nolint:errcheck // budget exhaustion is data here
+				rrt.Run(context.Background(), cfg, profile.Disabled()) //nolint:errcheck // budget exhaustion is data here
 			}
 		})
 	}
@@ -398,7 +400,7 @@ func BenchmarkAblationEKFLandmarks(b *testing.B) {
 			cfg.Landmarks = lms
 			cfg.Steps = 100
 			for i := 0; i < b.N; i++ {
-				if _, err := ekfslam.Run(cfg, profile.Disabled()); err != nil {
+				if _, err := ekfslam.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -418,7 +420,7 @@ func BenchmarkAblationPFLWorkers(b *testing.B) {
 			cfg.InitFactor = 1
 			cfg.Workers = workers
 			for i := 0; i < b.N; i++ {
-				if _, err := pfl.Run(cfg, profile.Disabled()); err != nil {
+				if _, err := pfl.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -442,7 +444,7 @@ func BenchmarkAblationSensorModel(b *testing.B) {
 			cfg.InitFactor = 1
 			cfg.LikelihoodField = lf
 			for i := 0; i < b.N; i++ {
-				if _, err := pfl.Run(cfg, profile.Disabled()); err != nil {
+				if _, err := pfl.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -464,7 +466,7 @@ func BenchmarkAblationLazyPRM(b *testing.B) {
 				cfg.Samples = 1000
 				cfg.Lazy = lazy
 				cfg.Seed = int64(i%3) + 1
-				if _, err := prm.Run(cfg, profile.Disabled()); err != nil {
+				if _, err := prm.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -502,7 +504,7 @@ func BenchmarkAblationICPMethod(b *testing.B) {
 			cfg.Cols, cfg.Rows = 60, 45
 			cfg.Method = m
 			for i := 0; i < b.N; i++ {
-				if _, err := srec.Run(cfg, profile.Disabled()); err != nil {
+				if _, err := srec.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -515,13 +517,13 @@ func BenchmarkAblationICPMethod(b *testing.B) {
 func BenchmarkAblationRRTConnect(b *testing.B) {
 	for _, v := range []struct {
 		name string
-		run  func(rrt.Config, *profile.Profile) (rrt.Result, error)
+		run  func(context.Context, rrt.Config, *profile.Profile) (rrt.Result, error)
 	}{{"rrt", rrt.Run}, {"rrtconnect", rrt.RunConnect}} {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := rrt.DefaultConfig()
 				cfg.Seed = int64(i%5) + 1
-				v.run(cfg, profile.Disabled()) //nolint:errcheck // failures are data
+				v.run(context.Background(), cfg, profile.Disabled()) //nolint:errcheck // failures are data
 			}
 		})
 	}
@@ -568,5 +570,28 @@ func BenchmarkProfileDisabledOverhead(b *testing.B) {
 		p.End()
 		p.Span("span", fn)
 		p.EndROI()
+	}
+}
+
+// BenchmarkSuite runs the full 16-kernel SizeSmall sweep through the
+// parallel execution engine, sequentially and on all cores. On a >= 4-core
+// machine the parallel run should come in at well under 1/1.5 of the
+// sequential wall-clock (compare the per-op times of the two sub-benches).
+func BenchmarkSuite(b *testing.B) {
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := rtrbench.Suite(context.Background(), rtrbench.SuiteOptions{
+					Options:  rtrbench.Options{Size: rtrbench.SizeSmall, Seed: 1},
+					Parallel: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.FirstError(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -45,6 +47,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "with -table1: emit machine-readable JSON instead of text")
 		deadline = flag.Duration("deadline", 0, "per-step real-time deadline (e.g. 10ms); 0 = off")
 		stepLat  = flag.Bool("steplat", false, "record per-step latency even without a deadline")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "with -table1: kernels running concurrently")
+		trials   = flag.Int("trials", 1, "with -table1: measured runs per kernel (trial t uses seed+t)")
+		warmup   = flag.Int("warmup", 0, "with -table1: discarded runs per kernel before the trials")
+		timeout  = flag.Duration("timeout", 0, "with -table1: per-run wall-clock budget; 0 = off")
 	)
 	flag.Parse()
 
@@ -55,10 +61,25 @@ func main() {
 
 	ran := false
 	if *table1 {
+		sweep := rtrbench.SuiteOptions{
+			Options:         opts,
+			Parallel:        *parallel,
+			Trials:          *trials,
+			Warmup:          *warmup,
+			Timeout:         *timeout,
+			ContinueOnError: true,
+		}
+		// Variants are per-kernel; the sweep always runs defaults.
+		sweep.Variant = ""
+		res, err := rtrbench.Suite(context.Background(), sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
 		if *jsonOut {
-			runTable1JSON(opts)
+			runTable1JSON(res)
 		} else {
-			runTable1(opts)
+			runTable1(res)
 		}
 		ran = true
 	}
@@ -88,14 +109,14 @@ func main() {
 	}
 }
 
-func runTable1(opts rtrbench.Options) {
+func runTable1(sweep rtrbench.SuiteResult) {
 	fmt.Println("Table I reproduction: kernel, stage, measured dominant phase vs paper bottleneck")
 	fmt.Printf("%-4s %-10s %-11s %-14s %-7s %-8s %s\n",
 		"#", "kernel", "stage", "dominant", "share", "ROI", "paper bottleneck(s)")
-	for _, k := range rtrbench.Kernels() {
-		res, err := rtrbench.Run(k.Name, opts)
-		if err != nil {
-			fmt.Printf("%-4d %-10s ERROR: %v\n", k.Index, k.Name, err)
+	for _, kr := range sweep.Kernels {
+		k, res := kr.Info, kr.Result
+		if kr.Err != nil {
+			fmt.Printf("%-4d %-10s ERROR: %v\n", k.Index, k.Name, kr.Err)
 			continue
 		}
 		dom := res.Dominant()
@@ -106,9 +127,13 @@ func runTable1(opts rtrbench.Options) {
 				break
 			}
 		}
+		roi := res.ROI
+		if kr.Trials != nil && kr.Trials.Trials > 1 {
+			roi = kr.Trials.ROIMean
+		}
 		fmt.Printf("%-4d %-10s %-11s %-13s%s %5.1f%% %-8s %s\n",
 			k.Index, k.Name, k.Stage, dom, match,
-			100*res.Fraction(dom), res.ROI.Round(time.Millisecond),
+			100*res.Fraction(dom), roi.Round(time.Millisecond),
 			strings.Join(k.PaperBottlenecks, ", "))
 	}
 	fmt.Println("(* = measured dominant phase confirms the paper's characterization)")
@@ -157,19 +182,44 @@ func kernelReport(k rtrbench.Info, res rtrbench.Result) obs.KernelReport {
 
 // runTable1JSON emits the Table I sweep as rtrbench.report/v1 JSON (one
 // object per kernel) for downstream tooling: CI dashboards, regression
-// tracking, plotting. The schema is shared with cmd/rtrbench --format=json.
-func runTable1JSON(opts rtrbench.Options) {
+// tracking, plotting. The schema is shared with cmd/rtrbench --format=json;
+// multi-trial sweeps add the optional trials block.
+func runTable1JSON(sweep rtrbench.SuiteResult) {
 	var out []obs.KernelReport
-	for _, k := range rtrbench.Kernels() {
-		res, err := rtrbench.Run(k.Name, opts)
-		if err != nil {
+	for _, kr := range sweep.Kernels {
+		k := kr.Info
+		if kr.Err != nil {
 			out = append(out, obs.KernelReport{
 				Kernel: k.Name, Stage: string(k.Stage), Index: k.Index,
-				PaperBottlenecks: k.PaperBottlenecks, Error: err.Error(),
+				PaperBottlenecks: k.PaperBottlenecks, Error: kr.Err.Error(),
 			})
 			continue
 		}
-		out = append(out, kernelReport(k, res))
+		row := kernelReport(k, kr.Result)
+		if ts := kr.Trials; ts != nil {
+			row.Trials = &obs.TrialsReport{
+				Trials:           ts.Trials,
+				ROIMeanSeconds:   ts.ROIMean.Seconds(),
+				ROIMinSeconds:    ts.ROIMin.Seconds(),
+				ROIMaxSeconds:    ts.ROIMax.Seconds(),
+				ROIStddevSeconds: ts.ROIStddev.Seconds(),
+				Counters:         ts.Counters,
+			}
+			if st := ts.Steps; st != nil {
+				row.Trials.Steps = &obs.StepReport{
+					Count:           st.Count,
+					MinSeconds:      st.Min.Seconds(),
+					MeanSeconds:     st.Mean.Seconds(),
+					P50Seconds:      st.P50.Seconds(),
+					P95Seconds:      st.P95.Seconds(),
+					P99Seconds:      st.P99.Seconds(),
+					MaxSeconds:      st.Max.Seconds(),
+					DeadlineSeconds: st.Deadline.Seconds(),
+					DeadlineMisses:  st.Misses,
+				}
+			}
+		}
+		out = append(out, row)
 	}
 	if err := obs.WriteJSONAll(os.Stdout, out); err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
@@ -232,7 +282,7 @@ func runRRTCompare(opts rtrbench.Options) {
 		col  float64 // fraction in collision detection
 	}
 	var rows []row
-	run := func(name string, f func(rrt.Config, *profile.Profile) (rrt.Result, error)) {
+	run := func(name string, f func(context.Context, rrt.Config, *profile.Profile) (rrt.Result, error)) {
 		// Average over a few seeds: sampling planners are noisy.
 		var total time.Duration
 		var cost, nn, col float64
@@ -242,7 +292,7 @@ func runRRTCompare(opts rtrbench.Options) {
 			c := cfg
 			c.Seed = cfg.Seed + s
 			p := profile.New()
-			r, err := f(c, p)
+			r, err := f(context.Background(), c, p)
 			if err != nil {
 				continue
 			}
@@ -291,7 +341,7 @@ func runMovtarSweep(opts rtrbench.Options) {
 		cfg.Size = s
 		cfg.Seed = opts.Seed
 		p := profile.New()
-		r, err := movtar.Run(cfg, p)
+		r, err := movtar.Run(context.Background(), cfg, p)
 		if err != nil {
 			fmt.Printf("%-8d ERROR: %v\n", s, err)
 			continue
@@ -343,7 +393,7 @@ func optimizedPointAStar(g *grid.Grid2D, sx, sy, gx, gy int) {
 	cfg.CarLength = g.Resolution * 0.5
 	cfg.CarWidth = g.Resolution * 0.5
 	cfg.StartX, cfg.StartY, cfg.GoalX, cfg.GoalY = sx, sy, gx, gy
-	if _, err := pp2d.Run(cfg, profile.Disabled()); err != nil {
+	if _, err := pp2d.Run(context.Background(), cfg, profile.Disabled()); err != nil {
 		fmt.Fprintf(os.Stderr, "fig21: optimized planner failed: %v\n", err)
 	}
 }

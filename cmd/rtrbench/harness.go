@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ type harness struct {
 	format     string
 	out        string
 	deadline   time.Duration
+	timeout    time.Duration
 	stepLat    bool
 	cpuprofile string
 	memprofile string
@@ -34,6 +36,8 @@ type harness struct {
 
 	cpuFile *os.File
 	dbg     *obs.DebugServer
+	runCtx  context.Context
+	cancel  context.CancelFunc
 }
 
 // newHarness returns a harness with the shared observability flags
@@ -43,6 +47,7 @@ func newHarness(name string) *harness {
 	h.fs.StringVar(&h.format, "format", "text", "report format: text | json | csv | trace")
 	h.fs.StringVar(&h.out, "out", "", "write the report to this file instead of stdout")
 	h.fs.DurationVar(&h.deadline, "deadline", 0, "per-step real-time deadline (e.g. 10ms); 0 = off")
+	h.fs.DurationVar(&h.timeout, "timeout", 0, "abort the run after this wall-clock budget (e.g. 30s); 0 = off")
 	h.fs.BoolVar(&h.stepLat, "steplat", false, "record the per-step latency histogram even without a deadline")
 	h.fs.StringVar(&h.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	h.fs.StringVar(&h.memprofile, "memprofile", "", "write a heap profile to this file at exit")
@@ -81,7 +86,18 @@ func (h *harness) parse(args []string) error {
 		h.dbg = dbg
 		fmt.Fprintf(os.Stderr, "debug server on %s (/metrics, /debug/pprof/)\n", dbg.URL)
 	}
+	if h.timeout > 0 {
+		h.runCtx, h.cancel = context.WithTimeout(context.Background(), h.timeout)
+	} else {
+		h.runCtx = context.Background()
+	}
 	return nil
+}
+
+// ctx returns the run context: Background, or deadline-bounded when
+// --timeout is set. Valid after h.parse.
+func (h *harness) ctx() context.Context {
+	return h.runCtx
 }
 
 // newProfile returns the kernel's profile, configured from the shared
@@ -106,6 +122,10 @@ func (h *harness) newProfile() *profile.Profile {
 // close releases profiling resources: it stops the CPU profiler, writes the
 // heap profile, and shuts down the debug server.
 func (h *harness) close() {
+	if h.cancel != nil {
+		h.cancel()
+		h.cancel = nil
+	}
 	if h.cpuFile != nil {
 		pprof.StopCPUProfile()
 		h.cpuFile.Close()

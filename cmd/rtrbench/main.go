@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rtrbench <kernel> [flags]
+//	rtrbench suite [flags]
 //	rtrbench list
 //	rtrbench <kernel> --help
 //
@@ -14,12 +15,14 @@
 //	rtrbench rrt --samples 30000 --bias 0.1 --radius 0.9 --map mapc
 //	rtrbench pfl --particles 5000 --steps 200 --region 3
 //	rtrbench movtar --size 384 --epsilon 3
+//	rtrbench suite --trials 5 --warmup 1 --parallel 8 --timeout 60s
 //
 // Every kernel additionally accepts the shared observability flags:
 //
 //	--format text|json|csv|trace   report format (trace loads in Perfetto)
 //	--out FILE                     write the report to a file
 //	--deadline DUR                 per-step real-time deadline, e.g. 10ms
+//	--timeout DUR                  abort the run after this wall-clock budget
 //	--steplat                      step-latency histogram without a deadline
 //	--cpuprofile FILE              Go CPU profile of the run
 //	--memprofile FILE              heap profile at exit
@@ -27,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -63,6 +67,12 @@ func main() {
 	case "list":
 		listKernels()
 		return
+	case "suite":
+		if err := runSuite(args); err != nil {
+			fmt.Fprintf(os.Stderr, "rtrbench suite: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -81,7 +91,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("USAGE:\n  rtrbench <kernel> [OPTIONS]\n  rtrbench list\n\nKERNELS:")
+	fmt.Println("USAGE:\n  rtrbench <kernel> [OPTIONS]\n  rtrbench suite [OPTIONS]\n  rtrbench list\n\nKERNELS:")
 	listKernels()
 	fmt.Println("\nRun `rtrbench <kernel> --help` for the kernel's options.")
 }
@@ -138,7 +148,7 @@ var runners = map[string]runner{
 			cfg.Map = g
 		}
 		p := h.newProfile()
-		res, err := pfl.Run(cfg, p)
+		res, err := pfl.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -165,7 +175,7 @@ var runners = map[string]runner{
 		}
 		defer h.close()
 		p := h.newProfile()
-		res, err := ekfslam.Run(cfg, p)
+		res, err := ekfslam.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -193,7 +203,7 @@ var runners = map[string]runner{
 		defer h.close()
 		cfg.Method = srec.Method(*method)
 		p := h.newProfile()
-		res, err := srec.Run(cfg, p)
+		res, err := srec.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -234,7 +244,7 @@ var runners = map[string]runner{
 			return runScenBatch(cfg.Map, *scenPath)
 		}
 		p := h.newProfile()
-		res, err := pp2d.Run(cfg, p)
+		res, err := pp2d.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -262,7 +272,7 @@ var runners = map[string]runner{
 		defer h.close()
 		cfg.Map = pp3d.DefaultMap(*w, *hgt, *d, cfg.Seed)
 		p := h.newProfile()
-		res, err := pp3d.Run(cfg, p)
+		res, err := pp3d.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -286,7 +296,7 @@ var runners = map[string]runner{
 		}
 		defer h.close()
 		p := h.newProfile()
-		res, err := movtar.Run(cfg, p)
+		res, err := movtar.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -313,7 +323,7 @@ var runners = map[string]runner{
 		defer h.close()
 		cfg.Workspace = armWorkspace(*mapName)
 		p := h.newProfile()
-		res, err := prm.Run(cfg, p)
+		res, err := prm.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -369,7 +379,7 @@ var runners = map[string]runner{
 		}
 		defer h.close()
 		p := h.newProfile()
-		res, err := dmp.Run(cfg, p)
+		res, err := dmp.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -393,7 +403,7 @@ var runners = map[string]runner{
 		}
 		defer h.close()
 		p := h.newProfile()
-		res, err := mpc.Run(cfg, p)
+		res, err := mpc.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -417,7 +427,7 @@ var runners = map[string]runner{
 		}
 		defer h.close()
 		p := h.newProfile()
-		res, err := cem.Run(cfg, p)
+		res, err := cem.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -439,7 +449,7 @@ var runners = map[string]runner{
 		}
 		defer h.close()
 		p := h.newProfile()
-		res, err := bo.Run(cfg, p)
+		res, err := bo.Run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -493,7 +503,7 @@ func runScenBatch(g *grid.Grid2D, path string) error {
 	return nil
 }
 
-func rrtRunner(name string, run func(rrt.Config, *profile.Profile) (rrt.Result, error)) runner {
+func rrtRunner(name string, run func(context.Context, rrt.Config, *profile.Profile) (rrt.Result, error)) runner {
 	return func(args []string) error {
 		h := newHarness(name)
 		cfg := rrt.DefaultConfig()
@@ -511,7 +521,7 @@ func rrtRunner(name string, run func(rrt.Config, *profile.Profile) (rrt.Result, 
 		defer h.close()
 		cfg.Workspace = armWorkspace(*mapName)
 		p := h.newProfile()
-		res, err := run(cfg, p)
+		res, err := run(h.ctx(), cfg, p)
 		if err != nil {
 			return err
 		}
@@ -528,7 +538,7 @@ func rrtRunner(name string, run func(rrt.Config, *profile.Profile) (rrt.Result, 
 
 func runSym(h *harness, cfg sym.Config) error {
 	p := h.newProfile()
-	res, err := sym.Run(cfg, p)
+	res, err := sym.Run(h.ctx(), cfg, p)
 	if err != nil {
 		return err
 	}

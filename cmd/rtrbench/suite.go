@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/rtrbench"
+)
+
+// runSuite implements `rtrbench suite`: the full (or filtered) 16-kernel
+// sweep on the parallel execution engine, with per-kernel trial statistics.
+func runSuite(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	var (
+		size     = fs.String("size", "small", "workload size: small | default")
+		seed     = fs.Int64("seed", 1, "base random seed (trial t runs with seed+t)")
+		kernels  = fs.String("kernels", "", "comma-separated kernel subset (default: all 16)")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "kernels running concurrently")
+		trials   = fs.Int("trials", 1, "measured runs per kernel")
+		warmup   = fs.Int("warmup", 0, "discarded runs per kernel before the trials")
+		timeout  = fs.Duration("timeout", 0, "per-run wall-clock budget (e.g. 30s); 0 = off")
+		keepOn   = fs.Bool("continue", false, "keep sweeping after a kernel fails")
+		deadline = fs.Duration("deadline", 0, "per-step real-time deadline (e.g. 10ms); 0 = off")
+		stepLat  = fs.Bool("steplat", false, "record per-step latency histograms")
+		format   = fs.String("format", "text", "report format: text | json | csv")
+		out      = fs.String("out", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := rtrbench.SuiteOptions{
+		Options: rtrbench.Options{
+			Seed:        *seed,
+			Deadline:    *deadline,
+			StepLatency: *stepLat,
+		},
+		Parallel:        *parallel,
+		Trials:          *trials,
+		Warmup:          *warmup,
+		Timeout:         *timeout,
+		ContinueOnError: *keepOn,
+	}
+	switch *size {
+	case "small":
+		opts.Size = rtrbench.SizeSmall
+	case "default":
+		opts.Size = rtrbench.SizeDefault
+	default:
+		return fmt.Errorf("unknown --size %q (want small or default)", *size)
+	}
+	if *kernels != "" {
+		for _, name := range strings.Split(*kernels, ",") {
+			opts.Kernels = append(opts.Kernels, strings.TrimSpace(name))
+		}
+	}
+
+	// Ctrl-C cancels the in-flight kernels instead of killing the process;
+	// the partial sweep still reports.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := rtrbench.Suite(ctx, opts)
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("--out: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *format {
+	case "json":
+		return obs.WriteJSONAll(w, suiteReports(res))
+	case "csv":
+		return obs.WriteCSVAll(w, suiteReports(res))
+	case "text":
+		suiteText(w, res, opts)
+	default:
+		return fmt.Errorf("unknown --format %q (want text, json, or csv)", *format)
+	}
+	if !opts.ContinueOnError {
+		if err := res.FirstError(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteReports converts a suite result to the rtrbench.report/v1 array.
+func suiteReports(res rtrbench.SuiteResult) []obs.KernelReport {
+	reports := make([]obs.KernelReport, 0, len(res.Kernels))
+	for _, k := range res.Kernels {
+		kr := obs.KernelReport{
+			Kernel:           k.Info.Name,
+			Stage:            string(k.Info.Stage),
+			Index:            k.Info.Index,
+			ROISeconds:       k.Result.ROI.Seconds(),
+			Inconsistent:     k.Result.Inconsistent,
+			Counters:         k.Result.Counters,
+			Metrics:          k.Result.Metrics,
+			PaperBottlenecks: k.Info.PaperBottlenecks,
+		}
+		if k.Err != nil {
+			kr.Error = k.Err.Error()
+		}
+		dominant, dominantDur := "", time.Duration(0)
+		for _, ph := range k.Result.Phases {
+			kr.Phases = append(kr.Phases, obs.PhaseReport{
+				Name:     ph.Name,
+				Seconds:  ph.Duration.Seconds(),
+				Calls:    ph.Calls,
+				Fraction: ph.Fraction,
+			})
+			if ph.Duration > dominantDur {
+				dominant, dominantDur = ph.Name, ph.Duration
+			}
+		}
+		kr.Dominant = dominant
+		kr.Steps = stepReport(k.Result.Steps)
+		if ts := k.Trials; ts != nil {
+			kr.Trials = &obs.TrialsReport{
+				Trials:           ts.Trials,
+				ROIMeanSeconds:   ts.ROIMean.Seconds(),
+				ROIMinSeconds:    ts.ROIMin.Seconds(),
+				ROIMaxSeconds:    ts.ROIMax.Seconds(),
+				ROIStddevSeconds: ts.ROIStddev.Seconds(),
+				Counters:         ts.Counters,
+				Steps:            stepReport(ts.Steps),
+			}
+		}
+		reports = append(reports, kr)
+	}
+	return reports
+}
+
+func stepReport(s *rtrbench.StepStats) *obs.StepReport {
+	if s == nil {
+		return nil
+	}
+	return &obs.StepReport{
+		Count:           s.Count,
+		MinSeconds:      s.Min.Seconds(),
+		MeanSeconds:     s.Mean.Seconds(),
+		P50Seconds:      s.P50.Seconds(),
+		P95Seconds:      s.P95.Seconds(),
+		P99Seconds:      s.P99.Seconds(),
+		MaxSeconds:      s.Max.Seconds(),
+		DeadlineSeconds: s.Deadline.Seconds(),
+		DeadlineMisses:  s.Misses,
+	}
+}
+
+// suiteText prints the human-readable sweep table.
+func suiteText(w io.Writer, res rtrbench.SuiteResult, opts rtrbench.SuiteOptions) {
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	fmt.Fprintf(w, "suite: %d kernels, %d trial(s), parallel=%d, %v total\n",
+		len(res.Kernels), trials, opts.Parallel, res.Elapsed.Round(time.Millisecond))
+	if trials > 1 {
+		fmt.Fprintf(w, "%-3s %-10s %-10s %12s %12s %12s %s\n",
+			"#", "kernel", "stage", "roi-mean", "roi-min", "roi-stddev", "status")
+	} else {
+		fmt.Fprintf(w, "%-3s %-10s %-10s %12s %s\n", "#", "kernel", "stage", "roi", "status")
+	}
+	for _, k := range res.Kernels {
+		status := "ok"
+		if k.Err != nil {
+			status = k.Err.Error()
+		}
+		if ts := k.Trials; ts != nil && trials > 1 {
+			fmt.Fprintf(w, "%-3d %-10s %-10s %12v %12v %12v %s\n",
+				k.Info.Index, k.Info.Name, k.Info.Stage,
+				ts.ROIMean.Round(time.Microsecond), ts.ROIMin.Round(time.Microsecond),
+				ts.ROIStddev.Round(time.Microsecond), status)
+		} else if trials > 1 {
+			fmt.Fprintf(w, "%-3d %-10s %-10s %12s %12s %12s %s\n",
+				k.Info.Index, k.Info.Name, k.Info.Stage, "-", "-", "-", status)
+		} else {
+			fmt.Fprintf(w, "%-3d %-10s %-10s %12v %s\n",
+				k.Info.Index, k.Info.Name, k.Info.Stage,
+				k.Result.ROI.Round(time.Microsecond), status)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,7 @@ func main() {
 
 	p := profile.New()
 	start := time.Now()
-	res, err := pp2d.Run(cfg, p)
+	res, err := pp2d.Run(context.Background(), cfg, p)
 	if err != nil {
 		panic(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 		c := cfg
 		c.AnytimeSchedule = nil
 		c.Weight = eps
-		r, err := pp2d.Run(c, profile.Disabled())
+		r, err := pp2d.Run(context.Background(), c, profile.Disabled())
 		if err != nil {
 			panic(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,14 +36,14 @@ func main() {
 			cost float64
 			n    int
 		}
-		run := func(f func(rrt.Config, *profile.Profile) (rrt.Result, error)) stats {
+		run := func(f func(context.Context, rrt.Config, *profile.Profile) (rrt.Result, error)) stats {
 			var s stats
 			for seed := int64(1); seed <= 3; seed++ {
 				cfg := rrt.DefaultConfig()
 				cfg.Workspace = ws.build()
 				cfg.Seed = seed
 				p := profile.New()
-				r, err := f(cfg, p)
+				r, err := f(context.Background(), cfg, p)
 				if err != nil {
 					continue
 				}
@@ -73,7 +74,7 @@ func main() {
 		cfg.Workspace = ws.build()
 		cfg.Samples = 2000
 		p := profile.New()
-		r, err := prm.Run(cfg, p)
+		r, err := prm.Run(context.Background(), cfg, p)
 		if err != nil {
 			fmt.Printf("%-22s failed: %v\n", "prm", err)
 			continue

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,7 +56,7 @@ func main() {
 	locCfg.TrackingSpread = 2
 
 	locProf := profile.New()
-	loc, err := pfl.Run(locCfg, locProf)
+	loc, err := pfl.Run(context.Background(), locCfg, locProf)
 	if err != nil {
 		panic(err)
 	}
@@ -82,7 +83,7 @@ func main() {
 	planCfg.StartX, planCfg.StartY = startX, startY
 	planCfg.GoalX, planCfg.GoalY = goalX, goalY
 	planProf := profile.New()
-	plan, err := pp2d.Run(planCfg, planProf)
+	plan, err := pp2d.Run(context.Background(), planCfg, planProf)
 	if err != nil {
 		panic(err)
 	}
@@ -97,7 +98,7 @@ func main() {
 	ctlCfg.Reference = ref
 	ctlCfg.Steps = 200
 	ctlProf := profile.New()
-	ctl, err := mpc.Run(ctlCfg, ctlProf)
+	ctl, err := mpc.Run(context.Background(), ctlCfg, ctlProf)
 	if err != nil {
 		panic(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,7 @@ func main() {
 	blkCfg := sym.DefaultConfig(sym.BlocksWorld)
 	blkCfg.Blocks = 6
 	p1 := profile.New()
-	blk, err := sym.Run(blkCfg, p1)
+	blk, err := sym.Run(context.Background(), blkCfg, p1)
 	if err != nil {
 		panic(err)
 	}
@@ -34,7 +35,7 @@ func main() {
 	// --- Firefighting: quadcopter + mobile robot, three pours.
 	ffCfg := sym.DefaultConfig(sym.Firefighter)
 	p2 := profile.New()
-	ff, err := sym.Run(ffCfg, p2)
+	ff, err := sym.Run(context.Background(), ffCfg, p2)
 	if err != nil {
 		panic(err)
 	}

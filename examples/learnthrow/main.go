@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,7 @@ func main() {
 	// --- CEM (paper Fig. 18).
 	cemCfg := cem.DefaultConfig()
 	p1 := profile.New()
-	cemRes, err := cem.Run(cemCfg, p1)
+	cemRes, err := cem.Run(context.Background(), cemCfg, p1)
 	if err != nil {
 		panic(err)
 	}
@@ -44,7 +45,7 @@ func main() {
 	// --- BO (paper Fig. 19).
 	boCfg := bo.DefaultConfig()
 	p2 := profile.New()
-	boRes, err := bo.Run(boCfg, p2)
+	boRes, err := bo.Run(context.Background(), boCfg, p2)
 	if err != nil {
 		panic(err)
 	}

@@ -12,6 +12,7 @@
 package bo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -73,8 +74,12 @@ type Result struct {
 
 // Run executes the kernel. Harness phases: "gp-fit" (Cholesky of the kernel
 // matrix), "acquisition" (posterior + UCB per candidate), "sort" (ranking
-// candidates); environment rollouts are outside the ROI.
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// candidates); environment rollouts are outside the ROI. A cancelled ctx
+// aborts between optimization iterations, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Iterations <= 0 || cfg.InitSamples <= 0 || cfg.Candidates <= 0 {
 		return Result{}, errors.New("bo: Iterations, InitSamples, Candidates must be positive")
 	}
@@ -129,6 +134,9 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	cands := make([]scored, cfg.Candidates)
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		prof.BeginROI()
 
 		// ---- Fit the GP on everything observed so far.

@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/profile"
@@ -14,7 +15,7 @@ func smallConfig() Config {
 }
 
 func TestLearningImprovesReward(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestLearningImprovesReward(t *testing.T) {
 func TestPaperIterationCount(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Candidates = 200 // keep the test quick; iteration count is the point
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestPaperIterationCount(t *testing.T) {
 }
 
 func TestComputeHeavierThanCEM(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestComputeHeavierThanCEM(t *testing.T) {
 
 func TestProfilePhases(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -76,8 +77,8 @@ func TestProfilePhases(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.BestReward != b.BestReward {
 		t.Fatal("same seed diverged")
 	}
@@ -91,14 +92,14 @@ func TestConfigValidation(t *testing.T) {
 	} {
 		cfg := DefaultConfig()
 		mutate(&cfg)
-		if _, err := Run(cfg, nil); err == nil {
+		if _, err := Run(context.Background(), cfg, nil); err == nil {
 			t.Fatal("invalid config accepted")
 		}
 	}
 }
 
 func TestRewardsAllNonPositive(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package cem
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -67,8 +68,12 @@ type Result struct {
 
 // Run executes the kernel. Harness phases: "sample" (drawing the
 // population), "sort" (ranking by reward), "update" (refitting the
-// Gaussian); environment rollouts are outside the ROI.
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// Gaussian); environment rollouts are outside the ROI. A cancelled ctx
+// aborts between learning iterations, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Iterations <= 0 || cfg.SamplesPerIter <= 0 {
 		return Result{}, errors.New("cem: Iterations and SamplesPerIter must be positive")
 	}
@@ -104,6 +109,9 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	}
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// ---- Draw the population (ROI).
 		prof.BeginROI()
 		prof.Begin("sample")

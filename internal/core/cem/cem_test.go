@@ -1,6 +1,7 @@
 package cem
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/profile"
@@ -9,7 +10,7 @@ import (
 func TestLearningImprovesReward(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Iterations = 8
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestLearningImprovesReward(t *testing.T) {
 
 func TestPaperConfiguration(t *testing.T) {
 	// 5 iterations x 15 samples (paper §V.15).
-	res, err := Run(DefaultConfig(), nil)
+	res, err := Run(context.Background(), DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestPaperConfiguration(t *testing.T) {
 
 func TestProfileHasSortPhase(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(DefaultConfig(), p); err != nil {
+	if _, err := Run(context.Background(), DefaultConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -61,8 +62,8 @@ func TestProfileHasSortPhase(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(DefaultConfig(), nil)
-	b, _ := Run(DefaultConfig(), nil)
+	a, _ := Run(context.Background(), DefaultConfig(), nil)
+	b, _ := Run(context.Background(), DefaultConfig(), nil)
 	if a.BestReward != b.BestReward {
 		t.Fatal("same seed diverged")
 	}
@@ -70,9 +71,9 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedMatters(t *testing.T) {
 	cfg := DefaultConfig()
-	a, _ := Run(cfg, nil)
+	a, _ := Run(context.Background(), cfg, nil)
 	cfg.Seed = 99
-	b, _ := Run(cfg, nil)
+	b, _ := Run(context.Background(), cfg, nil)
 	if a.Rewards[0] == b.Rewards[0] {
 		t.Fatal("different seeds produced identical first samples")
 	}
@@ -81,11 +82,11 @@ func TestSeedMatters(t *testing.T) {
 func TestEliteDefaulting(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Elite = 0 // auto
-	if _, err := Run(cfg, nil); err != nil {
+	if _, err := Run(context.Background(), cfg, nil); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Elite = 999 // > population, clamps
-	if _, err := Run(cfg, nil); err != nil {
+	if _, err := Run(context.Background(), cfg, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -93,7 +94,7 @@ func TestEliteDefaulting(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Iterations = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero iterations accepted")
 	}
 }
@@ -103,7 +104,7 @@ func TestPolicyVarianceShrinks(t *testing.T) {
 	// late-iteration best rewards should be near the overall best.
 	cfg := DefaultConfig()
 	cfg.Iterations = 10
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

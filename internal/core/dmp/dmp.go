@@ -13,6 +13,7 @@
 package dmp
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -86,8 +87,12 @@ type dmp1d struct {
 }
 
 // Run trains on the demonstration and rolls the primitive out. Harness
-// phases: "train" (basis regression) and "rollout" (serial integration).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// phases: "train" (basis regression) and "rollout" (serial integration). A
+// cancelled ctx aborts between integration steps, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Basis <= 0 || cfg.Steps <= 1 {
 		return Result{}, errors.New("dmp: Basis and Steps must be positive")
 	}
@@ -154,6 +159,11 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	v := [2]float64{0, 0}
 	x = 1.0
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			prof.End()
+			prof.EndROI()
+			return res, err
+		}
 		gen.Points[s] = trajectory.Point{
 			T: float64(s) * rdt,
 			P: geom.Vec2{X: y[0], Y: y[1]},

@@ -1,6 +1,7 @@
 package dmp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func TestTracksDemonstration(t *testing.T) {
-	res, err := Run(DefaultConfig(), nil)
+	res, err := Run(context.Background(), DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,8 +32,8 @@ func TestMoreBasisBetterTracking(t *testing.T) {
 	coarse.Basis = 5
 	fine := DefaultConfig()
 	fine.Basis = 80
-	a, err1 := Run(coarse, nil)
-	b, err2 := Run(fine, nil)
+	a, err1 := Run(context.Background(), coarse, nil)
+	b, err2 := Run(context.Background(), fine, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -46,7 +47,7 @@ func TestGoalConvergence(t *testing.T) {
 	// even from a different number of steps.
 	cfg := DefaultConfig()
 	cfg.Steps = 3000
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestGoalConvergence(t *testing.T) {
 }
 
 func TestVelocityProfileShape(t *testing.T) {
-	res, err := Run(DefaultConfig(), nil)
+	res, err := Run(context.Background(), DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestVelocityProfileShape(t *testing.T) {
 func TestTemporalScaling(t *testing.T) {
 	slow := DefaultConfig()
 	slow.Tau = 2 // twice as slow
-	res, err := Run(slow, nil)
+	res, err := Run(context.Background(), slow, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestTemporalScaling(t *testing.T) {
 			peak = s
 		}
 	}
-	fast, _ := Run(DefaultConfig(), nil)
+	fast, _ := Run(context.Background(), DefaultConfig(), nil)
 	var fastPeak float64
 	for _, s := range fast.Velocity {
 		if s > fastPeak {
@@ -118,7 +119,7 @@ func TestCustomDemo(t *testing.T) {
 	demo := trajectory.Demonstration(2, 200, geom.Vec2{}, geom.Vec2{X: 5, Y: 0}, 0)
 	cfg := DefaultConfig()
 	cfg.Demo = demo
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestCustomDemo(t *testing.T) {
 
 func TestPhases(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(DefaultConfig(), p); err != nil {
+	if _, err := Run(context.Background(), DefaultConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -142,23 +143,23 @@ func TestPhases(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Basis = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero basis accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.Steps = 1
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("single-step rollout accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.Demo = &trajectory.Trajectory{}
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("empty demonstration accepted")
 	}
 }
 
 func TestRolloutFinite(t *testing.T) {
-	res, err := Run(DefaultConfig(), nil)
+	res, err := Run(context.Background(), DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,8 +7,10 @@
 //
 // Every kernel package follows the same contract: a Config struct with
 // documented, paper-faithful defaults (DefaultConfig), a
-// Run(Config, *profile.Profile) entry point whose profile receives the
-// region-of-interest and named phase breakdown, and a Result struct with
-// the kernel's quality metrics and operation counters. The public registry
-// over all kernels is repro/rtrbench.
+// Run(ctx, Config, *profile.Profile) entry point whose profile receives
+// the region-of-interest and named phase breakdown, and a Result struct
+// with the kernel's quality metrics and operation counters. Cancelling ctx
+// aborts the run within one step/iteration with ctx.Err(); a nil ctx is
+// treated as context.Background(). The public registry over all kernels is
+// repro/rtrbench.
 package core

@@ -11,6 +11,7 @@
 package ekfslam
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -111,7 +112,10 @@ type Result struct {
 // and the innovation-covariance inversion), "jacobian" (building the sparse
 // Jacobians), "sensor" (simulating measurements, outside the estimation
 // work).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Steps <= 0 || cfg.Dt <= 0 {
 		return Result{}, errors.New("ekfslam: Steps and Dt must be positive")
 	}
@@ -165,6 +169,10 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	res := Result{}
 	prof.BeginROI()
 	for step := 0; step < cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			prof.EndROI()
+			return res, err
+		}
 		// --- Simulate the world: true motion with execution noise, then a
 		// noisy observation batch.
 		prof.Begin("sensor")

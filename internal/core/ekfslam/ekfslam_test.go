@@ -1,6 +1,7 @@
 package ekfslam
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/profile"
@@ -13,7 +14,7 @@ func smallConfig() Config {
 }
 
 func TestSLAMEstimatesLandmarks(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestSLAMBeatsDeadReckoning(t *testing.T) {
 	cfg := smallConfig()
 	cfg.MotionNoiseTrans = 0.02
 	cfg.Steps = 300
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,8 +53,8 @@ func TestUncertaintyShrinksWithObservations(t *testing.T) {
 	short.Steps = 20
 	long := smallConfig()
 	long.Steps = 400
-	a, err1 := Run(short, nil)
-	b, err2 := Run(long, nil)
+	a, err1 := Run(context.Background(), short, nil)
+	b, err2 := Run(context.Background(), long, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -64,7 +65,7 @@ func TestUncertaintyShrinksWithObservations(t *testing.T) {
 
 func TestMatrixOpsDominate(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -77,8 +78,8 @@ func TestMatrixOpsDominate(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.PoseError != b.PoseError || a.Updates != b.Updates {
 		t.Fatal("same seed diverged")
 	}
@@ -86,7 +87,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestPathsRecorded(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPathsRecorded(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Steps = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero steps accepted")
 	}
 }
@@ -108,7 +109,7 @@ func TestUnknownAssociationConverges(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.UnknownAssociation = true
 		cfg.Seed = seed
-		res, err := Run(cfg, nil)
+		res, err := Run(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,8 +133,8 @@ func TestUnknownAssociationAccuracyComparable(t *testing.T) {
 	known := DefaultConfig()
 	unknown := DefaultConfig()
 	unknown.UnknownAssociation = true
-	a, err1 := Run(known, nil)
-	b, err2 := Run(unknown, nil)
+	a, err1 := Run(context.Background(), known, nil)
+	b, err2 := Run(context.Background(), unknown, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -151,7 +152,7 @@ func TestIntermittentVisibilityTolerated(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Sensor.MaxRange = 9
 	cfg.Steps = 400
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,8 +170,8 @@ func TestNoObservationsDegradesGracefully(t *testing.T) {
 	blind := smallConfig()
 	blind.Sensor.MaxRange = 0.001
 	seeing := smallConfig()
-	a, err1 := Run(blind, nil)
-	b, err2 := Run(seeing, nil)
+	a, err1 := Run(context.Background(), blind, nil)
+	b, err2 := Run(context.Background(), seeing, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -190,7 +191,7 @@ func TestNoNoiseNearPerfect(t *testing.T) {
 	cfg.Sensor.SigmaBear = 1e-6
 	cfg.MotionNoiseTrans = 1e-9
 	cfg.MotionNoiseRot = 1e-9
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

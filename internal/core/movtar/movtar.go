@@ -13,6 +13,7 @@
 package movtar
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -67,8 +68,12 @@ type Result struct {
 }
 
 // Run executes the kernel. Harness phases: "heuristic" (backward Dijkstra
-// field) and "search" (space-time Weighted A*).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// field) and "search" (space-time Weighted A*). A cancelled ctx aborts
+// either phase promptly, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	terrain := cfg.Terrain
 	if terrain == nil {
 		size := cfg.Size
@@ -129,6 +134,13 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		open.Update(id, 0)
 	}
 	for open.Len() > 0 {
+		if res.HeuristicCells%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				prof.End()
+				prof.EndROI()
+				return res, err
+			}
+		}
 		id, d := open.Pop()
 		if d > hField[id] {
 			continue
@@ -181,6 +193,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		IsGoal: isGoal,
 		H:      heur,
 		Weight: cfg.Epsilon,
+		Ctx:    ctx,
 	})
 	prof.End()
 	prof.StepDone()

@@ -1,6 +1,7 @@
 package movtar
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -14,7 +15,7 @@ func smallConfig() Config {
 }
 
 func TestCatchesTarget(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestCatchesTarget(t *testing.T) {
 
 func TestProfileHasBothPhases(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -49,7 +50,7 @@ func TestHeuristicShareGrowsOnSmallerMaps(t *testing.T) {
 			cfg.Size = size
 			cfg.Seed = seed
 			p := profile.New()
-			if _, err := Run(cfg, p); err != nil {
+			if _, err := Run(context.Background(), cfg, p); err != nil {
 				t.Fatalf("size %d seed %d: %v", size, seed, err)
 			}
 			rep := p.Snapshot()
@@ -72,8 +73,8 @@ func TestEpsilonSpeedsSearch(t *testing.T) {
 	strict.Epsilon = 1.0
 	loose := smallConfig()
 	loose.Epsilon = 3.0
-	a, err1 := Run(strict, nil)
-	b, err2 := Run(loose, nil)
+	a, err1 := Run(context.Background(), strict, nil)
+	b, err2 := Run(context.Background(), loose, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -90,7 +91,7 @@ func TestCustomTerrain(t *testing.T) {
 	terrain := grid.NewCostGrid2D(48, 48, 1)
 	cfg := DefaultConfig()
 	cfg.Terrain = terrain
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,14 +103,14 @@ func TestCustomTerrain(t *testing.T) {
 func TestInvalidEpsilon(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Epsilon = 0.5
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("epsilon < 1 accepted")
 	}
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.CatchTime != b.CatchTime || a.Expanded != b.Expanded {
 		t.Fatal("same seed diverged")
 	}
@@ -118,7 +119,7 @@ func TestDeterminism(t *testing.T) {
 func TestMaxTimeTooShortFails(t *testing.T) {
 	cfg := smallConfig()
 	cfg.MaxTime = 3 // cannot possibly reach the target
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err == nil && res.Found {
 		t.Fatal("caught the target within an impossible horizon")
 	}

@@ -12,6 +12,7 @@
 package mpc
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -97,8 +98,12 @@ func step(s state, a, omega, dt, vmax float64) state {
 }
 
 // Run executes the kernel. Harness phases: "optimize" (the per-step solver)
-// and "simulate" (plant integration between solves).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// and "simulate" (plant integration between solves). A cancelled ctx aborts
+// between control steps, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Horizon <= 0 || cfg.Steps <= 0 || cfg.Dt <= 0 {
 		return Result{}, errors.New("mpc: Horizon, Steps, Dt must be positive")
 	}
@@ -147,6 +152,10 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	var sumSq float64
 	prof.BeginROI()
 	for stepI := 0; stepI < cfg.Steps; stepI++ {
+		if err := ctx.Err(); err != nil {
+			prof.EndROI()
+			return res, err
+		}
 		t := float64(stepI) * cfg.Dt
 
 		// ---- Solve the horizon optimization by projected gradient

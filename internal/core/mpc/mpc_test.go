@@ -1,6 +1,7 @@
 package mpc
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/profile"
@@ -16,7 +17,7 @@ func smallConfig() Config {
 }
 
 func TestTracksReference(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestTracksReference(t *testing.T) {
 
 func TestRespectsVelocityCap(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRespectsVelocityCap(t *testing.T) {
 
 func TestOptimizationDominates(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -60,8 +61,8 @@ func TestMoreIterationsTrackBetter(t *testing.T) {
 	weak.Iterations = 2
 	strong := smallConfig()
 	strong.Iterations = 40
-	a, err1 := Run(weak, nil)
-	b, err2 := Run(strong, nil)
+	a, err1 := Run(context.Background(), weak, nil)
+	b, err2 := Run(context.Background(), strong, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -73,7 +74,7 @@ func TestMoreIterationsTrackBetter(t *testing.T) {
 func TestCustomReference(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Reference = trajectory.SCurve(30, 600, 3, 2, 20)
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestCustomReference(t *testing.T) {
 
 func TestPathRecorded(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestConfigValidation(t *testing.T) {
 	} {
 		cfg := DefaultConfig()
 		mutate(&cfg)
-		if _, err := Run(cfg, nil); err == nil {
+		if _, err := Run(context.Background(), cfg, nil); err == nil {
 			t.Fatal("invalid config accepted")
 		}
 	}
@@ -113,7 +114,7 @@ func TestInfeasibleReferenceDegradesGracefully(t *testing.T) {
 	// nor violate its constraints; it falls behind boundedly.
 	cfg := smallConfig()
 	cfg.VMax = 2 // reference moves at 5 m/s
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +128,8 @@ func TestInfeasibleReferenceDegradesGracefully(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.TrackRMSE != b.TrackRMSE {
 		t.Fatal("MPC (deterministic) diverged between runs")
 	}

@@ -21,6 +21,7 @@
 package pfl
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -153,8 +154,12 @@ type particle struct {
 }
 
 // Run executes the kernel. The profile (may be nil) receives the ROI and the
-// phase breakdown: "raycast", "motion", "weight", "resample".
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// phase breakdown: "raycast", "motion", "weight", "resample". A cancelled
+// ctx aborts between filter steps, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Particles <= 0 || cfg.Steps <= 0 {
 		return Result{}, errors.New("pfl: Particles and Steps must be positive")
 	}
@@ -235,6 +240,10 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		prof.End()
 	}
 	for step := 0; step < cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			prof.EndROI()
+			return res, err
+		}
 		// -- Simulate the world (outside any kernel phase): move the robot
 		// and take a scan. The commanded motion turns away from obstacles.
 		odo := commandMotion(g, truth, cfg.StepLen)

@@ -1,6 +1,7 @@
 package pfl
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/geom"
@@ -24,7 +25,7 @@ func TestTrackingConverges(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		cfg := trackingConfig()
 		cfg.Seed = seed
-		res, err := Run(cfg, nil)
+		res, err := Run(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func TestGlobalLocalizationConverges(t *testing.T) {
 	// reports the measured rate across seeds.
 	cfg := DefaultConfig()
 	cfg.Seed = 1
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,8 +56,8 @@ func TestGlobalLocalizationConverges(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	cfg := trackingConfig()
-	a, err1 := Run(cfg, nil)
-	b, err2 := Run(cfg, nil)
+	a, err1 := Run(context.Background(), cfg, nil)
+	b, err2 := Run(context.Background(), cfg, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -67,9 +68,9 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 
 func TestSeedChangesRun(t *testing.T) {
 	cfg := trackingConfig()
-	a, _ := Run(cfg, nil)
+	a, _ := Run(context.Background(), cfg, nil)
 	cfg.Seed = 2
-	b, _ := Run(cfg, nil)
+	b, _ := Run(context.Background(), cfg, nil)
 	if a.Estimate == b.Estimate {
 		t.Fatal("different seeds produced identical estimates")
 	}
@@ -78,7 +79,7 @@ func TestSeedChangesRun(t *testing.T) {
 func TestRaycastDominatesProfile(t *testing.T) {
 	cfg := trackingConfig()
 	p := profile.New()
-	if _, err := Run(cfg, p); err != nil {
+	if _, err := Run(context.Background(), cfg, p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -98,7 +99,7 @@ func TestAllFiveRegionsRun(t *testing.T) {
 		cfg.InitFactor = 3
 		cfg.Steps = 5
 		cfg.Particles = 100
-		if _, err := Run(cfg, nil); err != nil {
+		if _, err := Run(context.Background(), cfg, nil); err != nil {
 			t.Fatalf("region %d: %v", region, err)
 		}
 	}
@@ -108,9 +109,9 @@ func TestRaycastWorkScalesWithParticles(t *testing.T) {
 	cfg := trackingConfig()
 	cfg.Steps = 10
 	cfg.Particles = 100
-	small, _ := Run(cfg, nil)
+	small, _ := Run(context.Background(), cfg, nil)
 	cfg.Particles = 400
-	big, _ := Run(cfg, nil)
+	big, _ := Run(context.Background(), cfg, nil)
 	if big.Raycasts <= small.Raycasts {
 		t.Fatal("ray casts did not scale with particle count")
 	}
@@ -119,18 +120,18 @@ func TestRaycastWorkScalesWithParticles(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Particles = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero particles accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.Steps = -1
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("negative steps accepted")
 	}
 }
 
 func TestEffectiveSampleSizeSane(t *testing.T) {
-	res, err := Run(trackingConfig(), nil)
+	res, err := Run(context.Background(), trackingConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,8 +147,8 @@ func TestParallelWeightingBitIdentical(t *testing.T) {
 	serial := trackingConfig()
 	parallel := trackingConfig()
 	parallel.Workers = 4
-	a, err1 := Run(serial, nil)
-	b, err2 := Run(parallel, nil)
+	a, err1 := Run(context.Background(), serial, nil)
+	b, err2 := Run(context.Background(), parallel, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -162,7 +163,7 @@ func TestSensorDropoutTolerated(t *testing.T) {
 	// still track (the mixture model's uniform floor absorbs outliers).
 	cfg := trackingConfig()
 	cfg.Laser.Dropout = 0.2
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestLikelihoodFieldAblation(t *testing.T) {
 	cfg := trackingConfig()
 	cfg.LikelihoodField = true
 	p := profile.New()
-	res, err := Run(cfg, p)
+	res, err := Run(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestLikelihoodFieldAblation(t *testing.T) {
 }
 
 func TestCountersPopulated(t *testing.T) {
-	res, err := Run(trackingConfig(), nil)
+	res, err := Run(context.Background(), trackingConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package pp2d
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -87,8 +88,12 @@ type AnytimeRound struct {
 
 // Run executes the kernel. Harness phases: "collision" (footprint checks)
 // nested inside "search" (A*); the profile attributes time exclusively, so
-// the two fractions are directly comparable to the paper's.
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// the two fractions are directly comparable to the paper's. A cancelled ctx
+// aborts the search loop promptly, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := cfg.Map
 	if g == nil {
 		g = DefaultMap(512, cfg.Seed)
@@ -128,6 +133,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		Goal:   base.ID(gx, gy),
 		H:      h,
 		Weight: cfg.Weight,
+		Ctx:    ctx,
 	}
 
 	prof.BeginROI()

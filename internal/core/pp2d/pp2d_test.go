@@ -1,6 +1,7 @@
 package pp2d
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ func smallConfig() Config {
 }
 
 func TestFindsPath(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestFindsPath(t *testing.T) {
 
 func TestPathIsCollisionFree(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestPathIsCollisionFree(t *testing.T) {
 
 func TestCollisionDominatesProfile(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -73,7 +74,7 @@ func TestBlockedMapErrors(t *testing.T) {
 	g.Fill(0, 0, 49, 49, true)
 	cfg := DefaultConfig()
 	cfg.Map = g
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("fully blocked map did not error")
 	}
 }
@@ -89,7 +90,7 @@ func TestUnreachableGoal(t *testing.T) {
 	cfg.Map = g
 	cfg.StartX, cfg.StartY = 10, 30
 	cfg.GoalX, cfg.GoalY = 50, 30
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err == nil || res.Found {
 		t.Fatal("wall-separated goal reported reachable")
 	}
@@ -102,7 +103,7 @@ func TestExplicitStartGoal(t *testing.T) {
 	cfg.Map = g
 	cfg.StartX, cfg.StartY = 20, 20
 	cfg.GoalX, cfg.GoalY = 60, 60
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil || !res.Found {
 		t.Fatalf("open-map plan failed: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestCollisionStartRejected(t *testing.T) {
 	cfg.Map = g
 	cfg.StartX, cfg.StartY = 10, 10 // inside the block
 	cfg.GoalX, cfg.GoalY = 30, 30
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("start inside an obstacle accepted")
 	}
 }
@@ -129,7 +130,7 @@ func TestCollisionStartRejected(t *testing.T) {
 func TestInvalidFootprint(t *testing.T) {
 	cfg := smallConfig()
 	cfg.CarLength = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero-length car accepted")
 	}
 }
@@ -137,7 +138,7 @@ func TestInvalidFootprint(t *testing.T) {
 func TestAnytimePlanningImproves(t *testing.T) {
 	cfg := smallConfig()
 	cfg.AnytimeSchedule = []float64{3, 1.5, 1}
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestAnytimePlanningImproves(t *testing.T) {
 	}
 	// The final round at ε=1 must match plain optimal A*.
 	plain := smallConfig()
-	opt, err := Run(plain, nil)
+	opt, err := Run(context.Background(), plain, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,13 +164,13 @@ func TestAnytimePlanningImproves(t *testing.T) {
 
 func TestWeightedSearchFasterButCostlier(t *testing.T) {
 	base := smallConfig()
-	res1, err := Run(base, nil)
+	res1, err := Run(context.Background(), base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	weighted := smallConfig()
 	weighted.Weight = 3
-	res2, err := Run(weighted, nil)
+	res2, err := Run(context.Background(), weighted, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package pp3d
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/collision"
@@ -71,8 +72,12 @@ type Result struct {
 }
 
 // Run executes the kernel. Harness phases: "collision" (voxel checks)
-// nested inside "search" (A*).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// nested inside "search" (A*). A cancelled ctx aborts the search loop
+// promptly, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := cfg.Map
 	if g == nil {
 		g = DefaultMap(160, 160, 24, cfg.Seed)
@@ -115,6 +120,7 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		Goal:   base.ID(gx, gy, gz),
 		H:      base.EuclideanHeuristic(gx, gy, gz),
 		Weight: cfg.Weight,
+		Ctx:    ctx,
 	})
 	prof.End()
 	prof.StepDone() // one-shot planner: the whole episode is one step

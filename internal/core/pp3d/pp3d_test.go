@@ -1,6 +1,7 @@
 package pp3d
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -14,7 +15,7 @@ func smallConfig() Config {
 }
 
 func TestFindsPath(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestFindsPath(t *testing.T) {
 
 func TestPathIsValid(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPathIsValid(t *testing.T) {
 
 func TestProfileSplitsCollisionAndSearch(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -71,13 +72,13 @@ func TestProfileSplitsCollisionAndSearch(t *testing.T) {
 
 func TestRadiusMakesPlanningHarder(t *testing.T) {
 	point := smallConfig()
-	a, err := Run(point, nil)
+	a, err := Run(context.Background(), point, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fat := smallConfig()
 	fat.Radius = 1
-	b, err := Run(fat, nil)
+	b, err := Run(context.Background(), fat, nil)
 	if err != nil {
 		// A fat UAV may legitimately fail on a tight map; that still
 		// demonstrates the radius bites.
@@ -96,7 +97,7 @@ func TestUnreachableGoal(t *testing.T) {
 	cfg.Map = g
 	cfg.StartX, cfg.StartY, cfg.StartZ = 2, 10, 3
 	cfg.GoalX, cfg.GoalY, cfg.GoalZ = 18, 10, 3
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err == nil || res.Found {
 		t.Fatal("goal behind a full wall reported reachable")
 	}
@@ -105,7 +106,7 @@ func TestUnreachableGoal(t *testing.T) {
 func TestNegativeRadiusRejected(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Radius = -1
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("negative radius accepted")
 	}
 }
@@ -113,7 +114,7 @@ func TestNegativeRadiusRejected(t *testing.T) {
 func TestSmoothingShortensWaypoints(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Smooth = true
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,8 +131,8 @@ func TestSmoothingShortensWaypoints(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.Expanded != b.Expanded || a.PathLength != b.PathLength {
 		t.Fatal("same seed diverged")
 	}

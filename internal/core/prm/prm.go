@@ -11,6 +11,7 @@
 package prm
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -80,8 +81,12 @@ type Result struct {
 
 // Run executes the kernel. Harness phases: offline "sample" and "connect";
 // online "query" wrapping the A* search (the critical path the paper calls
-// out).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// out). A cancelled ctx aborts any of the three phases promptly, returning
+// ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	a := cfg.Arm
 	if a == nil {
 		a = arm.Default5DoF()
@@ -130,6 +135,11 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	nodes := make([][]float64, 0, cfg.Samples)
 	tree := kdtree.New(dof, nil)
 	for len(nodes) < cfg.Samples {
+		if err := ctx.Err(); err != nil {
+			prof.End()
+			prof.EndROI()
+			return res, err
+		}
 		c := make([]float64, dof)
 		for i := range c {
 			c[i] = r.Uniform(-math.Pi, math.Pi)
@@ -147,6 +157,13 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	prof.Begin("connect")
 	adj := make([][]edge, len(nodes))
 	for i, c := range nodes {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				prof.End()
+				prof.EndROI()
+				return res, err
+			}
+		}
 		for _, j := range tree.KNearest(c, cfg.K+1) {
 			if j == i || j > i {
 				continue // undirected; connect each pair once
@@ -186,13 +203,16 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	var sr search.Result
 	var serr error
 	if !cfg.Lazy {
-		sr, serr = search.Solve(search.Problem{Space: sp, Start: startID, Goal: goalID, H: h})
+		sr, serr = search.Solve(search.Problem{Space: sp, Start: startID, Goal: goalID, H: h, Ctx: ctx})
 	} else {
 		// Lazy PRM query loop: search over the optimistic roadmap, validate
 		// only the edges on the candidate path, drop invalid ones, repeat.
 		validated := map[[2]int]bool{}
 		for {
-			sr, serr = search.Solve(search.Problem{Space: sp, Start: startID, Goal: goalID, H: h})
+			if serr = ctx.Err(); serr != nil {
+				break
+			}
+			sr, serr = search.Solve(search.Problem{Space: sp, Start: startID, Goal: goalID, H: h, Ctx: ctx})
 			if serr != nil || !sr.Found {
 				break
 			}

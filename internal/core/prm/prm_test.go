@@ -1,6 +1,7 @@
 package prm
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arm"
@@ -15,7 +16,7 @@ func smallConfig() Config {
 }
 
 func TestFindsPathInMapC(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestFindsPathInMapC(t *testing.T) {
 func TestPathIsCollisionFree(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Workspace = arm.MapC()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +54,8 @@ func TestMapFEasierThanMapC(t *testing.T) {
 	free.Workspace = arm.MapF()
 	cluttered := smallConfig()
 	cluttered.Workspace = arm.MapC()
-	a, err1 := Run(free, nil)
-	b, err2 := Run(cluttered, nil)
+	a, err1 := Run(context.Background(), free, nil)
+	b, err2 := Run(context.Background(), cluttered, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -70,7 +71,7 @@ func TestMapFEasierThanMapC(t *testing.T) {
 
 func TestOfflineOnlinePhases(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -92,8 +93,8 @@ func TestMoreSamplesShorterPaths(t *testing.T) {
 	sparse.Samples = 400
 	dense := smallConfig()
 	dense.Samples = 2000
-	a, err1 := Run(sparse, nil)
-	b, err2 := Run(dense, nil)
+	a, err1 := Run(context.Background(), sparse, nil)
+	b, err2 := Run(context.Background(), dense, nil)
 	if err1 != nil || err2 != nil {
 		t.Skipf("a sparse roadmap may fail to connect: %v %v", err1, err2)
 	}
@@ -106,8 +107,8 @@ func TestLazyPRMSlashesCollisionWork(t *testing.T) {
 	eager := smallConfig()
 	lazy := smallConfig()
 	lazy.Lazy = true
-	a, err1 := Run(eager, nil)
-	b, err2 := Run(lazy, nil)
+	a, err1 := Run(context.Background(), eager, nil)
+	b, err2 := Run(context.Background(), lazy, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -132,7 +133,7 @@ func TestLazyPRMPathIsCollisionFree(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Lazy = true
 	cfg.Workspace = arm.MapC()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestLazyPRMPathIsCollisionFree(t *testing.T) {
 func TestCollidingEndpointsRejected(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Start = make([]float64, 5) // straight +X pose collides in Map-C
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("colliding start accepted")
 	}
 }
@@ -158,19 +159,19 @@ func TestCollidingEndpointsRejected(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Samples = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero samples accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.K = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero K accepted")
 	}
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.PathCost != b.PathCost || a.RoadmapEdges != b.RoadmapEdges {
 		t.Fatal("same seed diverged")
 	}

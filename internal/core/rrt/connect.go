@@ -1,6 +1,7 @@
 package rrt
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -17,8 +18,12 @@ import (
 // cluttered arm problems — the suite includes it as the natural extension
 // of kernels 08-10.
 //
-// Harness phases match Run: "sample", "nn", "collision".
-func RunConnect(cfg Config, prof *profile.Profile) (Result, error) {
+// Harness phases match Run: "sample", "nn", "collision". A cancelled ctx
+// aborts between sampling iterations, returning ctx.Err().
+func RunConnect(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res Result
 	prof.BeginROI()
 	p, err := newPlanner(cfg, prof, &res)
@@ -69,6 +74,13 @@ func RunConnect(cfg Config, prof *profile.Profile) (Result, error) {
 
 	var bridgeA, bridgeB = -1, -1
 	for res.Samples = 0; res.Samples < cfg.MaxSamples && bridgeA < 0; res.Samples++ {
+		if err := ctx.Err(); err != nil {
+			res.TreeNodes = len(p.nodes) + len(goalTree.nodes)
+			res.DistCalls = p.tree.DistCalls + goalTree.kd.DistCalls
+			res.SegChecks = p.ws.SegChecks
+			prof.EndROI()
+			return res, err
+		}
 		p.sample(sample)
 
 		// EXTEND tree A toward the sample.

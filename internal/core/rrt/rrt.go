@@ -17,6 +17,7 @@
 package rrt
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -251,8 +252,12 @@ func (p *planner) collectStats() {
 }
 
 // Run executes the plain RRT kernel. Harness phases: "sample", "nn",
-// "collision".
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// "collision". A cancelled ctx aborts between sampling iterations,
+// returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res Result
 	prof.BeginROI()
 	p, err := newPlanner(cfg, prof, &res)
@@ -263,6 +268,11 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	sample := make([]float64, p.arm.DoF())
 	newCfg := make([]float64, p.arm.DoF())
 	for res.Samples = 0; res.Samples < cfg.MaxSamples; res.Samples++ {
+		if err := ctx.Err(); err != nil {
+			p.collectStats()
+			prof.EndROI()
+			return res, err
+		}
 		p.sample(sample)
 		ni := p.nearest(sample)
 		p.steer(p.nodes[ni].cfg, sample, newCfg)
@@ -288,8 +298,12 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 
 // RunStar executes the RRT* kernel. Harness phases add "rewire" on top of
 // RRT's. The search continues through the full sample budget, improving the
-// best goal connection as the tree densifies.
-func RunStar(cfg Config, prof *profile.Profile) (Result, error) {
+// best goal connection as the tree densifies. A cancelled ctx aborts
+// between sampling iterations, returning ctx.Err().
+func RunStar(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res Result
 	prof.BeginROI()
 	p, err := newPlanner(cfg, prof, &res)
@@ -307,6 +321,11 @@ func RunStar(cfg Config, prof *profile.Profile) (Result, error) {
 	bestCost := math.Inf(1)
 
 	for res.Samples = 0; res.Samples < cfg.MaxSamples; res.Samples++ {
+		if err := ctx.Err(); err != nil {
+			p.collectStats()
+			prof.EndROI()
+			return res, err
+		}
 		p.sample(sample)
 		ni := p.nearest(sample)
 		p.steer(p.nodes[ni].cfg, sample, newCfg)
@@ -407,9 +426,13 @@ func (p *planner) propagate(id int, delta float64) {
 }
 
 // RunPP executes the RRT-with-post-processing kernel: a plain RRT run
-// followed by randomized shortcutting. Harness phases add "shortcut".
-func RunPP(cfg Config, prof *profile.Profile) (Result, error) {
-	res, err := Run(cfg, prof)
+// followed by randomized shortcutting. Harness phases add "shortcut". A
+// cancelled ctx aborts either stage, returning ctx.Err().
+func RunPP(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := Run(ctx, cfg, prof)
 	if err != nil || !res.Found {
 		return res, err
 	}
@@ -437,6 +460,13 @@ func RunPP(cfg Config, prof *profile.Profile) (Result, error) {
 	prof.Begin("shortcut")
 	path := res.Path
 	for it := 0; it < iters && len(path) > 2; it++ {
+		if err := ctx.Err(); err != nil {
+			prof.End()
+			prof.EndROI()
+			res.Path = path
+			res.PathCost = pathCost(path)
+			return res, err
+		}
 		i := r.Intn(len(path) - 2)
 		j := i + 2 + r.Intn(len(path)-i-2)
 		// Shortcut i -> j if the direct motion is free (triangle

@@ -1,6 +1,7 @@
 package rrt
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arm"
@@ -48,7 +49,7 @@ func validatePath(t *testing.T, path [][]float64, cfg Config) {
 
 func TestRRTFindsValidPath(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestRRTFindsValidPath(t *testing.T) {
 
 func TestRRTStarFindsValidShorterPath(t *testing.T) {
 	cfg := smallConfig()
-	base, err := Run(cfg, nil)
+	base, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := RunStar(cfg, nil)
+	star, err := RunStar(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +80,8 @@ func TestRRTStarFindsValidShorterPath(t *testing.T) {
 
 func TestRRTPPBetweenRRTAndStar(t *testing.T) {
 	cfg := smallConfig()
-	base, err1 := Run(cfg, nil)
-	pp, err2 := RunPP(cfg, nil)
+	base, err1 := Run(context.Background(), cfg, nil)
+	pp, err2 := RunPP(context.Background(), cfg, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -95,7 +96,7 @@ func TestRRTPPBetweenRRTAndStar(t *testing.T) {
 
 func TestCollisionAndNNPhasesPresent(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -117,11 +118,11 @@ func TestRRTStarNNWorkGrows(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		cfg := smallConfig()
 		cfg.Seed = seed
-		a, err := Run(cfg, nil)
+		a, err := Run(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := RunStar(cfg, nil)
+		b, err := RunStar(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestRRTStarNNWorkGrows(t *testing.T) {
 func TestMapFEasy(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Workspace = arm.MapF()
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ func TestGoalBiasHelps(t *testing.T) {
 	weak := smallConfig()
 	weak.Bias = 0.005
 	weak.Workspace = arm.MapF()
-	a, err := Run(biased, nil)
+	a, err := Run(context.Background(), biased, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, errWeak := Run(weak, nil)
+	b, errWeak := Run(context.Background(), weak, nil)
 	if errWeak != nil {
 		return // weak bias exhausting the budget also demonstrates the point
 	}
@@ -173,24 +174,24 @@ func TestGoalBiasHelps(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxSamples = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero samples accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.Epsilon = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero epsilon accepted")
 	}
 	cfg = smallConfig()
 	cfg.Radius = 0
-	if _, err := RunStar(cfg, nil); err == nil {
+	if _, err := RunStar(context.Background(), cfg, nil); err == nil {
 		t.Fatal("RRT* with zero radius accepted")
 	}
 }
 
 func TestRRTConnectFindsValidPath(t *testing.T) {
 	cfg := smallConfig()
-	res, err := RunConnect(cfg, nil)
+	res, err := RunConnect(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,11 +208,11 @@ func TestRRTConnectFasterThanRRT(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		cfg := smallConfig()
 		cfg.Seed = seed
-		a, err := Run(cfg, nil)
+		a, err := Run(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := RunConnect(cfg, nil)
+		b, err := RunConnect(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func TestRRTConnectFasterThanRRT(t *testing.T) {
 
 func TestRRTConnectPathEndpoints(t *testing.T) {
 	cfg := smallConfig()
-	res, err := RunConnect(cfg, nil)
+	res, err := RunConnect(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,14 +240,14 @@ func TestRRTConnectPathEndpoints(t *testing.T) {
 func TestCollidingStartRejected(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Start = make([]float64, 5) // straight +X pose collides in Map-C
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("colliding start accepted")
 	}
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.PathCost != b.PathCost || a.Samples != b.Samples {
 		t.Fatal("same seed diverged")
 	}
@@ -255,7 +256,7 @@ func TestDeterminism(t *testing.T) {
 func TestTinySampleBudgetFails(t *testing.T) {
 	cfg := smallConfig()
 	cfg.MaxSamples = 5
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("5-sample RRT claimed success in Map-C")
 	}
 }

@@ -11,6 +11,7 @@
 package srec
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -100,7 +101,10 @@ type Result struct {
 // nearest-neighbor matching), "matrix" (cross-covariance, the 4×4
 // eigenproblem, and transform composition), "apply" (transforming the source
 // cloud).
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Cols <= 1 || cfg.Rows <= 1 || cfg.Iterations <= 0 {
 		return Result{}, errors.New("srec: Cols, Rows, Iterations must be > 1, > 1, > 0")
 	}
@@ -177,6 +181,10 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 	prevErr := math.Inf(1)
 	q := make([]float64, 3)
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			prof.EndROI()
+			return res, err
+		}
 		res.Iterations = iter + 1
 
 		// Trimmed ICP: once the alignment tightens, shrink the

@@ -1,6 +1,7 @@
 package srec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/profile"
@@ -14,7 +15,7 @@ func smallConfig() Config {
 }
 
 func TestICPRecoversAlignment(t *testing.T) {
-	res, err := Run(smallConfig(), nil)
+	res, err := Run(context.Background(), smallConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,8 +36,8 @@ func TestWorsensWithoutIterations(t *testing.T) {
 	one := smallConfig()
 	one.Iterations = 1
 	many := smallConfig()
-	a, err1 := Run(one, nil)
-	b, err2 := Run(many, nil)
+	a, err1 := Run(context.Background(), one, nil)
+	b, err2 := Run(context.Background(), many, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -48,7 +49,7 @@ func TestWorsensWithoutIterations(t *testing.T) {
 
 func TestCorrespondenceDominates(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(smallConfig(), p); err != nil {
+	if _, err := Run(context.Background(), smallConfig(), p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -61,8 +62,8 @@ func TestVoxelDownsampleReducesWork(t *testing.T) {
 	full := smallConfig()
 	down := smallConfig()
 	down.VoxelSize = 0.1
-	a, err1 := Run(full, nil)
-	b, err2 := Run(down, nil)
+	a, err1 := Run(context.Background(), full, nil)
+	b, err2 := Run(context.Background(), down, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -76,8 +77,8 @@ func TestVoxelDownsampleReducesWork(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, _ := Run(smallConfig(), nil)
-	b, _ := Run(smallConfig(), nil)
+	a, _ := Run(context.Background(), smallConfig(), nil)
+	b, _ := Run(context.Background(), smallConfig(), nil)
 	if a.RMSE != b.RMSE || a.NNQueries != b.NNQueries {
 		t.Fatal("same seed diverged")
 	}
@@ -86,12 +87,12 @@ func TestDeterminism(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Iterations = 0
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("zero iterations accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.Cols = 1
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("degenerate camera accepted")
 	}
 }
@@ -101,8 +102,8 @@ func TestPointToPlaneConvergesFasterAndTighter(t *testing.T) {
 	pt.Method = PointToPoint
 	pl := smallConfig()
 	pl.Method = PointToPlane
-	a, err1 := Run(pt, nil)
-	b, err2 := Run(pl, nil)
+	a, err1 := Run(context.Background(), pt, nil)
+	b, err2 := Run(context.Background(), pl, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -121,7 +122,7 @@ func TestNormalsOnRoomWalls(t *testing.T) {
 	// Scan a wall-dominated scene and check the normals are unit length.
 	cfg := smallConfig()
 	cfg.Method = PointToPlane
-	if _, err := Run(cfg, nil); err != nil {
+	if _, err := Run(context.Background(), cfg, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -130,7 +131,7 @@ func TestConvergenceStopsEarly(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Iterations = 500
 	cfg.ConvergeTol = 1e-3
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

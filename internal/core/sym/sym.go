@@ -6,6 +6,7 @@
 package sym
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/profile"
@@ -62,8 +63,12 @@ type Result struct {
 }
 
 // Run executes the kernel. Harness phases (from the planner): "search" and
-// "strings".
-func Run(cfg Config, prof *profile.Profile) (Result, error) {
+// "strings". A cancelled ctx aborts the planner's search loop promptly and
+// returns ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var prob *symbolic.Problem
 	switch cfg.Domain {
 	case BlocksWorld:
@@ -94,7 +99,12 @@ func Run(cfg Config, prof *profile.Profile) (Result, error) {
 		MaxExpansions: cfg.MaxExpansions,
 		Heuristic:     h,
 		Prof:          prof,
+		Ctx:           ctx,
 	})
+	if err := ctx.Err(); err != nil {
+		prof.EndROI()
+		return Result{GroundActions: len(prob.Actions)}, err
+	}
 	prof.StepDone() // one-shot planner: the whole episode is one step
 	prof.EndROI()
 

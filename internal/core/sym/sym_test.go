@@ -1,6 +1,7 @@
 package sym
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestBlocksWorldKernel(t *testing.T) {
 	cfg := DefaultConfig(BlocksWorld)
 	cfg.Blocks = 5
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestBlocksWorldKernel(t *testing.T) {
 
 func TestFirefighterKernel(t *testing.T) {
 	cfg := DefaultConfig(Firefighter)
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,8 +45,8 @@ func TestFirefighterKernel(t *testing.T) {
 }
 
 func TestFextBranchingHigher(t *testing.T) {
-	blkw, err1 := Run(Config{Domain: BlocksWorld, Blocks: 6}, nil)
-	fext, err2 := Run(Config{Domain: Firefighter, Locations: 5, Pours: 3}, nil)
+	blkw, err1 := Run(context.Background(), Config{Domain: BlocksWorld, Blocks: 6}, nil)
+	fext, err2 := Run(context.Background(), Config{Domain: Firefighter, Locations: 5, Pours: 3}, nil)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -59,7 +60,7 @@ func TestFextBranchingHigher(t *testing.T) {
 
 func TestProfilePhases(t *testing.T) {
 	p := profile.New()
-	if _, err := Run(Config{Domain: Firefighter, Locations: 5, Pours: 3}, p); err != nil {
+	if _, err := Run(context.Background(), Config{Domain: Firefighter, Locations: 5, Pours: 3}, p); err != nil {
 		t.Fatal(err)
 	}
 	rep := p.Snapshot()
@@ -70,24 +71,24 @@ func TestProfilePhases(t *testing.T) {
 }
 
 func TestUnknownDomain(t *testing.T) {
-	if _, err := Run(Config{Domain: "nope"}, nil); err == nil {
+	if _, err := Run(context.Background(), Config{Domain: "nope"}, nil); err == nil {
 		t.Fatal("unknown domain accepted")
 	}
 }
 
 func TestMaxExpansionsPropagates(t *testing.T) {
 	cfg := Config{Domain: BlocksWorld, Blocks: 7, MaxExpansions: 2}
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("capped search still produced a plan")
 	}
 }
 
 func TestDefaultsFilled(t *testing.T) {
 	// Zero-value sizes get defaults rather than panicking.
-	if _, err := Run(Config{Domain: BlocksWorld}, nil); err != nil {
+	if _, err := Run(context.Background(), Config{Domain: BlocksWorld}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(Config{Domain: Firefighter}, nil); err != nil {
+	if _, err := Run(context.Background(), Config{Domain: Firefighter}, nil); err != nil {
 		t.Fatal(err)
 	}
 }

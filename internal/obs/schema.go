@@ -56,6 +56,22 @@ func StepsFromSummary(s Summary) *StepReport {
 	}
 }
 
+// TrialsReport aggregates the measured trials of one kernel in a suite
+// sweep (`report -trials N`). It is an optional, backward-compatible
+// addition to rtrbench.report/v1: single-run reports omit it. roi_* are the
+// per-trial ROI statistics; steps is the latency distribution merged over
+// every trial (the per-trial one stays in the top-level steps field).
+type TrialsReport struct {
+	Trials           int              `json:"trials"`
+	Warmup           int              `json:"warmup,omitempty"`
+	ROIMeanSeconds   float64          `json:"roi_mean_seconds"`
+	ROIMinSeconds    float64          `json:"roi_min_seconds"`
+	ROIMaxSeconds    float64          `json:"roi_max_seconds"`
+	ROIStddevSeconds float64          `json:"roi_stddev_seconds"`
+	Counters         map[string]int64 `json:"counters,omitempty"`
+	Steps            *StepReport      `json:"steps,omitempty"`
+}
+
 // KernelReport is one kernel execution in the shared machine-readable
 // schema. cmd/rtrbench emits one report per run; cmd/report emits an array
 // (one per kernel of the Table I sweep). Fields tied to the paper's
@@ -75,6 +91,7 @@ type KernelReport struct {
 	Counters         map[string]int64   `json:"counters,omitempty"`
 	Metrics          map[string]float64 `json:"metrics,omitempty"`
 	Steps            *StepReport        `json:"steps,omitempty"`
+	Trials           *TrialsReport      `json:"trials,omitempty"`
 	Error            string             `json:"error,omitempty"`
 }
 
@@ -97,9 +114,9 @@ func WriteJSONAll(w io.Writer, rs []KernelReport) error {
 }
 
 // csvHeader is the flat CSV layout: one row per record. `record` is one of
-// roi, phase, counter, metric, step; durations are in seconds. calls and
-// fraction are only meaningful for phase rows and step rows (calls = sample
-// count, fraction unused).
+// roi, phase, counter, metric, step, trial; durations are in seconds. calls
+// and fraction are only meaningful for phase rows, step rows (calls =
+// sample count, fraction unused), and trial rows (calls = trial count).
 var csvHeader = []string{"schema", "kernel", "record", "name", "value", "calls", "fraction"}
 
 // WriteCSVAll writes one or more reports as a single flat CSV table with a
@@ -168,6 +185,20 @@ func writeCSVRows(cw *csv.Writer, r KernelReport) error {
 		}
 		for _, st := range steps {
 			if err := row("step", st.name, f(st.value), s.Count, 0); err != nil {
+				return err
+			}
+		}
+	}
+	if tr := r.Trials; tr != nil {
+		trials := []struct {
+			name  string
+			value float64
+		}{
+			{"roi_mean", tr.ROIMeanSeconds}, {"roi_min", tr.ROIMinSeconds},
+			{"roi_max", tr.ROIMaxSeconds}, {"roi_stddev", tr.ROIStddevSeconds},
+		}
+		for _, t := range trials {
+			if err := row("trial", t.name, f(t.value), int64(tr.Trials), 0); err != nil {
 				return err
 			}
 		}

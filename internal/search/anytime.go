@@ -85,6 +85,11 @@ func SolveAnytime(p Problem, schedule []float64) ([]AnytimeResult, error) {
 
 		expanded := 0
 		for open.Len() > 0 {
+			if p.Ctx != nil && expanded%ctxCheckStride == 0 {
+				if err := p.Ctx.Err(); err != nil {
+					return results, err
+				}
+			}
 			// Stop when the incumbent is provably within ε of optimal
 			// under the current inflation: f(goal) <= min key.
 			_, minKey := open.Peek()

@@ -12,6 +12,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -55,6 +56,11 @@ type Problem struct {
 	// MaxExpansions aborts the search after this many expansions
 	// (0 = unlimited).
 	MaxExpansions int
+
+	// Ctx, when non-nil, cancels the search: Solve polls it every
+	// ctxCheckStride expansions and returns the partial Result with
+	// Ctx.Err(). A nil Ctx is never polled (no overhead).
+	Ctx context.Context
 }
 
 // Result reports the outcome of a search.
@@ -68,6 +74,11 @@ type Result struct {
 
 // ErrNoPath is returned when the goal is unreachable.
 var ErrNoPath = errors.New("search: no path to goal")
+
+// ctxCheckStride bounds how stale a cancellation can go unnoticed: the
+// context is polled once per this many expansions, keeping the check off
+// the per-neighbor fast path while still aborting within microseconds.
+const ctxCheckStride = 1024
 
 // Solve runs best-first search on p. It returns ErrNoPath when the open list
 // empties (or MaxExpansions is hit) without reaching a goal state.
@@ -104,6 +115,11 @@ func Solve(p Problem) (Result, error) {
 
 	var res Result
 	for open.Len() > 0 {
+		if p.Ctx != nil && res.Expanded%ctxCheckStride == 0 {
+			if err := p.Ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		id, _ := open.Pop()
 		if book.closed(id) {
 			continue

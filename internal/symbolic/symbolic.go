@@ -12,6 +12,7 @@
 package symbolic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -236,6 +237,10 @@ type SolveOptions struct {
 	Heuristic HeuristicKind
 	// Prof receives the "search"/"strings" phase breakdown; may be nil.
 	Prof *profile.Profile
+	// Ctx, when non-nil, cancels the search: SolveWith polls it
+	// periodically and returns nil. Callers that set Ctx must check
+	// Ctx.Err() to distinguish cancellation from plan-not-found.
+	Ctx context.Context
 }
 
 // Solve searches for a plan with A*, using the count of unsatisfied goal
@@ -368,6 +373,12 @@ func SolveWith(p *Problem, opts SolveOptions) *Plan {
 
 	prof.Begin("search")
 	for len(heap) > 0 {
+		if opts.Ctx != nil && stats.Expanded%512 == 0 {
+			if err := opts.Ctx.Err(); err != nil {
+				prof.End()
+				return nil
+			}
+		}
 		cur := pop()
 		if closed[cur.id] {
 			continue

@@ -1,6 +1,7 @@
 package rtrbench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core/mpc"
@@ -32,7 +33,7 @@ func TestPipelineIntegration(t *testing.T) {
 	prior := start
 	locCfg.TrackingPrior = &prior
 	locCfg.TrackingSpread = 2
-	loc, err := pfl.Run(locCfg, nil)
+	loc, err := pfl.Run(context.Background(), locCfg, nil)
 	if err != nil {
 		t.Fatalf("perception: %v", err)
 	}
@@ -55,7 +56,7 @@ func TestPipelineIntegration(t *testing.T) {
 	planCfg.Map = city
 	planCfg.StartX, planCfg.StartY = sxp, syp
 	planCfg.GoalX, planCfg.GoalY = gx, gy
-	plan, err := pp2d.Run(planCfg, nil)
+	plan, err := pp2d.Run(context.Background(), planCfg, nil)
 	if err != nil {
 		t.Fatalf("planning: %v", err)
 	}
@@ -82,7 +83,7 @@ func TestPipelineIntegration(t *testing.T) {
 	ctlCfg := mpc.DefaultConfig()
 	ctlCfg.Reference = ref
 	ctlCfg.Steps = 100
-	ctl, err := mpc.Run(ctlCfg, nil)
+	ctl, err := mpc.Run(context.Background(), ctlCfg, nil)
 	if err != nil {
 		t.Fatalf("control: %v", err)
 	}

@@ -1,0 +1,37 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/bo"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "bo", Index: 16, Stage: Control,
+		Description:      "Bayesian optimization (GP-UCB) of the throwing policy",
+		PaperBottlenecks: []string{"Sort"},
+		ExpectDominant:   []string{"acquisition", "gp-fit", "sort"},
+	}, spec[bo.Config]{
+		configure: func(o Options) (bo.Config, error) {
+			cfg := bo.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Iterations = 15
+				cfg.Candidates = 400
+			}
+			return cfg, noVariant("bo", o)
+		},
+		run: func(ctx context.Context, cfg bo.Config, p *profile.Profile) (Result, error) {
+			kr, err := bo.Run(ctx, cfg, p)
+			res := newResult("bo", Control, p.Snapshot())
+			res.Metrics["best_reward"] = kr.BestReward
+			res.Metrics["evals"] = float64(kr.Evals)
+			res.Metrics["gp_fits"] = float64(kr.GPFits)
+			res.Metrics["predictions"] = float64(kr.Predictions)
+			res.Series["rewards"] = kr.Rewards
+			return res, err
+		},
+	})
+}

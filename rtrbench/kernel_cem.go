@@ -1,0 +1,37 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/cem"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "cem", Index: 15, Stage: Control,
+		Description:      "Cross-entropy method learning a ball-throwing policy",
+		PaperBottlenecks: []string{"Sort"},
+		ExpectDominant:   []string{"sort", "sample", "update"},
+	}, spec[cem.Config]{
+		configure: func(o Options) (cem.Config, error) {
+			cfg := cem.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Iterations = 3
+				cfg.SamplesPerIter = 8
+				cfg.Elite = 3
+			}
+			return cfg, noVariant("cem", o)
+		},
+		run: func(ctx context.Context, cfg cem.Config, p *profile.Profile) (Result, error) {
+			kr, err := cem.Run(ctx, cfg, p)
+			res := newResult("cem", Control, p.Snapshot())
+			res.Metrics["best_reward"] = kr.BestReward
+			res.Metrics["evals"] = float64(kr.Evals)
+			res.Series["rewards"] = kr.Rewards
+			res.Series["best_per_iter"] = kr.BestPerIter
+			return res, err
+		},
+	})
+}

@@ -1,0 +1,43 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/dmp"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "dmp", Index: 13, Stage: Control,
+		Description:      "Dynamic movement primitives trajectory generation",
+		PaperBottlenecks: []string{"Fine-grained serialization"},
+		ExpectDominant:   []string{"rollout", "train"},
+	}, spec[dmp.Config]{
+		configure: func(o Options) (dmp.Config, error) {
+			cfg := dmp.DefaultConfig()
+			if o.Size == SizeSmall {
+				cfg.Steps = 600
+			}
+			return cfg, noVariant("dmp", o)
+		},
+		run: func(ctx context.Context, cfg dmp.Config, p *profile.Profile) (Result, error) {
+			kr, err := dmp.Run(ctx, cfg, p)
+			res := newResult("dmp", Control, p.Snapshot())
+			if err == nil {
+				res.Metrics["track_rmse_m"] = kr.TrackRMSE
+				res.Metrics["endpoint_error_m"] = kr.EndpointError
+				res.Metrics["serial_steps"] = float64(kr.SerialSteps)
+				res.Series["velocity"] = kr.Velocity
+				xs := make([]float64, len(kr.Generated.Points))
+				ys := make([]float64, len(kr.Generated.Points))
+				for i, pt := range kr.Generated.Points {
+					xs[i], ys[i] = pt.P.X, pt.P.Y
+				}
+				res.Series["traj_x"] = xs
+				res.Series["traj_y"] = ys
+			}
+			return res, err
+		},
+	})
+}

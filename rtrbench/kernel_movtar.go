@@ -1,0 +1,50 @@
+package rtrbench
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core/movtar"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "movtar", Index: 6, Stage: Planning,
+		Description:      "Catching a moving target with Weighted A* over space-time",
+		PaperBottlenecks: []string{"Input-dependent"},
+		ExpectDominant:   []string{"search", "heuristic"},
+	}, spec[movtar.Config]{
+		configure: func(o Options) (movtar.Config, error) {
+			cfg := movtar.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Size = 96
+			}
+			// The variant is the terrain edge length for the paper's
+			// input-dependence sweep.
+			if o.Variant != "" {
+				n, err := strconv.Atoi(o.Variant)
+				if err != nil {
+					return cfg, fmt.Errorf("movtar: unknown variant %q", o.Variant)
+				}
+				if n <= 8 {
+					return cfg, fmt.Errorf("movtar: variant size %d too small (must be > 8)", n)
+				}
+				cfg.Size = n
+			}
+			return cfg, nil
+		},
+		run: func(ctx context.Context, cfg movtar.Config, p *profile.Profile) (Result, error) {
+			kr, err := movtar.Run(ctx, cfg, p)
+			res := newResult("movtar", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["catch_time"] = float64(kr.CatchTime)
+			res.Metrics["path_cost"] = kr.PathCost
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["heuristic_cells"] = float64(kr.HeuristicCells)
+			return res, err
+		},
+	})
+}

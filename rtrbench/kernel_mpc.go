@@ -1,0 +1,36 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/mpc"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "mpc", Index: 14, Stage: Control,
+		Description:      "Model predictive control tracking a reference trajectory",
+		PaperBottlenecks: []string{"Optimization"},
+		ExpectDominant:   []string{"optimize"},
+	}, spec[mpc.Config]{
+		configure: func(o Options) (mpc.Config, error) {
+			cfg := mpc.DefaultConfig()
+			if o.Size == SizeSmall {
+				cfg.Steps = 50
+				cfg.Horizon = 10
+				cfg.Iterations = 15
+			}
+			return cfg, noVariant("mpc", o)
+		},
+		run: func(ctx context.Context, cfg mpc.Config, p *profile.Profile) (Result, error) {
+			kr, err := mpc.Run(ctx, cfg, p)
+			res := newResult("mpc", Control, p.Snapshot())
+			res.Metrics["track_rmse_m"] = kr.TrackRMSE
+			res.Metrics["max_deviation_m"] = kr.MaxDeviation
+			res.Metrics["vel_violations"] = float64(kr.VelViolations)
+			res.Metrics["rollouts"] = float64(kr.Rollouts)
+			return res, err
+		},
+	})
+}

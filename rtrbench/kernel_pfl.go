@@ -1,0 +1,49 @@
+package rtrbench
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core/pfl"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "pfl", Index: 1, Stage: Perception,
+		Description:      "Particle filter localization with odometry and a laser rangefinder",
+		PaperBottlenecks: []string{"Ray-casting"},
+		ExpectDominant:   []string{"raycast"},
+	}, spec[pfl.Config]{
+		configure: func(o Options) (pfl.Config, error) {
+			cfg := pfl.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Particles = 300
+				cfg.Steps = 25
+				cfg.Map = pfl.DefaultMap(cfg.Seed)
+			}
+			// The variant is the starting-region index (the paper evaluates
+			// five building parts).
+			if o.Variant != "" {
+				reg, err := strconv.Atoi(o.Variant)
+				if err != nil {
+					return cfg, fmt.Errorf("pfl: unknown variant %q", o.Variant)
+				}
+				cfg.Region = reg
+			}
+			return cfg, nil
+		},
+		run: func(ctx context.Context, cfg pfl.Config, p *profile.Profile) (Result, error) {
+			kr, err := pfl.Run(ctx, cfg, p)
+			res := newResult("pfl", Perception, p.Snapshot())
+			res.Metrics["position_error_m"] = kr.PositionError
+			res.Metrics["heading_error_rad"] = kr.HeadingError
+			res.Metrics["raycasts"] = float64(kr.Raycasts)
+			res.Metrics["cells_visited"] = float64(kr.CellsVisited)
+			res.Metrics["ess"] = kr.EffectiveSampleSize
+			return res, err
+		},
+	})
+}

@@ -1,0 +1,38 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/pp2d"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "pp2d", Index: 4, Stage: Planning,
+		Description:      "2D path planning for a car footprint with A*",
+		PaperBottlenecks: []string{"Collision detection"},
+		ExpectDominant:   []string{"collision"},
+	}, spec[pp2d.Config]{
+		configure: func(o Options) (pp2d.Config, error) {
+			cfg := pp2d.DefaultConfig()
+			cfg.Seed = o.seed()
+			size := 512
+			if o.Size == SizeSmall {
+				size = 160
+			}
+			cfg.Map = pp2d.DefaultMap(size, cfg.Seed)
+			return cfg, noVariant("pp2d", o)
+		},
+		run: func(ctx context.Context, cfg pp2d.Config, p *profile.Profile) (Result, error) {
+			kr, err := pp2d.Run(ctx, cfg, p)
+			res := newResult("pp2d", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["path_length_m"] = kr.PathLength
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["collision_checks"] = float64(kr.Checks)
+			res.Metrics["cells_touched"] = float64(kr.Cells)
+			return res, err
+		},
+	})
+}

@@ -1,0 +1,35 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/pp3d"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "pp3d", Index: 5, Stage: Planning,
+		Description:      "3D path planning for a UAV with A*",
+		PaperBottlenecks: []string{"Collision detection", "graph search"},
+		ExpectDominant:   []string{"collision", "search"},
+	}, spec[pp3d.Config]{
+		configure: func(o Options) (pp3d.Config, error) {
+			cfg := pp3d.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Map = pp3d.DefaultMap(64, 64, 16, cfg.Seed)
+			}
+			return cfg, noVariant("pp3d", o)
+		},
+		run: func(ctx context.Context, cfg pp3d.Config, p *profile.Profile) (Result, error) {
+			kr, err := pp3d.Run(ctx, cfg, p)
+			res := newResult("pp3d", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["path_length"] = kr.PathLength
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["collision_checks"] = float64(kr.Checks)
+			return res, err
+		},
+	})
+}

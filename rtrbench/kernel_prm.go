@@ -1,0 +1,43 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/prm"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "prm", Index: 7, Stage: Planning,
+		Description:      "Probabilistic roadmap planning for a 5-DoF arm",
+		PaperBottlenecks: []string{"Graph search", "L2-norm calculations"},
+		ExpectDominant:   []string{"connect", "sample", "query"},
+	}, spec[prm.Config]{
+		configure: func(o Options) (prm.Config, error) {
+			cfg := prm.DefaultConfig()
+			cfg.Seed = o.seed()
+			if o.Size == SizeSmall {
+				cfg.Samples = 700
+			}
+			ws, err := armWorkspace("prm", o.Variant)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Workspace = ws
+			return cfg, nil
+		},
+		run: func(ctx context.Context, cfg prm.Config, p *profile.Profile) (Result, error) {
+			kr, err := prm.Run(ctx, cfg, p)
+			res := newResult("prm", Planning, p.Snapshot())
+			res.Metrics["found"] = boolMetric(kr.Found)
+			res.Metrics["path_cost_rad"] = kr.PathCost
+			res.Metrics["roadmap_nodes"] = float64(kr.RoadmapNodes)
+			res.Metrics["roadmap_edges"] = float64(kr.RoadmapEdges)
+			res.Metrics["expanded"] = float64(kr.Expanded)
+			res.Metrics["l2_norms"] = float64(kr.L2Norms)
+			res.Metrics["seg_checks"] = float64(kr.SegChecks)
+			return res, err
+		},
+	})
+}

@@ -1,0 +1,49 @@
+package rtrbench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core/rrt"
+	"repro/internal/profile"
+)
+
+// rrtRunCfg carries the variant choice (plain RRT vs bidirectional
+// RRT-Connect) alongside the kernel config, since the run half of the spec
+// never sees Options.
+type rrtRunCfg struct {
+	cfg     rrt.Config
+	connect bool
+}
+
+func init() {
+	registerSpec(Info{
+		Name: "rrt", Index: 8, Stage: Planning,
+		Description:      "Rapidly-exploring random tree planning for a 5-DoF arm",
+		PaperBottlenecks: []string{"Collision detection", "nearest neighbor search"},
+		ExpectDominant:   []string{"collision"},
+	}, spec[rrtRunCfg]{
+		configure: func(o Options) (rrtRunCfg, error) {
+			// The "connect" variant runs the bidirectional RRT-Connect
+			// extension; any other variant names a workspace.
+			variant := o.Variant
+			connect := variant == "connect"
+			if connect {
+				variant = ""
+			}
+			cfg, err := rrtConfig("rrt", o, variant)
+			if err != nil {
+				return rrtRunCfg{}, fmt.Errorf("rrt: unknown variant %q", o.Variant)
+			}
+			return rrtRunCfg{cfg: cfg, connect: connect}, nil
+		},
+		run: func(ctx context.Context, rc rrtRunCfg, p *profile.Profile) (Result, error) {
+			runFn := rrt.Run
+			if rc.connect {
+				runFn = rrt.RunConnect
+			}
+			kr, err := runFn(ctx, rc.cfg, p)
+			return rrtResult("rrt", p, kr), err
+		},
+	})
+}

@@ -1,0 +1,25 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/rrt"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "rrtpp", Index: 10, Stage: Planning,
+		Description:      "RRT with shortcut post-processing",
+		PaperBottlenecks: []string{"Collision detection", "nearest neighbor search"},
+		ExpectDominant:   []string{"collision"},
+	}, spec[rrt.Config]{
+		configure: func(o Options) (rrt.Config, error) {
+			return rrtConfig("rrtpp", o, o.Variant)
+		},
+		run: func(ctx context.Context, cfg rrt.Config, p *profile.Profile) (Result, error) {
+			kr, err := rrt.RunPP(ctx, cfg, p)
+			return rrtResult("rrtpp", p, kr), err
+		},
+	})
+}

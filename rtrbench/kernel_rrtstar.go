@@ -1,0 +1,25 @@
+package rtrbench
+
+import (
+	"context"
+
+	"repro/internal/core/rrt"
+	"repro/internal/profile"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "rrtstar", Index: 9, Stage: Planning,
+		Description:      "Asymptotically optimal RRT* with neighborhood rewiring",
+		PaperBottlenecks: []string{"Collision detection", "nearest neighbor search"},
+		ExpectDominant:   []string{"collision", "nn"},
+	}, spec[rrt.Config]{
+		configure: func(o Options) (rrt.Config, error) {
+			return rrtConfig("rrtstar", o, o.Variant)
+		},
+		run: func(ctx context.Context, cfg rrt.Config, p *profile.Profile) (Result, error) {
+			kr, err := rrt.RunStar(ctx, cfg, p)
+			return rrtResult("rrtstar", p, kr), err
+		},
+	})
+}

@@ -1,0 +1,23 @@
+package rtrbench
+
+import (
+	"repro/internal/core/sym"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "sym-blkw", Index: 11, Stage: Planning,
+		Description:      "Symbolic planning: blocks world",
+		PaperBottlenecks: []string{"Graph search", "string manipulation"},
+		ExpectDominant:   []string{"search", "strings"},
+	}, spec[sym.Config]{
+		configure: func(o Options) (sym.Config, error) {
+			cfg := sym.DefaultConfig(sym.BlocksWorld)
+			if o.Size == SizeSmall {
+				cfg.Blocks = 5
+			}
+			return cfg, noVariant("sym-blkw", o)
+		},
+		run: symRun("sym-blkw"),
+	})
+}

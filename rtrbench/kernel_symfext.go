@@ -1,0 +1,24 @@
+package rtrbench
+
+import (
+	"repro/internal/core/sym"
+)
+
+func init() {
+	registerSpec(Info{
+		Name: "sym-fext", Index: 12, Stage: Planning,
+		Description:      "Symbolic planning: firefighting robots",
+		PaperBottlenecks: []string{"Graph search", "string manipulation"},
+		ExpectDominant:   []string{"search", "strings"},
+	}, spec[sym.Config]{
+		configure: func(o Options) (sym.Config, error) {
+			cfg := sym.DefaultConfig(sym.Firefighter)
+			if o.Size == SizeSmall {
+				cfg.Locations = 4
+				cfg.Pours = 2
+			}
+			return cfg, noVariant("sym-fext", o)
+		},
+		run: symRun("sym-fext"),
+	})
+}

@@ -16,9 +16,12 @@
 package rtrbench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/profile"
 )
 
 // Stage is a robot software pipeline stage (paper Fig. 1).
@@ -160,48 +163,68 @@ type Info struct {
 	// phase.
 	ExpectDominant []string
 
-	run func(Options) (Result, error)
+	// runWith executes the kernel against a caller-owned profile (the Suite
+	// engine hands each trial its own shard of a profile.Sharded).
+	runWith func(context.Context, Options, *profile.Profile) (Result, error)
 }
 
-var registry []Info
+// The registry is map-backed: name lookups are O(1), and byIndex enforces
+// Table I index uniqueness at registration time.
+var (
+	registry = map[string]Info{}
+	byIndex  = map[int]string{}
+)
 
 func register(info Info) {
-	registry = append(registry, info)
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("rtrbench: duplicate kernel name %q", info.Name))
+	}
+	if prev, dup := byIndex[info.Index]; dup {
+		panic(fmt.Sprintf("rtrbench: duplicate kernel index %d (%s vs %s)", info.Index, prev, info.Name))
+	}
+	registry[info.Name] = info
+	byIndex[info.Index] = info.Name
 }
 
 // Kernels returns the registry in Table I order.
 func Kernels() []Info {
-	out := make([]Info, len(registry))
-	copy(out, registry)
+	out := make([]Info, 0, len(registry))
+	for _, k := range registry {
+		out = append(out, k)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
 	return out
 }
 
 // Lookup finds a kernel by name.
 func Lookup(name string) (Info, bool) {
-	for _, k := range registry {
-		if k.Name == name {
-			return k, true
-		}
-	}
-	return Info{}, false
+	k, ok := registry[name]
+	return k, ok
 }
 
 // Run executes the named kernel with the given options.
 func Run(name string, opts Options) (Result, error) {
+	return RunContext(context.Background(), name, opts)
+}
+
+// RunContext executes the named kernel under ctx. Cancellation (or a
+// deadline on ctx) aborts the kernel within one step/iteration; the
+// returned error is then ctx.Err().
+func RunContext(ctx context.Context, name string, opts Options) (Result, error) {
 	k, ok := Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("rtrbench: unknown kernel %q", name)
 	}
-	return k.run(opts)
+	return k.runWith(ctx, opts, newProfile(opts))
 }
 
-// RunAll executes every kernel and returns the results in Table I order.
-// The first error aborts the sweep.
+// RunAll executes every kernel sequentially and returns the results in
+// Table I order. The first error aborts the sweep. For parallel execution,
+// repeated trials, timeouts, or error collection, use Suite.
 func RunAll(opts Options) ([]Result, error) {
 	var out []Result
 	for _, k := range Kernels() {
-		r, err := k.run(opts)
+		r, err := k.runWith(context.Background(), opts, newProfile(opts))
 		if err != nil {
 			return out, fmt.Errorf("rtrbench: kernel %s: %w", k.Name, err)
 		}

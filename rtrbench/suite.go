@@ -1,0 +1,254 @@
+package rtrbench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// SuiteOptions configures a full benchmark-suite run. The embedded Options
+// apply to every kernel (size, seed, deadline, step tracking); variants are
+// rejected because no single variant string is meaningful across kernels.
+type SuiteOptions struct {
+	Options
+
+	// Kernels selects a subset by name; empty means all 16 in Table I
+	// order.
+	Kernels []string
+	// Parallel bounds the number of kernels executing concurrently;
+	// <= 0 means runtime.NumCPU().
+	Parallel int
+	// Trials is the number of measured runs per kernel; <= 0 means 1.
+	// Trial t runs with seed base+t, so results are deterministic and
+	// independent of Parallel.
+	Trials int
+	// Warmup runs each kernel this many times before the measured trials,
+	// discarding the results (cache and allocator warm-up).
+	Warmup int
+	// Timeout bounds each individual run (warmup or trial); 0 means no
+	// limit. A timed-out run fails with context.DeadlineExceeded.
+	Timeout time.Duration
+	// ContinueOnError keeps the sweep going when a kernel fails; the
+	// default aborts the remaining kernels on the first error.
+	ContinueOnError bool
+}
+
+// TrialStats aggregates the measured trials of one kernel.
+type TrialStats struct {
+	// Trials is the number of completed measured runs.
+	Trials int
+	// ROI statistics across trials.
+	ROIMean, ROIMin, ROIMax, ROIStddev time.Duration
+	// Counters are operation counts summed over all trials.
+	Counters map[string]int64
+	// Steps is the step-latency distribution merged across trials (nil
+	// when step tracking was off).
+	Steps *StepStats
+}
+
+// KernelResult is one kernel's outcome within a suite run.
+type KernelResult struct {
+	Info Info
+	// Result is the first trial's report (deterministic for a fixed seed,
+	// regardless of Parallel). Zero-valued when Err is non-nil and no
+	// trial completed.
+	Result Result
+	// Trials aggregates all measured trials; nil when Err prevented any
+	// trial from completing.
+	Trials *TrialStats
+	// Err is the first error this kernel hit (configuration, run failure,
+	// timeout, or cancellation).
+	Err error
+}
+
+// SuiteResult is the outcome of a Suite run, in Table I order.
+type SuiteResult struct {
+	Kernels []KernelResult
+	// Elapsed is the wall-clock time of the whole sweep.
+	Elapsed time.Duration
+}
+
+// FirstError returns the first per-kernel error in Table I order, or nil.
+func (r SuiteResult) FirstError() error {
+	for _, k := range r.Kernels {
+		if k.Err != nil {
+			return fmt.Errorf("%s: %w", k.Info.Name, k.Err)
+		}
+	}
+	return nil
+}
+
+// Suite runs the selected kernels on a bounded worker pool. Each kernel
+// executes Warmup discarded runs followed by Trials measured runs (trials
+// are sequential within a kernel; distinct kernels run concurrently up to
+// Parallel). Per-kernel profiles are sharded so concurrent trials never
+// share a Profile.
+//
+// The returned error is non-nil only for suite-level failures: an unknown
+// kernel name, an invalid option, or ctx cancellation. Per-kernel failures
+// are reported in KernelResult.Err; unless ContinueOnError is set, the
+// first one also cancels the kernels still running or queued (their Err is
+// context.Canceled).
+func Suite(ctx context.Context, opts SuiteOptions) (SuiteResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Variant != "" {
+		return SuiteResult{}, fmt.Errorf("rtrbench: SuiteOptions.Variant %q not supported (variants are per-kernel)", opts.Variant)
+	}
+	infos, err := suiteKernels(opts.Kernels)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := SuiteResult{Kernels: make([]KernelResult, len(infos))}
+	start := time.Now()
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, info := range infos {
+		wg.Add(1)
+		go func(i int, info Info) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			kr := runKernelTrials(runCtx, info, opts.Options, trials, opts.Warmup, opts.Timeout)
+			if kr.Err != nil && !opts.ContinueOnError {
+				cancel()
+			}
+			res.Kernels[i] = kr
+		}(i, info)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// suiteKernels resolves the kernel selection in Table I order.
+func suiteKernels(names []string) ([]Info, error) {
+	if len(names) == 0 {
+		return Kernels(), nil
+	}
+	infos := make([]Info, 0, len(names))
+	for _, name := range names {
+		info, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("rtrbench: unknown kernel %q", name)
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// runKernelTrials executes one kernel's warmup runs and measured trials on
+// shards of a common profile, then folds the shards into the aggregate
+// statistics.
+func runKernelTrials(ctx context.Context, info Info, base Options, trials, warmup int, timeout time.Duration) KernelResult {
+	kr := KernelResult{Info: info}
+	seed := base.seed()
+
+	for w := 0; w < warmup; w++ {
+		o := base
+		o.Seed = seed
+		if _, err := runOnce(ctx, info, o, profile.Disabled(), timeout); err != nil {
+			kr.Err = err
+			return kr
+		}
+	}
+
+	parent := newProfile(base)
+	sharded := profile.NewSharded(parent)
+	rois := make([]time.Duration, 0, trials)
+	for t := 0; t < trials; t++ {
+		o := base
+		o.Seed = seed + int64(t)
+		shard := sharded.Shard()
+		r, err := runOnce(ctx, info, o, shard, timeout)
+		if err != nil {
+			kr.Err = err
+			break
+		}
+		if t == 0 {
+			kr.Result = r
+		}
+		rois = append(rois, r.ROI)
+	}
+	if len(rois) == 0 {
+		return kr
+	}
+
+	merged := sharded.Snapshot()
+	stats := &TrialStats{Trials: len(rois), Counters: merged.Counters}
+	stats.ROIMean, stats.ROIMin, stats.ROIMax, stats.ROIStddev = aggregateROI(rois)
+	if merged.Steps.Count > 0 || merged.Steps.Deadline > 0 {
+		stats.Steps = &StepStats{
+			Count:    merged.Steps.Count,
+			Min:      merged.Steps.Min,
+			Mean:     merged.Steps.Mean,
+			P50:      merged.Steps.P50,
+			P95:      merged.Steps.P95,
+			P99:      merged.Steps.P99,
+			Max:      merged.Steps.Max,
+			Deadline: merged.Steps.Deadline,
+			Misses:   merged.Steps.Misses,
+		}
+	}
+	kr.Trials = stats
+	return kr
+}
+
+// runOnce executes one kernel run, bounded by timeout when non-zero.
+func runOnce(ctx context.Context, info Info, o Options, p *profile.Profile, timeout time.Duration) (Result, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return info.runWith(ctx, o, p)
+}
+
+// aggregateROI reduces per-trial ROI durations to mean/min/max/stddev
+// (population standard deviation).
+func aggregateROI(rois []time.Duration) (mean, min, max, stddev time.Duration) {
+	if len(rois) == 0 {
+		return 0, 0, 0, 0
+	}
+	min, max = rois[0], rois[0]
+	var sum float64
+	for _, d := range rois {
+		sum += float64(d)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	m := sum / float64(len(rois))
+	var sq float64
+	for _, d := range rois {
+		diff := float64(d) - m
+		sq += diff * diff
+	}
+	mean = time.Duration(m)
+	stddev = time.Duration(math.Sqrt(sq / float64(len(rois))))
+	return mean, min, max, stddev
+}

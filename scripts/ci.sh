@@ -29,4 +29,9 @@ else
     exit $status
 fi
 
+echo "== suite smoke sweep (parallel, race detector)"
+# The full 16-kernel SizeSmall sweep through the parallel engine, with a
+# per-run timeout so a hung kernel fails the gate instead of wedging it.
+go run -race ./cmd/rtrbench suite --size small --parallel 4 --timeout 120s
+
 echo "CI OK"
