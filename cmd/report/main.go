@@ -51,6 +51,9 @@ func main() {
 		trials   = flag.Int("trials", 1, "with -table1: measured runs per kernel (trial t uses seed+t)")
 		warmup   = flag.Int("warmup", 0, "with -table1: discarded runs per kernel before the trials")
 		timeout  = flag.Duration("timeout", 0, "with -table1: per-run wall-clock budget; 0 = off")
+
+		chaos     = flag.Bool("chaos", false, "with -table1: inject deterministic faults (dropouts, NaNs, noise, stalls, panics)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos schedule seed (independent of -seed)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,17 @@ func main() {
 		}
 		// Variants are per-kernel; the sweep always runs defaults.
 		sweep.Variant = ""
+		if *chaos {
+			sweep.Fault = &rtrbench.FaultOptions{
+				Seed:    *chaosSeed,
+				Dropout: 0.05,
+				NaN:     0.02,
+				Noise:   0.05,
+				Stall:   0.02,
+				Panic:   0.1,
+			}
+			sweep.BestEffort = true
+		}
 		res, err := rtrbench.Suite(context.Background(), sweep)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "report: %v\n", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,12 @@ func runSuite(args []string) error {
 		stepLat  = fs.Bool("steplat", false, "record per-step latency histograms")
 		format   = fs.String("format", "text", "report format: text | json | csv")
 		out      = fs.String("out", "", "write the report to this file instead of stdout")
+
+		chaos      = fs.Bool("chaos", false, "inject deterministic faults (dropouts, NaNs, noise, stalls, panics); implies -continue and best-effort degradation")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "chaos schedule seed (independent of -seed)")
+		chaosStall = fs.Duration("chaos-stall", time.Millisecond, "duration of each injected stall")
+		retries    = fs.Int("retries", 0, "retries per trial after a transient timeout")
+		retryWait  = fs.Duration("retry-backoff", 0, "pause before a retry (grows linearly per attempt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +55,27 @@ func runSuite(args []string) error {
 		Warmup:          *warmup,
 		Timeout:         *timeout,
 		ContinueOnError: *keepOn,
+		Retries:         *retries,
+		RetryBackoff:    *retryWait,
+	}
+	if *chaos {
+		// The default chaos mix exercises every fault class: lost and
+		// corrupted sensor readings, latency stalls at step boundaries,
+		// and a low-probability injected panic per run. Panics surface as
+		// structured errors, so the sweep must keep going past them, and
+		// kernels should degrade rather than fail on chaos-induced
+		// deadline pressure.
+		opts.Fault = &rtrbench.FaultOptions{
+			Seed:     *chaosSeed,
+			Dropout:  0.05,
+			NaN:      0.02,
+			Noise:    0.05,
+			Stall:    0.02,
+			StallFor: *chaosStall,
+			Panic:    0.1,
+		}
+		opts.BestEffort = true
+		opts.ContinueOnError = true
 	}
 	switch *size {
 	case "small":
@@ -117,7 +145,12 @@ func suiteReports(res rtrbench.SuiteResult) []obs.KernelReport {
 		}
 		if k.Err != nil {
 			kr.Error = k.Err.Error()
+			var ke *rtrbench.KernelError
+			if errors.As(k.Err, &ke) {
+				kr.Fault = ke.Fault
+			}
 		}
+		kr.Degraded = k.Result.Degraded
 		dominant, dominantDur := "", time.Duration(0)
 		for _, ph := range k.Result.Phases {
 			kr.Phases = append(kr.Phases, obs.PhaseReport{
@@ -135,12 +168,22 @@ func suiteReports(res rtrbench.SuiteResult) []obs.KernelReport {
 		if ts := k.Trials; ts != nil {
 			kr.Trials = &obs.TrialsReport{
 				Trials:           ts.Trials,
+				Retried:          k.Retried,
+				Degraded:         ts.Degraded,
 				ROIMeanSeconds:   ts.ROIMean.Seconds(),
 				ROIMinSeconds:    ts.ROIMin.Seconds(),
 				ROIMaxSeconds:    ts.ROIMax.Seconds(),
 				ROIStddevSeconds: ts.ROIStddev.Seconds(),
 				Counters:         ts.Counters,
 				Steps:            stepReport(ts.Steps),
+			}
+			for _, ft := range ts.Faults {
+				kr.Trials.Faults = append(kr.Trials.Faults, obs.FaultReport{
+					Trial:  ft.Trial,
+					Step:   ft.Step,
+					Kind:   ft.Kind,
+					Detail: ft.Detail,
+				})
 			}
 		}
 		reports = append(reports, kr)
@@ -180,10 +223,7 @@ func suiteText(w io.Writer, res rtrbench.SuiteResult, opts rtrbench.SuiteOptions
 		fmt.Fprintf(w, "%-3s %-10s %-10s %12s %s\n", "#", "kernel", "stage", "roi", "status")
 	}
 	for _, k := range res.Kernels {
-		status := "ok"
-		if k.Err != nil {
-			status = k.Err.Error()
-		}
+		status := suiteStatus(k)
 		if ts := k.Trials; ts != nil && trials > 1 {
 			fmt.Fprintf(w, "%-3d %-10s %-10s %12v %12v %12v %s\n",
 				k.Info.Index, k.Info.Name, k.Info.Stage,
@@ -198,4 +238,39 @@ func suiteText(w io.Writer, res rtrbench.SuiteResult, opts rtrbench.SuiteOptions
 				k.Result.ROI.Round(time.Microsecond), status)
 		}
 	}
+	if fails := res.Failures(); len(fails) > 0 {
+		fmt.Fprintf(w, "\nfailures (%d):\n", len(fails))
+		for _, f := range fails {
+			where := "setup"
+			if f.Trial >= 0 {
+				where = fmt.Sprintf("trial %d", f.Trial)
+			}
+			if f.Fault != "" {
+				fmt.Fprintf(w, "  %-10s %-8s [%s] %v\n", f.Kernel, where, f.Fault, f.Err)
+			} else {
+				fmt.Fprintf(w, "  %-10s %-8s %v\n", f.Kernel, where, f.Err)
+			}
+		}
+	}
+}
+
+// suiteStatus summarizes one kernel row: ok / degraded / the error, with
+// injected-fault and retry counts appended when chaos or retries were live.
+func suiteStatus(k rtrbench.KernelResult) string {
+	status := "ok"
+	switch {
+	case k.Err != nil:
+		status = k.Err.Error()
+	case k.Trials != nil && k.Trials.Degraded > 0:
+		status = fmt.Sprintf("degraded (%d/%d trials)", k.Trials.Degraded, k.Trials.Trials)
+	case k.Result.Degraded:
+		status = "degraded"
+	}
+	if k.Trials != nil && len(k.Trials.Faults) > 0 {
+		status += fmt.Sprintf("  faults=%d", len(k.Trials.Faults))
+	}
+	if k.Retried > 0 {
+		status += fmt.Sprintf("  retries=%d", k.Retried)
+	}
+	return status
 }

@@ -1,0 +1,75 @@
+// Package check provides the field-level validation helpers behind the
+// kernels' Config.Validate methods. A Fields accumulates every violation it
+// sees — dimension, bound, and finiteness checks — so a malformed config
+// reports all of its problems at once instead of failing one field at a
+// time.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fields accumulates validation errors for one kernel's config. The zero
+// value is unusable; construct with New so messages carry the kernel name.
+type Fields struct {
+	kernel string
+	errs   []error
+}
+
+// New returns an empty accumulator whose messages are prefixed with the
+// kernel name.
+func New(kernel string) *Fields { return &Fields{kernel: kernel} }
+
+// Addf records a formatted violation.
+func (f *Fields) Addf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Errorf(f.kernel+": "+format, args...))
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Finite requires v to be neither NaN nor ±Inf.
+func (f *Fields) Finite(name string, v float64) {
+	if !finite(v) {
+		f.Addf("%s must be finite (got %v)", name, v)
+	}
+}
+
+// Positive requires v > 0 and finite.
+func (f *Fields) Positive(name string, v float64) {
+	if !finite(v) || v <= 0 {
+		f.Addf("%s must be positive and finite (got %v)", name, v)
+	}
+}
+
+// NonNegative requires v >= 0 and finite.
+func (f *Fields) NonNegative(name string, v float64) {
+	if !finite(v) || v < 0 {
+		f.Addf("%s must be non-negative and finite (got %v)", name, v)
+	}
+}
+
+// Prob requires v in [0, 1].
+func (f *Fields) Prob(name string, v float64) {
+	if !finite(v) || v < 0 || v > 1 {
+		f.Addf("%s must be a probability in [0, 1] (got %v)", name, v)
+	}
+}
+
+// PositiveInt requires v > 0.
+func (f *Fields) PositiveInt(name string, v int) {
+	if v <= 0 {
+		f.Addf("%s must be positive (got %d)", name, v)
+	}
+}
+
+// NonNegativeInt requires v >= 0.
+func (f *Fields) NonNegativeInt(name string, v int) {
+	if v < 0 {
+		f.Addf("%s must be non-negative (got %d)", name, v)
+	}
+}
+
+// Err returns all accumulated violations joined, or nil if none fired.
+func (f *Fields) Err() error { return errors.Join(f.errs...) }

@@ -1,0 +1,40 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCleanConfigPasses(t *testing.T) {
+	f := New("k")
+	f.Positive("Dt", 0.1)
+	f.NonNegative("Sigma", 0)
+	f.Finite("V", -3)
+	f.Prob("Rate", 1)
+	f.PositiveInt("Steps", 5)
+	f.NonNegativeInt("Extra", 0)
+	if err := f.Err(); err != nil {
+		t.Fatalf("clean config produced error: %v", err)
+	}
+}
+
+func TestViolationsAccumulate(t *testing.T) {
+	f := New("ekfslam")
+	f.Positive("Dt", 0)
+	f.Positive("Steps", math.Inf(1))
+	f.NonNegative("Sigma", -1)
+	f.Finite("V", math.NaN())
+	f.Prob("Rate", 1.5)
+	f.PositiveInt("N", -2)
+	err := f.Err()
+	if err == nil {
+		t.Fatal("six violations produced nil error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"ekfslam: Dt", "Steps", "Sigma", "V must be finite", "Rate", "N must be positive"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -13,10 +13,10 @@ package bo
 
 import (
 	"context"
-	"errors"
 	"math"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/gp"
 	"repro/internal/physics"
 	"repro/internal/profile"
@@ -39,6 +39,23 @@ type Config struct {
 	// LengthScale, SignalVar, NoiseVar are the GP hyperparameters.
 	LengthScale, SignalVar, NoiseVar float64
 	Seed                             int64
+	// BestEffort makes a cancelled context degrade instead of fail: once at
+	// least one BO iteration has completed, cancellation returns the best
+	// policy so far with Result.Degraded set, rather than ctx.Err().
+	BestEffort bool
+}
+
+// Validate reports every bound and finiteness violation in the config.
+func (c Config) Validate() error {
+	f := check.New("bo")
+	f.PositiveInt("Iterations", c.Iterations)
+	f.PositiveInt("InitSamples", c.InitSamples)
+	f.PositiveInt("Candidates", c.Candidates)
+	f.Finite("Beta", c.Beta)
+	f.Positive("LengthScale", c.LengthScale)
+	f.Positive("SignalVar", c.SignalVar)
+	f.NonNegative("NoiseVar", c.NoiseVar)
+	return f.Err()
 }
 
 // DefaultConfig returns the paper's configuration: 45 iterations with a
@@ -70,6 +87,9 @@ type Result struct {
 	GPFits, Predictions int64
 	// Evals counts environment rollouts.
 	Evals int64
+	// Degraded is set when BestEffort returned early on cancellation with
+	// the best-so-far policy instead of completing all iterations.
+	Degraded bool
 }
 
 // Run executes the kernel. Harness phases: "gp-fit" (Cholesky of the kernel
@@ -80,8 +100,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Iterations <= 0 || cfg.InitSamples <= 0 || cfg.Candidates <= 0 {
-		return Result{}, errors.New("bo: Iterations, InitSamples, Candidates must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	world := cfg.World
 	if world == nil {
@@ -135,6 +155,10 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if err := ctx.Err(); err != nil {
+			if cfg.BestEffort && iter > 0 {
+				res.Degraded = true
+				break
+			}
 			return res, err
 		}
 		prof.BeginROI()

@@ -14,10 +14,10 @@ package cem
 
 import (
 	"context"
-	"errors"
 	"math"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/physics"
 	"repro/internal/profile"
 	"repro/internal/rng"
@@ -37,6 +37,20 @@ type Config struct {
 	// MinStd floors the per-dimension standard deviation.
 	MinStd float64
 	Seed   int64
+	// BestEffort makes a cancelled context degrade instead of fail: once at
+	// least one learning iteration has completed, cancellation returns the
+	// best policy so far with Result.Degraded set, rather than ctx.Err().
+	BestEffort bool
+}
+
+// Validate reports every bound and finiteness violation in the config.
+func (c Config) Validate() error {
+	f := check.New("cem")
+	f.PositiveInt("Iterations", c.Iterations)
+	f.PositiveInt("SamplesPerIter", c.SamplesPerIter)
+	f.Finite("InitStd", c.InitStd)
+	f.NonNegative("MinStd", c.MinStd)
+	return f.Err()
 }
 
 // DefaultConfig returns the paper's configuration: 5 iterations × 15
@@ -64,6 +78,9 @@ type Result struct {
 	BestParams physics.ThrowParams
 	// Evals counts environment rollouts.
 	Evals int64
+	// Degraded is set when BestEffort returned early on cancellation with
+	// the best-so-far policy instead of completing all iterations.
+	Degraded bool
 }
 
 // Run executes the kernel. Harness phases: "sample" (drawing the
@@ -74,8 +91,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Iterations <= 0 || cfg.SamplesPerIter <= 0 {
-		return Result{}, errors.New("cem: Iterations and SamplesPerIter must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	elite := cfg.Elite
 	if elite <= 0 || elite > cfg.SamplesPerIter {
@@ -110,6 +127,10 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if err := ctx.Err(); err != nil {
+			if cfg.BestEffort && iter > 0 {
+				res.Degraded = true
+				break
+			}
 			return res, err
 		}
 		// ---- Draw the population (ROI).

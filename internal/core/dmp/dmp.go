@@ -17,6 +17,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/profile"
 	"repro/internal/trajectory"
@@ -39,6 +40,20 @@ type Config struct {
 	// Tau scales rollout duration relative to the demonstration (1 =
 	// same speed).
 	Tau float64
+}
+
+// Validate reports every bound and finiteness violation in the config.
+func (c Config) Validate() error {
+	f := check.New("dmp")
+	f.PositiveInt("Basis", c.Basis)
+	if c.Steps <= 1 {
+		f.Addf("Steps must be > 1 (got %d)", c.Steps)
+	}
+	f.NonNegative("K", c.K)
+	f.NonNegative("D", c.D)
+	f.NonNegative("AlphaX", c.AlphaX)
+	f.NonNegative("Tau", c.Tau)
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup: 50 basis functions, rollout
@@ -93,8 +108,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Basis <= 0 || cfg.Steps <= 1 {
-		return Result{}, errors.New("dmp: Basis and Steps must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	demo := cfg.Demo
 	if demo == nil {

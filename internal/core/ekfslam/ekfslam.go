@@ -12,9 +12,9 @@ package ekfslam
 
 import (
 	"context"
-	"errors"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/mat"
 	"repro/internal/profile"
@@ -69,6 +69,31 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports every dimension, bound, and finiteness violation in the
+// config.
+func (c Config) Validate() error {
+	f := check.New("ekfslam")
+	f.PositiveInt("Steps", c.Steps)
+	f.Positive("Dt", c.Dt)
+	f.Finite("V", c.V)
+	f.Finite("Omega", c.Omega)
+	f.NonNegative("Sensor.MaxRange", c.Sensor.MaxRange)
+	f.NonNegative("Sensor.SigmaRange", c.Sensor.SigmaRange)
+	f.NonNegative("Sensor.SigmaBear", c.Sensor.SigmaBear)
+	f.NonNegative("MotionNoiseTrans", c.MotionNoiseTrans)
+	f.NonNegative("MotionNoiseRot", c.MotionNoiseRot)
+	f.NonNegative("GateAccept", c.GateAccept)
+	f.NonNegative("GateNew", c.GateNew)
+	for i, lm := range c.Landmarks {
+		if !finite(lm.P.X) || !finite(lm.P.Y) {
+			f.Addf("Landmarks[%d] has non-finite position (%v, %v)", i, lm.P.X, lm.P.Y)
+		}
+	}
+	return f.Err()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // DefaultLandmarks returns six landmarks spread around the robot's circuit,
 // mirroring the paper's synthetic setting with six landmarks.
 func DefaultLandmarks() []sensor.Landmark {
@@ -98,6 +123,11 @@ type Result struct {
 	// Discarded counts observations dropped as ambiguous by the
 	// data-association gate (unknown-association mode only).
 	Discarded int64
+	// Rejected counts observations rejected by the finite-value guard
+	// (NaN/Inf range or bearing, as fault injection produces). A corrupted
+	// measurement must never reach the covariance update: one NaN in the
+	// innovation poisons the whole joint state irreversibly.
+	Rejected int64
 	// EstimatedPath holds the filter's pose estimate at every step (for the
 	// examples' Fig. 3-style output).
 	EstimatedPath []geom.Pose2
@@ -116,8 +146,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Steps <= 0 || cfg.Dt <= 0 {
-		return Result{}, errors.New("ekfslam: Steps and Dt must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	lms := cfg.Landmarks
 	if lms == nil {
@@ -188,6 +218,10 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 		// --- EKF update per observation: either trusting the sensor's
 		// identities, or associating by Mahalanobis gating.
 		for _, z := range obs {
+			if !finite(z.Range) || !finite(z.Bearing) || z.Range < 0 {
+				res.Rejected++
+				continue
+			}
 			if !cfg.UnknownAssociation {
 				update(mu, sigma, seen, z.ID, z, qr, qb, prof)
 				res.Updates++
@@ -418,6 +452,21 @@ func update(mu []float64, sigma *mat.Matrix, seen []bool, j int, z sensor.RangeB
 	kh := mat.Mul(k, h) // dim×dim
 	ikh := mat.Sub(mat.Identity(dim), kh)
 	newSigma := mat.Mul(ikh, sigma)
+	// The (I−KH)Σ form loses symmetry to floating-point error a little more
+	// each update, and asymmetry corrupts the Mahalanobis gating; re-impose
+	// Σ ← (Σ + Σᵀ)/2 before committing.
+	symmetrize(newSigma)
 	copy(sigma.Data, newSigma.Data)
 	prof.End()
+}
+
+// symmetrize overwrites m with (m + mᵀ)/2.
+func symmetrize(m *mat.Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/grid"
 	"repro/internal/maps"
 	"repro/internal/pq"
@@ -40,6 +41,18 @@ type Config struct {
 	// MaxTime caps the planning horizon in robot steps (0 = auto).
 	MaxTime int
 	Seed    int64
+}
+
+// Validate reports every bound and finiteness violation in the config.
+func (c Config) Validate() error {
+	f := check.New("movtar")
+	if math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) || c.Epsilon < 1 {
+		f.Addf("Epsilon must be a finite inflation >= 1 (got %v)", c.Epsilon)
+	}
+	f.NonNegativeInt("Size", c.Size)
+	f.NonNegativeInt("TargetPeriod", c.TargetPeriod)
+	f.NonNegativeInt("MaxTime", c.MaxTime)
+	return f.Err()
 }
 
 // DefaultConfig returns a mid-sized pursuit problem.
@@ -82,8 +95,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 		}
 		terrain = maps.MovtarTerrain(size, size, cfg.Seed)
 	}
-	if cfg.Epsilon < 1 {
-		return Result{}, errors.New("movtar: Epsilon must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	period := cfg.TargetPeriod
 	if period <= 0 {

@@ -13,9 +13,9 @@ package mpc
 
 import (
 	"context"
-	"errors"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/profile"
 	"repro/internal/trajectory"
@@ -41,6 +41,22 @@ type Config struct {
 	LearnRate float64
 	// WEffort weights control effort; WVel weights velocity-cap violation.
 	WEffort, WVel float64
+}
+
+// Validate reports every bound and finiteness violation in the config.
+func (c Config) Validate() error {
+	f := check.New("mpc")
+	f.PositiveInt("Horizon", c.Horizon)
+	f.PositiveInt("Steps", c.Steps)
+	f.Positive("Dt", c.Dt)
+	f.NonNegative("VMax", c.VMax)
+	f.NonNegative("AMax", c.AMax)
+	f.NonNegative("OmegaMax", c.OmegaMax)
+	f.NonNegativeInt("Iterations", c.Iterations)
+	f.NonNegative("LearnRate", c.LearnRate)
+	f.NonNegative("WEffort", c.WEffort)
+	f.NonNegative("WVel", c.WVel)
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup: a long reference with
@@ -104,8 +120,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Horizon <= 0 || cfg.Steps <= 0 || cfg.Dt <= 0 {
-		return Result{}, errors.New("mpc: Horizon, Steps, Dt must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	ref := cfg.Reference
 	if ref == nil {

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/maps"
@@ -97,6 +98,30 @@ type Config struct {
 	Seed int64
 }
 
+// Validate reports every dimension, bound, and finiteness violation in the
+// config.
+func (c Config) Validate() error {
+	f := check.New("pfl")
+	f.PositiveInt("Particles", c.Particles)
+	f.PositiveInt("Steps", c.Steps)
+	f.NonNegative("StepLen", c.StepLen)
+	f.NonNegative("ModelSigma", c.ModelSigma)
+	f.NonNegative("ZHit", c.ZHit)
+	f.NonNegative("ZRand", c.ZRand)
+	f.Finite("AnnealFrom", c.AnnealFrom)
+	f.Finite("AnnealDecay", c.AnnealDecay)
+	f.Prob("InjectRate", c.InjectRate)
+	f.NonNegativeInt("InitFactor", c.InitFactor)
+	f.NonNegativeInt("Workers", c.Workers)
+	f.NonNegative("TrackingSpread", c.TrackingSpread)
+	if c.Start != nil {
+		f.Finite("Start.X", c.Start.X)
+		f.Finite("Start.Y", c.Start.Y)
+		f.Finite("Start.Theta", c.Start.Theta)
+	}
+	return f.Err()
+}
+
 // DefaultConfig returns the "typical, realistic configuration" used in the
 // paper-style evaluation: an indoor building map, 2000 particles, global
 // initialization.
@@ -160,8 +185,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Particles <= 0 || cfg.Steps <= 0 {
-		return Result{}, errors.New("pfl: Particles and Steps must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	g := cfg.Map
 	if g == nil {
@@ -249,6 +274,14 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 		odo := commandMotion(g, truth, cfg.StepLen)
 		truth = odo.Apply(truth)
 		scan := cfg.Laser.Scan(r, g, truth)
+		for i, d := range scan {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				// A real driver discards unparseable returns; score them as
+				// max-range misses so corrupted beams (fault injection)
+				// cannot poison the particle weights with NaN.
+				scan[i] = cfg.Laser.MaxRange
+			}
+		}
 
 		// -- Motion update: sample the odometry model per particle.
 		prof.Begin("motion")

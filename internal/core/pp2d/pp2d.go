@@ -14,6 +14,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/collision"
 	"repro/internal/grid"
 	"repro/internal/maps"
@@ -40,6 +41,30 @@ type Config struct {
 	// round populates the usual Path/PathLength fields.
 	AnytimeSchedule []float64
 	Seed            int64
+	// BestEffort makes a cancelled ARA* degrade instead of fail: once at
+	// least one improvement round has produced a path, cancellation returns
+	// that best-so-far path with Result.Degraded set, rather than ctx.Err().
+	// It has no effect on the single-shot search, which has no intermediate
+	// solution to fall back on.
+	BestEffort bool
+}
+
+// Validate reports every dimension, bound, and finiteness violation in the
+// config.
+func (c Config) Validate() error {
+	f := check.New("pp2d")
+	f.Positive("CarLength", c.CarLength)
+	f.Positive("CarWidth", c.CarWidth)
+	f.Finite("Weight", c.Weight)
+	for i, eps := range c.AnytimeSchedule {
+		if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 1 {
+			f.Addf("AnytimeSchedule[%d] must be a finite inflation >= 1 (got %v)", i, eps)
+		}
+		if i > 0 && eps > c.AnytimeSchedule[i-1] {
+			f.Addf("AnytimeSchedule must be non-increasing (entry %d: %v > %v)", i, eps, c.AnytimeSchedule[i-1])
+		}
+	}
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup: a 1024² city at 0.5 m
@@ -77,6 +102,10 @@ type Result struct {
 	// Config.AnytimeSchedule is set: (epsilon, path length in meters,
 	// expansions of that round).
 	Anytime []AnytimeRound
+	// Degraded is set when BestEffort turned a cancelled ARA* into a
+	// best-so-far result: Path holds the last completed round's path, at a
+	// worse suboptimality bound than the schedule's final epsilon.
+	Degraded bool
 }
 
 // AnytimeRound is one ARA* improvement.
@@ -98,8 +127,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if g == nil {
 		g = DefaultMap(512, cfg.Seed)
 	}
-	if cfg.CarLength <= 0 || cfg.CarWidth <= 0 {
-		return Result{}, errors.New("pp2d: car dimensions must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 
 	checker := &collision.Footprint2D{G: g, Length: cfg.CarLength, Width: cfg.CarWidth}
@@ -143,6 +172,12 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if len(cfg.AnytimeSchedule) > 0 {
 		var rounds []search.AnytimeResult
 		rounds, err = search.SolveAnytime(problem, cfg.AnytimeSchedule)
+		if err != nil && cfg.BestEffort && len(rounds) > 0 && ctx.Err() != nil {
+			// Cancelled mid-schedule with at least one completed round:
+			// degrade to its path instead of failing.
+			res.Degraded = true
+			err = nil
+		}
 		for _, r := range rounds {
 			res.Anytime = append(res.Anytime, AnytimeRound{
 				Epsilon:    r.Epsilon,

@@ -8,8 +8,8 @@ package pp3d
 
 import (
 	"context"
-	"errors"
 
+	"repro/internal/check"
 	"repro/internal/collision"
 	"repro/internal/grid"
 	"repro/internal/maps"
@@ -36,6 +36,14 @@ type Config struct {
 	// post-processing.
 	Smooth bool
 	Seed   int64
+}
+
+// Validate reports every bound and finiteness violation in the config.
+func (c Config) Validate() error {
+	f := check.New("pp3d")
+	f.NonNegativeInt("Radius", c.Radius)
+	f.Finite("Weight", c.Weight)
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup: a long route across the
@@ -82,8 +90,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if g == nil {
 		g = DefaultMap(160, 160, 24, cfg.Seed)
 	}
-	if cfg.Radius < 0 {
-		return Result{}, errors.New("pp3d: negative radius")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 
 	sx, sy, sz := cfg.StartX, cfg.StartY, cfg.StartZ

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/arm"
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/profile"
@@ -45,6 +46,36 @@ type Config struct {
 	// Start and Goal configurations; nil picks default reach poses.
 	Start, Goal []float64
 	Seed        int64
+}
+
+// Validate reports every dimension, bound, and finiteness violation in the
+// config.
+func (c Config) Validate() error {
+	f := check.New("prm")
+	f.PositiveInt("Samples", c.Samples)
+	f.PositiveInt("K", c.K)
+	f.NonNegative("EdgeStep", c.EdgeStep)
+	dof := 5 // arm.Default5DoF
+	if c.Arm != nil {
+		dof = c.Arm.DoF()
+	}
+	for _, cq := range []struct {
+		name string
+		q    []float64
+	}{{"Start", c.Start}, {"Goal", c.Goal}} {
+		if cq.q == nil {
+			continue
+		}
+		if len(cq.q) != dof {
+			f.Addf("%s has %d joints, arm has %d", cq.name, len(cq.q), dof)
+		}
+		for i, v := range cq.q {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				f.Addf("%s[%d] is non-finite (%v)", cq.name, i, v)
+			}
+		}
+	}
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup: a 5-DoF arm in the cluttered
@@ -95,8 +126,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ws == nil {
 		ws = arm.MapC()
 	}
-	if cfg.Samples <= 0 || cfg.K <= 0 {
-		return Result{}, errors.New("prm: Samples and K must be positive")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	step := cfg.EdgeStep
 	if step <= 0 {

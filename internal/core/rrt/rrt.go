@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/arm"
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/profile"
@@ -54,6 +55,46 @@ type Config struct {
 	// ShortcutIters is the number of shortcut attempts in RunPP.
 	ShortcutIters int
 	Seed          int64
+	// BestEffort makes cancellation degrade instead of fail for the anytime
+	// variants: RunStar returns the best goal connection found so far and
+	// RunPP returns the partially shortcut path, both with Result.Degraded
+	// set, rather than ctx.Err(). Plain Run has no partial result to offer
+	// and always fails on cancellation.
+	BestEffort bool
+}
+
+// Validate reports every dimension, bound, and finiteness violation in the
+// config.
+func (c Config) Validate() error {
+	f := check.New("rrt")
+	f.PositiveInt("MaxSamples", c.MaxSamples)
+	f.Positive("Epsilon", c.Epsilon)
+	f.Prob("Bias", c.Bias)
+	f.NonNegative("Radius", c.Radius)
+	f.NonNegative("GoalTol", c.GoalTol)
+	f.NonNegative("EdgeStep", c.EdgeStep)
+	dof := 5 // arm.Default5DoF
+	if c.Arm != nil {
+		dof = c.Arm.DoF()
+	}
+	for _, cq := range []struct {
+		name string
+		q    []float64
+	}{{"Start", c.Start}, {"Goal", c.Goal}} {
+		name, q := cq.name, cq.q
+		if q == nil {
+			continue
+		}
+		if len(q) != dof {
+			f.Addf("%s has %d joints, arm has %d", name, len(q), dof)
+		}
+		for i, v := range q {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				f.Addf("%s[%d] is non-finite (%v)", name, i, v)
+			}
+		}
+	}
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup for the 5-DoF arm.
@@ -88,6 +129,10 @@ type Result struct {
 	Rewires int64
 	// Shortcuts counts successful RunPP shortcuts.
 	Shortcuts int64
+	// Degraded is set when BestEffort turned a cancellation into a
+	// best-so-far result (RunStar's best goal connection at cancel time,
+	// RunPP's partially shortcut path).
+	Degraded bool
 }
 
 type node struct {
@@ -119,8 +164,8 @@ func newPlanner(cfg Config, prof *profile.Profile, res *Result) (*planner, error
 	if ws == nil {
 		ws = arm.MapC()
 	}
-	if cfg.MaxSamples <= 0 || cfg.Epsilon <= 0 {
-		return nil, errors.New("rrt: MaxSamples and Epsilon must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Start == nil {
 		cfg.Start = arm.DefaultStart(a.DoF())
@@ -322,6 +367,12 @@ func RunStar(ctx context.Context, cfg Config, prof *profile.Profile) (Result, er
 
 	for res.Samples = 0; res.Samples < cfg.MaxSamples; res.Samples++ {
 		if err := ctx.Err(); err != nil {
+			if cfg.BestEffort {
+				// Fall through to the final goal re-evaluation: whatever
+				// connection the tree holds now is the degraded answer.
+				res.Degraded = true
+				break
+			}
 			p.collectStats()
 			prof.EndROI()
 			return res, err
@@ -411,6 +462,11 @@ func RunStar(ctx context.Context, cfg Config, prof *profile.Profile) (Result, er
 	p.collectStats()
 	prof.EndROI()
 	if !res.Found {
+		if res.Degraded {
+			// Cancelled before any goal connection existed: nothing to
+			// degrade to, so this is a genuine failure.
+			return res, ctx.Err()
+		}
 		return res, errors.New("rrt: RRT* found no path within sample budget")
 	}
 	return res, nil
@@ -465,6 +521,12 @@ func RunPP(ctx context.Context, cfg Config, prof *profile.Profile) (Result, erro
 			prof.EndROI()
 			res.Path = path
 			res.PathCost = pathCost(path)
+			if cfg.BestEffort {
+				// The RRT path is valid however few shortcuts ran; return
+				// the partially shortcut path as the degraded result.
+				res.Degraded = true
+				return res, nil
+			}
 			return res, err
 		}
 		i := r.Intn(len(path) - 2)

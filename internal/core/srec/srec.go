@@ -15,6 +15,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/mat"
@@ -62,6 +63,28 @@ type Config struct {
 	Seed        int64
 }
 
+// Validate reports every dimension, bound, and finiteness violation in the
+// config.
+func (c Config) Validate() error {
+	f := check.New("srec")
+	if c.Cols <= 1 {
+		f.Addf("Cols must be > 1 (got %d)", c.Cols)
+	}
+	if c.Rows <= 1 {
+		f.Addf("Rows must be > 1 (got %d)", c.Rows)
+	}
+	f.PositiveInt("Iterations", c.Iterations)
+	f.NonNegative("SensorNoise", c.SensorNoise)
+	f.Finite("InitYaw", c.InitYaw)
+	f.Finite("InitTrans.X", c.InitTrans.X)
+	f.Finite("InitTrans.Y", c.InitTrans.Y)
+	f.Finite("InitTrans.Z", c.InitTrans.Z)
+	f.NonNegative("ConvergeTol", c.ConvergeTol)
+	f.NonNegative("VoxelSize", c.VoxelSize)
+	f.NonNegative("MaxPairDist", c.MaxPairDist)
+	return f.Err()
+}
+
 // DefaultConfig returns the paper-style configuration: two dense indoor
 // scans, 30 ICP iterations.
 func DefaultConfig() Config {
@@ -105,8 +128,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Cols <= 1 || cfg.Rows <= 1 || cfg.Iterations <= 0 {
-		return Result{}, errors.New("srec: Cols, Rows, Iterations must be > 1, > 1, > 0")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	room := cfg.Room
 	if room == nil {

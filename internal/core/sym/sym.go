@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 
+	"repro/internal/check"
 	"repro/internal/profile"
 	"repro/internal/symbolic"
 )
@@ -35,6 +36,16 @@ type Config struct {
 	// internal/symbolic): informed satisficing search instead of the
 	// default goal-count A*.
 	Additive bool
+}
+
+// Validate reports every bound violation in the config.
+func (c Config) Validate() error {
+	f := check.New("sym")
+	f.NonNegativeInt("Blocks", c.Blocks)
+	f.NonNegativeInt("Locations", c.Locations)
+	f.NonNegativeInt("Pours", c.Pours)
+	f.NonNegativeInt("MaxExpansions", c.MaxExpansions)
+	return f.Err()
 }
 
 // DefaultConfig returns the paper-style setup for the given domain.
@@ -68,6 +79,9 @@ type Result struct {
 func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	var prob *symbolic.Problem
 	switch cfg.Domain {

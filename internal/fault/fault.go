@@ -1,0 +1,266 @@
+// Package fault is the suite's deterministic chaos-injection layer. It
+// perturbs a kernel run with the failure modes a deployed robot stack must
+// survive — sensor dropout, observation noise spikes, NaN/Inf corruption of
+// measurement streams, artificial step stalls, and outright kernel panics —
+// while keeping the schedule fully reproducible: an Injector is seeded from
+// (chaos seed, kernel name, run seed), so the same chaos seed produces the
+// same fault schedule for every (kernel, trial) pair regardless of how many
+// suite workers run concurrently.
+//
+// The injector has two independent random streams: one consumed by the
+// sensor layer (Drop/Corrupt, called per measurement) and one consumed by
+// the execution layer (OnStep, called once per kernel step). Splitting the
+// streams keeps each schedule stable even though sensor reads and steps
+// interleave differently across kernels.
+//
+// Every fault that fires is recorded as an Event, so a chaos sweep's
+// failures and degradations are attributable in the report.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind classifies an injected fault.
+type Kind string
+
+// The injectable fault classes.
+const (
+	// KindDropout drops a sensor measurement (a beam reads max range, a
+	// landmark observation is lost).
+	KindDropout Kind = "dropout"
+	// KindNaN corrupts a measurement to NaN or ±Inf.
+	KindNaN Kind = "nan"
+	// KindNoise multiplies a measurement error by a large spike factor.
+	KindNoise Kind = "noise"
+	// KindStall blocks the kernel for a fixed duration at a step boundary.
+	KindStall Kind = "stall"
+	// KindPanic panics inside the kernel's main loop.
+	KindPanic Kind = "panic"
+)
+
+// Config sets the per-opportunity fault rates. All rates are probabilities
+// in [0, 1]; a zero Config injects nothing.
+type Config struct {
+	// Seed is the chaos seed. The per-run schedule is derived from it, the
+	// kernel name, and the run seed, never from shared state, so schedules
+	// are identical at any parallelism.
+	Seed int64
+	// Dropout is the per-measurement probability of losing the reading.
+	Dropout float64
+	// NaN is the per-measurement probability of NaN/Inf corruption.
+	NaN float64
+	// Noise is the per-measurement probability of a noise spike; NoiseScale
+	// sizes the spike relative to the measurement magnitude.
+	Noise      float64
+	NoiseScale float64
+	// Stall is the per-step probability of an artificial stall of StallFor.
+	Stall    float64
+	StallFor time.Duration
+	// Panic is the per-run probability that the kernel panics at one of
+	// its first steps. A rate >= 1 panics deterministically at step 1.
+	Panic float64
+	// Only restricts injection to the named kernels (empty = all).
+	Only []string
+}
+
+// Active reports whether the config injects anything into the named kernel.
+func (c Config) Active(kernel string) bool {
+	if c.Dropout <= 0 && c.NaN <= 0 && c.Noise <= 0 && c.Stall <= 0 && c.Panic <= 0 {
+		return false
+	}
+	if len(c.Only) == 0 {
+		return true
+	}
+	for _, k := range c.Only {
+		if k == kernel {
+			return true
+		}
+	}
+	return false
+}
+
+// Event is one fault that fired, stamped with the kernel step it fired in
+// (the step in progress for sensor faults; 0 before the first step ends).
+type Event struct {
+	Step   int64
+	Kind   Kind
+	Detail string
+}
+
+// maxEvents bounds the per-run event log; a final synthetic "truncated"
+// event reports how many more fired.
+const maxEvents = 1024
+
+// InjectedPanic is the value an injector panics with, so recovery layers
+// can attribute the panic to chaos injection rather than a kernel bug.
+type InjectedPanic struct {
+	Kernel string
+	Step   int64
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic in %s at step %d", p.Kernel, p.Step)
+}
+
+// Injector perturbs one kernel run. A nil *Injector is valid and injects
+// nothing, so call sites need no guards. An Injector is not safe for
+// concurrent use; each run owns its own (matching the one-Profile-per-run
+// discipline of the suite engine).
+type Injector struct {
+	cfg    Config
+	kernel string
+
+	sense *rng.RNG // consumed per measurement (Drop/Corrupt)
+	step  *rng.RNG // consumed per step (OnStep)
+
+	stepN   int64
+	panicAt int64 // 0 = never
+
+	events    []Event
+	truncated int64
+}
+
+// New derives the injector for one run. It returns nil — the inert
+// injector — when cfg injects nothing into this kernel, so enabling chaos
+// for a kernel subset costs the others nothing.
+func New(cfg Config, kernel string, runSeed int64) *Injector {
+	if !cfg.Active(kernel) {
+		return nil
+	}
+	if cfg.NoiseScale <= 0 {
+		cfg.NoiseScale = 10
+	}
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = time.Millisecond
+	}
+	base := cfg.Seed ^ mix(runSeed) ^ hashName(kernel)
+	in := &Injector{
+		cfg:    cfg,
+		kernel: kernel,
+		sense:  rng.New(base ^ 0x53454e53), // "SENS"
+		step:   rng.New(base ^ 0x53544550), // "STEP"
+	}
+	if cfg.Panic > 0 {
+		pr := rng.New(base ^ 0x50414e49) // "PANI"
+		if cfg.Panic >= 1 {
+			in.panicAt = 1
+		} else if pr.Float64() < cfg.Panic {
+			in.panicAt = 1 + int64(pr.Intn(8))
+		}
+	}
+	return in
+}
+
+// mix decorrelates nearby run seeds (suite trials run with base+t) with a
+// splitmix64 round so trial schedules are independent.
+func mix(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// hashName folds a kernel name into a seed component (FNV-1a).
+func hashName(s string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// record appends an event, bounded by maxEvents.
+func (in *Injector) record(k Kind, detail string) {
+	if len(in.events) >= maxEvents {
+		in.truncated++
+		return
+	}
+	in.events = append(in.events, Event{Step: in.stepN, Kind: k, Detail: detail})
+}
+
+// Drop reports whether the current measurement should be lost. Nil-safe.
+func (in *Injector) Drop() bool {
+	if in == nil || in.cfg.Dropout <= 0 {
+		return false
+	}
+	if in.sense.Float64() < in.cfg.Dropout {
+		in.record(KindDropout, "measurement dropped")
+		return true
+	}
+	return false
+}
+
+// Corrupt perturbs one measurement: NaN/Inf corruption first, then a noise
+// spike scaled to the measurement magnitude. Nil-safe; returns v unchanged
+// when nothing fires.
+func (in *Injector) Corrupt(v float64) float64 {
+	if in == nil {
+		return v
+	}
+	if in.cfg.NaN > 0 && in.sense.Float64() < in.cfg.NaN {
+		// Alternate NaN and ±Inf so both corruption shapes are exercised.
+		switch in.sense.Intn(3) {
+		case 0:
+			in.record(KindNaN, "measurement -> +Inf")
+			return math.Inf(1)
+		case 1:
+			in.record(KindNaN, "measurement -> -Inf")
+			return math.Inf(-1)
+		default:
+			in.record(KindNaN, "measurement -> NaN")
+			return math.NaN()
+		}
+	}
+	if in.cfg.Noise > 0 && in.sense.Float64() < in.cfg.Noise {
+		mag := math.Abs(v)
+		if mag < 1 {
+			mag = 1
+		}
+		spike := in.sense.Normal(0, in.cfg.NoiseScale*mag)
+		in.record(KindNoise, fmt.Sprintf("spike %+.3g", spike))
+		return v + spike
+	}
+	return v
+}
+
+// OnStep is the uniform per-step injection point (profile.SetStepHook wires
+// it into every kernel's StepDone): it fires scheduled stalls and the
+// injected panic. Nil-safe.
+func (in *Injector) OnStep() {
+	if in == nil {
+		return
+	}
+	in.stepN++
+	if in.cfg.Stall > 0 && in.step.Float64() < in.cfg.Stall {
+		in.record(KindStall, in.cfg.StallFor.String())
+		time.Sleep(in.cfg.StallFor)
+	}
+	if in.panicAt > 0 && in.stepN == in.panicAt {
+		in.record(KindPanic, "injected panic")
+		panic(&InjectedPanic{Kernel: in.kernel, Step: in.stepN})
+	}
+}
+
+// Events returns the faults that fired, in order, with a final synthetic
+// "truncated" entry when the log overflowed. Nil-safe.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	if in.truncated > 0 {
+		out := make([]Event, len(in.events), len(in.events)+1)
+		copy(out, in.events)
+		return append(out, Event{
+			Step:   in.stepN,
+			Kind:   "truncated",
+			Detail: fmt.Sprintf("%d further events not recorded", in.truncated),
+		})
+	}
+	return in.events
+}

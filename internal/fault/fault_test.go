@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func chaosConfig() Config {
+	return Config{
+		Seed:     7,
+		Dropout:  0.2,
+		NaN:      0.1,
+		Noise:    0.1,
+		Stall:    0.5,
+		StallFor: time.Microsecond,
+	}
+}
+
+// drive runs a fixed measurement/step pattern through an injector and
+// returns the values Corrupt produced (NaN normalized for comparison).
+func drive(in *Injector) ([]float64, []bool) {
+	var vals []float64
+	var drops []bool
+	for step := 0; step < 20; step++ {
+		for m := 0; m < 5; m++ {
+			drops = append(drops, in.Drop())
+			v := in.Corrupt(float64(m) + 1)
+			if math.IsNaN(v) {
+				v = -12345 // NaN != NaN; normalize for equality checks
+			}
+			vals = append(vals, v)
+		}
+		in.OnStep()
+	}
+	return vals, drops
+}
+
+// TestDeterministicSchedule checks two injectors with identical derivation
+// inputs produce identical fault decisions and event logs — the property
+// the suite's any-parallelism determinism contract rests on.
+func TestDeterministicSchedule(t *testing.T) {
+	a := New(chaosConfig(), "pfl", 3)
+	b := New(chaosConfig(), "pfl", 3)
+	av, ad := drive(a)
+	bv, bd := drive(b)
+	if !reflect.DeepEqual(av, bv) || !reflect.DeepEqual(ad, bd) {
+		t.Fatal("same (seed, kernel, run) produced different fault decisions")
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatalf("event logs differ:\n%v\n%v", a.Events(), b.Events())
+	}
+	if len(a.Events()) == 0 {
+		t.Fatal("chaos config fired no events over 100 measurements")
+	}
+}
+
+// TestScheduleVariesAcrossKernelsAndTrials checks the derivation actually
+// decorrelates kernels and run seeds.
+func TestScheduleVariesAcrossKernelsAndTrials(t *testing.T) {
+	base, _ := drive(New(chaosConfig(), "pfl", 3))
+	otherKernel, _ := drive(New(chaosConfig(), "ekfslam", 3))
+	otherTrial, _ := drive(New(chaosConfig(), "pfl", 4))
+	if reflect.DeepEqual(base, otherKernel) {
+		t.Error("different kernels share a fault schedule")
+	}
+	if reflect.DeepEqual(base, otherTrial) {
+		t.Error("different run seeds share a fault schedule")
+	}
+}
+
+// TestNilInjectorIsInert checks the nil injector contract call sites rely
+// on.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Drop() {
+		t.Error("nil injector dropped a measurement")
+	}
+	if v := in.Corrupt(3.5); v != 3.5 {
+		t.Errorf("nil injector corrupted: %v", v)
+	}
+	in.OnStep()
+	if ev := in.Events(); ev != nil {
+		t.Errorf("nil injector recorded events: %v", ev)
+	}
+}
+
+// TestInactiveConfigs checks New returns the inert injector for zero
+// configs and for kernels excluded by Only.
+func TestInactiveConfigs(t *testing.T) {
+	if New(Config{Seed: 1}, "pfl", 1) != nil {
+		t.Error("zero-rate config built an injector")
+	}
+	cfg := chaosConfig()
+	cfg.Only = []string{"cem"}
+	if New(cfg, "pfl", 1) != nil {
+		t.Error("Only filter did not exclude kernel")
+	}
+	if New(cfg, "cem", 1) == nil {
+		t.Error("Only filter excluded its own kernel")
+	}
+}
+
+// TestPanicSchedule checks a certain panic fires at step 1 as an
+// attributable InjectedPanic, and that sub-certain rates are seed-stable.
+func TestPanicSchedule(t *testing.T) {
+	in := New(Config{Seed: 1, Panic: 1}, "cem", 9)
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *InjectedPanic", r, r)
+		}
+		if ip.Kernel != "cem" || ip.Step != 1 {
+			t.Errorf("InjectedPanic = %+v, want kernel cem step 1", ip)
+		}
+		evs := in.Events()
+		if len(evs) != 1 || evs[0].Kind != KindPanic {
+			t.Errorf("events = %v, want one panic event", evs)
+		}
+	}()
+	in.OnStep()
+	t.Fatal("panic rate 1 did not panic at step 1")
+}
+
+// TestCorruptProducesNonFinite checks NaN-rate-1 corruption always yields a
+// non-finite value.
+func TestCorruptProducesNonFinite(t *testing.T) {
+	in := New(Config{Seed: 2, NaN: 1}, "ekfslam", 1)
+	for i := 0; i < 50; i++ {
+		v := in.Corrupt(5)
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			t.Fatalf("Corrupt(5) = %v, want NaN or Inf", v)
+		}
+	}
+}
+
+// TestEventLogTruncation checks the log is bounded and reports overflow.
+func TestEventLogTruncation(t *testing.T) {
+	in := New(Config{Seed: 3, Dropout: 1}, "pfl", 1)
+	for i := 0; i < maxEvents+100; i++ {
+		in.Drop()
+	}
+	evs := in.Events()
+	if len(evs) != maxEvents+1 {
+		t.Fatalf("got %d events, want %d + truncation marker", len(evs), maxEvents)
+	}
+	if evs[len(evs)-1].Kind != "truncated" {
+		t.Errorf("last event = %v, want truncation marker", evs[len(evs)-1])
+	}
+}

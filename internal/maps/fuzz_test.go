@@ -1,0 +1,96 @@
+package maps
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzIndoorMap drives the indoor-map generator with arbitrary dimensions
+// and seeds: any input must yield a structurally valid floor plan — no
+// panics on degenerate sizes, sealed outer walls, some free interior for
+// the particle filter to localize in, and seed-determinism.
+func FuzzIndoorMap(f *testing.F) {
+	f.Add(64, 48, int64(1))
+	f.Add(400, 300, int64(42))
+	f.Add(16, 16, int64(0))
+	f.Add(0, -5, int64(99)) // degenerate: clamped, not panicking
+	f.Add(9, 7, int64(-1))  // below the alcove margin (r.Intn(w-8))
+	f.Add(1, 1000000, int64(3))
+	f.Fuzz(func(t *testing.T, w, h int, seed int64) {
+		if w > 1024 || h > 1024 {
+			t.Skip("bounding fuzz memory")
+		}
+		g := IndoorMap(w, h, seed)
+		if g.W < 16 || g.H < 16 {
+			t.Fatalf("dims %dx%d below the structural minimum", g.W, g.H)
+		}
+		for x := 0; x < g.W; x++ {
+			if g.Free(x, 0) || g.Free(x, g.H-1) {
+				t.Fatalf("outer wall open at x=%d", x)
+			}
+		}
+		for y := 0; y < g.H; y++ {
+			if g.Free(0, y) || g.Free(g.W-1, y) {
+				t.Fatalf("outer wall open at y=%d", y)
+			}
+		}
+		free := 0
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Free(x, y) {
+					free++
+				}
+			}
+		}
+		if free == 0 {
+			t.Fatal("map has no free space")
+		}
+		// Same (dims, seed) must reproduce the same map cell for cell.
+		g2 := IndoorMap(w, h, seed)
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Free(x, y) != g2.Free(x, y) {
+					t.Fatalf("nondeterministic at (%d,%d)", x, y)
+				}
+			}
+		}
+	})
+}
+
+// FuzzMovtarTerrain checks the cost-landscape generator on arbitrary
+// dimensions and seeds: every passable cell's cost stays in the documented
+// [1, 10] band (obstacles report +Inf, never NaN), and the border ring
+// stays passable so target trajectories can circulate.
+func FuzzMovtarTerrain(f *testing.F) {
+	f.Add(64, 64, int64(1))
+	f.Add(16, 16, int64(0))
+	f.Add(-3, 7, int64(5))
+	f.Add(200, 100, int64(-9))
+	f.Fuzz(func(t *testing.T, w, h int, seed int64) {
+		if w > 1024 || h > 1024 {
+			t.Skip("bounding fuzz memory")
+		}
+		c := MovtarTerrain(w, h, seed)
+		for y := 0; y < c.H; y++ {
+			for x := 0; x < c.W; x++ {
+				v := c.Cost(x, y)
+				if math.IsNaN(v) {
+					t.Fatalf("cost(%d,%d) is NaN", x, y)
+				}
+				if !math.IsInf(v, 1) && (v < 1 || v > 10) {
+					t.Fatalf("cost(%d,%d) = %v outside [1, 10]", x, y, v)
+				}
+			}
+		}
+		for x := 0; x < c.W; x++ {
+			if !c.Passable(x, 0) || !c.Passable(x, c.H-1) {
+				t.Fatalf("border impassable at x=%d", x)
+			}
+		}
+		for y := 0; y < c.H; y++ {
+			if !c.Passable(0, y) || !c.Passable(c.W-1, y) {
+				t.Fatalf("border impassable at y=%d", y)
+			}
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 // cost: long straight corridors (long rays) connecting rooms with clutter
 // (short rays).
 func IndoorMap(w, h int, seed int64) *grid.Grid2D {
+	w, h = clampDim(w, 16), clampDim(h, 16)
 	r := rng.New(seed)
 	g := grid.NewGrid2D(w, h)
 
@@ -122,6 +123,7 @@ func IndoorRegion(g *grid.Grid2D, i int) (x, y int) {
 // diagonal avenues cleared, mimicking the obstacle statistics of the Boston
 // map used by pp2d.
 func CityMap(w, h int, seed int64) *grid.Grid2D {
+	w, h = clampDim(w, 16), clampDim(h, 16)
 	r := rng.New(seed)
 	g := grid.NewGrid2D(w, h)
 
@@ -186,6 +188,7 @@ func FreeCellNear(g *grid.Grid2D, x, y int) (int, int) {
 // UAV can fly under or over — the 3D obstacle patterns that drive pp3d's
 // collision checks and graph search.
 func Campus3D(w, h, d int, seed int64) *grid.Grid3D {
+	w, h, d = clampDim(w, 16), clampDim(h, 16), clampDim(d, 8)
 	r := rng.New(seed)
 	g := grid.NewGrid3D(w, h, d)
 
@@ -239,6 +242,7 @@ func FreeVoxelNear(g *grid.Grid3D, x, y, z int) (int, int, int) {
 // cells have small cost, ridges of high cost cross the map, and a few
 // regions are impassable. Costs are in [1, 10]; obstacles are 0.
 func MovtarTerrain(w, h int, seed int64) *grid.CostGrid2D {
+	w, h = clampDim(w, 16), clampDim(h, 16)
 	r := rng.New(seed)
 	c := grid.NewCostGrid2D(w, h, 1)
 
@@ -309,6 +313,18 @@ func PRobStartGoal(k int) (sx, sy, gx, gy int) {
 		k = 1
 	}
 	return 10 * k, 10 * k, 50 * k, 50 * k
+}
+
+// clampDim raises a requested dimension to the generator's structural
+// minimum. The layouts carve corridors, streets, and clutter with fixed
+// margins (e.g. IndoorMap's alcoves draw from r.Intn(w-8)), so degenerate
+// sizes would panic; a caller asking for a tiny or non-positive map gets
+// the smallest structurally valid one instead.
+func clampDim(v, min int) int {
+	if v < min {
+		return min
+	}
+	return v
 }
 
 func maxInt(a, b int) int {

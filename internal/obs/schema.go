@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -56,20 +57,34 @@ func StepsFromSummary(s Summary) *StepReport {
 	}
 }
 
+// FaultReport is one injected fault that fired during a chaos run,
+// attributed to its trial and kernel step.
+type FaultReport struct {
+	Trial  int    `json:"trial"`
+	Step   int64  `json:"step"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
 // TrialsReport aggregates the measured trials of one kernel in a suite
 // sweep (`report -trials N`). It is an optional, backward-compatible
 // addition to rtrbench.report/v1: single-run reports omit it. roi_* are the
 // per-trial ROI statistics; steps is the latency distribution merged over
 // every trial (the per-trial one stays in the top-level steps field).
+// degraded counts trials that returned a best-effort partial result; faults
+// lists the injected chaos events across all trials.
 type TrialsReport struct {
 	Trials           int              `json:"trials"`
 	Warmup           int              `json:"warmup,omitempty"`
+	Retried          int              `json:"retried,omitempty"`
+	Degraded         int              `json:"degraded,omitempty"`
 	ROIMeanSeconds   float64          `json:"roi_mean_seconds"`
 	ROIMinSeconds    float64          `json:"roi_min_seconds"`
 	ROIMaxSeconds    float64          `json:"roi_max_seconds"`
 	ROIStddevSeconds float64          `json:"roi_stddev_seconds"`
 	Counters         map[string]int64 `json:"counters,omitempty"`
 	Steps            *StepReport      `json:"steps,omitempty"`
+	Faults           []FaultReport    `json:"faults,omitempty"`
 }
 
 // KernelReport is one kernel execution in the shared machine-readable
@@ -90,33 +105,76 @@ type KernelReport struct {
 	Phases           []PhaseReport      `json:"phases,omitempty"`
 	Counters         map[string]int64   `json:"counters,omitempty"`
 	Metrics          map[string]float64 `json:"metrics,omitempty"`
-	Steps            *StepReport        `json:"steps,omitempty"`
-	Trials           *TrialsReport      `json:"trials,omitempty"`
-	Error            string             `json:"error,omitempty"`
+	// NonfiniteMetrics names metrics whose values were NaN or ±Inf and were
+	// dropped from Metrics (JSON cannot encode them). Filled by the Write
+	// functions; the names survive so corruption stays visible.
+	NonfiniteMetrics []string      `json:"nonfinite_metrics,omitempty"`
+	Steps            *StepReport   `json:"steps,omitempty"`
+	Trials           *TrialsReport `json:"trials,omitempty"`
+	// Degraded marks a run that returned a best-effort partial result after
+	// a deadline or stall (graceful degradation, not failure).
+	Degraded bool `json:"degraded,omitempty"`
+	// Fault attributes an error to chaos injection (e.g. an injected panic).
+	Fault string `json:"fault,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
-// WriteJSON writes one report as an indented JSON document.
+// sanitizeMetrics moves non-finite metric values out of Metrics and into
+// NonfiniteMetrics. encoding/json rejects NaN and ±Inf, so without this a
+// single corrupted metric would make the whole report unwritable — the
+// exact failure mode a chaos sweep exists to surface, not to die of.
+func sanitizeMetrics(r *KernelReport) {
+	var bad []string
+	for k, v := range r.Metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+	sort.Strings(bad)
+	clean := make(map[string]float64, len(r.Metrics)-len(bad))
+	for k, v := range r.Metrics {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean[k] = v
+		}
+	}
+	r.Metrics = clean
+	r.NonfiniteMetrics = append(r.NonfiniteMetrics, bad...)
+}
+
+// WriteJSON writes one report as an indented JSON document. Non-finite
+// metric values are moved to nonfinite_metrics first (JSON cannot carry
+// them).
 func WriteJSON(w io.Writer, r KernelReport) error {
 	r.Schema = SchemaVersion
+	sanitizeMetrics(&r)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
 
-// WriteJSONAll writes a sweep of reports as one JSON array.
+// WriteJSONAll writes a sweep of reports as one JSON array, sanitizing
+// non-finite metrics like WriteJSON.
 func WriteJSONAll(w io.Writer, rs []KernelReport) error {
-	for i := range rs {
-		rs[i].Schema = SchemaVersion
+	out := make([]KernelReport, len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].Schema = SchemaVersion
+		sanitizeMetrics(&out[i])
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rs)
+	return enc.Encode(out)
 }
 
 // csvHeader is the flat CSV layout: one row per record. `record` is one of
-// roi, phase, counter, metric, step, trial; durations are in seconds. calls
-// and fraction are only meaningful for phase rows, step rows (calls =
-// sample count, fraction unused), and trial rows (calls = trial count).
+// roi, phase, counter, metric, step, trial, fault, fault_attribution,
+// degraded, error; durations are in seconds. calls and fraction are only
+// meaningful for phase rows, step rows (calls = sample count, fraction
+// unused), trial rows (calls = trial count), and fault rows (name = kind,
+// value = detail, calls = kernel step, fraction = trial index).
 var csvHeader = []string{"schema", "kernel", "record", "name", "value", "calls", "fraction"}
 
 // WriteCSVAll writes one or more reports as a single flat CSV table with a
@@ -154,6 +212,16 @@ func writeCSVRows(cw *csv.Writer, r KernelReport) error {
 	}
 	if r.Error != "" {
 		if err := row("error", "", r.Error, 0, 0); err != nil {
+			return err
+		}
+	}
+	if r.Fault != "" {
+		if err := row("fault_attribution", "", r.Fault, 0, 0); err != nil {
+			return err
+		}
+	}
+	if r.Degraded {
+		if err := row("degraded", "", "true", 0, 0); err != nil {
 			return err
 		}
 	}
@@ -199,6 +267,14 @@ func writeCSVRows(cw *csv.Writer, r KernelReport) error {
 		}
 		for _, t := range trials {
 			if err := row("trial", t.name, f(t.value), int64(tr.Trials), 0); err != nil {
+				return err
+			}
+		}
+		// Fault rows: name = kind, value = detail, calls = kernel step,
+		// fraction = trial index (reusing the generic columns; the header
+		// comment documents the mapping).
+		for _, ft := range tr.Faults {
+			if err := row("fault", ft.Kind, ft.Detail, ft.Step, float64(ft.Trial)); err != nil {
 				return err
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
@@ -176,6 +177,92 @@ func TestDebugServer(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != 200 || !strings.Contains(body.String(), want) {
 			t.Fatalf("GET %s: status %d body %q", path, resp.StatusCode, body.String())
+		}
+	}
+}
+
+// TestWriteJSONSanitizesNonfiniteMetrics checks a chaos-corrupted metric
+// (NaN/Inf) cannot make a report unwritable: encoding/json rejects
+// non-finite numbers, so the writers drop them into nonfinite_metrics.
+func TestWriteJSONSanitizesNonfiniteMetrics(t *testing.T) {
+	r := KernelReport{
+		Kernel: "pfl",
+		Metrics: map[string]float64{
+			"good":     1.5,
+			"bad_nan":  math.NaN(),
+			"bad_inf":  math.Inf(1),
+			"bad_ninf": math.Inf(-1),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatalf("WriteJSON with non-finite metrics: %v", err)
+	}
+	var back KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Metrics) != 1 || back.Metrics["good"] != 1.5 {
+		t.Errorf("Metrics = %v, want only good=1.5", back.Metrics)
+	}
+	want := []string{"bad_inf", "bad_nan", "bad_ninf"}
+	if len(back.NonfiniteMetrics) != 3 {
+		t.Fatalf("NonfiniteMetrics = %v, want %v", back.NonfiniteMetrics, want)
+	}
+	for i, name := range want {
+		if back.NonfiniteMetrics[i] != name {
+			t.Errorf("NonfiniteMetrics[%d] = %q, want %q", i, back.NonfiniteMetrics[i], name)
+		}
+	}
+	// The caller's map must not be mutated by the write.
+	if len(r.Metrics) != 4 {
+		t.Errorf("caller's Metrics mutated: %v", r.Metrics)
+	}
+}
+
+// TestWriteFaultAndDegraded checks chaos fields round-trip through JSON and
+// surface as CSV rows.
+func TestWriteFaultAndDegraded(t *testing.T) {
+	r := KernelReport{
+		Kernel:   "ekfslam",
+		Degraded: true,
+		Fault:    "injected panic at step 3",
+		Trials: &TrialsReport{
+			Trials:   2,
+			Degraded: 1,
+			Retried:  1,
+			Faults: []FaultReport{
+				{Trial: 0, Step: 5, Kind: "nan", Detail: "measurement -> NaN"},
+				{Trial: 1, Step: 9, Kind: "stall", Detail: "1ms"},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Degraded || back.Fault != r.Fault {
+		t.Errorf("degraded/fault lost: %+v", back)
+	}
+	if back.Trials == nil || len(back.Trials.Faults) != 2 || back.Trials.Faults[1].Kind != "stall" {
+		t.Errorf("trial faults lost: %+v", back.Trials)
+	}
+	if back.Trials.Degraded != 1 || back.Trials.Retried != 1 {
+		t.Errorf("trial degraded/retried lost: %+v", back.Trials)
+	}
+
+	buf.Reset()
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"degraded", "fault_attribution", "fault,nan", "fault,stall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -69,6 +69,9 @@ type Profile struct {
 
 	// Live counter export (see PublishLive).
 	live *obs.Registry
+
+	// Step hook (see SetStepHook).
+	stepHook func()
 }
 
 type phase struct {
@@ -146,6 +149,19 @@ func (p *Profile) PublishLive(reg *obs.Registry) {
 		return
 	}
 	p.live = reg
+}
+
+// SetStepHook installs fn to run at every StepDone of this enabled profile,
+// before latency bookkeeping. Because all kernels call StepDone once per
+// iteration of their main loop, the hook is a uniform per-step injection
+// point — the chaos layer uses it to fire stalls and injected panics without
+// per-kernel wiring. A nil fn removes the hook. No-op on disabled profiles,
+// which is what shields warmup runs (they use Disabled()) from injection.
+func (p *Profile) SetStepHook(fn func()) {
+	if !p.Enabled() {
+		return
+	}
+	p.stepHook = fn
 }
 
 // BeginROI marks the start of the kernel's region of interest. The first
@@ -230,11 +246,17 @@ func (p *Profile) Count(name string, delta int64) {
 
 // StepDone closes one step interval: it records the wall time since the
 // previous StepDone (or since the first BeginROI for the first step) into
-// the latency histogram and checks it against the armed deadline. A no-op
-// until EnableSteps or SetDeadline is called, so the hot path of
-// uninstrumented runs pays a single branch.
+// the latency histogram and checks it against the armed deadline. It also
+// fires the step hook, if one is installed. Without step tracking or a hook
+// it is a no-op, so the hot path of uninstrumented runs pays a single branch.
 func (p *Profile) StepDone() {
-	if !p.Enabled() || p.steps == nil {
+	if !p.Enabled() {
+		return
+	}
+	if p.stepHook != nil {
+		p.stepHook()
+	}
+	if p.steps == nil {
 		return
 	}
 	now := time.Now()

@@ -179,3 +179,24 @@ func TestSnapshotSortedByDuration(t *testing.T) {
 		t.Fatalf("phases not sorted: %v first", r.Phases[0].Name)
 	}
 }
+
+func TestStepHook(t *testing.T) {
+	p := New()
+	var fired int
+	p.SetStepHook(func() { fired++ })
+	// The hook must fire even without step-latency tracking enabled.
+	p.StepDone()
+	p.StepDone()
+	if fired != 2 {
+		t.Fatalf("hook fired %d times, want 2", fired)
+	}
+	p.SetStepHook(nil)
+	p.StepDone()
+	if fired != 2 {
+		t.Fatalf("removed hook still fired (%d calls)", fired)
+	}
+
+	d := Disabled()
+	d.SetStepHook(func() { t.Fatal("hook installed on disabled profile") })
+	d.StepDone()
+}

@@ -10,6 +10,7 @@ package sensor
 import (
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/rng"
@@ -64,6 +65,10 @@ type Laser struct {
 	// (glass, absorption, specular surfaces). Failure-injection tests use
 	// it to exercise filter robustness.
 	Dropout float64
+	// Fault, when non-nil, is the chaos layer's injector: it can drop
+	// beams and corrupt ranges (NaN/Inf, noise spikes) on a deterministic
+	// schedule independent of the kernel's own noise stream.
+	Fault *fault.Injector
 }
 
 // DefaultLaser returns a 37-beam, 270°, 25 m scanner with 5 cm noise,
@@ -92,12 +97,18 @@ func (l Laser) Scan(r *rng.RNG, g *grid.Grid2D, pose geom.Pose2) []float64 {
 			out[i] = l.MaxRange
 			continue
 		}
+		if l.Fault.Drop() {
+			out[i] = l.MaxRange
+			continue
+		}
 		theta := pose.Theta + l.BeamAngle(i)
 		d := g.Raycast(pose.X, pose.Y, theta, l.MaxRange)
 		if r != nil && l.Sigma > 0 {
 			d += r.Normal(0, l.Sigma)
 		}
-		out[i] = geom.Clamp(d, 0, l.MaxRange)
+		// Injected corruption happens after clamping, like a fault in the
+		// driver or transport rather than in the physics.
+		out[i] = l.Fault.Corrupt(geom.Clamp(d, 0, l.MaxRange))
 	}
 	return out
 }
@@ -120,6 +131,10 @@ type RangeBearingSensor struct {
 	MaxRange   float64
 	SigmaRange float64
 	SigmaBear  float64
+	// Fault, when non-nil, deterministically drops observations and
+	// corrupts ranges (NaN/Inf, noise spikes) — the chaos layer's handle
+	// into the EKF-SLAM measurement stream.
+	Fault *fault.Injector
 }
 
 // Observe returns the noisy observations of all landmarks visible from pose.
@@ -132,6 +147,9 @@ func (s RangeBearingSensor) Observe(r *rng.RNG, pose geom.Pose2, lms []Landmark)
 		if s.MaxRange > 0 && d > s.MaxRange {
 			continue
 		}
+		if s.Fault.Drop() {
+			continue
+		}
 		b := geom.NormalizeAngle(math.Atan2(dy, dx) - pose.Theta)
 		if r != nil {
 			d += r.Normal(0, s.SigmaRange)
@@ -140,7 +158,7 @@ func (s RangeBearingSensor) Observe(r *rng.RNG, pose geom.Pose2, lms []Landmark)
 		if d < 0 {
 			d = 0
 		}
-		out = append(out, RangeBearing{ID: lm.ID, Range: d, Bearing: b})
+		out = append(out, RangeBearing{ID: lm.ID, Range: s.Fault.Corrupt(d), Bearing: b})
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/arm"
 	"repro/internal/core/rrt"
 	"repro/internal/core/sym"
+	"repro/internal/fault"
 	"repro/internal/profile"
 )
 
@@ -16,19 +17,73 @@ import (
 // translates its native result into the public Result. The two halves are
 // separated so the Suite engine can reuse one configuration across warmup
 // runs and trials while handing each execution its own profile shard.
+//
+// inject, when set, threads a chaos injector into the kernel's sensor layer
+// (the kernels whose configs embed a sensor: pfl's laser, ekfslam's
+// range-bearing sensor). All kernels additionally receive step-level faults
+// (stalls, panics) through the profile's step hook, so inject stays nil for
+// the rest.
 type spec[C any] struct {
 	configure func(Options) (C, error)
 	run       func(context.Context, C, *profile.Profile) (Result, error)
+	inject    func(*C, *fault.Injector)
 }
 
-// registerSpec wires a spec into the registry under info's identity.
+// validated is the duck-typed config validation contract: every kernel
+// config with a Validate method gets it called on the configure path, so
+// malformed options fail fast with field-level errors before the kernel
+// runs.
+type validated interface{ Validate() error }
+
+// registerSpec wires a spec into the registry under info's identity. The
+// wrapper it installs is the harness's robustness boundary: it validates
+// the configured kernel config, arms chaos injection when requested, and
+// converts any panic that escapes the kernel into a structured
+// *KernelError instead of crashing the process.
 func registerSpec[C any](info Info, s spec[C]) {
-	info.runWith = func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+	name, stage := info.Name, info.Stage
+	info.runWith = func(ctx context.Context, o Options, p *profile.Profile) (res Result, err error) {
 		cfg, err := s.configure(o)
 		if err != nil {
-			return Result{Kernel: info.Name, Stage: info.Stage}, err
+			return Result{Kernel: name, Stage: stage}, err
 		}
-		return s.run(ctx, cfg, p)
+		if v, ok := any(cfg).(validated); ok {
+			if err := v.Validate(); err != nil {
+				return Result{Kernel: name, Stage: stage}, err
+			}
+		}
+		var inj *fault.Injector
+		if o.Fault != nil {
+			inj = fault.New(o.Fault.config(), name, o.seed())
+			if inj != nil {
+				if s.inject != nil {
+					s.inject(&cfg, inj)
+				}
+				// Stalls and injected panics reach every kernel through the
+				// uniform per-step hook; warmup runs use a disabled profile,
+				// so SetStepHook no-ops and warmup stays injection-free.
+				p.SetStepHook(inj.OnStep)
+			}
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				res = Result{Kernel: name, Stage: stage, Faults: faultEvents(inj)}
+				err = newKernelError(name, rec)
+			}
+		}()
+		res, err = s.run(ctx, cfg, p)
+		res.Faults = faultEvents(inj)
+		return res, err
+	}
+	info.validate = func(o Options) error {
+		cfg, err := s.configure(o)
+		if err != nil {
+			return err
+		}
+		if v, ok := any(cfg).(validated); ok {
+			return v.Validate()
+		}
+		return nil
 	}
 	register(info)
 }
@@ -113,6 +168,7 @@ func boolMetric(b bool) float64 {
 func rrtConfig(kernel string, o Options, variant string) (rrt.Config, error) {
 	cfg := rrt.DefaultConfig()
 	cfg.Seed = o.seed()
+	cfg.BestEffort = o.BestEffort
 	if o.Size == SizeSmall {
 		cfg.MaxSamples = 10000
 	}
@@ -135,6 +191,7 @@ func rrtResult(name string, p *profile.Profile, kr rrt.Result) Result {
 	res.Metrics["seg_checks"] = float64(kr.SegChecks)
 	res.Metrics["rewires"] = float64(kr.Rewires)
 	res.Metrics["shortcuts"] = float64(kr.Shortcuts)
+	res.Degraded = kr.Degraded
 	return res
 }
 

@@ -1,0 +1,122 @@
+package rtrbench
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// FaultOptions configures the chaos layer of a run: deterministic injection
+// of sensor dropout, NaN/Inf corruption, noise spikes, step stalls, and
+// kernel panics. The schedule is derived from (Seed, kernel name, run seed)
+// only, so a chaos suite run produces identical fault schedules at any
+// parallelism — the suite's determinism contract extends to its faults.
+type FaultOptions struct {
+	// Seed is the chaos seed; it is independent of Options.Seed so the same
+	// workloads can be rerun under different fault schedules.
+	Seed int64
+	// Dropout, NaN, and Noise are per-measurement probabilities of losing a
+	// sensor reading, corrupting it to NaN/±Inf, and adding a noise spike
+	// (of NoiseScale times the measurement magnitude; 0 means 10×).
+	Dropout, NaN, Noise float64
+	NoiseScale          float64
+	// Stall is the per-step probability of an artificial stall of StallFor
+	// (0 means 1ms) — the injected latency that exercises deadline handling
+	// and graceful degradation.
+	Stall    float64
+	StallFor time.Duration
+	// Panic is the per-run probability that the kernel panics at one of its
+	// first steps; >= 1 panics deterministically at step 1. Panics are
+	// recovered by the harness and surface as *KernelError.
+	Panic float64
+	// Only restricts injection to the named kernels (empty = all).
+	Only []string
+}
+
+func (fo *FaultOptions) config() fault.Config {
+	return fault.Config{
+		Seed:       fo.Seed,
+		Dropout:    fo.Dropout,
+		NaN:        fo.NaN,
+		Noise:      fo.Noise,
+		NoiseScale: fo.NoiseScale,
+		Stall:      fo.Stall,
+		StallFor:   fo.StallFor,
+		Panic:      fo.Panic,
+		Only:       fo.Only,
+	}
+}
+
+// FaultEvent is one injected fault that fired during a run, attributed to
+// the kernel step it fired in.
+type FaultEvent struct {
+	// Trial is the measured-trial index the event belongs to (stamped by
+	// Suite; 0 for single runs).
+	Trial int
+	// Step is the kernel step in progress when the fault fired (0 before
+	// the first step completes).
+	Step int64
+	// Kind is the fault class: "dropout", "nan", "noise", "stall", "panic",
+	// or "truncated" (the event log overflowed).
+	Kind string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// faultEvents converts the injector's event log to the public form.
+func faultEvents(in *fault.Injector) []FaultEvent {
+	evs := in.Events()
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]FaultEvent, len(evs))
+	for i, e := range evs {
+		out[i] = FaultEvent{Step: e.Step, Kind: string(e.Kind), Detail: e.Detail}
+	}
+	return out
+}
+
+// KernelError is the structured error produced when a kernel panics: the
+// harness recovers the panic inside the adapter layer, so one misbehaving
+// kernel can never take down a sweep. Suite stamps the trial index and
+// reports it alongside the other kernels' results under ContinueOnError.
+type KernelError struct {
+	// Kernel is the kernel that panicked.
+	Kernel string
+	// Trial is the measured-trial index (-1 when the panic happened outside
+	// a suite trial, e.g. in a direct Run call).
+	Trial int
+	// Fault attributes the panic to chaos injection when the recovered
+	// value was the injector's (e.g. "injected panic at step 1"); empty for
+	// a genuine kernel bug.
+	Fault string
+	// Msg is the recovered panic value, rendered.
+	Msg string
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+func (e *KernelError) Error() string {
+	if e.Fault != "" {
+		return fmt.Sprintf("rtrbench: kernel %s trial %d panicked (%s): %s", e.Kernel, e.Trial, e.Fault, e.Msg)
+	}
+	return fmt.Sprintf("rtrbench: kernel %s trial %d panicked: %s", e.Kernel, e.Trial, e.Msg)
+}
+
+// newKernelError builds the structured error for a recovered panic,
+// attributing it to the injector when the panic value is chaos-injected.
+func newKernelError(kernel string, recovered any) *KernelError {
+	ke := &KernelError{
+		Kernel: kernel,
+		Trial:  -1,
+		Msg:    fmt.Sprint(recovered),
+		Stack:  debug.Stack(),
+	}
+	if ip, ok := recovered.(*fault.InjectedPanic); ok {
+		ke.Fault = fmt.Sprintf("injected panic at step %d", ip.Step)
+		ke.Msg = ip.String()
+	}
+	return ke
+}

@@ -1,0 +1,279 @@
+package rtrbench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSuitePoisonedKernelIsolated is the chaos harness's core regression:
+// one kernel poisoned with a deterministic injected panic must not take
+// down the sweep. Under ContinueOnError the other 15 kernels complete
+// normally and the poisoned one surfaces a structured *KernelError with
+// fault attribution and its trial index.
+func TestSuitePoisonedKernelIsolated(t *testing.T) {
+	res, err := Suite(context.Background(), SuiteOptions{
+		Options: Options{
+			Size:  SizeSmall,
+			Seed:  7,
+			Fault: &FaultOptions{Seed: 1, Panic: 1, Only: []string{"cem"}},
+		},
+		Parallel:        4,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 16 {
+		t.Fatalf("got %d kernels, want 16", len(res.Kernels))
+	}
+	var poisoned *KernelResult
+	healthy := 0
+	for i := range res.Kernels {
+		kr := &res.Kernels[i]
+		if kr.Info.Name == "cem" {
+			poisoned = kr
+			continue
+		}
+		if kr.Err != nil {
+			t.Errorf("%s: err = %v, want nil (panic must stay isolated)", kr.Info.Name, kr.Err)
+			continue
+		}
+		if len(kr.Result.Metrics) == 0 {
+			t.Errorf("%s: no metrics", kr.Info.Name)
+			continue
+		}
+		healthy++
+	}
+	if healthy != 15 {
+		t.Errorf("healthy kernels = %d, want 15", healthy)
+	}
+	if poisoned == nil {
+		t.Fatal("cem missing from results")
+	}
+	var ke *KernelError
+	if !errors.As(poisoned.Err, &ke) {
+		t.Fatalf("cem err = %v (%T), want *KernelError", poisoned.Err, poisoned.Err)
+	}
+	if ke.Kernel != "cem" || ke.Trial != 0 {
+		t.Errorf("KernelError = {Kernel: %q, Trial: %d}, want {cem, 0}", ke.Kernel, ke.Trial)
+	}
+	if !strings.Contains(ke.Fault, "injected panic") {
+		t.Errorf("KernelError.Fault = %q, want injected-panic attribution", ke.Fault)
+	}
+	if len(ke.Stack) == 0 {
+		t.Error("KernelError.Stack empty, want recovered goroutine stack")
+	}
+	// The injected panic is also visible in the fault log of the trial.
+	if poisoned.Trials == nil || len(poisoned.Trials.Faults) == 0 {
+		t.Fatalf("poisoned kernel has no fault events: %+v", poisoned.Trials)
+	}
+	last := poisoned.Trials.Faults[len(poisoned.Trials.Faults)-1]
+	if last.Kind != "panic" || last.Trial != 0 {
+		t.Errorf("last fault event = %+v, want panic in trial 0", last)
+	}
+
+	// The failure report rolls the same facts into one place.
+	fails := res.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("Failures() = %d entries, want 1: %+v", len(fails), fails)
+	}
+	if f := fails[0]; f.Kernel != "cem" || f.Trial != 0 || !strings.Contains(f.Fault, "injected panic") {
+		t.Errorf("failure report = %+v, want attributed cem trial-0 panic", f)
+	}
+}
+
+// TestSuiteChaosScheduleDeterministic checks the chaos determinism contract:
+// the same chaos seed yields byte-identical fault schedules at parallelism 1
+// and 8, across multiple trials.
+func TestSuiteChaosScheduleDeterministic(t *testing.T) {
+	run := func(parallel int) SuiteResult {
+		t.Helper()
+		res, err := Suite(context.Background(), SuiteOptions{
+			Options: Options{
+				Size: SizeSmall,
+				Seed: 7,
+				Fault: &FaultOptions{
+					Seed:    42,
+					Dropout: 0.05,
+					NaN:     0.02,
+					Noise:   0.05,
+				},
+			},
+			Parallel:        parallel,
+			Trials:          2,
+			ContinueOnError: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+	anyFaults := false
+	for i := range seq.Kernels {
+		s, p := seq.Kernels[i], par.Kernels[i]
+		if s.Info.Name != p.Info.Name {
+			t.Fatalf("order mismatch at %d: %s vs %s", i, s.Info.Name, p.Info.Name)
+		}
+		var sf, pf []FaultEvent
+		if s.Trials != nil {
+			sf = s.Trials.Faults
+		}
+		if p.Trials != nil {
+			pf = p.Trials.Faults
+		}
+		if len(sf) != len(pf) {
+			t.Errorf("%s: %d faults sequential vs %d parallel", s.Info.Name, len(sf), len(pf))
+			continue
+		}
+		for j := range sf {
+			if sf[j] != pf[j] {
+				t.Errorf("%s: fault %d differs: %+v vs %+v", s.Info.Name, j, sf[j], pf[j])
+			}
+		}
+		if len(sf) > 0 {
+			anyFaults = true
+		}
+	}
+	// The sensor-threaded kernels must actually have been perturbed, or
+	// the comparison above is vacuous.
+	if !anyFaults {
+		t.Error("no fault events anywhere; injection is not reaching the sensor layer")
+	}
+}
+
+// TestSuiteRetriesTransientTimeout checks the bounded retry loop: a per-run
+// timeout is transient, so the trial is retried exactly Retries times before
+// the error is reported.
+func TestSuiteRetriesTransientTimeout(t *testing.T) {
+	res, err := Suite(context.Background(), SuiteOptions{
+		Options:         Options{Size: SizeSmall},
+		Kernels:         []string{"pfl"},
+		Parallel:        1,
+		Timeout:         time.Nanosecond,
+		Retries:         2,
+		RetryBackoff:    time.Millisecond,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := res.Kernels[0]
+	if !errors.Is(kr.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded after retries", kr.Err)
+	}
+	if kr.Retried != 2 {
+		t.Errorf("Retried = %d, want 2", kr.Retried)
+	}
+}
+
+// TestSuiteRetryNotOnKernelError checks panics are never retried: a
+// poisoned trial fails once, immediately.
+func TestSuiteRetryNotOnKernelError(t *testing.T) {
+	res, err := Suite(context.Background(), SuiteOptions{
+		Options: Options{
+			Size:  SizeSmall,
+			Fault: &FaultOptions{Panic: 1, Only: []string{"cem"}},
+		},
+		Kernels:         []string{"cem"},
+		Parallel:        1,
+		Retries:         3,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := res.Kernels[0]
+	var ke *KernelError
+	if !errors.As(kr.Err, &ke) {
+		t.Fatalf("err = %v, want *KernelError", kr.Err)
+	}
+	if kr.Retried != 0 {
+		t.Errorf("Retried = %d, want 0 (panics are not transient)", kr.Retried)
+	}
+}
+
+// TestSuiteChaosStallDegradesBestEffort checks graceful degradation end to
+// end: injected stalls push cem past its per-run timeout, and BestEffort
+// turns what would be a DeadlineExceeded failure into a completed trial
+// flagged Degraded.
+func TestSuiteChaosStallDegradesBestEffort(t *testing.T) {
+	res, err := Suite(context.Background(), SuiteOptions{
+		Options: Options{
+			Size:       SizeSmall,
+			BestEffort: true,
+			Fault: &FaultOptions{
+				Seed:     3,
+				Stall:    1,
+				StallFor: 200 * time.Millisecond,
+				Only:     []string{"cem"},
+			},
+		},
+		Kernels:  []string{"cem"},
+		Parallel: 1,
+		// Small cem runs 3 iterations with a 200ms stall after each; the
+		// 300ms deadline expires during iteration 2, well after the first
+		// iteration completes.
+		Timeout:         300 * time.Millisecond,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := res.Kernels[0]
+	if kr.Err != nil {
+		t.Fatalf("err = %v, want nil (degraded, not failed)", kr.Err)
+	}
+	if !kr.Result.Degraded {
+		t.Error("Result.Degraded = false, want true")
+	}
+	if kr.Trials == nil || kr.Trials.Degraded != 1 {
+		t.Errorf("Trials = %+v, want Degraded = 1", kr.Trials)
+	}
+	stalls := 0
+	for _, f := range kr.Result.Faults {
+		if f.Kind == "stall" {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Error("no stall events recorded, want at least one")
+	}
+}
+
+// TestRunRecoversPanicDirect checks the single-run path (no suite) also
+// converts an injected panic to a structured error with Trial -1.
+func TestRunRecoversPanicDirect(t *testing.T) {
+	_, err := Run("cem", Options{
+		Size:  SizeSmall,
+		Fault: &FaultOptions{Panic: 1},
+	})
+	var ke *KernelError
+	if !errors.As(err, &ke) {
+		t.Fatalf("err = %v (%T), want *KernelError", err, err)
+	}
+	if ke.Trial != -1 {
+		t.Errorf("Trial = %d, want -1 outside a suite", ke.Trial)
+	}
+	if !strings.Contains(ke.Fault, "injected panic") {
+		t.Errorf("Fault = %q, want injected-panic attribution", ke.Fault)
+	}
+}
+
+// TestValidateRejectsBadOptions checks the public Validate path reaches the
+// kernel config validators without running anything.
+func TestValidateRejectsBadOptions(t *testing.T) {
+	if err := Validate("cem", Options{Size: SizeSmall}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	if err := Validate("cem", Options{Size: SizeSmall, Variant: "bogus"}); err == nil {
+		t.Error("bogus variant accepted by Validate")
+	}
+	if err := Validate("no-such-kernel", Options{}); err == nil {
+		t.Error("unknown kernel accepted by Validate")
+	}
+}

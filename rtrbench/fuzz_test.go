@@ -1,0 +1,36 @@
+package rtrbench
+
+import "testing"
+
+// FuzzVariantParsing drives every kernel's variant-string parser (via the
+// run-free Validate path) with arbitrary input. Variants include numeric
+// parses (movtar's target-region size, srec's dictionary scale), so this is
+// the suite's main untrusted-string surface: any input must produce either
+// a clean config or an error — never a panic and never a config that fails
+// validation only later.
+func FuzzVariantParsing(f *testing.F) {
+	f.Add(0, "")
+	f.Add(1, "connect")
+	f.Add(4, "anytime")
+	f.Add(7, "4")
+	f.Add(7, "-1")
+	f.Add(7, "999999999999999999999999")
+	f.Add(9, "1e309")
+	f.Add(12, "no-such-variant")
+	f.Add(3, "ANYTIME")
+	f.Add(5, "16\x00")
+	f.Fuzz(func(t *testing.T, idx int, variant string) {
+		ks := Kernels()
+		k := ks[((idx%len(ks))+len(ks))%len(ks)]
+		// Must not panic; an error is the correct answer for garbage.
+		err := Validate(k.Name, Options{Size: SizeSmall, Variant: variant})
+		if err != nil {
+			return
+		}
+		// An accepted variant must also be accepted a second time —
+		// parsing cannot be stateful.
+		if err := Validate(k.Name, Options{Size: SizeSmall, Variant: variant}); err != nil {
+			t.Fatalf("%s: variant %q accepted once then rejected: %v", k.Name, variant, err)
+		}
+	})
+}

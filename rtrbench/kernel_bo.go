@@ -17,6 +17,7 @@ func init() {
 		configure: func(o Options) (bo.Config, error) {
 			cfg := bo.DefaultConfig()
 			cfg.Seed = o.seed()
+			cfg.BestEffort = o.BestEffort
 			if o.Size == SizeSmall {
 				cfg.Iterations = 15
 				cfg.Candidates = 400
@@ -31,6 +32,7 @@ func init() {
 			res.Metrics["gp_fits"] = float64(kr.GPFits)
 			res.Metrics["predictions"] = float64(kr.Predictions)
 			res.Series["rewards"] = kr.Rewards
+			res.Degraded = kr.Degraded
 			return res, err
 		},
 	})

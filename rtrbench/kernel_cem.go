@@ -17,6 +17,7 @@ func init() {
 		configure: func(o Options) (cem.Config, error) {
 			cfg := cem.DefaultConfig()
 			cfg.Seed = o.seed()
+			cfg.BestEffort = o.BestEffort
 			if o.Size == SizeSmall {
 				cfg.Iterations = 3
 				cfg.SamplesPerIter = 8
@@ -31,6 +32,7 @@ func init() {
 			res.Metrics["evals"] = float64(kr.Evals)
 			res.Series["rewards"] = kr.Rewards
 			res.Series["best_per_iter"] = kr.BestPerIter
+			res.Degraded = kr.Degraded
 			return res, err
 		},
 	})

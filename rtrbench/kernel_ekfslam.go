@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core/ekfslam"
+	"repro/internal/fault"
 	"repro/internal/profile"
 )
 
@@ -22,6 +23,7 @@ func init() {
 			}
 			return cfg, noVariant("ekfslam", o)
 		},
+		inject: func(cfg *ekfslam.Config, in *fault.Injector) { cfg.Sensor.Fault = in },
 		run: func(ctx context.Context, cfg ekfslam.Config, p *profile.Profile) (Result, error) {
 			kr, err := ekfslam.Run(ctx, cfg, p)
 			res := newResult("ekfslam", Perception, p.Snapshot())
@@ -29,6 +31,7 @@ func init() {
 			res.Metrics["landmark_error_m"] = kr.MeanLandmarkError
 			res.Metrics["landmarks_seen"] = float64(kr.LandmarksSeen)
 			res.Metrics["updates"] = float64(kr.Updates)
+			res.Metrics["rejected"] = float64(kr.Rejected)
 			res.Metrics["uncertainty"] = kr.Uncertainty
 			return res, err
 		},

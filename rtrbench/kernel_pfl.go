@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/core/pfl"
+	"repro/internal/fault"
 	"repro/internal/profile"
 )
 
@@ -35,6 +36,7 @@ func init() {
 			}
 			return cfg, nil
 		},
+		inject: func(cfg *pfl.Config, in *fault.Injector) { cfg.Laser.Fault = in },
 		run: func(ctx context.Context, cfg pfl.Config, p *profile.Profile) (Result, error) {
 			kr, err := pfl.Run(ctx, cfg, p)
 			res := newResult("pfl", Perception, p.Snapshot())

@@ -2,6 +2,7 @@ package rtrbench
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/core/pp2d"
 	"repro/internal/profile"
@@ -17,12 +18,23 @@ func init() {
 		configure: func(o Options) (pp2d.Config, error) {
 			cfg := pp2d.DefaultConfig()
 			cfg.Seed = o.seed()
+			cfg.BestEffort = o.BestEffort
 			size := 512
 			if o.Size == SizeSmall {
 				size = 160
 			}
 			cfg.Map = pp2d.DefaultMap(size, cfg.Seed)
-			return cfg, noVariant("pp2d", o)
+			switch o.Variant {
+			case "":
+			case "anytime":
+				// ARA*: successively tighter inflations reusing earlier
+				// search effort; the anytime planner the degradation path
+				// (Options.BestEffort) falls back on mid-schedule.
+				cfg.AnytimeSchedule = []float64{3, 1.5, 1}
+			default:
+				return cfg, fmt.Errorf("pp2d: unknown variant %q", o.Variant)
+			}
+			return cfg, nil
 		},
 		run: func(ctx context.Context, cfg pp2d.Config, p *profile.Profile) (Result, error) {
 			kr, err := pp2d.Run(ctx, cfg, p)
@@ -32,6 +44,8 @@ func init() {
 			res.Metrics["expanded"] = float64(kr.Expanded)
 			res.Metrics["collision_checks"] = float64(kr.Checks)
 			res.Metrics["cells_touched"] = float64(kr.Cells)
+			res.Metrics["anytime_rounds"] = float64(len(kr.Anytime))
+			res.Degraded = kr.Degraded
 			return res, err
 		},
 	})

@@ -16,6 +16,10 @@ type rrtRunCfg struct {
 	connect bool
 }
 
+// Validate delegates to the embedded kernel config so the adapter's
+// duck-typed validation path still covers the rrt variant wrapper.
+func (rc rrtRunCfg) Validate() error { return rc.cfg.Validate() }
+
 func init() {
 	registerSpec(Info{
 		Name: "rrt", Index: 8, Stage: Planning,

@@ -63,6 +63,18 @@ type Options struct {
 	// StepLatency records the per-step latency distribution without a
 	// deadline. Implied by a non-zero Deadline.
 	StepLatency bool
+	// Fault, when non-nil, enables deterministic chaos injection: sensor
+	// dropout, NaN/Inf corruption, noise spikes, step stalls, and injected
+	// panics on a schedule derived from (Fault.Seed, kernel, run seed).
+	// Injected or genuine panics surface as *KernelError; the faults that
+	// fired are listed in Result.Faults.
+	Fault *FaultOptions
+	// BestEffort asks the anytime/sampling kernels (pp2d's ARA* variant,
+	// rrtstar, rrtpp, cem, bo) to degrade gracefully on cancellation or
+	// deadline: return the best result found so far, flagged
+	// Result.Degraded, instead of failing with ctx.Err(). Kernels without a
+	// partial result to offer ignore it.
+	BestEffort bool
 }
 
 func (o Options) seed() int64 {
@@ -105,6 +117,13 @@ type Result struct {
 	// unsound (phases or ROI left open) — a harness bug, not a kernel
 	// property.
 	Inconsistent bool
+	// Degraded reports that the kernel returned a best-effort partial
+	// result (see Options.BestEffort) instead of completing its workload.
+	// A degraded result is a success with reduced quality, not a failure.
+	Degraded bool
+	// Faults lists the injected faults that fired during the run (see
+	// Options.Fault); nil when chaos injection was off or nothing fired.
+	Faults []FaultEvent
 }
 
 // StepStats is the per-step latency distribution of one kernel run, the
@@ -166,6 +185,9 @@ type Info struct {
 	// runWith executes the kernel against a caller-owned profile (the Suite
 	// engine hands each trial its own shard of a profile.Sharded).
 	runWith func(context.Context, Options, *profile.Profile) (Result, error)
+	// validate configures the kernel from the options and runs its config
+	// validation without executing it (see the package-level Validate).
+	validate func(Options) error
 }
 
 // The registry is map-backed: name lookups are O(1), and byIndex enforces
@@ -205,6 +227,17 @@ func Lookup(name string) (Info, bool) {
 // Run executes the named kernel with the given options.
 func Run(name string, opts Options) (Result, error) {
 	return RunContext(context.Background(), name, opts)
+}
+
+// Validate configures the named kernel from opts and runs its config
+// validation (dimension, bound, and finiteness checks) without executing
+// it. It reports the same field-level errors a Run would fail fast with.
+func Validate(name string, opts Options) error {
+	k, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("rtrbench: unknown kernel %q", name)
+	}
+	return k.validate(opts)
 }
 
 // RunContext executes the named kernel under ctx. Cancellation (or a

@@ -2,6 +2,7 @@ package rtrbench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -36,6 +37,14 @@ type SuiteOptions struct {
 	// ContinueOnError keeps the sweep going when a kernel fails; the
 	// default aborts the remaining kernels on the first error.
 	ContinueOnError bool
+	// Retries re-runs a trial up to this many times after a transient
+	// failure (a per-run Timeout expiry while the suite itself is still
+	// live). Non-transient failures — kernel errors, panics, suite
+	// cancellation — are never retried.
+	Retries int
+	// RetryBackoff is the pause before each retry, growing linearly with
+	// the attempt (backoff, 2*backoff, ...); 0 retries immediately.
+	RetryBackoff time.Duration
 }
 
 // TrialStats aggregates the measured trials of one kernel.
@@ -49,6 +58,12 @@ type TrialStats struct {
 	// Steps is the step-latency distribution merged across trials (nil
 	// when step tracking was off).
 	Steps *StepStats
+	// Degraded counts trials that returned a best-effort partial result
+	// (see Options.BestEffort); degraded trials count as completed.
+	Degraded int
+	// Faults lists every injected fault that fired across the measured
+	// trials, stamped with its trial index (see Options.Fault).
+	Faults []FaultEvent
 }
 
 // KernelResult is one kernel's outcome within a suite run.
@@ -62,8 +77,15 @@ type KernelResult struct {
 	// trial from completing.
 	Trials *TrialStats
 	// Err is the first error this kernel hit (configuration, run failure,
-	// timeout, or cancellation).
+	// timeout, or cancellation). A panicking kernel surfaces here as a
+	// *KernelError with the trial index, fault attribution, and stack.
 	Err error
+	// FailedTrial is the measured-trial index Err happened in, or -1 when
+	// Err is nil or the failure preceded the trials (configuration, warmup).
+	FailedTrial int
+	// Retried counts trial re-runs performed after transient timeouts (see
+	// SuiteOptions.Retries).
+	Retried int
 }
 
 // SuiteResult is the outcome of a Suite run, in Table I order.
@@ -81,6 +103,39 @@ func (r SuiteResult) FirstError() error {
 		}
 	}
 	return nil
+}
+
+// KernelFailure is one entry of the suite's failure report.
+type KernelFailure struct {
+	// Kernel is the failing kernel's name.
+	Kernel string
+	// Trial is the failing trial index, or -1 when the failure happened
+	// before any trial (configuration, warmup).
+	Trial int
+	// Fault attributes the failure to chaos injection when it was an
+	// injected panic; empty otherwise.
+	Fault string
+	// Err is the underlying error.
+	Err error
+}
+
+// Failures returns the per-kernel failures in Table I order — the
+// ContinueOnError companion: everything that went wrong in one report,
+// with trial indices and fault attribution where the error carries them.
+func (r SuiteResult) Failures() []KernelFailure {
+	var out []KernelFailure
+	for _, k := range r.Kernels {
+		if k.Err == nil {
+			continue
+		}
+		f := KernelFailure{Kernel: k.Info.Name, Trial: k.FailedTrial, Err: k.Err}
+		var ke *KernelError
+		if errors.As(k.Err, &ke) {
+			f.Fault = ke.Fault
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // Suite runs the selected kernels on a bounded worker pool. Each kernel
@@ -127,7 +182,18 @@ func Suite(ctx context.Context, opts SuiteOptions) (SuiteResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			kr := runKernelTrials(runCtx, info, opts.Options, trials, opts.Warmup, opts.Timeout)
+			// Last line of defense: runWith already recovers kernel
+			// panics, but a panic anywhere else in the trial machinery
+			// must not kill the whole sweep.
+			defer func() {
+				if rec := recover(); rec != nil {
+					res.Kernels[i] = KernelResult{Info: info, FailedTrial: -1, Err: newKernelError(info.Name, rec)}
+					if !opts.ContinueOnError {
+						cancel()
+					}
+				}
+			}()
+			kr := runKernelTrials(runCtx, info, opts)
 			if kr.Err != nil && !opts.ContinueOnError {
 				cancel()
 			}
@@ -161,14 +227,23 @@ func suiteKernels(names []string) ([]Info, error) {
 // runKernelTrials executes one kernel's warmup runs and measured trials on
 // shards of a common profile, then folds the shards into the aggregate
 // statistics.
-func runKernelTrials(ctx context.Context, info Info, base Options, trials, warmup int, timeout time.Duration) KernelResult {
-	kr := KernelResult{Info: info}
+func runKernelTrials(ctx context.Context, info Info, opts SuiteOptions) KernelResult {
+	kr := KernelResult{Info: info, FailedTrial: -1}
+	base := opts.Options
 	seed := base.seed()
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 1
+	}
 
-	for w := 0; w < warmup; w++ {
+	for w := 0; w < opts.Warmup; w++ {
 		o := base
 		o.Seed = seed
-		if _, err := runOnce(ctx, info, o, profile.Disabled(), timeout); err != nil {
+		// Warmup runs must match steady-state behaviour: no injected
+		// faults, and no profile either (profile.Disabled also keeps the
+		// injector's step hook inert).
+		o.Fault = nil
+		if _, err := runOnce(ctx, info, o, profile.Disabled(), opts.Timeout); err != nil {
 			kr.Err = err
 			return kr
 		}
@@ -177,26 +252,45 @@ func runKernelTrials(ctx context.Context, info Info, base Options, trials, warmu
 	parent := newProfile(base)
 	sharded := profile.NewSharded(parent)
 	rois := make([]time.Duration, 0, trials)
+	var degraded int
+	var faults []FaultEvent
 	for t := 0; t < trials; t++ {
 		o := base
+		// Trial t always runs with seed base+t: the fault schedule and
+		// kernel workload are functions of the trial index alone, so the
+		// sweep is reproducible at any Parallel.
 		o.Seed = seed + int64(t)
-		shard := sharded.Shard()
-		r, err := runOnce(ctx, info, o, shard, timeout)
+		r, err := runTrial(ctx, info, o, sharded, opts, &kr.Retried)
+		for i := range r.Faults {
+			r.Faults[i].Trial = t
+		}
+		faults = append(faults, r.Faults...)
 		if err != nil {
+			var ke *KernelError
+			if errors.As(err, &ke) {
+				ke.Trial = t
+			}
 			kr.Err = err
+			kr.FailedTrial = t
 			break
 		}
 		if t == 0 {
 			kr.Result = r
 		}
+		if r.Degraded {
+			degraded++
+		}
 		rois = append(rois, r.ROI)
 	}
 	if len(rois) == 0 {
+		if len(faults) > 0 {
+			kr.Trials = &TrialStats{Faults: faults}
+		}
 		return kr
 	}
 
 	merged := sharded.Snapshot()
-	stats := &TrialStats{Trials: len(rois), Counters: merged.Counters}
+	stats := &TrialStats{Trials: len(rois), Counters: merged.Counters, Degraded: degraded, Faults: faults}
 	stats.ROIMean, stats.ROIMin, stats.ROIMax, stats.ROIStddev = aggregateROI(rois)
 	if merged.Steps.Count > 0 || merged.Steps.Deadline > 0 {
 		stats.Steps = &StepStats{
@@ -213,6 +307,35 @@ func runKernelTrials(ctx context.Context, info Info, base Options, trials, warmu
 	}
 	kr.Trials = stats
 	return kr
+}
+
+// runTrial executes one measured trial, retrying up to opts.Retries times
+// after a transient failure. Transient means the per-run Timeout expired
+// while the suite context is still live; kernel errors, injected panics,
+// and suite cancellation fail immediately. Each attempt runs on a fresh
+// profile shard so an abandoned attempt leaves no partial samples behind.
+func runTrial(ctx context.Context, info Info, o Options, sharded *profile.Sharded, opts SuiteOptions, retried *int) (Result, error) {
+	for attempt := 0; ; attempt++ {
+		shard := sharded.Shard()
+		r, err := runOnce(ctx, info, o, shard, opts.Timeout)
+		if err == nil {
+			return r, nil
+		}
+		transient := errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+		if !transient || attempt >= opts.Retries {
+			return r, err
+		}
+		shard.Reset()
+		*retried++
+		if opts.RetryBackoff > 0 {
+			backoff := opts.RetryBackoff * time.Duration(attempt+1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return r, ctx.Err()
+			}
+		}
+	}
 }
 
 // runOnce executes one kernel run, bounded by timeout when non-zero.

@@ -34,4 +34,18 @@ echo "== suite smoke sweep (parallel, race detector)"
 # per-run timeout so a hung kernel fails the gate instead of wedging it.
 go run -race ./cmd/rtrbench suite --size small --parallel 4 --timeout 120s
 
+echo "== chaos sweep (injected faults, race detector)"
+# The same sweep under deterministic fault injection: sensor dropouts and
+# NaN corruption, stalls, and injected panics. The gate checks the process
+# survives — panics must surface as structured per-kernel errors, not kill
+# the sweep — and that panic recovery is race-clean.
+go run -race ./cmd/rtrbench suite --size small -chaos -trials 2 -parallel 4 --timeout 120s
+
+echo "== fuzz smoke"
+# Short native-fuzz bursts over the untrusted-input surfaces (one -fuzz
+# target per invocation is a Go toolchain restriction). The checked-in
+# corpora under testdata/fuzz/ already ran as regular tests above.
+go test -run FuzzVariantParsing -fuzz FuzzVariantParsing -fuzztime 5s ./rtrbench
+go test -run FuzzIndoorMap -fuzz FuzzIndoorMap -fuzztime 5s ./internal/maps
+
 echo "CI OK"
