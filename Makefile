@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci fmt vet
+.PHONY: all build test race bench bench-all ci fmt vet
 
 all: build
 
@@ -15,8 +15,13 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
-# Table/figure regeneration harness (see bench_test.go).
+# Performance snapshot: per-kernel Table 1 benchmarks + zero-alloc step
+# benchmarks, exported as BENCH_<date>.json (see scripts/bench.sh).
 bench:
+	sh scripts/bench.sh
+
+# Full table/figure regeneration harness (see bench_test.go).
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 fmt:

@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into the suite's machine-readable benchmark schema, one JSON document per
+// invocation:
+//
+//	{
+//	  "schema": "rtrbench.bench/v1",
+//	  "date": "2026-08-05",
+//	  "go": "go1.22.1",
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkEKFSLAMStep", "pkg": "repro/internal/core/ekfslam",
+//	     "procs": 8, "iterations": 100, "ns_op": 23492,
+//	     "b_op": 0, "allocs_op": 0},
+//	    ...
+//	  ]
+//	}
+//
+// b_op/allocs_op are present only when the input was produced with
+// -benchmem. scripts/bench.sh pipes the full per-kernel run through this
+// tool to produce BENCH_<date>.json; two such files diff cleanly for
+// before/after comparisons.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	Name       string  `json:"name"`
+	Pkg        string  `json:"pkg,omitempty"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        *int64  `json:"b_op,omitempty"`
+	AllocsOp   *int64  `json:"allocs_op,omitempty"`
+	MBs        float64 `json:"mb_s,omitempty"`
+}
+
+type report struct {
+	Schema     string      `json:"schema"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	dateFlag := flag.String("date", "", "date stamp for the report (default: today, UTC)")
+	outFlag := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	date := *dateFlag
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+	rep := report{
+		Schema: "rtrbench.bench/v1",
+		Date:   date,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *outFlag == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   100   23492 ns/op   0 B/op   0 allocs/op
+//
+// Unknown trailing metric pairs are ignored, so custom b.ReportMetric units
+// do not break parsing.
+func parseBenchLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return benchmark{}, false
+	}
+	var b benchmark
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b.Iterations = iters
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.NsOp, seenNs = v, true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.BOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.AllocsOp = &v
+			}
+		case "MB/s":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.MBs = v
+			}
+		}
+	}
+	return b, seenNs
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkEKFSLAMStep-8   \t  100\t     23492 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("parseBenchLine rejected a valid -benchmem line")
+	}
+	if b.Name != "BenchmarkEKFSLAMStep" || b.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 100 || b.NsOp != 23492 {
+		t.Fatalf("iterations/ns_op = %d/%v", b.Iterations, b.NsOp)
+	}
+	if b.BOp == nil || *b.BOp != 0 || b.AllocsOp == nil || *b.AllocsOp != 0 {
+		t.Fatalf("b_op/allocs_op = %v/%v", b.BOp, b.AllocsOp)
+	}
+}
+
+func TestParseBenchLineNoBenchmem(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkTable1_01_pfl \t 1\t1234567890 ns/op")
+	if !ok {
+		t.Fatal("parseBenchLine rejected a valid line without -benchmem")
+	}
+	if b.Name != "BenchmarkTable1_01_pfl" || b.Procs != 0 {
+		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.BOp != nil || b.AllocsOp != nil {
+		t.Fatal("memory fields should be absent without -benchmem")
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo", // no fields
+		"BenchmarkFoo-4 notanumber 5 ns/op",
+		"PASS",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

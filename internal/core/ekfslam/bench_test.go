@@ -1,0 +1,61 @@
+package ekfslam
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// BenchmarkEKFSLAMStep measures one steady-state EKF predict/update cycle
+// with profiling disabled — the per-step cost the paper's Table I breaks
+// down. The benchmark first asserts the step is allocation-free after
+// warmup: steady-state allocation churn in the kernel inner loop would
+// perturb exactly the quantity the harness measures, so scripts/ci.sh gates
+// allocs/op == 0 here.
+func BenchmarkEKFSLAMStep(b *testing.B) {
+	var res Result
+	f, err := newFilter(DefaultConfig(), &res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profile.Disabled()
+	// Warmup: drive until every landmark has been observed at least once so
+	// the observation buffer and landmark slots have reached steady state.
+	for i := 0; i < 50; i++ {
+		f.step(prof)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { f.step(prof) }); allocs != 0 {
+		b.Fatalf("steady-state EKF step allocates: %v allocs/op", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.step(prof)
+	}
+}
+
+// BenchmarkEKFSLAMStepAssoc is the unknown-association variant: the
+// Mahalanobis gating loop runs per observation on top of the update. It is
+// not part of the zero-alloc CI gate but shares the same scratch machinery,
+// so it should stay allocation-free too.
+func BenchmarkEKFSLAMStepAssoc(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.UnknownAssociation = true
+	var res Result
+	f, err := newFilter(cfg, &res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profile.Disabled()
+	for i := 0; i < 50; i++ {
+		f.step(prof)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { f.step(prof) }); allocs != 0 {
+		b.Fatalf("steady-state association step allocates: %v allocs/op", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.step(prof)
+	}
+}

@@ -138,16 +138,78 @@ type Result struct {
 	Uncertainty float64
 }
 
-// Run executes the kernel. Harness phases: "matrix" (matrix multiplications
-// and the innovation-covariance inversion), "jacobian" (building the sparse
-// Jacobians), "sensor" (simulating measurements, outside the estimation
-// work).
-func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// filter carries the joint EKF state plus the preallocated scratch the
+// predict/update cycle writes into. After newFilter (and once every landmark
+// has been observed, so the observation buffer has reached capacity) a step
+// performs no heap allocation — the property BenchmarkEKFSLAMStep pins and
+// scripts/ci.sh gates. See DESIGN.md "Scratch-buffer ownership" for the
+// aliasing rules.
+type filter struct {
+	cfg                 Config
+	lms                 []sensor.Landmark
+	dim                 int
+	capSlots            int
+	gateAccept, gateNew float64
+	qr, qb              float64
+	r                   *rng.RNG
+	mu                  []float64
+	sigma               *mat.Matrix
+	seen                []bool
+	slots               int // initialized landmark slots (unknown-association mode)
+	truth               geom.Pose2
+	obsBuf              []sensor.RangeBearing
+	sc                  scratch
+	res                 *Result
+}
+
+// scratch holds every intermediate matrix and vector of one EKF step, sized
+// once at construction. The filter owns these buffers exclusively; no callee
+// retains a reference past its return.
+type scratch struct {
+	g        *mat.Matrix // dim×dim motion Jacobian (identity + two entries)
+	gt       *mat.Matrix // dim×dim gᵀ
+	gs       *mat.Matrix // dim×dim g·Σ in predict; (I−KH) in update
+	newSigma *mat.Matrix // dim×dim next covariance before commit
+	h        *mat.Matrix // 2×dim measurement Jacobian
+	ht       *mat.Matrix // dim×2 hᵀ
+	hs       *mat.Matrix // 2×dim h·Σ (association gating)
+	sht      *mat.Matrix // dim×2 Σ·hᵀ
+	s        *mat.Matrix // 2×2 innovation covariance
+	sInv     *mat.Matrix // 2×2
+	k        *mat.Matrix // dim×2 Kalman gain
+	kh       *mat.Matrix // dim×dim K·H
+	lu       *mat.LU     // 2×2 factorization workspace
+	innov    []float64   // 2
+	dmu      []float64   // dim
+}
+
+func newScratch(dim int) scratch {
+	sc := scratch{
+		g:        mat.Identity(dim),
+		gt:       mat.New(dim, dim),
+		gs:       mat.New(dim, dim),
+		newSigma: mat.New(dim, dim),
+		h:        mat.New(2, dim),
+		ht:       mat.New(dim, 2),
+		hs:       mat.New(2, dim),
+		sht:      mat.New(dim, 2),
+		s:        mat.New(2, 2),
+		sInv:     mat.New(2, 2),
+		k:        mat.New(dim, 2),
+		kh:       mat.New(dim, dim),
+		lu:       mat.NewLU(2),
+		innov:    make([]float64, 2),
+		dmu:      make([]float64, dim),
 	}
+	return sc
+}
+
+// newFilter validates cfg and builds the filter state: pose + landmark
+// positions, with covariance near-certain for the pose and "unknown" (huge
+// variance) for landmarks.
+func newFilter(cfg Config, res *Result) (*filter, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	lms := cfg.Landmarks
 	if lms == nil {
@@ -173,110 +235,116 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 		// recovers the true landmark count on the default scenario.
 		gateNew = 25
 	}
-	r := rng.New(cfg.Seed)
-
-	// State: pose + landmark positions; covariance starts near-certain for
-	// the pose and "unknown" (huge variance) for landmarks.
-	mu := make([]float64, dim)
-	sigma := mat.New(dim, dim)
+	f := &filter{
+		cfg:        cfg,
+		lms:        lms,
+		dim:        dim,
+		capSlots:   capSlots,
+		gateAccept: gateAccept,
+		gateNew:    gateNew,
+		qr:         cfg.Sensor.SigmaRange * cfg.Sensor.SigmaRange,
+		qb:         cfg.Sensor.SigmaBear * cfg.Sensor.SigmaBear,
+		r:          rng.New(cfg.Seed),
+		mu:         make([]float64, dim),
+		sigma:      mat.New(dim, dim),
+		seen:       make([]bool, capSlots),
+		obsBuf:     make([]sensor.RangeBearing, 0, nL),
+		sc:         newScratch(dim),
+		res:        res,
+	}
 	const unseenVar = 1e6
 	for i := 3; i < dim; i++ {
-		sigma.Set(i, i, unseenVar)
+		f.sigma.Set(i, i, unseenVar)
 	}
-	seen := make([]bool, capSlots)
-	slots := 0 // initialized landmark slots (unknown-association mode)
+	if f.qr == 0 {
+		f.qr = 1e-6
+	}
+	if f.qb == 0 {
+		f.qb = 1e-6
+	}
+	return f, nil
+}
 
-	truth := geom.Pose2{}
-	qr := cfg.Sensor.SigmaRange * cfg.Sensor.SigmaRange
-	qb := cfg.Sensor.SigmaBear * cfg.Sensor.SigmaBear
-	if qr == 0 {
-		qr = 1e-6
-	}
-	if qb == 0 {
-		qb = 1e-6
-	}
+// step advances the world simulation by one control cycle and folds the
+// resulting observation batch into the EKF.
+func (f *filter) step(prof *profile.Profile) {
+	cfg := &f.cfg
+	// --- Simulate the world: true motion with execution noise, then a
+	// noisy observation batch.
+	prof.Begin("sensor")
+	v := cfg.V + f.r.Normal(0, cfg.MotionNoiseTrans/cfg.Dt)
+	w := cfg.Omega + f.r.Normal(0, cfg.MotionNoiseRot/cfg.Dt)
+	f.truth = integrate(f.truth, v, w, cfg.Dt)
+	f.obsBuf = cfg.Sensor.ObserveInto(f.obsBuf[:0], f.r, f.truth, f.lms)
+	prof.End()
 
-	res := Result{}
-	prof.BeginROI()
-	for step := 0; step < cfg.Steps; step++ {
-		if err := ctx.Err(); err != nil {
-			prof.EndROI()
-			return res, err
+	// --- EKF predict with the commanded control.
+	f.predict(prof)
+
+	// --- EKF update per observation: either trusting the sensor's
+	// identities, or associating by Mahalanobis gating.
+	for _, z := range f.obsBuf {
+		if !finite(z.Range) || !finite(z.Bearing) || z.Range < 0 {
+			f.res.Rejected++
+			continue
 		}
-		// --- Simulate the world: true motion with execution noise, then a
-		// noisy observation batch.
-		prof.Begin("sensor")
-		v := cfg.V + r.Normal(0, cfg.MotionNoiseTrans/cfg.Dt)
-		w := cfg.Omega + r.Normal(0, cfg.MotionNoiseRot/cfg.Dt)
-		truth = integrate(truth, v, w, cfg.Dt)
-		obs := cfg.Sensor.Observe(r, truth, lms)
+		if !cfg.UnknownAssociation {
+			f.update(z.ID, z, prof)
+			f.res.Updates++
+			continue
+		}
+		prof.Begin("associate")
+		best, bestD2 := -1, math.Inf(1)
+		for j := 0; j < f.slots; j++ {
+			if d2, ok := f.mahalanobis(j, z); ok && d2 < bestD2 {
+				best, bestD2 = j, d2
+			}
+		}
 		prof.End()
-
-		// --- EKF predict with the commanded control.
-		predict(mu, sigma, cfg, prof)
-
-		// --- EKF update per observation: either trusting the sensor's
-		// identities, or associating by Mahalanobis gating.
-		for _, z := range obs {
-			if !finite(z.Range) || !finite(z.Bearing) || z.Range < 0 {
-				res.Rejected++
-				continue
-			}
-			if !cfg.UnknownAssociation {
-				update(mu, sigma, seen, z.ID, z, qr, qb, prof)
-				res.Updates++
-				continue
-			}
-			prof.Begin("associate")
-			best, bestD2 := -1, math.Inf(1)
-			for j := 0; j < slots; j++ {
-				if d2, ok := mahalanobis(mu, sigma, j, z, qr, qb); ok && d2 < bestD2 {
-					best, bestD2 = j, d2
-				}
-			}
-			prof.End()
-			switch {
-			case best >= 0 && bestD2 < gateAccept:
-				update(mu, sigma, seen, best, z, qr, qb, prof)
-				res.Updates++
-			case bestD2 > gateNew && slots < capSlots:
-				update(mu, sigma, seen, slots, z, qr, qb, prof)
-				slots++
-				res.Updates++
-			default:
-				res.Discarded++ // ambiguous observation
-			}
+		switch {
+		case best >= 0 && bestD2 < f.gateAccept:
+			f.update(best, z, prof)
+			f.res.Updates++
+		case bestD2 > f.gateNew && f.slots < f.capSlots:
+			f.update(f.slots, z, prof)
+			f.slots++
+			f.res.Updates++
+		default:
+			f.res.Discarded++ // ambiguous observation
 		}
-
-		res.TruePath = append(res.TruePath, truth)
-		res.EstimatedPath = append(res.EstimatedPath, geom.Pose2{X: mu[0], Y: mu[1], Theta: mu[2]})
-		prof.StepDone()
 	}
-	prof.EndROI()
+}
 
-	res.PoseError = math.Hypot(mu[0]-truth.X, mu[1]-truth.Y)
+// finalize computes the estimation-quality summary into the result.
+func (f *filter) finalize() {
+	res := f.res
+	mu := f.mu
+	res.PoseError = math.Hypot(mu[0]-f.truth.X, mu[1]-f.truth.Y)
 	var errSum float64
 	var matched int
-	if cfg.UnknownAssociation {
+	if f.cfg.UnknownAssociation {
 		// The filter's landmark indices are its own; score each true
-		// landmark against the nearest estimate.
-		res.LandmarksSeen = slots
-		for _, lm := range lms {
+		// landmark against the nearest estimate. The nearest match is found
+		// on squared distances — one sqrt per landmark at the end instead of
+		// a hypot per candidate.
+		res.LandmarksSeen = f.slots
+		for _, lm := range f.lms {
 			best := math.Inf(1)
-			for j := 0; j < slots; j++ {
-				d := math.Hypot(mu[3+2*j]-lm.P.X, mu[3+2*j+1]-lm.P.Y)
-				if d < best {
-					best = d
+			for j := 0; j < f.slots; j++ {
+				ex := mu[3+2*j] - lm.P.X
+				ey := mu[3+2*j+1] - lm.P.Y
+				if d2 := ex*ex + ey*ey; d2 < best {
+					best = d2
 				}
 			}
 			if !math.IsInf(best, 1) {
-				errSum += best
+				errSum += math.Sqrt(best)
 				matched++
 			}
 		}
 	} else {
-		for i, lm := range lms {
-			if !seen[i] {
+		for i, lm := range f.lms {
+			if !f.seen[i] {
 				continue
 			}
 			res.LandmarksSeen++
@@ -287,9 +355,41 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if matched > 0 {
 		res.MeanLandmarkError = errSum / float64(matched)
 	}
-	for i := 0; i < dim; i++ {
-		res.Uncertainty += sigma.At(i, i)
+	for i := 0; i < f.dim; i++ {
+		res.Uncertainty += f.sigma.At(i, i)
 	}
+}
+
+// Run executes the kernel. Harness phases: "matrix" (matrix multiplications
+// and the innovation-covariance inversion), "jacobian" (building the sparse
+// Jacobians), "sensor" (simulating measurements, outside the estimation
+// work).
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := Result{}
+	f, err := newFilter(cfg, &res)
+	if err != nil {
+		return Result{}, err
+	}
+	res.TruePath = make([]geom.Pose2, 0, cfg.Steps)
+	res.EstimatedPath = make([]geom.Pose2, 0, cfg.Steps)
+
+	prof.BeginROI()
+	for step := 0; step < cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			prof.EndROI()
+			return res, err
+		}
+		f.step(prof)
+		res.TruePath = append(res.TruePath, f.truth)
+		res.EstimatedPath = append(res.EstimatedPath, geom.Pose2{X: f.mu[0], Y: f.mu[1], Theta: f.mu[2]})
+		prof.StepDone()
+	}
+	prof.EndROI()
+
+	f.finalize()
 	return res, nil
 }
 
@@ -310,13 +410,16 @@ func integrate(p geom.Pose2, v, w, dt float64) geom.Pose2 {
 
 // predict applies the motion model to the mean and propagates the full joint
 // covariance: Σ ← G Σ Gᵀ + R, with dense (3+2N)² multiplications.
-func predict(mu []float64, sigma *mat.Matrix, cfg Config, prof *profile.Profile) {
-	dim := len(mu)
+func (f *filter) predict(prof *profile.Profile) {
+	cfg := &f.cfg
+	mu, sigma, sc := f.mu, f.sigma, &f.sc
 	v, w, dt := cfg.V, cfg.Omega, cfg.Dt
 
 	prof.Begin("jacobian")
 	theta := mu[2]
-	g := mat.Identity(dim)
+	// sc.g stays the identity between calls; only the two motion-Jacobian
+	// entries change, and both are overwritten every call.
+	g := sc.g
 	var dx, dy float64
 	if math.Abs(w) < 1e-9 {
 		dx = v * dt * math.Cos(theta)
@@ -336,23 +439,53 @@ func predict(mu []float64, sigma *mat.Matrix, cfg Config, prof *profile.Profile)
 	mu[2] = geom.NormalizeAngle(mu[2] + w*dt)
 
 	prof.Begin("matrix")
-	gs := mat.Mul(g, sigma)
-	newSigma := mat.Mul(gs, mat.Transpose(g))
+	mat.MulInto(sc.gs, g, sigma)
+	mat.TransposeInto(sc.gt, g)
+	newSigma := mat.MulInto(sc.newSigma, sc.gs, sc.gt)
 	// Process noise enters only the pose block.
 	nt := cfg.MotionNoiseTrans * cfg.MotionNoiseTrans
 	nr := cfg.MotionNoiseRot * cfg.MotionNoiseRot
 	newSigma.Set(0, 0, newSigma.At(0, 0)+nt)
 	newSigma.Set(1, 1, newSigma.At(1, 1)+nt)
 	newSigma.Set(2, 2, newSigma.At(2, 2)+nr)
-	copy(sigma.Data, newSigma.Data)
+	sigma.CopyFrom(newSigma)
 	prof.End()
+}
+
+// fillH writes the sparse 2×dim range-bearing measurement Jacobian for a
+// landmark at state offset li into sc.h (zeroing it first).
+func (sc *scratch) fillH(li int, dx, dy, q, sq float64) *mat.Matrix {
+	h := sc.h
+	h.Zero()
+	h.Set(0, 0, -dx/sq)
+	h.Set(0, 1, -dy/sq)
+	h.Set(1, 0, dy/q)
+	h.Set(1, 1, -dx/q)
+	h.Set(1, 2, -1)
+	h.Set(0, li, dx/sq)
+	h.Set(0, li+1, dy/sq)
+	h.Set(1, li, -dy/q)
+	h.Set(1, li+1, dx/q)
+	return h
+}
+
+// invertS adds the measurement noise to the 2×2 innovation covariance sc.s
+// and inverts it into sc.sInv through the reusable LU workspace. ok is false
+// when the covariance is numerically singular.
+func (f *filter) invertS() bool {
+	sc := &f.sc
+	sc.s.Set(0, 0, sc.s.At(0, 0)+f.qr)
+	sc.s.Set(1, 1, sc.s.At(1, 1)+f.qb)
+	sc.lu.Refactor(sc.s)
+	return sc.lu.InverseInto(sc.sInv) == nil
 }
 
 // mahalanobis returns the squared normalized innovation distance of
 // observation z against landmark slot j — the association statistic of
 // gated nearest-neighbor data association. ok is false for degenerate
 // geometry.
-func mahalanobis(mu []float64, sigma *mat.Matrix, j int, z sensor.RangeBearing, qr, qb float64) (float64, bool) {
+func (f *filter) mahalanobis(j int, z sensor.RangeBearing) (float64, bool) {
+	mu, sc := f.mu, &f.sc
 	li := 3 + 2*j
 	dx := mu[li] - mu[0]
 	dy := mu[li+1] - mu[1]
@@ -368,38 +501,30 @@ func mahalanobis(mu []float64, sigma *mat.Matrix, j int, z sensor.RangeBearing, 
 	// cross terms with other landmarks do not affect this 2×2 within
 	// numerical noise for gating purposes, and the full product is built
 	// during the actual update).
-	dim := len(mu)
-	h := mat.New(2, dim)
-	h.Set(0, 0, -dx/sq)
-	h.Set(0, 1, -dy/sq)
-	h.Set(1, 0, dy/q)
-	h.Set(1, 1, -dx/q)
-	h.Set(1, 2, -1)
-	h.Set(0, li, dx/sq)
-	h.Set(0, li+1, dy/sq)
-	h.Set(1, li, -dy/q)
-	h.Set(1, li+1, dx/q)
-	s := mat.Mul(mat.Mul(h, sigma), mat.Transpose(h))
-	s.Set(0, 0, s.At(0, 0)+qr)
-	s.Set(1, 1, s.At(1, 1)+qb)
-	sInv, err := mat.Inverse(s)
-	if err != nil {
+	h := sc.fillH(li, dx, dy, q, sq)
+	mat.MulInto(sc.hs, h, f.sigma)
+	mat.TransposeInto(sc.ht, h)
+	mat.MulInto(sc.s, sc.hs, sc.ht)
+	if !f.invertS() {
 		return 0, false
 	}
-	nu := []float64{nuR, nuB}
-	return mat.QuadForm(sInv, nu), true
+	// νᵀ S⁻¹ ν, unrolled for the 2×2 case.
+	si := sc.sInv
+	return nuR*(si.At(0, 0)*nuR+si.At(0, 1)*nuB) +
+		nuB*(si.At(1, 0)*nuR+si.At(1, 1)*nuB), true
 }
 
 // update folds one range-bearing observation into landmark slot j.
-func update(mu []float64, sigma *mat.Matrix, seen []bool, j int, z sensor.RangeBearing, qr, qb float64, prof *profile.Profile) {
-	dim := len(mu)
+func (f *filter) update(j int, z sensor.RangeBearing, prof *profile.Profile) {
+	mu, sigma, sc := f.mu, f.sigma, &f.sc
+	dim := f.dim
 	li := 3 + 2*j
 
-	if !seen[j] {
+	if !f.seen[j] {
 		// Initialize the landmark from the observation.
 		mu[li] = mu[0] + z.Range*math.Cos(z.Bearing+mu[2])
 		mu[li+1] = mu[1] + z.Range*math.Sin(z.Bearing+mu[2])
-		seen[j] = true
+		f.seen[j] = true
 	}
 
 	prof.Begin("jacobian")
@@ -417,46 +542,42 @@ func update(mu []float64, sigma *mat.Matrix, seen []bool, j int, z sensor.RangeB
 	// Dense 2×dim measurement Jacobian (sparse in theory; the paper's
 	// kernel performs the full-width matrix products, which is exactly what
 	// makes matrix ops dominate).
-	h := mat.New(2, dim)
-	h.Set(0, 0, -dx/sq)
-	h.Set(0, 1, -dy/sq)
-	h.Set(1, 0, dy/q)
-	h.Set(1, 1, -dx/q)
-	h.Set(1, 2, -1)
-	h.Set(0, li, dx/sq)
-	h.Set(0, li+1, dy/sq)
-	h.Set(1, li, -dy/q)
-	h.Set(1, li+1, dx/q)
+	h := sc.fillH(li, dx, dy, q, sq)
 	prof.End()
 
 	prof.Begin("matrix")
-	ht := mat.Transpose(h)
-	sht := mat.Mul(sigma, ht) // dim×2
-	s := mat.Mul(h, sht)      // 2×2 innovation covariance
-	s.Set(0, 0, s.At(0, 0)+qr)
-	s.Set(1, 1, s.At(1, 1)+qb)
-	sInv, err := mat.Inverse(s)
-	if err != nil {
+	mat.TransposeInto(sc.ht, h)
+	sht := mat.MulInto(sc.sht, sigma, sc.ht) // dim×2
+	mat.MulInto(sc.s, h, sht)                // 2×2 innovation covariance
+	if !f.invertS() {
 		prof.End()
 		return // numerically degenerate observation; skip
 	}
-	k := mat.Mul(sht, sInv) // dim×2 Kalman gain
+	k := mat.MulInto(sc.k, sht, sc.sInv) // dim×2 Kalman gain
 
-	innov := []float64{z.Range - zhatR, geom.NormalizeAngle(z.Bearing - zhatB)}
-	dmu := mat.MulVec(k, innov)
+	sc.innov[0] = z.Range - zhatR
+	sc.innov[1] = geom.NormalizeAngle(z.Bearing - zhatB)
+	mat.MulVecInto(sc.dmu, k, sc.innov)
 	for i := 0; i < dim; i++ {
-		mu[i] += dmu[i]
+		mu[i] += sc.dmu[i]
 	}
 	mu[2] = geom.NormalizeAngle(mu[2])
 
-	kh := mat.Mul(k, h) // dim×dim
-	ikh := mat.Sub(mat.Identity(dim), kh)
-	newSigma := mat.Mul(ikh, sigma)
+	kh := mat.MulInto(sc.kh, k, h) // dim×dim
+	// ikh = I − KH, built in place in the gs scratch (idle outside predict).
+	ikh := sc.gs
+	for i := range ikh.Data {
+		ikh.Data[i] = -kh.Data[i]
+	}
+	for i := 0; i < dim; i++ {
+		ikh.Data[i*dim+i] += 1
+	}
+	newSigma := mat.MulInto(sc.newSigma, ikh, sigma)
 	// The (I−KH)Σ form loses symmetry to floating-point error a little more
 	// each update, and asymmetry corrupts the Mahalanobis gating; re-impose
 	// Σ ← (Σ + Σᵀ)/2 before committing.
 	symmetrize(newSigma)
-	copy(sigma.Data, newSigma.Data)
+	sigma.CopyFrom(newSigma)
 	prof.End()
 }
 

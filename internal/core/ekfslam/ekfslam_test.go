@@ -268,3 +268,66 @@ func TestCovarianceStaysSymmetric(t *testing.T) {
 		t.Fatalf("symmetrize failed on zero mirror: %v vs %v", m.At(0, 2), m.At(2, 0))
 	}
 }
+
+// TestAssociationScoringMatchesHypot proves the squared-distance refactor of
+// the landmark scoring loop changed no association decision: on a seeded
+// unknown-association run, the nearest-estimate match chosen for every true
+// landmark — and the resulting mean landmark error — are identical to the
+// per-candidate math.Hypot formulation it replaced.
+func TestAssociationScoringMatchesHypot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UnknownAssociation = true
+	cfg.Seed = 42
+	var res Result
+	f, err := newFilter(cfg, &res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.Disabled()
+	for i := 0; i < cfg.Steps; i++ {
+		f.step(prof)
+	}
+	f.finalize()
+
+	// Reference: the pre-refactor scoring, hypot per candidate.
+	var errSum float64
+	var matched int
+	for _, lm := range f.lms {
+		best := math.Inf(1)
+		bestJ := -1
+		for j := 0; j < f.slots; j++ {
+			d := math.Hypot(f.mu[3+2*j]-lm.P.X, f.mu[3+2*j+1]-lm.P.Y)
+			if d < best {
+				best, bestJ = d, j
+			}
+		}
+		if bestJ < 0 {
+			continue
+		}
+		// The squared-distance path must pick the same slot.
+		sqBest := math.Inf(1)
+		sqJ := -1
+		for j := 0; j < f.slots; j++ {
+			ex := f.mu[3+2*j] - lm.P.X
+			ey := f.mu[3+2*j+1] - lm.P.Y
+			if d2 := ex*ex + ey*ey; d2 < sqBest {
+				sqBest, sqJ = d2, j
+			}
+		}
+		if sqJ != bestJ {
+			t.Fatalf("landmark %d: squared-distance match %d != hypot match %d", lm.ID, sqJ, bestJ)
+		}
+		errSum += best
+		matched++
+	}
+	if matched == 0 {
+		t.Fatal("no landmarks matched on the seeded run")
+	}
+	want := errSum / float64(matched)
+	if math.Abs(res.MeanLandmarkError-want) > 1e-9 {
+		t.Fatalf("MeanLandmarkError = %v, hypot formulation gives %v", res.MeanLandmarkError, want)
+	}
+	if res.Updates == 0 || res.LandmarksSeen == 0 {
+		t.Fatalf("seeded run made no associations: %+v", res)
+	}
+}

@@ -1,0 +1,77 @@
+package pfl
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// benchConfig is DefaultConfig scaled down so one step is benchmark-sized:
+// the structure (global init with over-provisioning, resampling, annealing)
+// is unchanged, only the population is smaller.
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Particles = 200
+	cfg.InitFactor = 4
+	return cfg
+}
+
+// BenchmarkPFLStep measures one steady-state particle-filter
+// motion/raycast/weight/resample cycle with profiling disabled. The benchmark
+// first asserts the step is allocation-free after warmup: the particle
+// population is double-buffered across resamples and the scan buffer is
+// reused, so steady-state allocation churn in the inner loop would be a
+// regression in exactly the quantity the harness measures. scripts/ci.sh
+// gates allocs/op == 0 here.
+func BenchmarkPFLStep(b *testing.B) {
+	var res Result
+	s, err := newState(benchConfig(), &res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profile.Disabled()
+	// Warmup: drive past the initial over-provisioned population's first
+	// resample so both halves of the particle double buffer exist and the
+	// population has reached its steady-state size.
+	for i := 0; i < 10; i++ {
+		s.step(prof)
+	}
+	if res.Resamples == 0 {
+		b.Fatal("warmup never resampled; benchmark would not cover the double-buffer swap")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.step(prof) }); allocs != 0 {
+		b.Fatalf("steady-state PFL step allocates: %v allocs/op", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(prof)
+	}
+}
+
+// BenchmarkPFLStepLikelihoodField is the likelihood-field ablation variant:
+// endpoint scoring against the precomputed distance field instead of per-beam
+// ray casting. Not part of the CI allocation gate, but it shares the same
+// buffers and should stay allocation-free too.
+func BenchmarkPFLStepLikelihoodField(b *testing.B) {
+	cfg := benchConfig()
+	cfg.LikelihoodField = true
+	var res Result
+	s, err := newState(cfg, &res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.distField = s.g.DistanceTransform()
+	prof := profile.Disabled()
+	for i := 0; i < 10; i++ {
+		s.step(prof)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.step(prof) }); allocs != 0 {
+		b.Fatalf("steady-state likelihood-field step allocates: %v allocs/op", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(prof)
+	}
+}

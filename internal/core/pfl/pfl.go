@@ -178,15 +178,42 @@ type particle struct {
 	logw float64
 }
 
-// Run executes the kernel. The profile (may be nil) receives the ROI and the
-// phase breakdown: "raycast", "motion", "weight", "resample". A cancelled
-// ctx aborts between filter steps, returning ctx.Err().
-func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// wshard is one worker's measurement-update contribution.
+type wshard struct {
+	raycasts, cells int64
+}
+
+// state carries the particle population and every buffer the filter step
+// reuses. The particle slices are double-buffered across resampling steps
+// and the scan/weight buffers are caller-owned, so a steady-state step
+// performs no heap allocation (the property BenchmarkPFLStep pins and
+// scripts/ci.sh gates). See DESIGN.md "Scratch-buffer ownership" for the
+// aliasing rules.
+type state struct {
+	cfg   Config
+	g     *grid.Grid2D
+	r     *rng.RNG
+	truth geom.Pose2
+	// parts is the live population; spare is the inactive half of the
+	// resampling double buffer (cap >= cfg.Particles). lowVarianceResample
+	// writes into spare, then the two swap.
+	parts, spare []particle
+	weights      []float64
+	scan         []float64
+	distField    []float64
+	shards       []wshard
+
+	sigma2, zHit, randFloor float64
+	temper, decay           float64
+
+	res *Result
+}
+
+// newState validates cfg, resolves defaults, and draws the initial particle
+// population (global uniform or tracking prior).
+func newState(cfg Config, res *Result) (*state, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	g := cfg.Map
 	if g == nil {
@@ -200,7 +227,7 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if cfg.Start != nil {
 		truth = *cfg.Start
 		if g.OccupiedWorld(truth.X, truth.Y) {
-			return Result{}, errors.New("pfl: start pose is inside an obstacle")
+			return nil, errors.New("pfl: start pose is inside an obstacle")
 		}
 	} else {
 		sx, sy := maps.IndoorRegion(g, cfg.Region)
@@ -213,7 +240,6 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if sigma <= 0 {
 		sigma = 0.4
 	}
-	sigma2 := sigma * sigma
 	zHit, zRand := cfg.ZHit, cfg.ZRand
 	if zHit <= 0 {
 		zHit = 0.9
@@ -221,7 +247,6 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	if zRand <= 0 {
 		zRand = 0.1
 	}
-	randFloor := zRand / cfg.Laser.MaxRange
 	temper := cfg.AnnealFrom
 	if temper < 1 {
 		temper = 1
@@ -252,16 +277,199 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 			parts[i] = particle{pose: sampleFreePose(r, g)}
 		}
 	}
-	weights := make([]float64, len(parts))
+	s := &state{
+		cfg:       cfg,
+		g:         g,
+		r:         r,
+		truth:     truth,
+		parts:     parts,
+		spare:     make([]particle, cfg.Particles),
+		weights:   make([]float64, len(parts)),
+		scan:      make([]float64, cfg.Laser.NumBeams),
+		sigma2:    sigma * sigma,
+		zHit:      zHit,
+		randFloor: zRand / cfg.Laser.MaxRange,
+		temper:    temper,
+		decay:     decay,
+		res:       res,
+	}
+	if cfg.Workers > 1 {
+		s.shards = make([]wshard, cfg.Workers)
+	}
+	return s, nil
+}
 
+// weigh ray-casts every beam for every particle in parts and accumulates the
+// annealed log-likelihood. Ray-casting here is the paper's notion —
+// traversing the map per beam and matching the traverse distance with the
+// sensed data — and dominates execution. It is deterministic, so the
+// parallel path (Workers > 1) produces bit-identical results to the serial
+// one. weigh only reads shared state (scan, map, config), so shards may run
+// it concurrently on disjoint sub-slices.
+func (s *state) weigh(parts []particle, prof *profile.Profile) (raycasts, cells int64) {
+	cfg, g, scan := &s.cfg, s.g, s.scan
+	for i := range parts {
+		p := &parts[i]
+		if g.OccupiedWorld(p.pose.X, p.pose.Y) {
+			p.logw = math.Inf(-1)
+			continue
+		}
+		logw := 0.0
+		if cfg.LikelihoodField {
+			// Ablation: score measured endpoints against the
+			// distance field — no map traversal at all.
+			prof.Begin("weight")
+			for b := 0; b < cfg.Laser.NumBeams; b++ {
+				if scan[b] >= cfg.Laser.MaxRange-1e-9 {
+					continue // max-range readings carry no endpoint
+				}
+				theta := p.pose.Theta + cfg.Laser.BeamAngle(b)
+				exn, eyn := p.pose.X+scan[b]*math.Cos(theta), p.pose.Y+scan[b]*math.Sin(theta)
+				cx, cy := g.WorldToCell(exn, eyn)
+				d := cfg.Laser.MaxRange
+				if g.InBounds(cx, cy) {
+					d = s.distField[cy*g.W+cx] * g.Resolution
+				}
+				logw += math.Log(s.zHit*math.Exp(-d*d/(2*s.sigma2)) + s.randFloor)
+			}
+			p.logw += logw / s.temper
+			prof.End()
+			continue
+		}
+		prof.Begin("raycast")
+		for b := 0; b < cfg.Laser.NumBeams; b++ {
+			theta := p.pose.Theta + cfg.Laser.BeamAngle(b)
+			expected, n := g.RaycastCells(p.pose.X, p.pose.Y, theta, cfg.Laser.MaxRange)
+			raycasts++
+			cells += int64(n)
+			d := scan[b] - expected
+			logw += math.Log(s.zHit*math.Exp(-d*d/(2*s.sigma2)) + s.randFloor)
+		}
+		prof.End()
+		prof.Begin("weight")
+		p.logw += logw / s.temper
+		prof.End()
+	}
+	return raycasts, cells
+}
+
+// step advances the simulation and the filter by one motion/measurement
+// cycle. The phase breakdown matches the paper: "motion", "raycast",
+// "weight", "resample".
+func (s *state) step(prof *profile.Profile) {
+	cfg, g, r := &s.cfg, s.g, s.r
+	// -- Simulate the world (outside any kernel phase): move the robot
+	// and take a scan. The commanded motion turns away from obstacles.
+	odo := commandMotion(g, s.truth, cfg.StepLen)
+	s.truth = odo.Apply(s.truth)
+	cfg.Laser.ScanInto(s.scan, r, g, s.truth)
+	for i, d := range s.scan {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			// A real driver discards unparseable returns; score them as
+			// max-range misses so corrupted beams (fault injection)
+			// cannot poison the particle weights with NaN.
+			s.scan[i] = cfg.Laser.MaxRange
+		}
+	}
+
+	// -- Motion update: sample the odometry model per particle.
+	prof.Begin("motion")
+	for i := range s.parts {
+		noisy := cfg.Odom.Sample(r, odo)
+		s.parts[i].pose = noisy.Apply(s.parts[i].pose)
+	}
+	prof.End()
+
+	// -- Measurement update.
+	if cfg.Workers > 1 {
+		// Wall time of the whole fan-out is attributed to "raycast" on
+		// the main profile (per-worker phase times would sum past the
+		// ROI); workers run with profiling off.
+		workers := cfg.Workers
+		var wg sync.WaitGroup
+		chunk := (len(s.parts) + workers - 1) / workers
+		prof.Begin("raycast")
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if lo >= len(s.parts) {
+				break
+			}
+			if hi > len(s.parts) {
+				hi = len(s.parts)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				rc, cl := s.weigh(s.parts[lo:hi], profile.Disabled())
+				s.shards[w] = wshard{raycasts: rc, cells: cl}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		prof.End()
+		for _, sh := range s.shards {
+			s.res.Raycasts += sh.raycasts
+			s.res.CellsVisited += sh.cells
+		}
+	} else {
+		rc, cl := s.weigh(s.parts, prof)
+		s.res.Raycasts += rc
+		s.res.CellsVisited += cl
+	}
+
+	// -- Normalize and resample when the effective sample size drops
+	// (or the over-provisioned initial population must shrink).
+	prof.Begin("weight")
+	ess, ok := normalize(s.parts, s.weights)
+	s.res.EffectiveSampleSize = ess
+	prof.End()
+
+	prof.Begin("resample")
+	if !ok {
+		// Degenerate weights: re-seed uniformly; the filter recovers
+		// on later updates.
+		for i := range s.parts {
+			s.parts[i] = particle{pose: sampleFreePose(r, g)}
+		}
+	} else if ess < float64(cfg.Particles)/2 || len(s.parts) > cfg.Particles {
+		// Resample into the spare half of the double buffer, then swap —
+		// no per-resample allocation.
+		next := s.spare[:cfg.Particles]
+		lowVarianceResample(r, s.parts, s.weights[:len(s.parts)], next)
+		// Augmented MCL: a few fresh uniform samples enable recovery.
+		for i := range next {
+			if r.Float64() < cfg.InjectRate {
+				next[i] = particle{pose: sampleFreePose(r, g)}
+			}
+		}
+		s.parts, s.spare = next, s.parts
+		s.res.Resamples++
+	}
+	prof.End()
+
+	// Anneal the likelihood temperature toward 1.
+	s.temper = 1 + (s.temper-1)*s.decay
+}
+
+// Run executes the kernel. The profile (may be nil) receives the ROI and the
+// phase breakdown: "raycast", "motion", "weight", "resample". A cancelled
+// ctx aborts between filter steps, returning ctx.Err().
+func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := Result{}
+	s, err := newState(cfg, &res)
+	if err != nil {
+		return Result{}, err
+	}
+
 	prof.BeginROI()
 	// The likelihood-field ablation precomputes the obstacle distance
 	// field once (inside the ROI: it replaces per-step ray casting).
-	var distField []float64
 	if cfg.LikelihoodField {
 		prof.Begin("distfield")
-		distField = g.DistanceTransform()
+		s.distField = s.g.DistanceTransform()
 		prof.End()
 	}
 	for step := 0; step < cfg.Steps; step++ {
@@ -269,158 +477,16 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 			prof.EndROI()
 			return res, err
 		}
-		// -- Simulate the world (outside any kernel phase): move the robot
-		// and take a scan. The commanded motion turns away from obstacles.
-		odo := commandMotion(g, truth, cfg.StepLen)
-		truth = odo.Apply(truth)
-		scan := cfg.Laser.Scan(r, g, truth)
-		for i, d := range scan {
-			if math.IsNaN(d) || math.IsInf(d, 0) {
-				// A real driver discards unparseable returns; score them as
-				// max-range misses so corrupted beams (fault injection)
-				// cannot poison the particle weights with NaN.
-				scan[i] = cfg.Laser.MaxRange
-			}
-		}
-
-		// -- Motion update: sample the odometry model per particle.
-		prof.Begin("motion")
-		for i := range parts {
-			noisy := cfg.Odom.Sample(r, odo)
-			parts[i].pose = noisy.Apply(parts[i].pose)
-		}
-		prof.End()
-
-		// -- Measurement update: ray-cast every beam for every particle and
-		// accumulate the annealed log-likelihood. Ray-casting here is the
-		// paper's notion — traversing the map per beam and matching the
-		// traverse distance with the sensed data — and dominates execution.
-		// It is deterministic, so the parallel path (Workers > 1) produces
-		// bit-identical results to the serial one.
-		weigh := func(parts []particle, prof *profile.Profile) (raycasts, cells int64) {
-			for i := range parts {
-				p := &parts[i]
-				if g.OccupiedWorld(p.pose.X, p.pose.Y) {
-					p.logw = math.Inf(-1)
-					continue
-				}
-				logw := 0.0
-				if cfg.LikelihoodField {
-					// Ablation: score measured endpoints against the
-					// distance field — no map traversal at all.
-					prof.Begin("weight")
-					for b := 0; b < cfg.Laser.NumBeams; b++ {
-						if scan[b] >= cfg.Laser.MaxRange-1e-9 {
-							continue // max-range readings carry no endpoint
-						}
-						theta := p.pose.Theta + cfg.Laser.BeamAngle(b)
-						exn, eyn := p.pose.X+scan[b]*math.Cos(theta), p.pose.Y+scan[b]*math.Sin(theta)
-						cx, cy := g.WorldToCell(exn, eyn)
-						d := cfg.Laser.MaxRange
-						if g.InBounds(cx, cy) {
-							d = distField[cy*g.W+cx] * g.Resolution
-						}
-						logw += math.Log(zHit*math.Exp(-d*d/(2*sigma2)) + randFloor)
-					}
-					p.logw += logw / temper
-					prof.End()
-					continue
-				}
-				prof.Begin("raycast")
-				for b := 0; b < cfg.Laser.NumBeams; b++ {
-					theta := p.pose.Theta + cfg.Laser.BeamAngle(b)
-					expected, n := g.RaycastCells(p.pose.X, p.pose.Y, theta, cfg.Laser.MaxRange)
-					raycasts++
-					cells += int64(n)
-					d := scan[b] - expected
-					logw += math.Log(zHit*math.Exp(-d*d/(2*sigma2)) + randFloor)
-				}
-				prof.End()
-				prof.Begin("weight")
-				p.logw += logw / temper
-				prof.End()
-			}
-			return raycasts, cells
-		}
-		if cfg.Workers > 1 {
-			// Wall time of the whole fan-out is attributed to "raycast" on
-			// the main profile (per-worker phase times would sum past the
-			// ROI); workers run with profiling off.
-			type shard struct {
-				raycasts, cells int64
-			}
-			workers := cfg.Workers
-			shards := make([]shard, workers)
-			var wg sync.WaitGroup
-			chunk := (len(parts) + workers - 1) / workers
-			prof.Begin("raycast")
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				hi := lo + chunk
-				if lo >= len(parts) {
-					break
-				}
-				if hi > len(parts) {
-					hi = len(parts)
-				}
-				wg.Add(1)
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					rc, cl := weigh(parts[lo:hi], profile.Disabled())
-					shards[w] = shard{raycasts: rc, cells: cl}
-				}(w, lo, hi)
-			}
-			wg.Wait()
-			prof.End()
-			for _, s := range shards {
-				res.Raycasts += s.raycasts
-				res.CellsVisited += s.cells
-			}
-		} else {
-			rc, cl := weigh(parts, prof)
-			res.Raycasts += rc
-			res.CellsVisited += cl
-		}
-
-		// -- Normalize and resample when the effective sample size drops
-		// (or the over-provisioned initial population must shrink).
-		prof.Begin("weight")
-		ess, ok := normalize(parts, weights)
-		res.EffectiveSampleSize = ess
-		prof.End()
-
-		prof.Begin("resample")
-		if !ok {
-			// Degenerate weights: re-seed uniformly; the filter recovers
-			// on later updates.
-			for i := range parts {
-				parts[i] = particle{pose: sampleFreePose(r, g)}
-			}
-		} else if ess < float64(cfg.Particles)/2 || len(parts) > cfg.Particles {
-			next := make([]particle, cfg.Particles)
-			lowVarianceResample(r, parts, weights[:len(parts)], next)
-			// Augmented MCL: a few fresh uniform samples enable recovery.
-			for i := range next {
-				if r.Float64() < cfg.InjectRate {
-					next[i] = particle{pose: sampleFreePose(r, g)}
-				}
-			}
-			parts = next
-			res.Resamples++
-		}
-		prof.End()
-
-		// Anneal the likelihood temperature toward 1.
-		temper = 1 + (temper-1)*decay
+		s.step(prof)
 		prof.StepDone()
 	}
 	prof.EndROI()
 
-	normalize(parts, weights)
-	res.Estimate = modeEstimate(parts, weights)
-	res.Truth = truth
-	res.PositionError = math.Hypot(res.Estimate.X-truth.X, res.Estimate.Y-truth.Y)
-	res.HeadingError = math.Abs(geom.AngleDiff(res.Estimate.Theta, truth.Theta))
+	normalize(s.parts, s.weights)
+	res.Estimate = modeEstimate(s.parts, s.weights)
+	res.Truth = s.truth
+	res.PositionError = math.Hypot(res.Estimate.X-s.truth.X, res.Estimate.Y-s.truth.Y)
+	res.HeadingError = math.Abs(geom.AngleDiff(res.Estimate.Theta, s.truth.Theta))
 	return res, nil
 }
 

@@ -187,6 +187,7 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	// the edge collision checks to query time.
 	prof.Begin("connect")
 	adj := make([][]edge, len(nodes))
+	var nbrBuf []int // reused k-nearest buffer across all connect queries
 	for i, c := range nodes {
 		if i%256 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -195,7 +196,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 				return res, err
 			}
 		}
-		for _, j := range tree.KNearest(c, cfg.K+1) {
+		nbrBuf = tree.KNearestAppend(c, cfg.K+1, nbrBuf[:0])
+		for _, j := range nbrBuf {
 			if j == i || j > i {
 				continue // undirected; connect each pair once
 			}
@@ -217,7 +219,8 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	all := append(append([][]float64{}, nodes...), start, goal)
 	adj = append(adj, nil, nil)
 	connectEndpoint := func(id int, c []float64) {
-		for _, j := range tree.KNearest(c, 3*cfg.K) {
+		nbrBuf = tree.KNearestAppend(c, 3*cfg.K, nbrBuf[:0])
+		for _, j := range nbrBuf {
 			if cfg.Lazy || ws.EdgeFree(a, c, nodes[j], step, scratch, cfgScratch) {
 				d := dist(c, nodes[j])
 				adj[id] = append(adj[id], edge{j, d})

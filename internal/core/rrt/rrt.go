@@ -152,6 +152,7 @@ type planner struct {
 	nodes   []node
 	scratch []geom.Vec2
 	cfgTmp  []float64
+	nbrBuf  []int // reused RRT* neighborhood buffer; valid until the next near()
 	res     *Result
 }
 
@@ -242,13 +243,15 @@ func (p *planner) nearest(q []float64) int {
 	return id
 }
 
-// near returns the tree nodes within the RRT* neighborhood of q.
+// near returns the tree nodes within the RRT* neighborhood of q. The
+// returned slice aliases a planner-owned buffer and is only valid until the
+// next call.
 func (p *planner) near(q []float64) []int {
 	p.prof.Begin("nn")
-	ids := p.tree.Radius(q, p.cfg.Radius*p.cfg.Radius)
+	p.nbrBuf = p.tree.RadiusAppend(q, p.cfg.Radius*p.cfg.Radius, p.nbrBuf[:0])
 	p.res.NNQueries++
 	p.prof.End()
-	return ids
+	return p.nbrBuf
 }
 
 // steer moves from the tree node toward the sample by at most Epsilon,

@@ -31,19 +31,23 @@ func SqEuclidean(a, b []float64) float64 {
 
 // Tree is a k-d tree with incremental insertion. Points are referenced by
 // the integer payload supplied at insert time (typically a node index in the
-// planner's own storage); the tree keeps its own copy of coordinates.
+// planner's own storage); the tree keeps its own copy of coordinates in a
+// flat arena (one []float64 for all points, indexed by insertion order), so
+// inserting amortizes to zero small-object allocations and point access is
+// cache-friendly during traversal.
 type Tree struct {
 	dim    int
 	metric Metric
 	nodes  []node
+	pts    []float64 // arena: node i's point is pts[i*dim : (i+1)*dim]
 	root   int
+	knnH   maxHeap // scratch for KNearestAppend; makes it non-reentrant
 	// DistCalls counts metric evaluations; the benchmark harness reads it
 	// to report nearest-neighbor work the way the paper's profiles do.
 	DistCalls int64
 }
 
 type node struct {
-	point       []float64
 	payload     int
 	axis        int
 	left, right int // -1 = none
@@ -64,15 +68,21 @@ func New(dim int, metric Metric) *Tree {
 // Len returns the number of points in the tree.
 func (t *Tree) Len() int { return len(t.nodes) }
 
-// Insert adds a point with the given payload. The point slice is copied.
+// pt returns node i's point, a view into the arena.
+func (t *Tree) pt(i int) []float64 {
+	return t.pts[i*t.dim : (i+1)*t.dim]
+}
+
+// Insert adds a point with the given payload. The point's coordinates are
+// copied into the tree's arena.
 func (t *Tree) Insert(point []float64, payload int) {
 	if len(point) != t.dim {
 		panic("kdtree: dimension mismatch")
 	}
-	p := make([]float64, t.dim)
-	copy(p, point)
 	idx := len(t.nodes)
-	t.nodes = append(t.nodes, node{point: p, payload: payload, left: -1, right: -1})
+	t.pts = append(t.pts, point...)
+	t.nodes = append(t.nodes, node{payload: payload, left: -1, right: -1})
+	p := t.pt(idx)
 	if t.root == -1 {
 		t.root = idx
 		return
@@ -81,7 +91,7 @@ func (t *Tree) Insert(point []float64, payload int) {
 	for {
 		n := &t.nodes[cur]
 		axis := n.axis
-		if p[axis] < n.point[axis] {
+		if p[axis] < t.pt(cur)[axis] {
 			if n.left == -1 {
 				n.left = idx
 				t.nodes[idx].axis = (axis + 1) % t.dim
@@ -113,13 +123,14 @@ func (t *Tree) Nearest(q []float64) (payload int, sqDist float64, ok bool) {
 
 func (t *Tree) nearest(idx int, q []float64, best *int, bestD *float64) {
 	n := &t.nodes[idx]
+	p := t.pt(idx)
 	t.DistCalls++
-	if d := t.metric(n.point, q); d < *bestD {
+	if d := t.metric(p, q); d < *bestD {
 		*bestD = d
 		*best = idx
 	}
 	axis := n.axis
-	diff := q[axis] - n.point[axis]
+	diff := q[axis] - p[axis]
 	near, far := n.left, n.right
 	if diff >= 0 {
 		near, far = n.right, n.left
@@ -137,7 +148,14 @@ func (t *Tree) nearest(idx int, q []float64, best *int, bestD *float64) {
 // Radius returns the payloads of all points within squared distance r2 of q,
 // in arbitrary order. RRT* uses it to collect the rewiring neighborhood.
 func (t *Tree) Radius(q []float64, r2 float64) []int {
-	var out []int
+	return t.RadiusAppend(q, r2, nil)
+}
+
+// RadiusAppend appends the payloads of all points within squared distance r2
+// of q to out (typically buf[:0] of a caller-owned buffer) and returns the
+// extended slice — the allocation-free form the planners' steady-state loops
+// use.
+func (t *Tree) RadiusAppend(q []float64, r2 float64, out []int) []int {
 	if t.root == -1 {
 		return out
 	}
@@ -147,12 +165,13 @@ func (t *Tree) Radius(q []float64, r2 float64) []int {
 
 func (t *Tree) radius(idx int, q []float64, r2 float64, out *[]int) {
 	n := &t.nodes[idx]
+	p := t.pt(idx)
 	t.DistCalls++
-	if t.metric(n.point, q) <= r2 {
+	if t.metric(p, q) <= r2 {
 		*out = append(*out, n.payload)
 	}
 	axis := n.axis
-	diff := q[axis] - n.point[axis]
+	diff := q[axis] - p[axis]
 	if n.left != -1 && (diff < 0 || diff*diff <= r2) {
 		t.radius(n.left, q, r2, out)
 	}
@@ -165,23 +184,32 @@ func (t *Tree) radius(idx int, q []float64, r2 float64, out *[]int) {
 // increasing distance. Fewer than k results are returned when the tree is
 // smaller than k.
 func (t *Tree) KNearest(q []float64, k int) []int {
+	return t.KNearestAppend(q, k, nil)
+}
+
+// KNearestAppend appends the payloads of the k points closest to q to out
+// (typically buf[:0] of a caller-owned buffer), ordered by increasing
+// distance, and returns the extended slice. The candidate heap lives in the
+// tree, so concurrent KNearestAppend calls on one tree are not safe.
+func (t *Tree) KNearestAppend(q []float64, k int, out []int) []int {
 	if k <= 0 || t.root == -1 {
-		return nil
+		return out
 	}
-	h := &maxHeap{}
+	h := &t.knnH
+	h.items = h.items[:0]
 	t.kNearest(t.root, q, k, h)
 	sort.Sort(h) // heap order is arbitrary; present nearest-first
-	out := make([]int, len(h.items))
-	for i, it := range h.items {
-		out[i] = t.nodes[it.idx].payload
+	for _, it := range h.items {
+		out = append(out, t.nodes[it.idx].payload)
 	}
 	return out
 }
 
 func (t *Tree) kNearest(idx int, q []float64, k int, h *maxHeap) {
 	n := &t.nodes[idx]
+	p := t.pt(idx)
 	t.DistCalls++
-	d := t.metric(n.point, q)
+	d := t.metric(p, q)
 	if h.Len() < k {
 		h.push(item{idx: idx, d: d})
 	} else if d < h.items[0].d {
@@ -189,7 +217,7 @@ func (t *Tree) kNearest(idx int, q []float64, k int, h *maxHeap) {
 		h.down(0)
 	}
 	axis := n.axis
-	diff := q[axis] - n.point[axis]
+	diff := q[axis] - p[axis]
 	near, far := n.left, n.right
 	if diff >= 0 {
 		near, far = n.right, n.left
@@ -248,11 +276,12 @@ func (h *maxHeap) down(i int) {
 
 // Linear is a brute-force nearest-neighbor index with the same operations as
 // Tree. It serves as the correctness oracle in tests and as the ablation
-// baseline in the nearest-neighbor benchmarks.
+// baseline in the nearest-neighbor benchmarks. Like Tree, it stores point
+// coordinates in a flat insertion-order arena.
 type Linear struct {
 	dim       int
 	metric    Metric
-	points    [][]float64
+	pts       []float64 // arena: point i is pts[i*dim : (i+1)*dim]
 	payloads  []int
 	DistCalls int64
 }
@@ -266,26 +295,32 @@ func NewLinear(dim int, metric Metric) *Linear {
 }
 
 // Len returns the number of points in the index.
-func (l *Linear) Len() int { return len(l.points) }
+func (l *Linear) Len() int { return len(l.payloads) }
 
-// Insert adds a point with the given payload.
+func (l *Linear) pt(i int) []float64 {
+	return l.pts[i*l.dim : (i+1)*l.dim]
+}
+
+// Insert adds a point with the given payload. The coordinates are copied
+// into the index's arena.
 func (l *Linear) Insert(point []float64, payload int) {
-	p := make([]float64, l.dim)
-	copy(p, point)
-	l.points = append(l.points, p)
+	if len(point) != l.dim {
+		panic("kdtree: dimension mismatch")
+	}
+	l.pts = append(l.pts, point...)
 	l.payloads = append(l.payloads, payload)
 }
 
 // Nearest returns the payload and squared distance of the closest point.
 func (l *Linear) Nearest(q []float64) (payload int, sqDist float64, ok bool) {
-	if len(l.points) == 0 {
+	if len(l.payloads) == 0 {
 		return 0, 0, false
 	}
 	best := 0
 	bestD := math.Inf(1)
-	for i, p := range l.points {
+	for i := range l.payloads {
 		l.DistCalls++
-		if d := l.metric(p, q); d < bestD {
+		if d := l.metric(l.pt(i), q); d < bestD {
 			bestD, best = d, i
 		}
 	}
@@ -295,9 +330,9 @@ func (l *Linear) Nearest(q []float64) (payload int, sqDist float64, ok bool) {
 // Radius returns payloads of all points within squared distance r2 of q.
 func (l *Linear) Radius(q []float64, r2 float64) []int {
 	var out []int
-	for i, p := range l.points {
+	for i := range l.payloads {
 		l.DistCalls++
-		if l.metric(p, q) <= r2 {
+		if l.metric(l.pt(i), q) <= r2 {
 			out = append(out, l.payloads[i])
 		}
 	}

@@ -68,6 +68,19 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Zero clears every element of m in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom overwrites m with src. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	checkSameShape("CopyFrom", m, src)
+	copy(m.Data, src.Data)
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	var b strings.Builder
@@ -82,13 +95,23 @@ func (m *Matrix) String() string {
 
 // Mul returns the matrix product a*b. It panics on shape mismatch.
 func Mul(a, b *Matrix) *Matrix {
+	return MulInto(New(a.Rows, b.Cols), a, b)
+}
+
+// MulInto computes dst = a*b in place and returns dst. dst must have shape
+// a.Rows×b.Cols and must not alias a or b; its previous contents are
+// discarded. It is the allocation-free hot-path form of Mul.
+func MulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for k, av := range arow {
 			if av == 0 {
 				continue
@@ -99,44 +122,64 @@ func Mul(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MulVec returns the matrix-vector product a*x.
 func MulVec(a *Matrix, x []float64) []float64 {
+	return MulVecInto(make([]float64, a.Rows), a, x)
+}
+
+// MulVecInto computes dst = a*x in place and returns dst. dst must have
+// length a.Rows and must not alias x.
+func MulVecInto(dst []float64, a *Matrix, x []float64) []float64 {
 	if a.Cols != len(x) {
 		panic("mat: MulVec shape mismatch")
 	}
-	out := make([]float64, a.Rows)
+	if len(dst) != a.Rows {
+		panic("mat: MulVecInto dst length mismatch")
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Add returns a + b.
 func Add(a, b *Matrix) *Matrix {
+	return AddInto(New(a.Rows, a.Cols), a, b)
+}
+
+// AddInto computes dst = a + b in place and returns dst. dst may alias a
+// or b.
+func AddInto(dst, a, b *Matrix) *Matrix {
 	checkSameShape("Add", a, b)
-	out := New(a.Rows, a.Cols)
+	checkSameShape("AddInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+		dst.Data[i] = a.Data[i] + b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns a - b.
 func Sub(a, b *Matrix) *Matrix {
+	return SubInto(New(a.Rows, a.Cols), a, b)
+}
+
+// SubInto computes dst = a - b in place and returns dst. dst may alias a
+// or b.
+func SubInto(dst, a, b *Matrix) *Matrix {
 	checkSameShape("Sub", a, b)
-	out := New(a.Rows, a.Cols)
+	checkSameShape("SubInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
+		dst.Data[i] = a.Data[i] - b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Scale returns s*a.
@@ -150,13 +193,21 @@ func Scale(s float64, a *Matrix) *Matrix {
 
 // Transpose returns aᵀ.
 func Transpose(a *Matrix) *Matrix {
-	out := New(a.Cols, a.Rows)
+	return TransposeInto(New(a.Cols, a.Rows), a)
+}
+
+// TransposeInto computes dst = aᵀ in place and returns dst. dst must have
+// shape a.Cols×a.Rows and must not alias a.
+func TransposeInto(dst, a *Matrix) *Matrix {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("mat: TransposeInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, a.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
-			out.Data[j*out.Cols+i] = a.Data[i*a.Cols+j]
+			dst.Data[j*dst.Cols+i] = a.Data[i*a.Cols+j]
 		}
 	}
-	return out
+	return dst
 }
 
 func checkSameShape(op string, a, b *Matrix) {
@@ -165,21 +216,49 @@ func checkSameShape(op string, a, b *Matrix) {
 	}
 }
 
-// LU holds an LU factorization with partial pivoting: P*A = L*U.
+// LU holds an LU factorization with partial pivoting: P*A = L*U. A zero LU
+// is a valid empty workspace: Refactor sizes it on first use and reuses the
+// buffers on every subsequent call with the same dimension, which keeps
+// repeated small solves (the EKF's per-observation 2×2 innovation inverse)
+// allocation-free after warmup.
 type LU struct {
-	lu    *Matrix
-	pivot []int
-	sign  float64 // +1 or -1 from row swaps; 0 if singular
+	lu      *Matrix
+	pivot   []int
+	scratch []float64 // unit-vector / column scratch for InverseInto
+	sign    float64   // +1 or -1 from row swaps; 0 if singular
+}
+
+// NewLU returns an empty LU workspace pre-sized for n×n systems.
+func NewLU(n int) *LU {
+	if n <= 0 {
+		panic("mat: NewLU with non-positive size")
+	}
+	return &LU{lu: New(n, n), pivot: make([]int, n), scratch: make([]float64, 2*n)}
 }
 
 // Factor computes the LU factorization of a square matrix. A singular matrix
 // yields a factorization whose Det is 0 and whose Solve returns an error.
 func Factor(a *Matrix) *LU {
+	f := &LU{}
+	f.Refactor(a)
+	return f
+}
+
+// Refactor computes the factorization of a into f's workspace. When a has
+// the same dimension as the previous factorization the call performs no
+// allocation; otherwise the workspace is (re)sized.
+func (f *LU) Refactor(a *Matrix) {
 	if a.Rows != a.Cols {
 		panic("mat: Factor requires a square matrix")
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), pivot: make([]int, n), sign: 1}
+	if f.lu == nil || f.lu.Rows != n {
+		f.lu = New(n, n)
+		f.pivot = make([]int, n)
+		f.scratch = make([]float64, 2*n)
+	}
+	copy(f.lu.Data, a.Data)
+	f.sign = 1
 	lu := f.lu.Data
 	for i := range f.pivot {
 		f.pivot[i] = i
@@ -195,7 +274,7 @@ func Factor(a *Matrix) *LU {
 		}
 		if max == 0 {
 			f.sign = 0
-			return f
+			return
 		}
 		if p != col {
 			for j := 0; j < n; j++ {
@@ -216,7 +295,6 @@ func Factor(a *Matrix) *LU {
 			}
 		}
 	}
-	return f
 }
 
 // Singular reports whether the factored matrix was detected as singular.
@@ -237,15 +315,25 @@ func (f *LU) Det() float64 {
 
 // Solve solves A*x = b for x. It returns an error if A is singular.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.lu.Rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A*x = b into dst without allocating. dst must have length
+// n and must not alias b. It returns an error if A is singular.
+func (f *LU) SolveInto(dst, b []float64) error {
 	n := f.lu.Rows
-	if len(b) != n {
+	if len(b) != n || len(dst) != n {
 		panic("mat: Solve dimension mismatch")
 	}
 	if f.sign == 0 {
-		return nil, fmt.Errorf("mat: matrix is singular")
+		return fmt.Errorf("mat: matrix is singular")
 	}
 	lu := f.lu.Data
-	x := make([]float64, n)
+	x := dst
 	for i := 0; i < n; i++ {
 		x[i] = b[f.pivot[i]]
 	}
@@ -265,7 +353,36 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = (x[i] - s) / lu[i*n+i]
 	}
-	return x, nil
+	return nil
+}
+
+// InverseInto writes A⁻¹ into dst (n×n) using the workspace's scratch
+// buffers, without allocating. It returns an error if A is singular.
+func (f *LU) InverseInto(dst *Matrix) error {
+	n := f.lu.Rows
+	if dst.Rows != n || dst.Cols != n {
+		panic("mat: InverseInto dimension mismatch")
+	}
+	if f.sign == 0 {
+		return fmt.Errorf("mat: matrix is singular")
+	}
+	if len(f.scratch) < 2*n {
+		f.scratch = make([]float64, 2*n)
+	}
+	e, col := f.scratch[:n], f.scratch[n:2*n]
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		if err := f.SolveInto(col, e); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst.Data[i*n+j] = col[i]
+		}
+	}
+	return nil
 }
 
 // Inverse returns A⁻¹, or an error if A is singular.
@@ -274,21 +391,9 @@ func Inverse(a *Matrix) (*Matrix, error) {
 	if f.Singular() {
 		return nil, fmt.Errorf("mat: matrix is singular")
 	}
-	n := a.Rows
-	out := New(n, n)
-	e := make([]float64, n)
-	for j := 0; j < n; j++ {
-		for i := range e {
-			e[i] = 0
-		}
-		e[j] = 1
-		col, err := f.Solve(e)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			out.Data[i*n+j] = col[i]
-		}
+	out := New(a.Rows, a.Rows)
+	if err := f.InverseInto(out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -275,3 +275,181 @@ func TestCloneIndependent(t *testing.T) {
 		t.Fatal("Clone shares storage")
 	}
 }
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	r := rng.New(7)
+	for n := 1; n <= 6; n++ {
+		a := randomMatrix(r, n)
+		b := randomMatrix(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Uniform(-2, 2)
+		}
+
+		dst := New(n, n)
+		MulInto(dst, a, b)
+		want := Mul(a, b)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("MulInto differs from Mul at n=%d", n)
+			}
+		}
+
+		vdst := make([]float64, n)
+		MulVecInto(vdst, a, x)
+		vwant := MulVec(a, x)
+		for i := range vwant {
+			if vdst[i] != vwant[i] {
+				t.Fatalf("MulVecInto differs from MulVec at n=%d", n)
+			}
+		}
+
+		AddInto(dst, a, b)
+		aw := Add(a, b)
+		for i := range aw.Data {
+			if dst.Data[i] != aw.Data[i] {
+				t.Fatalf("AddInto differs from Add at n=%d", n)
+			}
+		}
+		SubInto(dst, a, b)
+		sw := Sub(a, b)
+		for i := range sw.Data {
+			if dst.Data[i] != sw.Data[i] {
+				t.Fatalf("SubInto differs from Sub at n=%d", n)
+			}
+		}
+
+		tdst := New(n, n)
+		TransposeInto(tdst, a)
+		tw := Transpose(a)
+		for i := range tw.Data {
+			if tdst.Data[i] != tw.Data[i] {
+				t.Fatalf("TransposeInto differs from Transpose at n=%d", n)
+			}
+		}
+	}
+}
+
+func TestAddSubIntoAliasing(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	AddInto(a, a, b) // a += b
+	want := FromRows([][]float64{{6, 8}, {10, 12}})
+	for i := range want.Data {
+		if a.Data[i] != want.Data[i] {
+			t.Fatalf("aliased AddInto = %v", a)
+		}
+	}
+	SubInto(a, a, b) // back to the original
+	orig := FromRows([][]float64{{1, 2}, {3, 4}})
+	for i := range orig.Data {
+		if a.Data[i] != orig.Data[i] {
+			t.Fatalf("aliased SubInto = %v", a)
+		}
+	}
+}
+
+func TestLUWorkspaceReuse(t *testing.T) {
+	r := rng.New(3)
+	f := NewLU(4)
+	inv := New(4, 4)
+	x := make([]float64, 4)
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(r, 4)
+		b := make([]float64, 4)
+		for i := range b {
+			b[i] = r.Uniform(-2, 2)
+		}
+		f.Refactor(a)
+		if f.Singular() {
+			continue
+		}
+		if err := f.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEq(x[i], want[i], 1e-9) {
+				t.Fatalf("SolveInto differs from Solve: %v vs %v", x, want)
+			}
+		}
+		if err := f.InverseInto(inv); err != nil {
+			t.Fatal(err)
+		}
+		winv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range winv.Data {
+			if !almostEq(inv.Data[i], winv.Data[i], 1e-9) {
+				t.Fatalf("InverseInto differs from Inverse")
+			}
+		}
+	}
+}
+
+func TestLUWorkspaceResizes(t *testing.T) {
+	f := NewLU(2)
+	a := FromRows([][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}})
+	f.Refactor(a) // must grow, not panic
+	if f.Singular() {
+		t.Fatal("diagonal matrix reported singular")
+	}
+	if d := f.Det(); !almostEq(d, 24, 1e-12) {
+		t.Fatalf("Det = %v, want 24", d)
+	}
+	inv := New(3, 3)
+	if err := f.InverseInto(inv); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(inv.At(2, 2), 0.25, 1e-12) {
+		t.Fatalf("InverseInto wrong: %v", inv)
+	}
+}
+
+func TestLUSingularWorkspace(t *testing.T) {
+	f := NewLU(2)
+	f.Refactor(New(2, 2)) // all-zero: singular
+	if !f.Singular() {
+		t.Fatal("zero matrix not flagged singular")
+	}
+	if err := f.SolveInto(make([]float64, 2), []float64{1, 2}); err == nil {
+		t.Fatal("SolveInto on singular matrix should error")
+	}
+	if err := f.InverseInto(New(2, 2)); err == nil {
+		t.Fatal("InverseInto on singular matrix should error")
+	}
+}
+
+// TestHotPathOpsAllocationFree pins the contract the EKF scratch machinery
+// relies on: once buffers exist, the Into family and the LU workspace do not
+// touch the heap.
+func TestHotPathOpsAllocationFree(t *testing.T) {
+	r := rng.New(5)
+	a := randomMatrix(r, 5)
+	b := randomMatrix(r, 5)
+	dst := New(5, 5)
+	tdst := New(5, 5)
+	v := make([]float64, 5)
+	x := []float64{1, 2, 3, 4, 5}
+	f := NewLU(5)
+	inv := New(5, 5)
+	allocs := testing.AllocsPerRun(100, func() {
+		MulInto(dst, a, b)
+		TransposeInto(tdst, a)
+		AddInto(dst, dst, b)
+		SubInto(dst, dst, b)
+		MulVecInto(v, a, x)
+		f.Refactor(a)
+		if !f.Singular() {
+			_ = f.SolveInto(v, x)
+			_ = f.InverseInto(inv)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path ops allocate: %v allocs/op", allocs)
+	}
+}

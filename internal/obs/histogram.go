@@ -106,12 +106,15 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.max)
 }
 
-// Mean returns the exact arithmetic mean (0 when empty).
+// Mean returns the arithmetic mean rounded to the nearest nanosecond, half
+// up (0 when empty). Plain integer division truncates, which biases
+// sub-microsecond phase means low — e.g. samples of 1ns and 2ns would report
+// 1ns instead of 2ns.
 func (h *Histogram) Mean() time.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / h.count)
+	return time.Duration((h.sum + h.count/2) / h.count)
 }
 
 // Quantile returns an estimate of the q-quantile (q in [0, 1]). The estimate
@@ -138,7 +141,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		cum += h.counts[i]
 		if cum >= rank {
 			lo, hi := bucketBounds[i], bucketBounds[i+1]
-			mid := int64(math.Sqrt(float64(lo) * float64(hi)))
+			// sqrt(lo)*sqrt(hi), not sqrt(lo*hi): the top-decade bounds
+			// reach ~1e13ns, so the product exceeds 2^53 and loses
+			// precision in the float64 conversion.
+			mid := int64(math.Sqrt(float64(lo)) * math.Sqrt(float64(hi)))
 			if mid < h.min {
 				mid = h.min
 			}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"time"
 )
@@ -165,6 +166,64 @@ func TestBucketBoundsMonotone(t *testing.T) {
 			if ns < bucketBounds[b] || ns >= bucketBounds[b+1] {
 				t.Fatalf("ns=%d in bucket %d [%d, %d)", ns, b, bucketBounds[b], bucketBounds[b+1])
 			}
+		}
+	}
+}
+
+func TestHistogramMeanRoundsToNearest(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1 * time.Nanosecond)
+	h.Record(2 * time.Nanosecond)
+	// 3ns over 2 samples: truncation would report 1ns; round-half-up gives 2.
+	if got := h.Mean(); got != 2*time.Nanosecond {
+		t.Fatalf("Mean of {1ns, 2ns} = %v, want 2ns", got)
+	}
+
+	h.Reset()
+	h.Record(1 * time.Nanosecond)
+	h.Record(1 * time.Nanosecond)
+	h.Record(2 * time.Nanosecond)
+	// 4ns over 3 samples: 1.33 rounds down.
+	if got := h.Mean(); got != 1*time.Nanosecond {
+		t.Fatalf("Mean of {1ns, 1ns, 2ns} = %v, want 1ns", got)
+	}
+}
+
+// TestHistogramQuantileLargeDurations exercises the geometric bucket
+// midpoint in the top decade, where the bucket bounds reach ~1e13ns and the
+// product lo*hi (~1e26) far exceeds 2^53 — the regime where computing
+// sqrt(lo*hi) in float64 loses integer precision. The midpoint must match
+// the exact integer geometric mean computed with big.Int.
+func TestHistogramQuantileLargeDurations(t *testing.T) {
+	// Locate the top bucket and samples spanning it, so the quantile's
+	// [min, max] clamp cannot mask the midpoint computation.
+	lo, hi := bucketBounds[histBuckets-1], bucketBounds[histBuckets]
+	if float64(lo)*float64(hi) <= 1<<53 {
+		t.Fatalf("top bucket product %g does not exceed 2^53; test premise broken", float64(lo)*float64(hi))
+	}
+	h := NewHistogram()
+	h.Record(time.Duration(lo))     // bucket lower bound
+	h.Record(time.Duration(lo + 1)) // interior
+	h.Record(time.Duration(hi - 1)) // just under the upper bound
+
+	exact := new(big.Int).Sqrt(new(big.Int).Mul(big.NewInt(lo), big.NewInt(hi))).Int64()
+	got := int64(h.Quantile(0.5))
+	if got != exact {
+		t.Fatalf("P50 midpoint of top bucket [%d, %d) = %d, want exact geometric mean %d", lo, hi, got, exact)
+	}
+
+	// Across every bucket, the float midpoint must stay within 1ns of the
+	// exact integer geometric mean — the property the factored sqrt
+	// preserves at all scales.
+	for i := 0; i < histBuckets; i++ {
+		blo, bhi := bucketBounds[i], bucketBounds[i+1]
+		mid := int64(math.Sqrt(float64(blo)) * math.Sqrt(float64(bhi)))
+		ex := new(big.Int).Sqrt(new(big.Int).Mul(big.NewInt(blo), big.NewInt(bhi))).Int64()
+		if d := mid - ex; d < -1 || d > 1 {
+			t.Fatalf("bucket %d [%d, %d): midpoint %d deviates from exact %d", i, blo, bhi, mid, ex)
+		}
+		if mid < blo || mid >= bhi {
+			t.Fatalf("bucket %d [%d, %d): midpoint %d outside bucket", i, blo, bhi, mid)
 		}
 	}
 }

@@ -67,6 +67,24 @@ func (h *IndexedHeap) clearPos(item int) {
 // Len returns the number of items in the heap.
 func (h *IndexedHeap) Len() int { return len(h.items) }
 
+// Reset empties the heap while retaining its allocated capacity, so a search
+// loop can reuse one heap across episodes without reallocating. The position
+// index is cleared by walking the current items (not the whole dense array),
+// so Reset costs O(len) even with a large item universe.
+func (h *IndexedHeap) Reset() {
+	if h.densePos != nil {
+		for _, it := range h.items {
+			h.densePos[it] = 0
+		}
+	} else {
+		for _, it := range h.items {
+			delete(h.pos, it)
+		}
+	}
+	h.items = h.items[:0]
+	h.prio = h.prio[:0]
+}
+
 // Contains reports whether item is in the heap.
 func (h *IndexedHeap) Contains(item int) bool {
 	_, ok := h.lookup(item)
@@ -189,6 +207,14 @@ func NewHeap[T any](n int) *Heap[T] {
 
 // Len returns the number of items in the heap.
 func (h *Heap[T]) Len() int { return len(h.vals) }
+
+// Reset empties the heap while retaining its allocated capacity. Values of
+// pointer-bearing types stay referenced by the backing array until
+// overwritten by later pushes.
+func (h *Heap[T]) Reset() {
+	h.vals = h.vals[:0]
+	h.prio = h.prio[:0]
+}
 
 // Push inserts v with the given priority.
 func (h *Heap[T]) Push(v T, priority float64) {

@@ -174,3 +174,58 @@ func TestGenericHeapRandomProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIndexedHeapReset(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		var h *IndexedHeap
+		if dense {
+			h = NewIndexedHeapDense(64)
+		} else {
+			h = NewIndexedHeap(8)
+		}
+		for i := 0; i < 32; i++ {
+			h.Push(i, float64(63-i))
+		}
+		h.Reset()
+		if h.Len() != 0 {
+			t.Fatalf("dense=%v: Len after Reset = %d", dense, h.Len())
+		}
+		for i := 0; i < 32; i++ {
+			if h.Contains(i) {
+				t.Fatalf("dense=%v: item %d still present after Reset", dense, i)
+			}
+		}
+		// The heap must be fully usable again, including re-pushing the
+		// same items, and stay allocation-free within retained capacity.
+		if allocs := testing.AllocsPerRun(100, func() {
+			for i := 0; i < 32; i++ {
+				h.Push(i, float64(i%7))
+			}
+			for h.Len() > 0 {
+				h.Pop()
+			}
+		}); dense && allocs != 0 {
+			t.Errorf("dense=%v: reused heap allocates %v per episode", dense, allocs)
+		}
+		h.Push(3, 1.5)
+		h.Push(1, 0.5)
+		if item, _ := h.Pop(); item != 1 {
+			t.Fatalf("dense=%v: Pop after Reset = %d, want 1", dense, item)
+		}
+	}
+}
+
+func TestGenericHeapReset(t *testing.T) {
+	h := NewHeap[string](4)
+	h.Push("b", 2)
+	h.Push("a", 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push("z", 3)
+	h.Push("y", 1)
+	if v, _ := h.Pop(); v != "y" {
+		t.Fatalf("Pop after Reset = %q, want %q", v, "y")
+	}
+}

@@ -91,7 +91,16 @@ func (l Laser) BeamAngle(i int) float64 {
 // measured ranges with Gaussian noise added (clamped to [0, MaxRange]).
 // Dropped-out beams read MaxRange.
 func (l Laser) Scan(r *rng.RNG, g *grid.Grid2D, pose geom.Pose2) []float64 {
-	out := make([]float64, l.NumBeams)
+	return l.ScanInto(make([]float64, l.NumBeams), r, g, pose)
+}
+
+// ScanInto is Scan writing into a caller-owned buffer of length NumBeams,
+// the allocation-free form the particle filter's steady-state step uses. It
+// returns out.
+func (l Laser) ScanInto(out []float64, r *rng.RNG, g *grid.Grid2D, pose geom.Pose2) []float64 {
+	if len(out) != l.NumBeams {
+		panic("sensor: ScanInto buffer length != NumBeams")
+	}
 	for i := range out {
 		if r != nil && l.Dropout > 0 && r.Float64() < l.Dropout {
 			out[i] = l.MaxRange
@@ -139,7 +148,14 @@ type RangeBearingSensor struct {
 
 // Observe returns the noisy observations of all landmarks visible from pose.
 func (s RangeBearingSensor) Observe(r *rng.RNG, pose geom.Pose2, lms []Landmark) []RangeBearing {
-	var out []RangeBearing
+	return s.ObserveInto(nil, r, pose, lms)
+}
+
+// ObserveInto appends the noisy observations of all landmarks visible from
+// pose to out (typically buf[:0] of a reused buffer) and returns the
+// extended slice. Once the buffer has grown to len(lms) capacity no further
+// allocation occurs.
+func (s RangeBearingSensor) ObserveInto(out []RangeBearing, r *rng.RNG, pose geom.Pose2, lms []Landmark) []RangeBearing {
 	for _, lm := range lms {
 		dx := lm.P.X - pose.X
 		dy := lm.P.Y - pose.Y

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench.sh — the suite's performance snapshot. Runs the 16 per-kernel
+# Table 1 benchmarks plus the zero-alloc steady-state step benchmarks, all
+# with -benchmem, and converts the output to BENCH_<date>.json via
+# cmd/benchjson (schema rtrbench.bench/v1: ns/op, B/op, allocs/op per
+# kernel). Two snapshots taken before and after a change diff cleanly.
+#
+# Usage: scripts/bench.sh  (or: make bench)
+#   BENCH_DATE=2026-08-05   override the date stamp / output name
+#   BENCH_TIME=1x           override -benchtime for the Table 1 sweep
+set -eu
+
+cd "$(dirname "$0")/.."
+
+date_tag=${BENCH_DATE:-$(date -u +%Y-%m-%d)}
+bench_time=${BENCH_TIME:-1x}
+out="BENCH_${date_tag}.json"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== Table 1 per-kernel benchmarks (16 kernels, -benchtime $bench_time)"
+go test -run '^$' -bench '^BenchmarkTable1_' -benchtime "$bench_time" -benchmem . | tee -a "$tmp"
+
+echo "== steady-state step benchmarks (zero-alloc gated)"
+go test -run '^$' -bench '^BenchmarkEKFSLAMStep$' -benchtime 100x -benchmem ./internal/core/ekfslam | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkPFLStep$' -benchtime 100x -benchmem ./internal/core/pfl | tee -a "$tmp"
+
+go run ./cmd/benchjson -date "$date_tag" -out "$out" <"$tmp"
+echo "wrote $out"

@@ -44,8 +44,31 @@ go run -race ./cmd/rtrbench suite --size small -chaos -trials 2 -parallel 4 --ti
 echo "== fuzz smoke"
 # Short native-fuzz bursts over the untrusted-input surfaces (one -fuzz
 # target per invocation is a Go toolchain restriction). The checked-in
-# corpora under testdata/fuzz/ already ran as regular tests above.
+# corpora under testdata/fuzz/ already ran as regular tests above. The
+# kdtree differential target runs under the race detector: its oracle
+# comparison is exactly the kind of traversal code where a data race in the
+# shared candidate heap would hide.
 go test -run FuzzVariantParsing -fuzz FuzzVariantParsing -fuzztime 5s ./rtrbench
 go test -run FuzzIndoorMap -fuzz FuzzIndoorMap -fuzztime 5s ./internal/maps
+go test -race -run FuzzKDTreeNearest -fuzz FuzzKDTreeNearest -fuzztime 5s ./internal/kdtree
+
+echo "== bench smoke (zero-alloc steady-state gate)"
+# The hottest kernel steps must not allocate after warmup: steady-state GC
+# churn in the measured loop perturbs exactly the latencies the suite
+# reports. The benchmarks assert allocs-per-run themselves (b.Fatalf); the
+# gate additionally parses the -benchmem column so a silent regression in
+# either mechanism fails CI.
+for target in "./internal/core/ekfslam BenchmarkEKFSLAMStep" \
+              "./internal/core/pfl BenchmarkPFLStep"; do
+    pkg=${target% *}
+    name=${target#* }
+    out=$(go test -run '^$' -bench "^${name}\$" -benchtime 10x -benchmem "$pkg")
+    echo "$out"
+    allocs=$(echo "$out" | awk '$NF == "allocs/op" {print $(NF-1)}')
+    if [ "$allocs" != "0" ]; then
+        echo "$name: allocs/op = '$allocs', want 0" >&2
+        exit 1
+    fi
+done
 
 echo "CI OK"
