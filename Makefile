@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all ci fmt vet
+.PHONY: all build test race bench bench-all ci fmt vet verify golden-update
 
 all: build
 
@@ -29,6 +29,17 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Correctness gate: diff every kernel's result digest against the goldens in
+# rtrbench/testdata/golden/, plus the metamorphic invariance checks
+# (parallelism, trial order, profiling on/off).
+verify:
+	$(GO) run ./cmd/rtrbench verify -metamorphic
+
+# Regenerate the golden digests after an intentional result change. Review
+# the diff before committing — every changed field is a changed answer.
+golden-update:
+	$(GO) run ./cmd/rtrbench verify -update
 
 # The full verification gate: gofmt + vet + build + race tests.
 ci:

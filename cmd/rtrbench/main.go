@@ -7,6 +7,7 @@
 //
 //	rtrbench <kernel> [flags]
 //	rtrbench suite [flags]
+//	rtrbench verify [flags]
 //	rtrbench list
 //	rtrbench <kernel> --help
 //
@@ -73,6 +74,12 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "verify":
+		if err := runVerify(args); err != nil {
+			fmt.Fprintf(os.Stderr, "rtrbench verify: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -91,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("USAGE:\n  rtrbench <kernel> [OPTIONS]\n  rtrbench suite [OPTIONS]\n  rtrbench list\n\nKERNELS:")
+	fmt.Println("USAGE:\n  rtrbench <kernel> [OPTIONS]\n  rtrbench suite [OPTIONS]\n  rtrbench verify [OPTIONS]\n  rtrbench list\n\nKERNELS:")
 	listKernels()
 	fmt.Println("\nRun `rtrbench <kernel> --help` for the kernel's options.")
 }

@@ -1,0 +1,267 @@
+// Package golden is the correctness-verification substrate of the suite:
+// it reduces a kernel run to a deterministic digest — a flat, ordered list
+// of named string values — and owns the digest's canonical text encoding,
+// the field-by-field diff, and the golden-file layout under
+// rtrbench/testdata/golden/.
+//
+// The paper's methodology rests on kernels being deterministic,
+// self-checking workloads whose reported numbers can be trusted (§VI);
+// RT-Bench likewise makes uniform machine-checkable output a first-class
+// requirement. A digest captures exactly the part of a run that must never
+// drift across refactors: operation counts and final-state summaries.
+//
+// Digest ownership rules (what may enter a digest):
+//
+//   - Operation counts and final-state metrics: path costs, node counts,
+//     estimation errors, solve residuals, reward curves (as checksums).
+//   - NOTHING time-derived: no durations, no ROI, no step latencies, no
+//     deadline misses. A digest must be bit-identical across machines,
+//     parallelism levels, and profiling on/off.
+//   - Nothing whose encoding depends on map-iteration order: fields are
+//     sorted by name, and every value is a canonically formatted string.
+package golden
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// header is the first line of every encoded digest; Decode rejects files
+// that do not start with it, so schema changes force a conscious -update.
+const header = "# rtrbench golden digest v1"
+
+// Field is one named digest value. Values are canonical strings (see Float
+// and Int) so comparison is bit-exact and the encoding is stable.
+type Field struct {
+	Name  string
+	Value string
+}
+
+// Digest is the deterministic reduction of one kernel run at one seed.
+type Digest struct {
+	Kernel string
+	Seed   int64
+	// Fields are sorted by Name (SortFields); Encode refuses duplicates
+	// and names with whitespace.
+	Fields []Field
+}
+
+// Mismatch is one field-level difference between two digests. Want/Got are
+// the canonical values, or "(absent)" when one side lacks the field.
+type Mismatch struct {
+	Kernel string
+	Seed   int64
+	Field  string
+	Want   string
+	Got    string
+}
+
+// String renders the mismatch in the human-readable report form.
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s (seed %d): field %s: expected %s, got %s",
+		m.Kernel, m.Seed, m.Field, m.Want, m.Got)
+}
+
+// Absent is the value a Mismatch reports for a field missing on one side.
+const Absent = "(absent)"
+
+// Float formats a metric value canonically: the shortest decimal string
+// that round-trips to the same float64 bits, so equality on the string is
+// equality on the bits.
+func Float(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Int formats an operation count canonically.
+func Int(v int64) string { return strconv.FormatInt(v, 10) }
+
+// SortFields puts fields in the canonical (name-sorted) order in place.
+func SortFields(fields []Field) {
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Name < fields[j].Name })
+}
+
+// Encode renders the digest in its canonical text form:
+//
+//	# rtrbench golden digest v1
+//	kernel pfl
+//	seed 1
+//	field position_error_m 0.1640625
+//	...
+//
+// Fields are emitted name-sorted regardless of input order. Encode fails on
+// duplicate field names, empty values, or names containing whitespace — the
+// conditions under which the encoding would stop being canonical.
+func Encode(d Digest) ([]byte, error) {
+	if d.Kernel == "" || strings.ContainsAny(d.Kernel, " \t\n") {
+		return nil, fmt.Errorf("golden: invalid kernel name %q", d.Kernel)
+	}
+	fields := append([]Field(nil), d.Fields...)
+	SortFields(fields)
+	var b bytes.Buffer
+	fmt.Fprintln(&b, header)
+	fmt.Fprintf(&b, "kernel %s\n", d.Kernel)
+	fmt.Fprintf(&b, "seed %d\n", d.Seed)
+	prev := ""
+	for i, f := range fields {
+		if f.Name == "" || strings.ContainsAny(f.Name, " \t\n") {
+			return nil, fmt.Errorf("golden: %s: invalid field name %q", d.Kernel, f.Name)
+		}
+		if f.Value == "" || strings.ContainsAny(f.Value, " \t\n") {
+			return nil, fmt.Errorf("golden: %s: field %s has invalid value %q", d.Kernel, f.Name, f.Value)
+		}
+		if i > 0 && f.Name == prev {
+			return nil, fmt.Errorf("golden: %s: duplicate field %q", d.Kernel, f.Name)
+		}
+		prev = f.Name
+		fmt.Fprintf(&b, "field %s %s\n", f.Name, f.Value)
+	}
+	return b.Bytes(), nil
+}
+
+// Decode parses the canonical text form back into a Digest.
+func Decode(data []byte) (Digest, error) {
+	var d Digest
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if text == header {
+				sawHeader = true
+			}
+			continue
+		}
+		if !sawHeader {
+			return d, fmt.Errorf("golden: line %d: missing %q header", line, header)
+		}
+		parts := strings.Fields(text)
+		switch {
+		case parts[0] == "kernel" && len(parts) == 2:
+			d.Kernel = parts[1]
+		case parts[0] == "seed" && len(parts) == 2:
+			seed, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return d, fmt.Errorf("golden: line %d: bad seed %q", line, parts[1])
+			}
+			d.Seed = seed
+		case parts[0] == "field" && len(parts) == 3:
+			d.Fields = append(d.Fields, Field{Name: parts[1], Value: parts[2]})
+		default:
+			return d, fmt.Errorf("golden: line %d: unrecognized line %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return d, err
+	}
+	if d.Kernel == "" {
+		return d, fmt.Errorf("golden: digest has no kernel line")
+	}
+	SortFields(d.Fields)
+	return d, nil
+}
+
+// Sum returns the SHA-256 of the canonical encoding, hex-encoded — a quick
+// whole-digest identity for logs and reports.
+func Sum(d Digest) (string, error) {
+	data, err := Encode(d)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Diff compares got against want field by field and returns the mismatches
+// in field-name order: value differences, fields missing from got, and
+// fields got grew that want has never seen. Kernel-identity differences are
+// reported under the pseudo-field "kernel". Matching digests diff to nil.
+func Diff(want, got Digest) []Mismatch {
+	var out []Mismatch
+	if want.Kernel != got.Kernel {
+		out = append(out, Mismatch{Kernel: want.Kernel, Seed: want.Seed, Field: "kernel", Want: want.Kernel, Got: got.Kernel})
+	}
+	wantBy := fieldMap(want.Fields)
+	gotBy := fieldMap(got.Fields)
+	names := make([]string, 0, len(wantBy)+len(gotBy))
+	for name := range wantBy {
+		names = append(names, name)
+	}
+	for name := range gotBy {
+		if _, dup := wantBy[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, inWant := wantBy[name]
+		g, inGot := gotBy[name]
+		if inWant && inGot && w == g {
+			continue
+		}
+		if !inWant {
+			w = Absent
+		}
+		if !inGot {
+			g = Absent
+		}
+		out = append(out, Mismatch{Kernel: want.Kernel, Seed: want.Seed, Field: name, Want: w, Got: g})
+	}
+	return out
+}
+
+func fieldMap(fields []Field) map[string]string {
+	m := make(map[string]string, len(fields))
+	for _, f := range fields {
+		m[f.Name] = f.Value
+	}
+	return m
+}
+
+// Filename is the canonical golden-file name for one kernel at one seed.
+func Filename(kernel string, seed int64) string {
+	return fmt.Sprintf("%s-seed%d.golden", kernel, seed)
+}
+
+// Path joins the golden directory and the canonical filename.
+func Path(dir, kernel string, seed int64) string {
+	return filepath.Join(dir, Filename(kernel, seed))
+}
+
+// Load reads and decodes the golden digest for one kernel at one seed.
+// A missing file surfaces as an fs.ErrNotExist-wrapping error, which
+// callers distinguish from corruption via errors.Is(err, fs.ErrNotExist).
+func Load(dir, kernel string, seed int64) (Digest, error) {
+	data, err := os.ReadFile(Path(dir, kernel, seed))
+	if err != nil {
+		return Digest{}, err
+	}
+	d, err := Decode(data)
+	if err != nil {
+		return Digest{}, fmt.Errorf("%s: %w", Path(dir, kernel, seed), err)
+	}
+	return d, nil
+}
+
+// Save encodes the digest and writes it to its canonical path under dir,
+// creating the directory if needed.
+func Save(dir string, d Digest) error {
+	data, err := Encode(d)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(Path(dir, d.Kernel, d.Seed), data, 0o644)
+}

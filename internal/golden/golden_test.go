@@ -1,0 +1,161 @@
+package golden
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() Digest {
+	return Digest{
+		Kernel: "pfl",
+		Seed:   1,
+		Fields: []Field{
+			{Name: "raycasts", Value: Int(7500)},
+			{Name: "position_error_m", Value: Float(0.1640625)},
+			{Name: "ess", Value: Float(123.456)},
+		},
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks the canonical encoding survives a
+// round trip and normalizes field order.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := sample()
+	data, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kernel != d.Kernel || got.Seed != d.Seed {
+		t.Fatalf("identity = %s/%d, want %s/%d", got.Kernel, got.Seed, d.Kernel, d.Seed)
+	}
+	if len(got.Fields) != 3 {
+		t.Fatalf("got %d fields, want 3", len(got.Fields))
+	}
+	// Decoded fields come back name-sorted.
+	for i := 1; i < len(got.Fields); i++ {
+		if got.Fields[i-1].Name >= got.Fields[i].Name {
+			t.Errorf("fields not sorted: %q before %q", got.Fields[i-1].Name, got.Fields[i].Name)
+		}
+	}
+	if diffs := Diff(d, got); len(diffs) != 0 {
+		t.Errorf("round trip produced diffs: %v", diffs)
+	}
+}
+
+// TestEncodeRejectsNonCanonical checks the conditions under which the
+// encoding would stop being canonical are refused rather than emitted.
+func TestEncodeRejectsNonCanonical(t *testing.T) {
+	cases := []Digest{
+		{Kernel: "", Fields: nil},
+		{Kernel: "has space"},
+		{Kernel: "ok", Fields: []Field{{Name: "a b", Value: "1"}}},
+		{Kernel: "ok", Fields: []Field{{Name: "a", Value: ""}}},
+		{Kernel: "ok", Fields: []Field{{Name: "a", Value: "1 2"}}},
+		{Kernel: "ok", Fields: []Field{{Name: "a", Value: "1"}, {Name: "a", Value: "2"}}},
+	}
+	for i, d := range cases {
+		if _, err := Encode(d); err == nil {
+			t.Errorf("case %d: Encode accepted non-canonical digest %+v", i, d)
+		}
+	}
+}
+
+// TestDecodeRejectsGarbage checks header and line validation.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"kernel pfl\n",                // no header
+		header + "\nfield only_two\n", // malformed field
+		header + "\nkernel pfl\nseed notanumber\n",   // bad seed
+		header + "\nkernel pfl\nwhat is this line\n", // unknown directive
+		header + "\nseed 1\n",                        // no kernel
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode accepted %q", bad)
+		}
+	}
+}
+
+// TestDiffNamesField checks a perturbed value, a missing field, and an
+// extra field each produce one named mismatch.
+func TestDiffNamesField(t *testing.T) {
+	want := sample()
+	got := sample()
+	got.Fields[1].Value = Float(9.75) // position_error_m drifts
+	got.Fields = append(got.Fields, Field{Name: "new_metric", Value: "1"})
+	got.Fields = got.Fields[1:] // drop raycasts
+
+	diffs := Diff(want, got)
+	if len(diffs) != 3 {
+		t.Fatalf("got %d mismatches, want 3: %v", len(diffs), diffs)
+	}
+	byField := map[string]Mismatch{}
+	for _, m := range diffs {
+		if m.Kernel != "pfl" || m.Seed != 1 {
+			t.Errorf("mismatch lost identity: %+v", m)
+		}
+		byField[m.Field] = m
+	}
+	if m := byField["position_error_m"]; m.Want != Float(0.1640625) || m.Got != Float(9.75) {
+		t.Errorf("value drift mismatch = %+v", m)
+	}
+	if m := byField["raycasts"]; m.Got != Absent {
+		t.Errorf("missing field mismatch = %+v", m)
+	}
+	if m := byField["new_metric"]; m.Want != Absent {
+		t.Errorf("extra field mismatch = %+v", m)
+	}
+	if !strings.Contains(byField["position_error_m"].String(), "field position_error_m") {
+		t.Errorf("String() does not name the field: %s", byField["position_error_m"])
+	}
+}
+
+// TestFloatCanonical checks the float encoding is bit-faithful.
+func TestFloatCanonical(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.1, 1e-300, 1e300, math.Pi, math.SmallestNonzeroFloat64} {
+		if Float(v) != Float(v) || Float(v) == "" {
+			t.Fatalf("Float(%v) unstable", v)
+		}
+	}
+	if v := 0.1; Float(v) == Float(math.Nextafter(v, 1)) {
+		t.Error("Float conflates adjacent float64 values")
+	}
+}
+
+// TestSaveLoad checks the file layout and the not-exist contract.
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	d := sample()
+	if err := Save(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, "pfl", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Diff(d, got); len(diffs) != 0 {
+		t.Errorf("Save/Load round trip diffs: %v", diffs)
+	}
+	if _, err := Load(dir, "pfl", 99); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing golden: err = %v, want fs.ErrNotExist", err)
+	}
+	s1, err := Sum(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Fields[0].Value = "42"
+	s2, err := Sum(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("Sum did not change with the digest")
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzHistogram checks the Record/Merge invariants on arbitrary sample sets:
+// a histogram built from three shards merged together must report exactly the
+// count, sum-derived mean, min, max, and bucket-determined quantiles of the
+// histogram built sequentially from all samples; every quantile estimate must
+// land inside the observed [Min, Max]; and Merge must be associative.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, uint64(i)*uint64(time.Millisecond)+97)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the input as little-endian uint64 durations; a trailing
+		// partial word zero-pads. Spread low fuzz values across decades so
+		// multiple buckets are exercised even from small byte strings.
+		var samples []time.Duration
+		for i := 0; i < len(data); i += 8 {
+			var w [8]byte
+			copy(w[:], data[i:])
+			v := binary.LittleEndian.Uint64(w[:])
+			// Mask to keep int64 positive-representable, then stretch small
+			// values: bits 0-3 pick a decade multiplier.
+			ns := int64(v & 0x7fffffffffff)
+			ns *= 1 << (v >> 60 & 0x7)
+			samples = append(samples, time.Duration(ns))
+		}
+
+		all := NewHistogram()
+		shards := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+		for i, d := range samples {
+			all.Record(d)
+			shards[i%3].Record(d)
+		}
+
+		merged := NewHistogram()
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if got, want := merged.Summary(), all.Summary(); got != want {
+			t.Fatalf("merged summary %+v != sequential %+v (n=%d)", got, want, len(samples))
+		}
+
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := all.Quantile(q)
+			if v < all.Min() || v > all.Max() {
+				t.Fatalf("Quantile(%g) = %v outside [%v, %v]", q, v, all.Min(), all.Max())
+			}
+		}
+
+		// Associativity: (s0+s1)+s2 == s0+(s1+s2).
+		left := NewHistogram()
+		left.Merge(shards[0])
+		left.Merge(shards[1])
+		left.Merge(shards[2])
+		right := NewHistogram()
+		right.Merge(shards[1])
+		right.Merge(shards[2])
+		tail := NewHistogram()
+		tail.Merge(shards[0])
+		tail.Merge(right)
+		if left.Summary() != tail.Summary() {
+			t.Fatalf("Merge not associative: %+v != %+v", left.Summary(), tail.Summary())
+		}
+	})
+}

@@ -27,6 +27,10 @@ type spec[C any] struct {
 	configure func(Options) (C, error)
 	run       func(context.Context, C, *profile.Profile) (Result, error)
 	inject    func(*C, *fault.Injector)
+	// digest names the correctness-bearing outputs of a finished run for
+	// golden verification (see digest.go for the ownership rules). Every
+	// kernel must provide one; registerSpec panics otherwise.
+	digest digestFn
 }
 
 // validated is the duck-typed config validation contract: every kernel
@@ -42,6 +46,10 @@ type validated interface{ Validate() error }
 // *KernelError instead of crashing the process.
 func registerSpec[C any](info Info, s spec[C]) {
 	name, stage := info.Name, info.Stage
+	if s.digest == nil {
+		panic(fmt.Sprintf("rtrbench: kernel %q registered without a digest hook", name))
+	}
+	info.digest = s.digest
 	info.runWith = func(ctx context.Context, o Options, p *profile.Profile) (res Result, err error) {
 		cfg, err := s.configure(o)
 		if err != nil {

@@ -1,0 +1,94 @@
+package rtrbench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/golden"
+)
+
+// digestFn reduces a finished Result to the kernel's deterministic digest
+// fields. Every adapter in kernel_*.go installs one (registerSpec refuses a
+// spec without it): the kernel owns the decision of which of its outputs are
+// correctness-bearing.
+//
+// Ownership rules (enforced by convention here, by construction in
+// internal/golden): a digest carries operation counts and final-state
+// summaries — path cost and node counts for the planners, pose/landmark
+// error checksums for the estimators, solve residuals for the controllers,
+// series checksums for the learners. It must NEVER carry wall-clock
+// quantities (ROI, step latencies, deadline misses) or anything read from a
+// map in iteration order: the digest of a run is required to be
+// bit-identical across machines, Parallel=1 vs Parallel=8, trial execution
+// order, and profiling on vs profile.Disabled(). Result.Counters are
+// recorded through the profile, which drops them when instrumentation is
+// off, so digests draw only on Result.Metrics and Result.Series — the
+// kernel-native outputs that exist on every run.
+type digestFn func(Result) []golden.Field
+
+// metricFields canonically formats the named metrics that exist on r.
+// Metrics a kernel stopped reporting simply vanish from the digest, where
+// the golden diff names them as missing — no silent shrinkage.
+func metricFields(r Result, names ...string) []golden.Field {
+	fields := make([]golden.Field, 0, len(names))
+	for _, name := range names {
+		if v, ok := r.Metrics[name]; ok {
+			fields = append(fields, golden.Field{Name: name, Value: golden.Float(v)})
+		}
+	}
+	return fields
+}
+
+// seriesFields reduces each named series to a length-prefixed FNV-64a
+// checksum over the IEEE-754 bit patterns: a drift anywhere in a reward
+// curve or trajectory flips the digest without storing the whole series.
+func seriesFields(r Result, names ...string) []golden.Field {
+	fields := make([]golden.Field, 0, len(names))
+	for _, name := range names {
+		s, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		h := fnv.New64a()
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		for _, v := range s {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+		fields = append(fields, golden.Field{
+			Name:  "series." + name,
+			Value: fmt.Sprintf("fnv64a:%016x:len%d", h.Sum64(), len(s)),
+		})
+	}
+	return fields
+}
+
+// digestOf is the common adapter hook: a fixed metric list.
+func digestOf(metrics ...string) digestFn {
+	return func(r Result) []golden.Field { return metricFields(r, metrics...) }
+}
+
+// rrtDigest is shared by the rrt/rrtstar/rrtpp adapters (see rrtResult).
+var rrtDigest = digestOf("found", "path_cost_rad", "samples", "tree_nodes",
+	"nn_queries", "dist_calls", "seg_checks", "rewires", "shortcuts")
+
+// symDigest is shared by the sym-blkw/sym-fext adapters (see symRun).
+var symDigest = digestOf("found", "plan_length", "expanded", "generated",
+	"string_bytes", "avg_branching", "ground_actions")
+
+// digestResult reduces a finished Result to its kernel's digest via the
+// adapter's hook. The digest's Seed is left zero; callers that know the run
+// seed (Verify) stamp it for the golden-file identity.
+func digestResult(r Result) (golden.Digest, error) {
+	info, ok := Lookup(r.Kernel)
+	if !ok {
+		return golden.Digest{}, fmt.Errorf("rtrbench: digest of unknown kernel %q", r.Kernel)
+	}
+	d := golden.Digest{Kernel: r.Kernel, Fields: info.digest(r)}
+	golden.SortFields(d.Fields)
+	return d, nil
+}

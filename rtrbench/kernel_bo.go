@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core/bo"
+	"repro/internal/golden"
 	"repro/internal/profile"
 )
 
@@ -23,6 +24,12 @@ func init() {
 				cfg.Candidates = 400
 			}
 			return cfg, noVariant("bo", o)
+		},
+		// Best reward, GP operation counts, and the reward-curve checksum.
+		digest: func(r Result) []golden.Field {
+			return append(
+				metricFields(r, "best_reward", "evals", "gp_fits", "predictions"),
+				seriesFields(r, "rewards")...)
 		},
 		run: func(ctx context.Context, cfg bo.Config, p *profile.Profile) (Result, error) {
 			kr, err := bo.Run(ctx, cfg, p)

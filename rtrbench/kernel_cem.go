@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core/cem"
+	"repro/internal/golden"
 	"repro/internal/profile"
 )
 
@@ -24,6 +25,12 @@ func init() {
 				cfg.Elite = 3
 			}
 			return cfg, noVariant("cem", o)
+		},
+		// Best reward, evaluation count, and reward-curve checksums.
+		digest: func(r Result) []golden.Field {
+			return append(
+				metricFields(r, "best_reward", "evals"),
+				seriesFields(r, "rewards", "best_per_iter")...)
 		},
 		run: func(ctx context.Context, cfg cem.Config, p *profile.Profile) (Result, error) {
 			kr, err := cem.Run(ctx, cfg, p)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core/dmp"
+	"repro/internal/golden"
 	"repro/internal/profile"
 )
 
@@ -20,6 +21,13 @@ func init() {
 				cfg.Steps = 600
 			}
 			return cfg, noVariant("dmp", o)
+		},
+		// Tracking residuals plus checksums of the generated trajectory and
+		// velocity profile: a drift anywhere along the rollout flips them.
+		digest: func(r Result) []golden.Field {
+			return append(
+				metricFields(r, "track_rmse_m", "endpoint_error_m", "serial_steps"),
+				seriesFields(r, "velocity", "traj_x", "traj_y")...)
 		},
 		run: func(ctx context.Context, cfg dmp.Config, p *profile.Profile) (Result, error) {
 			kr, err := dmp.Run(ctx, cfg, p)

@@ -24,6 +24,10 @@ func init() {
 			return cfg, noVariant("ekfslam", o)
 		},
 		inject: func(cfg *ekfslam.Config, in *fault.Injector) { cfg.Sensor.Fault = in },
+		// Final pose/landmark error checksums plus the update/rejection
+		// counts: any drift in the filter math moves at least one of these.
+		digest: digestOf("pose_error_m", "landmark_error_m", "landmarks_seen",
+			"updates", "rejected", "uncertainty"),
 		run: func(ctx context.Context, cfg ekfslam.Config, p *profile.Profile) (Result, error) {
 			kr, err := ekfslam.Run(ctx, cfg, p)
 			res := newResult("ekfslam", Perception, p.Snapshot())

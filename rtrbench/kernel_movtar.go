@@ -36,6 +36,9 @@ func init() {
 			}
 			return cfg, nil
 		},
+		// Catch outcome, path cost, and the search/heuristic node counts.
+		digest: digestOf("found", "catch_time", "path_cost", "expanded",
+			"heuristic_cells"),
 		run: func(ctx context.Context, cfg movtar.Config, p *profile.Profile) (Result, error) {
 			kr, err := movtar.Run(ctx, cfg, p)
 			res := newResult("movtar", Planning, p.Snapshot())

@@ -23,6 +23,10 @@ func init() {
 			}
 			return cfg, noVariant("mpc", o)
 		},
+		// Solve residuals (tracking error, deviation) plus the rollout and
+		// constraint-violation counts.
+		digest: digestOf("track_rmse_m", "max_deviation_m", "vel_violations",
+			"rollouts"),
 		run: func(ctx context.Context, cfg mpc.Config, p *profile.Profile) (Result, error) {
 			kr, err := mpc.Run(ctx, cfg, p)
 			res := newResult("mpc", Control, p.Snapshot())

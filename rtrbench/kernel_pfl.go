@@ -37,6 +37,10 @@ func init() {
 			return cfg, nil
 		},
 		inject: func(cfg *pfl.Config, in *fault.Injector) { cfg.Laser.Fault = in },
+		// Final-state pose checksum plus the raycast/coverage counts the
+		// paper's characterization is built on.
+		digest: digestOf("position_error_m", "heading_error_rad", "raycasts",
+			"cells_visited", "ess"),
 		run: func(ctx context.Context, cfg pfl.Config, p *profile.Profile) (Result, error) {
 			kr, err := pfl.Run(ctx, cfg, p)
 			res := newResult("pfl", Perception, p.Snapshot())

@@ -36,6 +36,9 @@ func init() {
 			}
 			return cfg, nil
 		},
+		// Path cost plus the expansion/collision-check node counts.
+		digest: digestOf("found", "path_length_m", "expanded",
+			"collision_checks", "cells_touched", "anytime_rounds"),
 		run: func(ctx context.Context, cfg pp2d.Config, p *profile.Profile) (Result, error) {
 			kr, err := pp2d.Run(ctx, cfg, p)
 			res := newResult("pp2d", Planning, p.Snapshot())

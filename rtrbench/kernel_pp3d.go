@@ -22,6 +22,8 @@ func init() {
 			}
 			return cfg, noVariant("pp3d", o)
 		},
+		// Path cost plus the expansion/collision-check node counts.
+		digest: digestOf("found", "path_length", "expanded", "collision_checks"),
 		run: func(ctx context.Context, cfg pp3d.Config, p *profile.Profile) (Result, error) {
 			kr, err := pp3d.Run(ctx, cfg, p)
 			res := newResult("pp3d", Planning, p.Snapshot())

@@ -27,6 +27,9 @@ func init() {
 			cfg.Workspace = ws
 			return cfg, nil
 		},
+		// Path cost plus the roadmap/search/L2-norm operation counts.
+		digest: digestOf("found", "path_cost_rad", "roadmap_nodes",
+			"roadmap_edges", "expanded", "l2_norms", "seg_checks"),
 		run: func(ctx context.Context, cfg prm.Config, p *profile.Profile) (Result, error) {
 			kr, err := prm.Run(ctx, cfg, p)
 			res := newResult("prm", Planning, p.Snapshot())

@@ -41,6 +41,9 @@ func init() {
 			}
 			return rrtRunCfg{cfg: cfg, connect: connect}, nil
 		},
+		// Path cost plus the sampling/NN/collision operation counts shared
+		// by the RRT family (see rrtDigest).
+		digest: rrtDigest,
 		run: func(ctx context.Context, rc rrtRunCfg, p *profile.Profile) (Result, error) {
 			runFn := rrt.Run
 			if rc.connect {

@@ -17,6 +17,9 @@ func init() {
 		configure: func(o Options) (rrt.Config, error) {
 			return rrtConfig("rrtpp", o, o.Variant)
 		},
+		// Path cost plus the sampling/NN/shortcut operation counts shared
+		// by the RRT family (see rrtDigest).
+		digest: rrtDigest,
 		run: func(ctx context.Context, cfg rrt.Config, p *profile.Profile) (Result, error) {
 			kr, err := rrt.RunPP(ctx, cfg, p)
 			return rrtResult("rrtpp", p, kr), err

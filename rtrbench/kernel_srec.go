@@ -31,6 +31,9 @@ func init() {
 			}
 			return cfg, nil
 		},
+		// Registration residuals and the ICP iteration/correspondence counts.
+		digest: digestOf("rmse_m", "rot_error_rad", "trans_error_m",
+			"iterations", "nn_queries", "source_points"),
 		run: func(ctx context.Context, cfg srec.Config, p *profile.Profile) (Result, error) {
 			kr, err := srec.Run(ctx, cfg, p)
 			res := newResult("srec", Perception, p.Snapshot())

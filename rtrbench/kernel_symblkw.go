@@ -18,6 +18,9 @@ func init() {
 			}
 			return cfg, noVariant("sym-blkw", o)
 		},
-		run: symRun("sym-blkw"),
+		// Plan length and the expansion/string-work counts shared by the
+		// symbolic planners (see symDigest).
+		digest: symDigest,
+		run:    symRun("sym-blkw"),
 	})
 }

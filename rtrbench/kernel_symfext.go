@@ -19,6 +19,9 @@ func init() {
 			}
 			return cfg, noVariant("sym-fext", o)
 		},
-		run: symRun("sym-fext"),
+		// Plan length and the expansion/string-work counts shared by the
+		// symbolic planners (see symDigest).
+		digest: symDigest,
+		run:    symRun("sym-fext"),
 	})
 }

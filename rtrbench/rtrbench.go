@@ -188,6 +188,9 @@ type Info struct {
 	// validate configures the kernel from the options and runs its config
 	// validation without executing it (see the package-level Validate).
 	validate func(Options) error
+	// digest reduces a finished Result to the kernel's deterministic
+	// golden-digest fields (see digest.go and Verify).
+	digest digestFn
 }
 
 // The registry is map-backed: name lookups are O(1), and byIndex enforces

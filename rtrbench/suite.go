@@ -160,6 +160,13 @@ func Suite(ctx context.Context, opts SuiteOptions) (SuiteResult, error) {
 	if err != nil {
 		return SuiteResult{}, err
 	}
+	return runSuite(ctx, infos, opts)
+}
+
+// runSuite is the engine behind Suite, taking an already-resolved kernel
+// list so tests can drive it with synthetic kernels that never enter the
+// registry.
+func runSuite(ctx context.Context, infos []Info, opts SuiteOptions) (SuiteResult, error) {
 	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.NumCPU()
@@ -180,8 +187,24 @@ func Suite(ctx context.Context, opts SuiteOptions) (SuiteResult, error) {
 		wg.Add(1)
 		go func(i int, info Info) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// A queued kernel must not wait for a worker slot after the
+			// suite is cancelled (first failure, ctx deadline, Ctrl-C):
+			// pre-fix, every queued worker eventually acquired the
+			// semaphore and spun up a doomed run. Report the cancellation
+			// immediately instead.
+			select {
+			case sem <- struct{}{}:
+			case <-runCtx.Done():
+				res.Kernels[i] = KernelResult{Info: info, FailedTrial: -1, Err: runCtx.Err()}
+				return
+			}
 			defer func() { <-sem }()
+			// The slot may have been won in a race with cancellation:
+			// re-check so a cancelled suite never starts another kernel.
+			if err := runCtx.Err(); err != nil {
+				res.Kernels[i] = KernelResult{Info: info, FailedTrial: -1, Err: err}
+				return
+			}
 			// Last line of defense: runWith already recovers kernel
 			// panics, but a panic anywhere else in the trial machinery
 			// must not kill the whole sweep.
@@ -323,6 +346,11 @@ func runTrial(ctx context.Context, info Info, o Options, sharded *profile.Sharde
 		}
 		transient := errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
 		if !transient || attempt >= opts.Retries {
+			// The failing attempt's partial samples must not survive into
+			// the kernel's aggregate statistics: Snapshot merges every
+			// shard, and pre-fix a mid-run failure left its counters and
+			// step latencies behind to pollute the completed trials.
+			shard.Reset()
 			return r, err
 		}
 		shard.Reset()

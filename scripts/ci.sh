@@ -34,6 +34,16 @@ echo "== suite smoke sweep (parallel, race detector)"
 # per-run timeout so a hung kernel fails the gate instead of wedging it.
 go run -race ./cmd/rtrbench suite --size small --parallel 4 --timeout 120s
 
+echo "== golden verify (digest diff, race detector)"
+# Correctness gate: every kernel's result digest (operation counts and
+# final-state summaries, never timings) must match the goldens checked in
+# under rtrbench/testdata/golden/. Run once serial and once parallel — the
+# digests must be bit-identical either way; -metamorphic on the parallel run
+# additionally proves trial-order and profiling independence. On intentional
+# result changes, regenerate with `make golden-update` and review the diff.
+go run -race ./cmd/rtrbench verify -parallel 1
+go run -race ./cmd/rtrbench verify -parallel 8 -metamorphic
+
 echo "== chaos sweep (injected faults, race detector)"
 # The same sweep under deterministic fault injection: sensor dropouts and
 # NaN corruption, stalls, and injected panics. The gate checks the process
@@ -51,6 +61,7 @@ echo "== fuzz smoke"
 go test -run FuzzVariantParsing -fuzz FuzzVariantParsing -fuzztime 5s ./rtrbench
 go test -run FuzzIndoorMap -fuzz FuzzIndoorMap -fuzztime 5s ./internal/maps
 go test -race -run FuzzKDTreeNearest -fuzz FuzzKDTreeNearest -fuzztime 5s ./internal/kdtree
+go test -run FuzzHistogram -fuzz FuzzHistogram -fuzztime 5s ./internal/obs
 
 echo "== bench smoke (zero-alloc steady-state gate)"
 # The hottest kernel steps must not allocate after warmup: steady-state GC
