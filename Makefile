@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all ci fmt vet verify golden-update
+.PHONY: all build test race bench bench-all benchdiff ledger-append ledger-verify ci fmt vet verify golden-update
 
 all: build
 
@@ -23,6 +23,21 @@ bench:
 # Full table/figure regeneration harness (see bench_test.go).
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Statistical comparison of two snapshots: make benchdiff OLD=a.json NEW=b.json
+# (Mann-Whitney U per benchmark; nonzero exit on significant regressions).
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# Chain a verified snapshot into the tamper-evident perf ledger:
+# make ledger-append SNAP=BENCH_2026-08-07.json (run `make verify` first —
+# the snapshot embeds the golden digests it was measured against).
+ledger-append:
+	$(GO) run ./cmd/benchdiff -ledger append $(SNAP)
+
+# Verify the whole ledger hash chain.
+ledger-verify:
+	$(GO) run ./cmd/benchdiff -ledger verify
 
 fmt:
 	gofmt -l .

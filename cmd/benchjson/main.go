@@ -1,166 +1,148 @@
-// Command benchjson converts `go test -bench` text output (read from stdin)
-// into the suite's machine-readable benchmark schema, one JSON document per
-// invocation:
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the suite's machine-readable benchmark snapshot, one JSON
+// document per invocation:
 //
 //	{
-//	  "schema": "rtrbench.bench/v1",
-//	  "date": "2026-08-05",
-//	  "go": "go1.22.1",
+//	  "schema": "rtrbench.bench/v2",
+//	  "date": "2026-08-07",
+//	  "go": "go1.24.0",
 //	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "goldens": {"pfl-seed1": "<sha256 of the checked-in digest>", ...},
 //	  "benchmarks": [
 //	    {"name": "BenchmarkEKFSLAMStep", "pkg": "repro/internal/core/ekfslam",
-//	     "procs": 8, "iterations": 100, "ns_op": 23492,
-//	     "b_op": 0, "allocs_op": 0},
+//	     "procs": 8,
+//	     "samples": [
+//	       {"iterations": 100, "ns_op": 23492, "b_op": 0, "allocs_op": 0},
+//	       {"iterations": 100, "ns_op": 23510, "b_op": 0, "allocs_op": 0}
+//	     ]},
 //	    ...
 //	  ]
 //	}
 //
-// b_op/allocs_op are present only when the input was produced with
-// -benchmem. scripts/bench.sh pipes the full per-kernel run through this
-// tool to produce BENCH_<date>.json; two such files diff cleanly for
-// before/after comparisons.
+// Repeated result lines for the same benchmark — from `go test -count N` —
+// merge into that benchmark's samples list, which is what makes the
+// snapshot statistically comparable by cmd/benchdiff. b_op/allocs_op are
+// present only when the input was produced with -benchmem. -goldens stamps
+// the snapshot with the SHA-256 of every golden digest file, pinning the
+// numbers to a verified-correct build. -split "A.json,B.json" writes two
+// interleaved half-snapshots instead (alternate samples of every
+// benchmark), the drift-immune A/A construction the CI gate self-test
+// compares. scripts/bench.sh pipes the full per-kernel run through this
+// tool to produce BENCH_<date>.json.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
 )
-
-type benchmark struct {
-	Name       string  `json:"name"`
-	Pkg        string  `json:"pkg,omitempty"`
-	Procs      int     `json:"procs,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsOp       float64 `json:"ns_op"`
-	BOp        *int64  `json:"b_op,omitempty"`
-	AllocsOp   *int64  `json:"allocs_op,omitempty"`
-	MBs        float64 `json:"mb_s,omitempty"`
-}
-
-type report struct {
-	Schema     string      `json:"schema"`
-	Date       string      `json:"date"`
-	Go         string      `json:"go"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []benchmark `json:"benchmarks"`
-}
 
 func main() {
 	dateFlag := flag.String("date", "", "date stamp for the report (default: today, UTC)")
 	outFlag := flag.String("out", "", "output file (default: stdout)")
+	goldenDir := flag.String("goldens", "", "golden digest directory to stamp into the snapshot (e.g. rtrbench/testdata/golden)")
+	splitFlag := flag.String("split", "", `write two snapshots "A.json,B.json" instead of one: alternate samples of every benchmark go to A and B (interleaved A/A construction for gate self-tests)`)
 	flag.Parse()
 
 	date := *dateFlag
 	if date == "" {
 		date = time.Now().UTC().Format("2006-01-02")
 	}
-	rep := report{
-		Schema: "rtrbench.bench/v1",
+	snap := benchfmt.Snapshot{
+		Schema: benchfmt.SchemaV2,
 		Date:   date,
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	pkg := ""
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBenchLine(line); ok {
-				b.Pkg = pkg
-				rep.Benchmarks = append(rep.Benchmarks, b)
-			}
+	if *goldenDir != "" {
+		goldens, err := goldenSums(*goldenDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: goldens:", err)
+			os.Exit(1)
 		}
+		snap.Goldens = goldens
 	}
-	if err := sc.Err(); err != nil {
+
+	if err := snap.ParseStream(os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
-	if len(rep.Benchmarks) == 0 {
+	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
 		os.Exit(1)
 	}
 
-	buf, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if *outFlag == "" {
-		os.Stdout.Write(buf)
+	if *splitFlag != "" {
+		parts := strings.Split(*splitFlag, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, `benchjson: -split wants "A.json,B.json"`)
+			os.Exit(1)
+		}
+		a, b := snap.SplitAlternate()
+		// A benchmark with a single sample lands only in a: refuse rather
+		// than compare a benchmark against nothing.
+		if len(a.Benchmarks) != len(b.Benchmarks) {
+			fmt.Fprintln(os.Stderr, "benchjson: -split: some benchmark has fewer than 2 samples (run with -count >= 2)")
+			os.Exit(1)
+		}
+		for i, half := range []*benchfmt.Snapshot{&a, &b} {
+			if err := writeSnapshot(half, strings.TrimSpace(parts[i])); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
-	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+
+	if err := writeSnapshot(&snap, *outFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-// parseBenchLine parses one result line of the form
-//
-//	BenchmarkName-8   100   23492 ns/op   0 B/op   0 allocs/op
-//
-// Unknown trailing metric pairs are ignored, so custom b.ReportMetric units
-// do not break parsing.
-func parseBenchLine(line string) (benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return benchmark{}, false
-	}
-	var b benchmark
-	b.Name = fields[0]
-	if i := strings.LastIndex(b.Name, "-"); i > 0 {
-		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
-			b.Name, b.Procs = b.Name[:i], procs
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
+// writeSnapshot encodes to path, or stdout when path is empty.
+func writeSnapshot(s *benchfmt.Snapshot, path string) error {
+	buf, err := s.Encode()
 	if err != nil {
-		return benchmark{}, false
+		return fmt.Errorf("encode: %w", err)
 	}
-	b.Iterations = iters
-	seenNs := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, unit := fields[i], fields[i+1]
-		switch unit {
-		case "ns/op":
-			if v, err := strconv.ParseFloat(val, 64); err == nil {
-				b.NsOp, seenNs = v, true
-			}
-		case "B/op":
-			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
-				b.BOp = &v
-			}
-		case "allocs/op":
-			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
-				b.AllocsOp = &v
-			}
-		case "MB/s":
-			if v, err := strconv.ParseFloat(val, 64); err == nil {
-				b.MBs = v
-			}
+	if path == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// goldenSums maps every *.golden file under dir (stem, without extension)
+// to the SHA-256 of its bytes. An empty directory is an error: stamping an
+// empty golden set would silently claim an unverified build.
+func goldenSums(dir string) (map[string]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.golden"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.golden files in %s", dir)
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
 		}
+		sum := sha256.Sum256(data)
+		stem := strings.TrimSuffix(filepath.Base(p), ".golden")
+		out[stem] = hex.EncodeToString(sum[:])
 	}
-	return b, seenNs
+	return out, nil
 }

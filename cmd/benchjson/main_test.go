@@ -1,44 +1,49 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
-func TestParseBenchLine(t *testing.T) {
-	b, ok := parseBenchLine("BenchmarkEKFSLAMStep-8   \t  100\t     23492 ns/op\t       0 B/op\t       0 allocs/op")
-	if !ok {
-		t.Fatal("parseBenchLine rejected a valid -benchmem line")
+func TestGoldenSums(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pfl-seed1.golden"), []byte("# digest\n"), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if b.Name != "BenchmarkEKFSLAMStep" || b.Procs != 8 {
-		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	if err := os.WriteFile(filepath.Join(dir, "bo-seed42.golden"), []byte("# other\n"), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if b.Iterations != 100 || b.NsOp != 23492 {
-		t.Fatalf("iterations/ns_op = %d/%v", b.Iterations, b.NsOp)
+	sums, err := goldenSums(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if b.BOp == nil || *b.BOp != 0 || b.AllocsOp == nil || *b.AllocsOp != 0 {
-		t.Fatalf("b_op/allocs_op = %v/%v", b.BOp, b.AllocsOp)
+	if len(sums) != 2 {
+		t.Fatalf("got %d sums, want 2: %v", len(sums), sums)
 	}
-}
-
-func TestParseBenchLineNoBenchmem(t *testing.T) {
-	b, ok := parseBenchLine("BenchmarkTable1_01_pfl \t 1\t1234567890 ns/op")
-	if !ok {
-		t.Fatal("parseBenchLine rejected a valid line without -benchmem")
-	}
-	if b.Name != "BenchmarkTable1_01_pfl" || b.Procs != 0 {
-		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
-	}
-	if b.BOp != nil || b.AllocsOp != nil {
-		t.Fatal("memory fields should be absent without -benchmem")
-	}
-}
-
-func TestParseBenchLineRejectsNonResults(t *testing.T) {
-	for _, line := range []string{
-		"BenchmarkFoo", // no fields
-		"BenchmarkFoo-4 notanumber 5 ns/op",
-		"PASS",
-	} {
-		if _, ok := parseBenchLine(line); ok {
-			t.Errorf("parseBenchLine accepted %q", line)
+	for _, stem := range []string{"pfl-seed1", "bo-seed42"} {
+		if len(sums[stem]) != 64 {
+			t.Fatalf("%s: sum %q is not a sha256 hex", stem, sums[stem])
 		}
+	}
+	if sums["pfl-seed1"] == sums["bo-seed42"] {
+		t.Fatal("different files hashed identically")
+	}
+}
+
+func TestGoldenSumsEmptyDirIsError(t *testing.T) {
+	if _, err := goldenSums(t.TempDir()); err == nil {
+		t.Fatal("empty golden dir accepted — would stamp an unverified build")
+	}
+}
+
+func TestGoldenSumsRealGoldens(t *testing.T) {
+	// The checked-in goldens must stamp cleanly (the bench.sh path).
+	sums, err := goldenSums("../../rtrbench/testdata/golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sums["pfl-seed1"]; !ok {
+		t.Fatalf("pfl-seed1 missing from stamped goldens: %v", sums)
 	}
 }

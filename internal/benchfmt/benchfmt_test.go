@@ -1,0 +1,330 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestParseLineCPUSuffix(t *testing.T) {
+	name, procs, smp, ok := ParseLine("BenchmarkEKFSLAMStep-8   \t  100\t     23492 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("valid -benchmem line rejected")
+	}
+	if name != "BenchmarkEKFSLAMStep" || procs != 8 {
+		t.Fatalf("name/procs = %q/%d", name, procs)
+	}
+	if smp.Iterations != 100 || smp.NsOp != 23492 {
+		t.Fatalf("iterations/ns_op = %d/%v", smp.Iterations, smp.NsOp)
+	}
+	if smp.BOp == nil || *smp.BOp != 0 || smp.AllocsOp == nil || *smp.AllocsOp != 0 {
+		t.Fatalf("b_op/allocs_op = %v/%v", smp.BOp, smp.AllocsOp)
+	}
+}
+
+func TestParseLineDashesInName(t *testing.T) {
+	// Only a trailing purely-numeric -N is the cpu suffix; interior dashes
+	// and non-numeric suffixes stay part of the name.
+	cases := []struct {
+		line      string
+		wantName  string
+		wantProcs int
+	}{
+		{"BenchmarkSort/pre-sorted-16 10 5 ns/op", "BenchmarkSort/pre-sorted", 16},
+		{"BenchmarkSort/n=100-4 10 5 ns/op", "BenchmarkSort/n=100", 4},
+		{"BenchmarkFoo-bar 10 5 ns/op", "BenchmarkFoo-bar", 0},
+		{"BenchmarkGOMAXPROCS1 10 5 ns/op", "BenchmarkGOMAXPROCS1", 0},
+	}
+	for _, tc := range cases {
+		name, procs, _, ok := ParseLine(tc.line)
+		if !ok {
+			t.Fatalf("%q rejected", tc.line)
+		}
+		if name != tc.wantName || procs != tc.wantProcs {
+			t.Errorf("%q: name/procs = %q/%d, want %q/%d", tc.line, name, procs, tc.wantName, tc.wantProcs)
+		}
+	}
+}
+
+func TestParseLineScientificNotation(t *testing.T) {
+	name, _, smp, ok := ParseLine("BenchmarkTable1_03_srec-8 \t 1\t9.8828808e+07 ns/op")
+	if !ok {
+		t.Fatal("scientific-notation ns/op rejected")
+	}
+	if name != "BenchmarkTable1_03_srec" || smp.NsOp != 9.8828808e+07 {
+		t.Fatalf("name/ns_op = %q/%v", name, smp.NsOp)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",
+		"BenchmarkFoo-4 notanumber 5 ns/op",
+		"BenchmarkFoo-4 10 xyz MB/s", // no ns/op at all
+		"PASS",
+		"ok  \trepro\t1.2s",
+	} {
+		if _, _, _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine accepted %q", line)
+		}
+	}
+}
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1_01_pfl-8   	       1	65635841 ns/op	  342648 B/op	      35 allocs/op
+BenchmarkTable1_01_pfl-8   	       1	66102200 ns/op	  342648 B/op	      35 allocs/op
+BenchmarkTable1_01_pfl-8   	       1	65204100 ns/op	  342648 B/op	      35 allocs/op
+PASS
+pkg: repro/internal/core/ekfslam
+BenchmarkEKFSLAMStep-8   	     100	   23492 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEKFSLAMStep-8   	     100	   23555 ns/op	       0 B/op	       0 allocs/op
+ok	repro	2.1s
+`
+
+func TestParseStreamMergesRepeatedLines(t *testing.T) {
+	var s Snapshot
+	if err := s.ParseStream(strings.NewReader(sampleStream)); err != nil {
+		t.Fatal(err)
+	}
+	if s.GOOS != "linux" || s.GOARCH != "amd64" || !strings.Contains(s.CPU, "Xeon") {
+		t.Fatalf("header fields: %+v", s)
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (repeated lines must merge)", len(s.Benchmarks))
+	}
+	pfl, ok := s.Lookup("BenchmarkTable1_01_pfl")
+	if !ok || len(pfl.Samples) != 3 {
+		t.Fatalf("pfl samples = %d, want 3", len(pfl.Samples))
+	}
+	if pfl.Pkg != "repro" || pfl.Procs != 8 {
+		t.Fatalf("pfl pkg/procs = %q/%d", pfl.Pkg, pfl.Procs)
+	}
+	// Samples keep input order.
+	if pfl.Samples[0].NsOp != 65635841 || pfl.Samples[2].NsOp != 65204100 {
+		t.Fatalf("sample order: %+v", pfl.NsOps())
+	}
+	ek, ok := s.Lookup("BenchmarkEKFSLAMStep")
+	if !ok || len(ek.Samples) != 2 || ek.Pkg != "repro/internal/core/ekfslam" {
+		t.Fatalf("ekfslam = %+v", ek)
+	}
+	if max, ok := ek.MaxAllocsOp(); !ok || max != 0 {
+		t.Fatalf("ekfslam max allocs = %d/%v", max, ok)
+	}
+}
+
+const v1Doc = `{
+  "schema": "rtrbench.bench/v1",
+  "date": "2026-08-05",
+  "go": "go1.24.0",
+  "goos": "linux",
+  "goarch": "amd64",
+  "cpu": "Intel Xeon",
+  "benchmarks": [
+    {"name": "BenchmarkTable1_01_pfl", "pkg": "repro", "iterations": 1,
+     "ns_op": 65635841, "b_op": 342648, "allocs_op": 35},
+    {"name": "BenchmarkEKFSLAMStep", "pkg": "repro/internal/core/ekfslam",
+     "procs": 8, "iterations": 100, "ns_op": 23492, "b_op": 0, "allocs_op": 0}
+  ]
+}`
+
+func TestDecodeV1Compat(t *testing.T) {
+	s, err := Decode([]byte(v1Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != SchemaV2 || s.Date != "2026-08-05" {
+		t.Fatalf("schema/date = %q/%q", s.Schema, s.Date)
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d", len(s.Benchmarks))
+	}
+	pfl, ok := s.Lookup("BenchmarkTable1_01_pfl")
+	if !ok || len(pfl.Samples) != 1 || pfl.Samples[0].NsOp != 65635841 {
+		t.Fatalf("v1 benchmark not converted to single sample: %+v", pfl)
+	}
+	if pfl.Samples[0].AllocsOp == nil || *pfl.Samples[0].AllocsOp != 35 {
+		t.Fatal("v1 allocs_op lost in conversion")
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	if _, err := Decode([]byte(`{"schema": "rtrbench.bench/v99"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var s Snapshot
+	if err := s.ParseStream(strings.NewReader(sampleStream)); err != nil {
+		t.Fatal(err)
+	}
+	s.Date = "2026-08-07"
+	s.Goldens = map[string]string{"pfl-seed1": "abc123"}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Goldens["pfl-seed1"] != "abc123" || len(back.Benchmarks) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// snap builds a v2 snapshot with one benchmark per (name → ns/op samples).
+func snap(date string, benches map[string][]float64, allocs map[string]int64) Snapshot {
+	s := Snapshot{Schema: SchemaV2, Date: date}
+	for name, ns := range benches {
+		for _, v := range ns {
+			smp := Sample{Iterations: 1, NsOp: v}
+			if a, ok := allocs[name]; ok {
+				av := a
+				smp.AllocsOp = &av
+			}
+			s.Add(name, "repro", 8, smp)
+		}
+	}
+	return s
+}
+
+func TestDiffFlagsRegressionNotAA(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkFast": {100, 101, 99, 100, 102},
+		"BenchmarkSlow": {1000, 1010, 990, 1000, 1020},
+	}
+	slowed := map[string][]float64{
+		"BenchmarkFast": {100, 101, 99, 100, 102},
+		"BenchmarkSlow": {1500, 1510, 1490, 1500, 1520},
+	}
+	opts := DiffOptions{Stats: stats.Options{Threshold: 5}, Allocs: true}
+
+	rep, err := Diff(snap("a", base, nil), snap("b", slowed, nil), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+
+	// A/A: identical sample sets never flag.
+	rep, err = Diff(snap("a", base, nil), snap("b", base, nil), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("A/A flagged: %+v", rep.Regressions())
+	}
+}
+
+func TestDiffAllocGate(t *testing.T) {
+	ns := map[string][]float64{"BenchmarkX": {100, 101, 99, 100, 102}}
+	old := snap("a", ns, map[string]int64{"BenchmarkX": 0})
+	grew := snap("b", ns, map[string]int64{"BenchmarkX": 3})
+
+	rep, err := Diff(old, grew, DiffOptions{Stats: stats.Options{Threshold: 5}, Allocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || !regs[0].AllocRegression {
+		t.Fatalf("alloc growth not flagged: %+v", rep.Deltas)
+	}
+
+	// Gate disabled: same snapshots pass.
+	rep, err = Diff(old, grew, DiffOptions{Stats: stats.Options{Threshold: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("alloc gate fired while disabled: %+v", rep.Regressions())
+	}
+}
+
+func TestDiffOneSidedBenchmarks(t *testing.T) {
+	old := snap("a", map[string][]float64{"BenchmarkGone": {1, 2, 3}}, nil)
+	new := snap("b", map[string][]float64{"BenchmarkNew": {1, 2, 3}}, nil)
+	rep, err := Diff(old, new, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]Verdict{}
+	for _, d := range rep.Deltas {
+		verdicts[d.Name] = d.Verdict
+	}
+	if verdicts["BenchmarkGone"] != VerdictOnlyOld || verdicts["BenchmarkNew"] != VerdictOnlyNew {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Fatal("one-sided benchmarks must not fail the gate")
+	}
+}
+
+func TestSplitAlternate(t *testing.T) {
+	var s Snapshot
+	if err := s.ParseStream(strings.NewReader(sampleStream)); err != nil {
+		t.Fatal(err)
+	}
+	s.Goldens = map[string]string{"pfl-seed1": "abc"}
+	a, b := s.SplitAlternate()
+	if a.Goldens["pfl-seed1"] != "abc" || b.Goldens["pfl-seed1"] != "abc" {
+		t.Fatal("split lost metadata")
+	}
+	pa, _ := a.Lookup("BenchmarkTable1_01_pfl")
+	pb, _ := b.Lookup("BenchmarkTable1_01_pfl")
+	// 3 samples split 2/1, alternating.
+	if len(pa.Samples) != 2 || len(pb.Samples) != 1 {
+		t.Fatalf("pfl split %d/%d, want 2/1", len(pa.Samples), len(pb.Samples))
+	}
+	if pa.Samples[0].NsOp != 65635841 || pb.Samples[0].NsOp != 66102200 || pa.Samples[1].NsOp != 65204100 {
+		t.Fatalf("split order wrong: a=%v b=%v", pa.NsOps(), pb.NsOps())
+	}
+	// A monotonic drift across samples must land on both halves: medians
+	// of the halves stay within the sample spread, never fully separated.
+	var drift Snapshot
+	for i := 0; i < 10; i++ {
+		drift.Add("BenchmarkD", "p", 1, Sample{Iterations: 1, NsOp: 100 + 10*float64(i)})
+	}
+	da, db := drift.SplitAlternate()
+	ba, _ := da.Lookup("BenchmarkD")
+	bb, _ := db.Lookup("BenchmarkD")
+	rep, err := Diff(
+		Snapshot{Schema: SchemaV2, Benchmarks: []Benchmark{ba}},
+		Snapshot{Schema: SchemaV2, Benchmarks: []Benchmark{bb}},
+		DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].Significant {
+		t.Fatalf("interleaved split of pure drift flagged: %+v", rep.Deltas[0])
+	}
+}
+
+func TestDiffV1BaselineCannotFlag(t *testing.T) {
+	// A v1 snapshot is n=1 per benchmark: even a huge delta must stay
+	// below significance, by construction of the rank test.
+	oldV1, err := Decode([]byte(v1Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed := snap("b", map[string][]float64{
+		"BenchmarkTable1_01_pfl": {2 * 65635841},
+		"BenchmarkEKFSLAMStep":   {2 * 23492},
+	}, nil)
+	rep, err := Diff(oldV1, slowed, DiffOptions{Stats: stats.Options{Threshold: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("n=1 vs n=1 comparison flagged: %+v", rep.Regressions())
+	}
+}

@@ -1,0 +1,188 @@
+// Package ledger chains benchmark snapshots into a tamper-evident
+// longitudinal history. Each entry embeds one rtrbench.bench/v2 snapshot
+// (raw samples plus the golden-digest set the build verified against) and
+// the SHA-256 of the previous entry's canonical encoding — the
+// hash-anchored audit-log construction: mutating, dropping, or reordering
+// any entry breaks every hash downstream, so a perf claim months later is
+// still checkable against the exact verified build that produced it.
+//
+// The on-disk format is JSON Lines (one entry per line, append-only),
+// which is what makes an append O(1) and a diff of two ledger states a
+// plain text diff. cmd/benchdiff owns the CLI surface (-ledger
+// append/verify/show) and internal/obs serves the chain on /ledger.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+// Schema identifies the entry format.
+const Schema = "rtrbench.ledger/v1"
+
+// GenesisHash anchors the first entry of every chain.
+const GenesisHash = "0000000000000000000000000000000000000000000000000000000000000000"
+
+// Entry is one link of the chain.
+type Entry struct {
+	Schema string `json:"schema"`
+	// Index is the entry's position in the chain, starting at 0.
+	Index int `json:"index"`
+	// Note is an optional free-form annotation ("PR 6 baseline", ...).
+	Note string `json:"note,omitempty"`
+	// Snapshot is the full benchmark snapshot, including its Goldens set.
+	Snapshot benchfmt.Snapshot `json:"snapshot"`
+	// PrevHash is the Hash of the previous entry (GenesisHash for index 0).
+	PrevHash string `json:"prev_hash"`
+	// Hash is the SHA-256 (hex) of this entry's canonical encoding with
+	// the Hash field itself blanked. Set by Seal.
+	Hash string `json:"hash"`
+}
+
+// ComputeHash returns the canonical hash of the entry: SHA-256 over the
+// deterministic JSON encoding (struct fields in declaration order, map
+// keys sorted) with Hash cleared.
+func ComputeHash(e Entry) (string, error) {
+	e.Hash = ""
+	data, err := json.Marshal(e)
+	if err != nil {
+		return "", fmt.Errorf("ledger: encode entry %d: %w", e.Index, err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Seal fills in Schema and Hash; Index and PrevHash must already be set.
+func Seal(e Entry) (Entry, error) {
+	e.Schema = Schema
+	h, err := ComputeHash(e)
+	if err != nil {
+		return e, err
+	}
+	e.Hash = h
+	return e, nil
+}
+
+// Load reads a JSONL ledger file. A missing file is an empty (valid)
+// ledger. Load does not verify the chain; callers that care run
+// VerifyChain on the result.
+func Load(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("ledger: %s:%d: %w", path, line, err)
+		}
+		if e.Schema != Schema {
+			return nil, fmt.Errorf("ledger: %s:%d: unsupported schema %q", path, line, e.Schema)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// VerifyChain checks the whole chain: contiguous indices from 0, each
+// entry's Hash recomputes from its contents, and each PrevHash equals the
+// predecessor's Hash (GenesisHash for the first). The error names the
+// first broken entry, distinguishing a tampered entry (its own hash no
+// longer matches) from a broken link (a predecessor was altered, replaced,
+// or removed).
+func VerifyChain(entries []Entry) error {
+	prev := GenesisHash
+	for i, e := range entries {
+		if e.Index != i {
+			return fmt.Errorf("ledger: entry %d: index %d out of sequence (missing or reordered predecessor)", i, e.Index)
+		}
+		want, err := ComputeHash(e)
+		if err != nil {
+			return err
+		}
+		if e.Hash != want {
+			return fmt.Errorf("ledger: entry %d: hash mismatch — entry contents were altered after sealing", i)
+		}
+		if e.PrevHash != prev {
+			return fmt.Errorf("ledger: entry %d: prev_hash does not match entry %d — predecessor missing or tampered", i, i-1)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// Append verifies the existing chain at path, seals the snapshot as the
+// next entry, and appends it as one JSONL line. It returns the sealed
+// entry. An append onto a broken chain is refused: the point of the ledger
+// is that nothing lands on top of tampered history.
+func Append(path string, snap benchfmt.Snapshot, note string) (Entry, error) {
+	entries, err := Load(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	if err := VerifyChain(entries); err != nil {
+		return Entry{}, fmt.Errorf("refusing to append: %w", err)
+	}
+	e := Entry{
+		Index:    len(entries),
+		Note:     note,
+		Snapshot: snap,
+		PrevHash: GenesisHash,
+	}
+	if n := len(entries); n > 0 {
+		e.PrevHash = entries[n-1].Hash
+	}
+	e, err = Seal(e)
+	if err != nil {
+		return Entry{}, err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return Entry{}, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return Entry{}, err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return Entry{}, err
+	}
+	return e, f.Close()
+}
+
+// LatestPair returns the snapshots of the last two entries, for the
+// "latest deltas" views (obs /ledger, benchdiff -ledger diff). ok is false
+// when the chain has fewer than two entries.
+func LatestPair(entries []Entry) (old, new benchfmt.Snapshot, ok bool) {
+	if len(entries) < 2 {
+		return benchfmt.Snapshot{}, benchfmt.Snapshot{}, false
+	}
+	return entries[len(entries)-2].Snapshot, entries[len(entries)-1].Snapshot, true
+}

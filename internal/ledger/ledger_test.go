@@ -1,0 +1,194 @@
+package ledger
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func testSnap(date string, ns float64) benchfmt.Snapshot {
+	s := benchfmt.Snapshot{Schema: benchfmt.SchemaV2, Date: date,
+		Goldens: map[string]string{"pfl-seed1": "deadbeef"}}
+	for i := 0; i < 3; i++ {
+		s.Add("BenchmarkX", "repro", 8, benchfmt.Sample{Iterations: 1, NsOp: ns + float64(i)})
+	}
+	return s
+}
+
+func buildChain(t *testing.T, n int) (string, []Entry) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	for i := 0; i < n; i++ {
+		if _, err := Append(path, testSnap("2026-08-0"+string(rune('1'+i)), 100*float64(i+1)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("loaded %d entries, want %d", len(entries), n)
+	}
+	return path, entries
+}
+
+func TestAppendLoadVerifyRoundTrip(t *testing.T) {
+	_, entries := buildChain(t, 3)
+	if err := VerifyChain(entries); err != nil {
+		t.Fatalf("fresh chain does not verify: %v", err)
+	}
+	if entries[0].PrevHash != GenesisHash {
+		t.Fatalf("entry 0 prev_hash = %q", entries[0].PrevHash)
+	}
+	for i := 1; i < 3; i++ {
+		if entries[i].PrevHash != entries[i-1].Hash {
+			t.Fatalf("entry %d not linked to predecessor", i)
+		}
+		if entries[i].Index != i {
+			t.Fatalf("entry %d has index %d", i, entries[i].Index)
+		}
+	}
+}
+
+func TestVerifyDetectsTamperedMiddleEntry(t *testing.T) {
+	path, _ := buildChain(t, 3)
+	// Tamper with entry 1's benchmark data directly in the file, the way
+	// someone would quietly improve an old number.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var e Entry
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Snapshot.Benchmarks[0].Samples[0].NsOp = 1 // "we were always fast"
+	forged, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[1] = string(forged)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyChain(entries)
+	if err == nil || !strings.Contains(err.Error(), "entry 1") || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("tampered middle entry not detected: %v", err)
+	}
+	// And nothing may be appended on top of the broken chain.
+	if _, err := Append(path, testSnap("2026-08-09", 1), ""); err == nil {
+		t.Fatal("append onto a tampered chain succeeded")
+	}
+}
+
+func TestVerifyDetectsReSealedForgery(t *testing.T) {
+	// A smarter forger re-seals the tampered entry so its own hash is
+	// valid again; the successor's prev_hash must still expose it.
+	path, entries := buildChain(t, 3)
+	forgedEntry := entries[1]
+	forgedEntry.Snapshot.Benchmarks[0].Samples[0].NsOp = 1
+	forgedEntry, err := Seal(forgedEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := json.Marshal(forgedEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	lines[1] = string(forged)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyChain(loaded)
+	if err == nil || !strings.Contains(err.Error(), "entry 2") || !strings.Contains(err.Error(), "prev_hash") {
+		t.Fatalf("re-sealed forgery not detected: %v", err)
+	}
+}
+
+func TestVerifyDetectsMissingPredecessor(t *testing.T) {
+	path, _ := buildChain(t, 3)
+	data, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Drop the middle entry entirely.
+	if err := os.WriteFile(path, []byte(lines[0]+"\n"+lines[2]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyChain(entries)
+	if err == nil || !strings.Contains(err.Error(), "out of sequence") {
+		t.Fatalf("missing predecessor not detected: %v", err)
+	}
+}
+
+func TestLoadMissingFileIsEmptyLedger(t *testing.T) {
+	entries, err := Load(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing file: entries=%v err=%v", entries, err)
+	}
+	if err := VerifyChain(nil); err != nil {
+		t.Fatalf("empty chain must verify: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := os.WriteFile(path, []byte("{\"schema\":\"bogus/v1\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("non-JSON line accepted")
+	}
+}
+
+func TestLatestPair(t *testing.T) {
+	_, entries := buildChain(t, 3)
+	old, latest, ok := LatestPair(entries)
+	if !ok || old.Date != entries[1].Snapshot.Date || latest.Date != entries[2].Snapshot.Date {
+		t.Fatalf("LatestPair = %q/%q ok=%v", old.Date, latest.Date, ok)
+	}
+	if _, _, ok := LatestPair(entries[:1]); ok {
+		t.Fatal("LatestPair on a 1-entry chain reported ok")
+	}
+}
+
+func TestHashCoversGoldens(t *testing.T) {
+	// The golden-digest set is inside the hash: changing it invalidates
+	// the entry. This is what ties a perf claim to a verified build.
+	_, entries := buildChain(t, 1)
+	e := entries[0]
+	e.Snapshot.Goldens["pfl-seed1"] = "cafebabe"
+	h, err := ComputeHash(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == e.Hash {
+		t.Fatal("hash did not change when goldens changed")
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/ledger"
+)
+
+// ledgerFixture writes a two-entry chain where BenchmarkX slowed 50%.
+func ledgerFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	for i, base := range []float64{100, 150} {
+		s := benchfmt.Snapshot{Schema: benchfmt.SchemaV2, Date: "2026-08-0" + string(rune('6'+i)),
+			Goldens: map[string]string{"pfl-seed1": "deadbeef"}}
+		for j := 0; j < 5; j++ {
+			s.Add("BenchmarkX", "repro", 8, benchfmt.Sample{Iterations: 1, NsOp: base + float64(j)})
+		}
+		if _, err := ledger.Append(path, s, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d body %q", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestLedgerEndpoint(t *testing.T) {
+	path := ledgerFixture(t)
+	s, err := StartDebugServer(DebugOptions{Addr: "127.0.0.1:0", Registry: &Registry{}, LedgerPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var st struct {
+		Entries int  `json:"entries"`
+		ChainOK bool `json:"chain_ok"`
+		History []struct {
+			Index int    `json:"index"`
+			Hash  string `json:"hash"`
+		} `json:"history"`
+		LatestDeltas *struct {
+			Deltas []struct {
+				Name        string  `json:"name"`
+				Delta       float64 `json:"delta_pct"`
+				Significant bool    `json:"significant"`
+				Verdict     string  `json:"verdict"`
+			} `json:"deltas"`
+		} `json:"latest_deltas"`
+	}
+	if err := json.Unmarshal([]byte(get(t, s.URL+"/ledger")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || !st.ChainOK || len(st.History) != 2 {
+		t.Fatalf("ledger state = %+v", st)
+	}
+	if st.LatestDeltas == nil || len(st.LatestDeltas.Deltas) != 1 {
+		t.Fatalf("latest deltas = %+v", st.LatestDeltas)
+	}
+	d := st.LatestDeltas.Deltas[0]
+	if d.Name != "BenchmarkX" || !d.Significant || d.Verdict != "regression" || d.Delta < 40 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestMetricsIncludeLedgerGauges(t *testing.T) {
+	path := ledgerFixture(t)
+	reg := &Registry{}
+	reg.Add("steps", 7)
+	s, err := StartDebugServer(DebugOptions{Addr: "127.0.0.1:0", Registry: reg, LedgerPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := get(t, s.URL+"/metrics")
+	for _, want := range []string{
+		"rtrbench_steps 7", // live counters still exposed
+		"rtrbench_ledger_entries 2",
+		"rtrbench_ledger_chain_ok 1",
+		`rtrbench_ledger_delta_pct{benchmark="BenchmarkX"} 49`,
+		`rtrbench_ledger_regression{benchmark="BenchmarkX"} 1`,
+		`rtrbench_ledger_ns_op{benchmark="BenchmarkX"} 152`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestLedgerEndpointTamperedChain(t *testing.T) {
+	path := ledgerFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.Replace(string(data), `"ns_op":100`, `"ns_op":1`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := StartDebugServer(DebugOptions{Addr: "127.0.0.1:0", Registry: &Registry{}, LedgerPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := get(t, s.URL+"/ledger")
+	if !strings.Contains(body, `"chain_ok": false`) || !strings.Contains(body, "hash mismatch") {
+		t.Fatalf("tampered chain not reported:\n%s", body)
+	}
+	metrics := get(t, s.URL+"/metrics")
+	if !strings.Contains(metrics, "rtrbench_ledger_chain_ok 0") {
+		t.Fatalf("metrics do not expose broken chain:\n%s", metrics)
+	}
+}
+
+func TestLedgerEndpointMissingFile(t *testing.T) {
+	s, err := StartDebugServer(DebugOptions{Addr: "127.0.0.1:0", Registry: &Registry{},
+		LedgerPath: filepath.Join(t.TempDir(), "absent.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := get(t, s.URL+"/ledger")
+	if !strings.Contains(body, `"entries": 0`) || !strings.Contains(body, `"chain_ok": true`) {
+		t.Fatalf("missing ledger file should be an empty valid chain:\n%s", body)
+	}
+}

@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Known-answer exact Mann-Whitney p-values: for tie-free samples the
+// two-sided p is 2 * P(U ≤ min(u, nm-u)) under the uniform permutation
+// distribution, so fully-separated samples of sizes (n, n) give
+// p = 2 / C(2n, n).
+func TestMannWhitneyExactKnownAnswers(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		// U = 0, C(6,3) = 20 → p = 2/20.
+		{"separated n3", []float64{1, 2, 3}, []float64{4, 5, 6}, 0.1},
+		// U = 0, C(10,5) = 252 → p = 2/252.
+		{"separated n5", []float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10}, 2.0 / 252},
+		// Reversed direction must give the same two-sided p.
+		{"separated n5 reversed", []float64{6, 7, 8, 9, 10}, []float64{1, 2, 3, 4, 5}, 2.0 / 252},
+		// Perfect interleaving carries almost no evidence: x = {1,3,5},
+		// y = {2,4,6} has U = 3 (of max 9); P(U ≤ 3) = 7/20 → p = 0.7.
+		{"interleaved", []float64{1, 3, 5}, []float64{2, 4, 6}, 0.7},
+		// n=1 vs m=1 can never flag.
+		{"n1 vs m1", []float64{1}, []float64{100}, 1},
+		// n=1 vs m=5, fully separated: P(U ≤ 0) = 1/6 → p = 1/3. Still
+		// far above any sane alpha — a lone sample cannot flag.
+		{"n1 vs m5", []float64{0}, []float64{1, 2, 3, 4, 5}, 2.0 / 6},
+	}
+	for _, tc := range cases {
+		p, err := MannWhitney(tc.x, tc.y)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !almost(p, tc.want, 1e-12) {
+			t.Errorf("%s: p = %v, want %v", tc.name, p, tc.want)
+		}
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	// All values tied across both sides: zero variance in the rank sum,
+	// p must be exactly 1 (tie-corrected approximation path).
+	p, err := MannWhitney([]float64{5, 5, 5, 5}, []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("identical samples: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyTiesApproximation(t *testing.T) {
+	// Tied samples route through the normal approximation; a clear
+	// separation must still be significant and symmetric.
+	x := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	y := []float64{10, 10, 11, 11, 12, 12, 13, 13}
+	p, err := MannWhitney(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 0.01 {
+		t.Fatalf("separated tied samples: p = %v, want < 0.01", p)
+	}
+	p2, err := MannWhitney(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, p2, 1e-12) {
+		t.Fatalf("two-sided p not symmetric: %v vs %v", p, p2)
+	}
+}
+
+func TestMannWhitneyLargeSamplesApproximation(t *testing.T) {
+	// Above exactLimit the approximation path runs; a one-σ-ish shift over
+	// n=30 per side is decisively significant, an identical pair is not.
+	var x, y, z []float64
+	for i := 0; i < 30; i++ {
+		v := float64(i % 7)
+		x = append(x, 100+v)
+		y = append(y, 110+v)
+		z = append(z, 100+v)
+	}
+	p, err := MannWhitney(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 1e-6 {
+		t.Fatalf("shifted n=30: p = %v, want < 1e-6", p)
+	}
+	p, err = MannWhitney(x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Fatalf("identical n=30: p = %v, want ≈ 1", p)
+	}
+}
+
+func TestMannWhitneyEmpty(t *testing.T) {
+	if _, err := MannWhitney(nil, []float64{1}); err == nil {
+		t.Fatal("empty x accepted")
+	}
+	if _, err := MannWhitney([]float64{1}, nil); err == nil {
+		t.Fatal("empty y accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Median != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of {1,2,3,4} = sqrt(5/3).
+	if !almost(s.Stddev, math.Sqrt(5.0/3.0), 1e-12) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	odd := Summarize([]float64{9, 7, 8})
+	if odd.Median != 8 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+}
+
+func TestCompareFlagsRealRegression(t *testing.T) {
+	old := []float64{100, 101, 99, 100, 102}
+	slow := []float64{150, 151, 149, 150, 152}
+	c, err := Compare(old, slow, Options{Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Significant {
+		t.Fatalf("50%% slowdown not significant: %+v", c)
+	}
+	if !almost(c.Delta, 50, 0.5) {
+		t.Fatalf("delta = %v, want ≈ +50", c.Delta)
+	}
+	if c.P >= 0.05 {
+		t.Fatalf("p = %v, want < 0.05", c.P)
+	}
+	if c.CI <= 0 {
+		t.Fatalf("CI = %v, want > 0", c.CI)
+	}
+}
+
+func TestCompareAAIsNotSignificant(t *testing.T) {
+	// A/A: same distribution, realistic jitter. Must not flag.
+	a := []float64{100, 103, 98, 101, 99}
+	b := []float64{101, 99, 102, 100, 98}
+	c, err := Compare(a, b, Options{Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Significant {
+		t.Fatalf("A/A comparison flagged: %+v", c)
+	}
+}
+
+func TestCompareThresholdEdges(t *testing.T) {
+	// A perfectly consistent +4% shift: statistically significant, but the
+	// noise threshold decides whether it flags.
+	old := []float64{100, 100, 100, 100, 100, 101, 101, 101, 101, 101}
+	new := []float64{104, 104, 104, 104, 104, 105, 105, 105, 105, 105}
+	c, err := Compare(old, new, Options{Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P >= 0.05 {
+		t.Fatalf("consistent shift should have small p, got %v", c.P)
+	}
+	if c.Significant {
+		t.Fatalf("+%.1f%% delta flagged despite 5%% threshold", c.Delta)
+	}
+	// Threshold exactly at the delta: |Delta| ≥ threshold flags.
+	c, err = Compare(old, new, Options{Threshold: c.Delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Significant {
+		t.Fatalf("delta exactly at threshold should flag: %+v", c)
+	}
+	// Threshold 0 means alpha alone decides.
+	c, err = Compare(old, new, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Significant {
+		t.Fatalf("threshold 0 should flag a significant shift: %+v", c)
+	}
+}
+
+func TestCompareMismatchedSampleCounts(t *testing.T) {
+	old := []float64{100, 101, 99}
+	new := []float64{200, 201, 199, 200, 202, 198, 201, 199}
+	c, err := Compare(old, new, Options{Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Significant {
+		t.Fatalf("n=3 vs m=8 doubling not significant: %+v", c)
+	}
+	if c.Old.N != 3 || c.New.N != 8 {
+		t.Fatalf("sample counts = %d/%d", c.Old.N, c.New.N)
+	}
+}
+
+func TestCompareSingleSamplesCannotFlag(t *testing.T) {
+	// The v1-snapshot case: one sample per side. However large the delta,
+	// it must never reach significance.
+	c, err := Compare([]float64{100}, []float64{10000}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Significant {
+		t.Fatalf("n=1 vs n=1 flagged: %+v", c)
+	}
+	if c.P != 1 {
+		t.Fatalf("n=1 vs n=1 p = %v, want 1", c.P)
+	}
+	if c.CI != 0 {
+		t.Fatalf("n=1 CI = %v, want 0", c.CI)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	if _, err := Compare(nil, []float64{1}, Options{}); err == nil {
+		t.Fatal("empty old accepted")
+	}
+}
+
+func TestCompareNegativeDeltaImprovement(t *testing.T) {
+	old := []float64{200, 201, 199, 200, 202}
+	new := []float64{100, 101, 99, 100, 102}
+	c, err := Compare(old, new, Options{Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Significant || c.Delta >= 0 {
+		t.Fatalf("2x speedup should flag with negative delta: %+v", c)
+	}
+}

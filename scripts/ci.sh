@@ -63,23 +63,29 @@ go test -run FuzzIndoorMap -fuzz FuzzIndoorMap -fuzztime 5s ./internal/maps
 go test -race -run FuzzKDTreeNearest -fuzz FuzzKDTreeNearest -fuzztime 5s ./internal/kdtree
 go test -run FuzzHistogram -fuzz FuzzHistogram -fuzztime 5s ./internal/obs
 
-echo "== bench smoke (zero-alloc steady-state gate)"
-# The hottest kernel steps must not allocate after warmup: steady-state GC
-# churn in the measured loop perturbs exactly the latencies the suite
-# reports. The benchmarks assert allocs-per-run themselves (b.Fatalf); the
-# gate additionally parses the -benchmem column so a silent regression in
-# either mechanism fails CI.
-for target in "./internal/core/ekfslam BenchmarkEKFSLAMStep" \
-              "./internal/core/pfl BenchmarkPFLStep"; do
-    pkg=${target% *}
-    name=${target#* }
-    out=$(go test -run '^$' -bench "^${name}\$" -benchtime 10x -benchmem "$pkg")
-    echo "$out"
-    allocs=$(echo "$out" | awk '$NF == "allocs/op" {print $(NF-1)}')
-    if [ "$allocs" != "0" ]; then
-        echo "$name: allocs/op = '$allocs', want 0" >&2
-        exit 1
-    fi
-done
+echo "== benchdiff gate (interleaved A/A statistics + zero-alloc + ledger chain)"
+# The single perf regression gate. One -count 10 run of the hottest step
+# benchmarks is split sample-by-sample into two interleaved
+# rtrbench.bench/v2 half-snapshots (benchjson -split) — an A/A comparison
+# on identical code where slow machine drift (thermal state, background
+# load) lands evenly on both halves instead of separating them.
+# cmd/benchdiff compares the halves with the Mann-Whitney U test and must
+# pass: the significance test plus the -threshold noise floor suppress
+# pure noise. The same invocation folds in the old alloc gate: -zeroalloc
+# pins the steady-state step benchmarks to exactly 0 allocs/op (the
+# benchmarks also assert this themselves via b.Fatalf), and any allocs/op
+# growth between the halves is a deterministic regression. Finally the
+# two snapshots are chained into a throwaway ledger and the hash chain
+# verified, exercising the append/verify path end to end.
+benchtmp=$(mktemp -d)
+trap 'rm -rf "$benchtmp"' EXIT
+{
+    go test -run '^$' -bench '^BenchmarkEKFSLAMStep$' -benchtime 10x -count 10 -benchmem ./internal/core/ekfslam
+    go test -run '^$' -bench '^BenchmarkPFLStep$' -benchtime 10x -count 10 -benchmem ./internal/core/pfl
+} | go run ./cmd/benchjson -date ci -goldens rtrbench/testdata/golden -split "$benchtmp/a.json,$benchtmp/b.json"
+go run ./cmd/benchdiff -threshold 10 -zeroalloc 'Step$' "$benchtmp/a.json" "$benchtmp/b.json"
+go run ./cmd/benchdiff -ledger append -ledger-file "$benchtmp/ledger.jsonl" -note "ci A" "$benchtmp/a.json"
+go run ./cmd/benchdiff -ledger append -ledger-file "$benchtmp/ledger.jsonl" -note "ci B" "$benchtmp/b.json"
+go run ./cmd/benchdiff -ledger verify -ledger-file "$benchtmp/ledger.jsonl"
 
 echo "CI OK"
