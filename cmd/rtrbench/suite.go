@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/rtrbench"
 )
 
@@ -28,7 +28,7 @@ func runSuite(args []string) error {
 		trials   = fs.Int("trials", 1, "measured runs per kernel")
 		warmup   = fs.Int("warmup", 0, "discarded runs per kernel before the trials")
 		timeout  = fs.Duration("timeout", 0, "per-run wall-clock budget (e.g. 30s); 0 = off")
-		keepOn   = fs.Bool("continue", false, "keep sweeping after a kernel fails")
+		keepOn   = fs.Bool("continue", false, "keep sweeping after a kernel fails (the exit code still reports the failures)")
 		deadline = fs.Duration("deadline", 0, "per-step real-time deadline (e.g. 10ms); 0 = off")
 		stepLat  = fs.Bool("steplat", false, "record per-step latency histograms")
 		format   = fs.String("format", "text", "report format: text | json | csv")
@@ -91,6 +91,13 @@ func runSuite(args []string) error {
 		}
 	}
 
+	// Normalize up front so flag mistakes fail before any kernel runs and
+	// the report header shows the effective (defaulted) settings.
+	opts, err := opts.Normalize()
+	if err != nil {
+		return err
+	}
+
 	// Ctrl-C cancels the in-flight kernels instead of killing the process;
 	// the partial sweep still reports.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -113,99 +120,42 @@ func runSuite(args []string) error {
 
 	switch *format {
 	case "json":
-		return obs.WriteJSONAll(w, suiteReports(res))
+		if err := obs.WriteJSONAll(w, report.Suite(res)); err != nil {
+			return err
+		}
 	case "csv":
-		return obs.WriteCSVAll(w, suiteReports(res))
+		if err := obs.WriteCSVAll(w, report.Suite(res)); err != nil {
+			return err
+		}
 	case "text":
 		suiteText(w, res, opts)
 	default:
 		return fmt.Errorf("unknown --format %q (want text, json, or csv)", *format)
 	}
-	if !opts.ContinueOnError {
-		if err := res.FirstError(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return suiteExitError(res, *chaos)
 }
 
-// suiteReports converts a suite result to the rtrbench.report/v1 array.
-func suiteReports(res rtrbench.SuiteResult) []obs.KernelReport {
-	reports := make([]obs.KernelReport, 0, len(res.Kernels))
-	for _, k := range res.Kernels {
-		kr := obs.KernelReport{
-			Kernel:           k.Info.Name,
-			Stage:            string(k.Info.Stage),
-			Index:            k.Info.Index,
-			ROISeconds:       k.Result.ROI.Seconds(),
-			Inconsistent:     k.Result.Inconsistent,
-			Counters:         k.Result.Counters,
-			Metrics:          k.Result.Metrics,
-			PaperBottlenecks: k.Info.PaperBottlenecks,
-		}
-		if k.Err != nil {
-			kr.Error = k.Err.Error()
-			var ke *rtrbench.KernelError
-			if errors.As(k.Err, &ke) {
-				kr.Fault = ke.Fault
+// suiteExitError turns kernel failures into a non-zero exit. -continue
+// keeps the sweep going past failures but no longer masks them from the
+// exit code; a green exit means a clean sweep. Under -chaos, failures the
+// engine attributes to an injected fault are the point of the exercise and
+// are excused — anything without fault attribution is a real bug and still
+// fails the run.
+func suiteExitError(res rtrbench.SuiteResult, chaos bool) error {
+	fails := res.Failures()
+	if chaos {
+		hard := fails[:0:0]
+		for _, f := range fails {
+			if f.Fault == "" {
+				hard = append(hard, f)
 			}
 		}
-		kr.Degraded = k.Result.Degraded
-		dominant, dominantDur := "", time.Duration(0)
-		for _, ph := range k.Result.Phases {
-			kr.Phases = append(kr.Phases, obs.PhaseReport{
-				Name:     ph.Name,
-				Seconds:  ph.Duration.Seconds(),
-				Calls:    ph.Calls,
-				Fraction: ph.Fraction,
-			})
-			if ph.Duration > dominantDur {
-				dominant, dominantDur = ph.Name, ph.Duration
-			}
-		}
-		kr.Dominant = dominant
-		kr.Steps = stepReport(k.Result.Steps)
-		if ts := k.Trials; ts != nil {
-			kr.Trials = &obs.TrialsReport{
-				Trials:           ts.Trials,
-				Retried:          k.Retried,
-				Degraded:         ts.Degraded,
-				ROIMeanSeconds:   ts.ROIMean.Seconds(),
-				ROIMinSeconds:    ts.ROIMin.Seconds(),
-				ROIMaxSeconds:    ts.ROIMax.Seconds(),
-				ROIStddevSeconds: ts.ROIStddev.Seconds(),
-				Counters:         ts.Counters,
-				Steps:            stepReport(ts.Steps),
-			}
-			for _, ft := range ts.Faults {
-				kr.Trials.Faults = append(kr.Trials.Faults, obs.FaultReport{
-					Trial:  ft.Trial,
-					Step:   ft.Step,
-					Kind:   ft.Kind,
-					Detail: ft.Detail,
-				})
-			}
-		}
-		reports = append(reports, kr)
+		fails = hard
 	}
-	return reports
-}
-
-func stepReport(s *rtrbench.StepStats) *obs.StepReport {
-	if s == nil {
+	if len(fails) == 0 {
 		return nil
 	}
-	return &obs.StepReport{
-		Count:           s.Count,
-		MinSeconds:      s.Min.Seconds(),
-		MeanSeconds:     s.Mean.Seconds(),
-		P50Seconds:      s.P50.Seconds(),
-		P95Seconds:      s.P95.Seconds(),
-		P99Seconds:      s.P99.Seconds(),
-		MaxSeconds:      s.Max.Seconds(),
-		DeadlineSeconds: s.Deadline.Seconds(),
-		DeadlineMisses:  s.Misses,
-	}
+	return fmt.Errorf("suite: %d kernel failure(s); first: %s: %v", len(fails), fails[0].Kernel, fails[0].Err)
 }
 
 // suiteText prints the human-readable sweep table.

@@ -1,0 +1,86 @@
+// Command rtrbenchd runs the RTRBench suite engine as a long-lived batched
+// benchmark service.
+//
+// Clients submit sweep requests over HTTP/JSON; the daemon coalesces them
+// into batches on a bounded queue, executes them on the shared rtrbench
+// engine, and stores finished runs content-addressed by their golden
+// digest, so a repeat submission is served from the store without
+// re-executing anything.
+//
+//	POST /v1/jobs            submit a job (202 queued, 200 cache hit,
+//	                         429 queue full, 503 draining)
+//	GET  /v1/jobs/{id}       poll a job; ?wait=30s blocks until done
+//	GET  /v1/results/{d}     fetch a stored result by content address
+//	GET  /metrics            queue/batch/cache gauges + suite counters
+//	GET  /ledger             hash-chained perf history
+//	GET  /debug/pprof/       live profiling
+//
+// SIGTERM and SIGINT drain gracefully: new submissions are rejected with
+// 503 while everything already admitted runs to completion and stays
+// pollable; the process exits once the queue is empty.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	fs := flag.NewFlagSet("rtrbenchd", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:6061", "host:port to listen on (port 0 picks a free port)")
+		addrFile = fs.String("addrfile", "", "write the bound base URL to this file once listening (for port 0)")
+		capacity = fs.Int("capacity", 64, "queued jobs admitted before submissions get 429")
+		batch    = fs.Int("batch", 4, "jobs per batch (a full batch flushes immediately)")
+		maxWait  = fs.Duration("maxwait", 50*time.Millisecond, "flush a partial batch this long after its first job")
+		workers  = fs.Int("workers", 1, "concurrent batch executors")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "kernels running concurrently within one job")
+		cache    = fs.Int("cache", 256, "result-store entries kept (content-addressed, FIFO eviction)")
+		drainFor = fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+		ledger   = fs.String("ledger", obs.DefaultLedgerPath, "perf-ledger file backing /ledger")
+	)
+	_ = fs.Parse(os.Args[1:])
+
+	log.SetPrefix("rtrbenchd: ")
+	log.SetFlags(0)
+
+	s, err := newServer(config{
+		addr:         *addr,
+		capacity:     *capacity,
+		batchSize:    *batch,
+		maxWait:      *maxWait,
+		workers:      *workers,
+		parallel:     *parallel,
+		cacheEntries: *cache,
+		ledgerPath:   *ledger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (batch=%d maxwait=%v capacity=%d workers=%d)",
+		s.debug.URL, *batch, *maxWait, *capacity, *workers)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.debug.URL+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("draining: new submissions get 503, in-flight jobs run to completion")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := s.shutdown(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

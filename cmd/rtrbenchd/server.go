@@ -1,0 +1,508 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/golden"
+	"repro/internal/jobqueue"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/resultstore"
+	"repro/rtrbench"
+)
+
+// config is the server's construction-time configuration (see main for the
+// flag defaults).
+type config struct {
+	addr         string
+	capacity     int
+	batchSize    int
+	maxWait      time.Duration
+	workers      int
+	parallel     int
+	cacheEntries int
+	ledgerPath   string
+}
+
+// jobOutcome is what the executor hands back through the queue: the job's
+// content address and its serialized result document.
+type jobOutcome struct {
+	digest string
+	doc    []byte
+}
+
+// jobRecord is the server-side state of one submitted job. A cache hit
+// completes at admission (job is nil, digest/doc filled in); everything
+// else carries its queue handle.
+type jobRecord struct {
+	id     string
+	reqKey string
+	opts   rtrbench.SuiteOptions
+
+	cached bool
+	digest string
+	doc    []byte
+
+	job *jobqueue.Job[*jobRecord, jobOutcome]
+}
+
+// server is the rtrbenchd service: HTTP admission on top of the batching
+// job queue, the shared rtrbench engine, and the content-addressed result
+// store, all mounted on the obs debug server so /metrics, /ledger, and
+// pprof come along for free.
+type server struct {
+	cfg    config
+	reg    *obs.Registry
+	store  *resultstore.Store
+	engine *rtrbench.Engine
+	queue  *jobqueue.Queue[*jobRecord, jobOutcome]
+	debug  *obs.DebugServer
+
+	mu     sync.Mutex
+	jobs   map[string]*jobRecord
+	nextID int
+}
+
+// newServer builds the service and starts listening on cfg.addr (port 0
+// picks a free port; the bound URL is in server.debug.URL).
+func newServer(cfg config) (*server, error) {
+	if cfg.parallel <= 0 {
+		cfg.parallel = runtime.NumCPU()
+	}
+	s := &server{
+		cfg:    cfg,
+		reg:    &obs.Registry{},
+		store:  resultstore.New(resultstore.Options{MaxEntries: cfg.cacheEntries}),
+		engine: &rtrbench.Engine{},
+		jobs:   map[string]*jobRecord{},
+	}
+	// Publish the gauges up front so a scrape before the first job still
+	// shows the queue/cache surface.
+	s.reg.SetGauge("queue_depth", 0)
+	s.reg.SetGauge("batch_size", 0)
+	s.publishStoreGauges()
+	s.queue = jobqueue.New(context.Background(), jobqueue.Options{
+		Capacity:  cfg.capacity,
+		BatchSize: cfg.batchSize,
+		MaxWait:   cfg.maxWait,
+		Workers:   cfg.workers,
+		OnDepth:   func(d int) { s.reg.SetGauge("queue_depth", int64(d)) },
+		OnBatch: func(n int) {
+			s.reg.SetGauge("batch_size", int64(n))
+			s.reg.Add("batches", 1)
+		},
+	}, s.execBatch)
+
+	dbg, err := obs.StartDebugServer(obs.DebugOptions{
+		Addr:       cfg.addr,
+		Registry:   s.reg,
+		LedgerPath: cfg.ledgerPath,
+		Handlers: map[string]http.Handler{
+			"/v1/jobs":     http.HandlerFunc(s.handleSubmit),
+			"/v1/jobs/":    http.HandlerFunc(s.handleJob),
+			"/v1/results/": http.HandlerFunc(s.handleResult),
+		},
+	})
+	if err != nil {
+		_ = s.queue.Drain(context.Background())
+		return nil, err
+	}
+	s.debug = dbg
+	return s, nil
+}
+
+// shutdown is the graceful exit: drain the queue (reject new submissions,
+// finish everything admitted), then stop the HTTP server. Polls keep
+// working while the drain runs so clients can collect in-flight results.
+func (s *server) shutdown(ctx context.Context) error {
+	err := s.queue.Drain(ctx)
+	if cerr := s.debug.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// duration is a time.Duration that unmarshals from either a Go duration
+// string ("30s") or integer nanoseconds.
+type duration time.Duration
+
+func (d *duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = duration(n)
+	return nil
+}
+
+// jobRequest is the POST /v1/jobs body: the suite-sweep parameters a client
+// may set. Everything is optional; the zero request is the full small-size
+// sweep at seed 1, one trial per kernel.
+type jobRequest struct {
+	Kernels         []string `json:"kernels,omitempty"`
+	Size            string   `json:"size,omitempty"`
+	Seed            int64    `json:"seed,omitempty"`
+	Trials          int      `json:"trials,omitempty"`
+	Warmup          int      `json:"warmup,omitempty"`
+	Timeout         duration `json:"timeout,omitempty"`
+	Deadline        duration `json:"deadline,omitempty"`
+	StepLatency     bool     `json:"step_latency,omitempty"`
+	Retries         int      `json:"retries,omitempty"`
+	RetryBackoff    duration `json:"retry_backoff,omitempty"`
+	ContinueOnError bool     `json:"continue_on_error,omitempty"`
+}
+
+// suiteOptions maps a request onto normalized SuiteOptions, rejecting
+// anything the engine would reject — admission-time validation so a bad
+// request is a 400, not a failed job.
+func (s *server) suiteOptions(req jobRequest) (rtrbench.SuiteOptions, error) {
+	opts := rtrbench.SuiteOptions{
+		Options: rtrbench.Options{
+			Seed:        req.Seed,
+			Deadline:    time.Duration(req.Deadline),
+			StepLatency: req.StepLatency,
+		},
+		Kernels:         req.Kernels,
+		Parallel:        s.cfg.parallel,
+		Trials:          req.Trials,
+		Warmup:          req.Warmup,
+		Timeout:         time.Duration(req.Timeout),
+		ContinueOnError: req.ContinueOnError,
+		Retries:         req.Retries,
+		RetryBackoff:    time.Duration(req.RetryBackoff),
+	}
+	switch req.Size {
+	case "", "small":
+		opts.Size = rtrbench.SizeSmall
+	case "default":
+		opts.Size = rtrbench.SizeDefault
+	default:
+		return opts, fmt.Errorf("unknown size %q (want small or default)", req.Size)
+	}
+	seen := map[string]bool{}
+	for _, name := range req.Kernels {
+		if _, ok := rtrbench.Lookup(name); !ok {
+			return opts, fmt.Errorf("unknown kernel %q", name)
+		}
+		if seen[name] {
+			return opts, fmt.Errorf("kernel %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	return opts.Normalize()
+}
+
+// requestKey canonicalizes normalized options into the result-cache
+// identity. Parallel is erased first: trial t always runs with seed base+t,
+// so execution concurrency cannot change the answer and must not split the
+// cache.
+func requestKey(opts rtrbench.SuiteOptions) (string, error) {
+	opts.Parallel = 0
+	b, err := json.Marshal(opts)
+	if err != nil {
+		return "", fmt.Errorf("request key: %w", err)
+	}
+	return string(b), nil
+}
+
+// execBatch is the queue executor: it runs each job of a dispatched batch
+// on the shared engine, serializes the outcome, and feeds clean runs into
+// the content-addressed store.
+func (s *server) execBatch(ctx context.Context, batch []*jobqueue.Job[*jobRecord, jobOutcome]) {
+	for _, j := range batch {
+		rec := j.Req
+		res, err := s.engine.Run(ctx, rec.opts)
+		if err != nil {
+			j.Finish(jobOutcome{}, err)
+			s.reg.Add("jobs_failed", 1)
+			continue
+		}
+		doc, digest, err := s.document(rec, res)
+		if err != nil {
+			j.Finish(jobOutcome{}, err)
+			s.reg.Add("jobs_failed", 1)
+			continue
+		}
+		// Only clean sweeps enter the cache: a failed kernel's digest does
+		// not name an answer, and a repeat submission deserves a fresh run.
+		if len(res.Failures()) == 0 {
+			s.store.Put(rec.reqKey, digest, doc)
+			s.publishStoreGauges()
+		}
+		j.Finish(jobOutcome{digest: digest, doc: doc}, nil)
+		s.reg.Add("jobs_completed", 1)
+	}
+}
+
+// jobDocument is the stored/returned result of one job, schema
+// "rtrbenchd.job/v1". Kernels reuse the rtrbench.report/v1 entries the CLI
+// emits, so a job result and an offline report are the same shape.
+type jobDocument struct {
+	Schema         string             `json:"schema"`
+	Digest         string             `json:"digest"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Kernels        []obs.KernelReport `json:"kernels"`
+	Failures       []docFailure       `json:"failures,omitempty"`
+}
+
+type docFailure struct {
+	Kernel string `json:"kernel"`
+	Trial  int    `json:"trial"`
+	Fault  string `json:"fault,omitempty"`
+	Error  string `json:"error"`
+}
+
+// document serializes a finished sweep and computes its content address.
+func (s *server) document(rec *jobRecord, res rtrbench.SuiteResult) (doc []byte, digest string, err error) {
+	digest, err = suiteDigest(res, rec.opts.Seed)
+	if err != nil {
+		return nil, "", err
+	}
+	jd := jobDocument{
+		Schema:         "rtrbenchd.job/v1",
+		Digest:         digest,
+		ElapsedSeconds: res.Elapsed.Seconds(),
+		Kernels:        report.Suite(res),
+	}
+	for _, f := range res.Failures() {
+		jd.Failures = append(jd.Failures, docFailure{
+			Kernel: f.Kernel, Trial: f.Trial, Fault: f.Fault, Error: f.Err.Error(),
+		})
+	}
+	doc, err = json.Marshal(jd)
+	if err != nil {
+		return nil, "", err
+	}
+	return doc, digest, nil
+}
+
+// suiteDigest folds the per-kernel golden digests into one job-level
+// content address: a golden digest whose fields are the kernel sums. Like
+// every golden digest it carries no wall-clock quantities, so two runs of
+// the same request collide exactly when they computed the same answers.
+func suiteDigest(res rtrbench.SuiteResult, seed int64) (string, error) {
+	d := golden.Digest{Kernel: "rtrbenchd.job", Seed: seed}
+	for _, k := range res.Kernels {
+		if k.Err != nil {
+			d.Fields = append(d.Fields, golden.Field{Name: k.Info.Name, Value: "error"})
+			continue
+		}
+		sum, err := rtrbench.DigestSum(k.Result, seed)
+		if err != nil {
+			return "", err
+		}
+		d.Fields = append(d.Fields, golden.Field{Name: k.Info.Name, Value: sum})
+	}
+	golden.SortFields(d.Fields)
+	return golden.Sum(d)
+}
+
+// handleSubmit is POST /v1/jobs: validate, consult the result cache, and
+// either answer from the store (200, no execution) or admit to the queue
+// (202). A full queue is 429, a draining server 503 — typed backpressure,
+// not timeouts.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	opts, err := s.suiteOptions(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := requestKey(opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	rec := &jobRecord{reqKey: key, opts: opts}
+	status := http.StatusAccepted
+	if digest, doc, ok := s.store.Lookup(key); ok {
+		rec.cached, rec.digest, rec.doc = true, digest, doc
+		s.reg.Add("jobs_cached", 1)
+		status = http.StatusOK
+	} else {
+		job, err := s.queue.Submit(rec)
+		switch {
+		case errors.Is(err, jobqueue.ErrQueueFull):
+			s.publishStoreGauges()
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		case errors.Is(err, jobqueue.ErrDraining):
+			s.publishStoreGauges()
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		rec.job = job
+	}
+	s.publishStoreGauges()
+	s.register(rec)
+	s.reg.Add("jobs_submitted", 1)
+	writeJSON(w, status, s.view(rec))
+}
+
+// handleJob is GET /v1/jobs/{id}, optionally blocking via ?wait=DURATION
+// until the job finishes (or the wait expires — the poll then reports the
+// current state, it is not an error).
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	s.mu.Lock()
+	rec, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if ws := r.URL.Query().Get("wait"); ws != "" && !rec.cached {
+		d, err := time.ParseDuration(ws)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad wait %q: %v", ws, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		select {
+		case <-rec.job.DoneCh():
+		case <-ctx.Done():
+		}
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, s.view(rec))
+}
+
+// handleResult is GET /v1/results/{digest}: the content-addressed read
+// path. Any client holding a digest — from a job view, a stored report, a
+// teammate — fetches the document it names, no job ID required.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	digest := strings.TrimPrefix(r.URL.Path, "/v1/results/")
+	doc, ok := s.store.Get(digest)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for digest %q", digest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(doc)
+}
+
+// jobView is the JSON the job endpoints return: state, per-stage
+// timestamps, batch attribution, and (when finished) the digest and result
+// document.
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Batch and BatchSize attribute the job to its flush: jobs sharing a
+	// batch number were coalesced into one dispatch.
+	Batch     int             `json:"batch,omitempty"`
+	BatchSize int             `json:"batch_size,omitempty"`
+	Enqueued  string          `json:"enqueued_at,omitempty"`
+	Started   string          `json:"started_at,omitempty"`
+	Done      string          `json:"done_at,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *server) view(rec *jobRecord) jobView {
+	v := jobView{ID: rec.id}
+	if rec.cached {
+		v.State, v.Cached = "done", true
+		v.Digest, v.Result = rec.digest, rec.doc
+		return v
+	}
+	t := rec.job.Times()
+	v.Enqueued, v.Started, v.Done = stamp(t.Enqueued), stamp(t.Started), stamp(t.Done)
+	v.Batch, v.BatchSize = rec.job.Batch()
+	switch {
+	case rec.job.Finished():
+		out, err := rec.job.Result()
+		if err != nil {
+			v.State, v.Error = "failed", err.Error()
+		} else {
+			v.State, v.Digest, v.Result = "done", out.digest, out.doc
+		}
+	case !t.Started.IsZero():
+		v.State = "running"
+	default:
+		v.State = "queued"
+	}
+	return v
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+// register assigns the job its ID and indexes it for polling.
+func (s *server) register(rec *jobRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	rec.id = fmt.Sprintf("j%06d", s.nextID)
+	s.jobs[rec.id] = rec
+}
+
+// publishStoreGauges mirrors the result-store statistics into the metrics
+// registry.
+func (s *server) publishStoreGauges() {
+	hits, misses, entries := s.store.Stats()
+	s.reg.SetGauge("result_cache_hits", hits)
+	s.reg.SetGauge("result_cache_misses", misses)
+	s.reg.SetGauge("result_cache_entries", int64(entries))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,353 @@
+// Package jobqueue is the bounded, batching job queue behind rtrbenchd:
+// the layer that turns independent request/response submissions into the
+// batched execution stream a multi-tenant benchmark service needs.
+//
+// The shape is the classic channel-based batcher: submissions land on a
+// bounded channel (admission control — a full queue rejects with the typed
+// ErrQueueFull instead of blocking the caller), a collector goroutine
+// gathers them into batches flushed on whichever comes first of a size
+// threshold and a max-wait timer, and a small worker pool executes the
+// batches. Every job carries a per-request completion channel and
+// per-stage timestamps (enqueue, start, done), so callers can both wait
+// for their own result and observe how the batcher coalesced the load.
+//
+// Shutdown is a graceful drain: new submissions are rejected with
+// ErrDraining while everything already admitted — queued or in flight —
+// runs to completion. The executor contract plus a finish-of-last-resort
+// sweep guarantee no job is ever lost or completed twice.
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is the typed admission-control rejection: the queue is at
+// capacity and the submission was not admitted. Callers translate it into
+// backpressure (HTTP 429, retry with backoff).
+var ErrQueueFull = errors.New("jobqueue: queue full")
+
+// ErrDraining rejects submissions arriving after Drain began: the queue
+// still completes admitted work but admits nothing new.
+var ErrDraining = errors.New("jobqueue: draining")
+
+// errDropped is the finish-of-last-resort error for a job its executor
+// returned without finishing — a bug in the executor, surfaced to the
+// waiter instead of hanging it forever.
+var errDropped = errors.New("jobqueue: executor returned without finishing job")
+
+// Timestamps records the per-stage lifecycle instants of one job. Enqueued
+// is stamped at admission, Started when a worker picks up the job's batch,
+// Done when the job finishes. A zero instant means the stage has not been
+// reached.
+type Timestamps struct {
+	Enqueued time.Time
+	Started  time.Time
+	Done     time.Time
+}
+
+// Job is one admitted unit of work. The submitting side waits on it
+// (Wait/DoneCh); the executing side completes it exactly once (Finish).
+type Job[Req, Res any] struct {
+	// Req is the submission payload, immutable after Submit.
+	Req Req
+
+	mu        sync.Mutex
+	times     Timestamps
+	batch     int // 1-based flush sequence number; 0 until dispatched
+	batchSize int
+	res       Res
+	err       error
+
+	once sync.Once
+	done chan struct{}
+}
+
+// Finish completes the job with a result or error, stamping the Done
+// timestamp and waking every waiter. Only the first call has any effect:
+// a duplicate Finish (retry logic gone wrong, executor sweep racing a
+// slow executor) is a no-op, which is what makes "no duplicated results"
+// a structural property instead of a convention.
+func (j *Job[Req, Res]) Finish(res Res, err error) {
+	j.once.Do(func() {
+		j.mu.Lock()
+		j.res, j.err = res, err
+		j.times.Done = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+	})
+}
+
+// DoneCh is closed when the job has finished.
+func (j *Job[Req, Res]) DoneCh() <-chan struct{} { return j.done }
+
+// Finished reports whether the job has completed.
+func (j *Job[Req, Res]) Finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the job finishes or ctx is cancelled, returning the
+// job's result or the first of (job error, ctx error).
+func (j *Job[Req, Res]) Wait(ctx context.Context) (Res, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		var zero Res
+		return zero, ctx.Err()
+	}
+}
+
+// Result returns the finished job's result and error; before Finish it
+// returns the zero result and a nil error (check Finished or use Wait).
+func (j *Job[Req, Res]) Result() (Res, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Times returns a snapshot of the per-stage timestamps.
+func (j *Job[Req, Res]) Times() Timestamps {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.times
+}
+
+// Batch returns the 1-based flush sequence number this job was dispatched
+// in and the number of jobs that shared it (both 0 until dispatch). Jobs
+// reporting the same number were coalesced into one flush — the observable
+// evidence of batching.
+func (j *Job[Req, Res]) Batch() (id, size int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.batch, j.batchSize
+}
+
+func (j *Job[Req, Res]) markStarted(batch, size int, at time.Time) {
+	j.mu.Lock()
+	j.times.Started = at
+	j.batch, j.batchSize = batch, size
+	j.mu.Unlock()
+}
+
+// Options configures a Queue.
+type Options struct {
+	// Capacity bounds the jobs admitted but not yet dispatched to a
+	// worker; Submit fails with ErrQueueFull at capacity. <= 0 means 64.
+	Capacity int
+	// BatchSize flushes a batch as soon as it holds this many jobs.
+	// <= 0 means 8.
+	BatchSize int
+	// MaxWait flushes a partial batch this long after its first job
+	// arrived, bounding the latency a lonely job pays for batching.
+	// <= 0 means 50ms.
+	MaxWait time.Duration
+	// Workers is the number of concurrent batch executors. <= 0 means 1.
+	Workers int
+	// OnDepth, when non-nil, observes every queue-depth change (jobs
+	// admitted but not yet started) — the metrics-gauge hook.
+	OnDepth func(depth int)
+	// OnBatch, when non-nil, observes every flush with the batch size.
+	OnBatch func(size int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 64
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 50 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Queue is a bounded job queue with batched dispatch. Construct with New;
+// the zero value is not usable.
+type Queue[Req, Res any] struct {
+	opts Options
+	exec func(context.Context, []*Job[Req, Res])
+
+	jobs    chan *Job[Req, Res]
+	batches chan []*Job[Req, Res]
+
+	mu       sync.Mutex // guards draining against the Submit send
+	draining bool
+
+	depth   atomic.Int64
+	batchID atomic.Int64
+	wg      sync.WaitGroup // collector + workers
+}
+
+// New builds the queue and starts its collector and worker goroutines.
+//
+// exec is the batch executor: it receives every dispatched batch and must
+// Finish each job in it. The contract is enforced, not trusted — if exec
+// panics or returns with unfinished jobs, the queue finishes them with an
+// error so no waiter hangs. ctx is the execution context handed through to
+// exec; cancelling it is a hard abort for in-flight work (use Drain for
+// the graceful path).
+func New[Req, Res any](ctx context.Context, opts Options, exec func(context.Context, []*Job[Req, Res])) *Queue[Req, Res] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults()
+	q := &Queue[Req, Res]{
+		opts:    opts,
+		exec:    exec,
+		jobs:    make(chan *Job[Req, Res], opts.Capacity),
+		batches: make(chan []*Job[Req, Res]),
+	}
+	q.wg.Add(1)
+	go q.collect()
+	for i := 0; i < opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.work(ctx)
+	}
+	return q
+}
+
+// Submit admits a job carrying req, or rejects it without blocking:
+// ErrQueueFull at capacity, ErrDraining after Drain began.
+func (q *Queue[Req, Res]) Submit(req Req) (*Job[Req, Res], error) {
+	j := &Job[Req, Res]{Req: req, done: make(chan struct{})}
+	j.times.Enqueued = time.Now()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return nil, ErrDraining
+	}
+	select {
+	case q.jobs <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	q.noteDepth(1)
+	return j, nil
+}
+
+// Depth returns the number of jobs admitted but not yet started.
+func (q *Queue[Req, Res]) Depth() int { return int(q.depth.Load()) }
+
+// Drain stops admission (Submit fails with ErrDraining) and waits until
+// every already-admitted job — queued or in flight — has finished. It
+// returns nil on a complete drain, or ctx's error if the deadline expires
+// first (admitted work keeps running; Drain can be called again to keep
+// waiting). Drain is idempotent and safe to call concurrently.
+func (q *Queue[Req, Res]) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.draining {
+		q.draining = true
+		close(q.jobs) // collector flushes the backlog, then exits
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// collect gathers submissions into batches: a batch opens on its first
+// job and flushes when it reaches BatchSize or when MaxWait has elapsed
+// since it opened, whichever comes first. On drain it flushes whatever
+// remains and closes the dispatch channel.
+func (q *Queue[Req, Res]) collect() {
+	defer q.wg.Done()
+	defer close(q.batches)
+	for {
+		first, ok := <-q.jobs
+		if !ok {
+			return
+		}
+		batch := []*Job[Req, Res]{first}
+		timer := time.NewTimer(q.opts.MaxWait)
+	gather:
+		for len(batch) < q.opts.BatchSize {
+			select {
+			case j, ok := <-q.jobs:
+				if !ok {
+					break gather // draining: flush what we have
+				}
+				batch = append(batch, j)
+			case <-timer.C:
+				break gather // partial batch, max-wait expired
+			}
+		}
+		timer.Stop()
+		q.dispatch(batch)
+		// After a drain-triggered flush the next loop iteration reads the
+		// closed channel (draining any still-buffered jobs first) and
+		// exits once it is empty.
+	}
+}
+
+// dispatch stamps the batch and hands it to a worker.
+func (q *Queue[Req, Res]) dispatch(batch []*Job[Req, Res]) {
+	id := int(q.batchID.Add(1))
+	now := time.Now()
+	for _, j := range batch {
+		j.markStarted(id, len(batch), now)
+	}
+	q.noteDepth(-len(batch))
+	if q.opts.OnBatch != nil {
+		q.opts.OnBatch(len(batch))
+	}
+	q.batches <- batch
+}
+
+// work executes dispatched batches until the collector closes the stream.
+func (q *Queue[Req, Res]) work(ctx context.Context) {
+	defer q.wg.Done()
+	for batch := range q.batches {
+		q.execBatch(ctx, batch)
+	}
+}
+
+// execBatch runs the executor under the no-lost-jobs guarantee: a panic is
+// converted into per-job errors, and any job the executor forgot to Finish
+// is finished with errDropped.
+func (q *Queue[Req, Res]) execBatch(ctx context.Context, batch []*Job[Req, Res]) {
+	defer func() {
+		rec := recover()
+		for _, j := range batch {
+			if rec != nil {
+				var zero Res
+				j.Finish(zero, fmt.Errorf("jobqueue: executor panic: %v", rec))
+			} else if !j.Finished() {
+				var zero Res
+				j.Finish(zero, errDropped)
+			}
+		}
+	}()
+	q.exec(ctx, batch)
+}
+
+func (q *Queue[Req, Res]) noteDepth(delta int) {
+	d := q.depth.Add(int64(delta))
+	if q.opts.OnDepth != nil {
+		q.opts.OnDepth(int(d))
+	}
+}

@@ -1,0 +1,298 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// eventually polls cond for up to 2s.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// finishAll is the well-behaved executor: finish every job with its own
+// request as the result.
+func finishAll(_ context.Context, batch []*Job[int, int]) {
+	for _, j := range batch {
+		j.Finish(j.Req, nil)
+	}
+}
+
+// TestBackpressureQueueFull pins the admission-control contract: with the
+// single worker wedged and the dispatch pipeline saturated, exactly
+// Capacity more jobs are admitted and the next submission fails with
+// ErrQueueFull — deterministically, because the test first drives the
+// pipeline into its known saturated state (one batch executing, one batch
+// dispatched and waiting, buffer empty).
+func TestBackpressureQueueFull(t *testing.T) {
+	const capacity = 3
+	release := make(chan struct{})
+	var flushes atomic.Int32
+	q := New(context.Background(), Options{
+		Capacity:  capacity,
+		BatchSize: 1,
+		MaxWait:   time.Hour,
+		Workers:   1,
+		OnBatch:   func(int) { flushes.Add(1) },
+	}, func(_ context.Context, batch []*Job[int, int]) {
+		<-release
+		finishAll(nil, batch)
+	})
+
+	var admitted []*Job[int, int]
+	submit := func(v int) *Job[int, int] {
+		t.Helper()
+		j, err := q.Submit(v)
+		if err != nil {
+			t.Fatalf("Submit(%d): %v", v, err)
+		}
+		admitted = append(admitted, j)
+		return j
+	}
+
+	// Saturate the pipeline: batch 1 is executing (worker blocked on
+	// release), batch 2 is flushed and waiting for the worker. Both
+	// flushes are observable, after which the channel buffer is empty.
+	submit(1)
+	submit(2)
+	eventually(t, "two flushes", func() bool { return flushes.Load() == 2 })
+
+	// Now the buffer admits exactly Capacity more.
+	for v := 3; v < 3+capacity; v++ {
+		submit(v)
+	}
+	if _, err := q.Submit(99); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit at capacity: err = %v, want ErrQueueFull", err)
+	}
+	if got := q.Depth(); got != capacity {
+		t.Errorf("Depth = %d, want %d", got, capacity)
+	}
+
+	// Unwedge: every admitted job must complete with its own result.
+	close(release)
+	for _, j := range admitted {
+		res, err := j.Wait(context.Background())
+		if err != nil || res != j.Req {
+			t.Errorf("job %d: res=%d err=%v", j.Req, res, err)
+		}
+	}
+}
+
+// TestPartialBatchFlushOnMaxWait pins the max-wait flush: a lone job in a
+// BatchSize-4 queue must not wait for companions forever — it flushes as a
+// batch of one once MaxWait elapses.
+func TestPartialBatchFlushOnMaxWait(t *testing.T) {
+	const maxWait = 30 * time.Millisecond
+	q := New(context.Background(), Options{BatchSize: 4, MaxWait: maxWait}, finishAll)
+	defer q.Drain(context.Background())
+
+	j, err := q.Submit(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if id, size := j.Batch(); id == 0 || size != 1 {
+		t.Errorf("Batch() = (%d, %d), want a dispatched batch of 1", id, size)
+	}
+	ts := j.Times()
+	if ts.Enqueued.IsZero() || ts.Started.IsZero() || ts.Done.IsZero() {
+		t.Fatalf("missing stage timestamps: %+v", ts)
+	}
+	if wait := ts.Started.Sub(ts.Enqueued); wait < maxWait-5*time.Millisecond {
+		t.Errorf("partial batch flushed after %v, want ~MaxWait (%v)", wait, maxWait)
+	}
+	if !ts.Started.Before(ts.Done) && !ts.Started.Equal(ts.Done) {
+		t.Errorf("Started %v after Done %v", ts.Started, ts.Done)
+	}
+}
+
+// TestBatchCoalescing pins the size-threshold flush: jobs submitted
+// together share one batch, observable through matching batch ids, without
+// waiting for MaxWait.
+func TestBatchCoalescing(t *testing.T) {
+	q := New(context.Background(), Options{BatchSize: 2, MaxWait: time.Hour}, finishAll)
+	defer q.Drain(context.Background())
+
+	a, err := q.Submit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Submit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := a.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	aid, asize := a.Batch()
+	bid, bsize := b.Batch()
+	if aid != bid || asize != 2 || bsize != 2 {
+		t.Errorf("batches not coalesced: a=(%d,%d) b=(%d,%d)", aid, asize, bid, bsize)
+	}
+}
+
+// TestGracefulDrain pins the shutdown contract: Drain completes every
+// admitted job (in flight and still queued), rejects new submissions with
+// ErrDraining, and loses or duplicates nothing.
+func TestGracefulDrain(t *testing.T) {
+	var executed atomic.Int32
+	q := New(context.Background(), Options{Capacity: 16, BatchSize: 2, MaxWait: 5 * time.Millisecond, Workers: 1},
+		func(_ context.Context, batch []*Job[int, int]) {
+			time.Sleep(20 * time.Millisecond) // long enough for Drain to start first
+			for _, j := range batch {
+				executed.Add(1)
+				j.Finish(j.Req, nil)
+			}
+		})
+
+	const n = 6
+	jobs := make([]*Job[int, int], 0, n)
+	for v := 0; v < n; v++ {
+		j, err := q.Submit(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var drainErr error
+	go func() {
+		defer wg.Done()
+		drainErr = q.Drain(context.Background())
+	}()
+
+	// Submissions during the drain are rejected with the typed error. A
+	// probe that sneaks in before the drain flag flips is a legitimately
+	// admitted job — track it so the completion accounting stays exact.
+	eventually(t, "draining rejection", func() bool {
+		j, err := q.Submit(99)
+		if err == nil {
+			jobs = append(jobs, j)
+			return false
+		}
+		return errors.Is(err, ErrDraining)
+	})
+
+	wg.Wait()
+	if drainErr != nil {
+		t.Fatalf("Drain: %v", drainErr)
+	}
+	for _, j := range jobs {
+		if !j.Finished() {
+			t.Fatalf("job %d lost by drain", j.Req)
+		}
+		if res, err := j.Result(); err != nil || res != j.Req {
+			t.Errorf("job %d: res=%d err=%v", j.Req, res, err)
+		}
+	}
+	if got := executed.Load(); got != int32(len(jobs)) {
+		t.Errorf("executed %d jobs, want %d (no losses, no duplicates)", got, len(jobs))
+	}
+	// Drain is idempotent.
+	if err := q.Drain(context.Background()); err != nil {
+		t.Errorf("second Drain: %v", err)
+	}
+}
+
+// TestDrainDeadline: a Drain whose context expires while work is in
+// flight reports the context error instead of blocking forever.
+func TestDrainDeadline(t *testing.T) {
+	release := make(chan struct{})
+	q := New(context.Background(), Options{BatchSize: 1, MaxWait: time.Millisecond},
+		func(_ context.Context, batch []*Job[int, int]) {
+			<-release
+			finishAll(nil, batch)
+		})
+	j, err := q.Submit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := j.Result(); err != nil || res != 1 {
+		t.Errorf("in-flight job after late drain: res=%d err=%v", res, err)
+	}
+}
+
+// TestExecutorMisbehavior pins the no-lost-jobs guarantee: jobs an
+// executor drops or panics over are finished with an error instead of
+// hanging their waiters.
+func TestExecutorMisbehavior(t *testing.T) {
+	t.Run("dropped", func(t *testing.T) {
+		q := New(context.Background(), Options{BatchSize: 1, MaxWait: time.Millisecond},
+			func(context.Context, []*Job[int, int]) {}) // finishes nothing
+		j, err := q.Submit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err == nil {
+			t.Fatal("dropped job completed without error")
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		q := New(context.Background(), Options{BatchSize: 1, MaxWait: time.Millisecond},
+			func(context.Context, []*Job[int, int]) { panic("executor bug") })
+		j, err := q.Submit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err == nil {
+			t.Fatal("panicking executor's job completed without error")
+		}
+		// The queue survives: the next job still executes.
+		j2, err := q.Submit(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j2.Wait(context.Background()); err == nil {
+			t.Fatal("want panic error again (same executor), got nil")
+		}
+	})
+}
+
+// TestDoubleFinishIsNoOp pins exactly-once completion.
+func TestDoubleFinishIsNoOp(t *testing.T) {
+	q := New(context.Background(), Options{BatchSize: 1, MaxWait: time.Millisecond},
+		func(_ context.Context, batch []*Job[int, int]) {
+			for _, j := range batch {
+				j.Finish(j.Req, nil)
+				j.Finish(-1, errors.New("duplicate"))
+			}
+		})
+	j, err := q.Submit(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil || res != 5 {
+		t.Fatalf("first Finish not authoritative: res=%d err=%v", res, err)
+	}
+}

@@ -8,13 +8,16 @@ import (
 	"sync/atomic"
 )
 
-// Registry is a goroutine-safe set of named monotonic counters, exposed
-// live on the debug server's /metrics endpoint while a kernel runs. A
-// profile publishes into a Registry when live export is enabled (see
-// profile.PublishLive); the hot-path cost is one sync.Map load and one
-// atomic add per counter bump, and zero when live export is off.
+// Registry is a goroutine-safe set of named monotonic counters and
+// set-to-current-value gauges, exposed live on the debug server's /metrics
+// endpoint while a kernel runs. A profile publishes into a Registry when
+// live export is enabled (see profile.PublishLive); the hot-path cost is
+// one sync.Map load and one atomic add per counter bump, and zero when
+// live export is off. Gauges carry instantaneous state — queue depth,
+// batch size, cache occupancy — that a monotonic counter cannot express.
 type Registry struct {
 	counters sync.Map // string -> *atomic.Int64
+	gauges   sync.Map // string -> *atomic.Int64
 }
 
 // LiveCounters is the process-global registry the debug server exposes by
@@ -35,29 +38,60 @@ func (r *Registry) Add(name string, delta int64) {
 	r.counter(name).Add(delta)
 }
 
+// gauge returns the gauge cell for name, creating it on first use.
+func (r *Registry) gauge(name string) *atomic.Int64 {
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*atomic.Int64)
+	}
+	g, _ := r.gauges.LoadOrStore(name, new(atomic.Int64))
+	return g.(*atomic.Int64)
+}
+
+// SetGauge sets the named gauge to v.
+func (r *Registry) SetGauge(name string, v int64) {
+	r.gauge(name).Store(v)
+}
+
 // Snapshot returns a point-in-time copy of every counter.
 func (r *Registry) Snapshot() map[string]int64 {
+	return snapshot(&r.counters)
+}
+
+// Gauges returns a point-in-time copy of every gauge.
+func (r *Registry) Gauges() map[string]int64 {
+	return snapshot(&r.gauges)
+}
+
+func snapshot(cells *sync.Map) map[string]int64 {
 	out := map[string]int64{}
-	r.counters.Range(func(k, v interface{}) bool {
+	cells.Range(func(k, v interface{}) bool {
 		out[k.(string)] = v.(*atomic.Int64).Load()
 		return true
 	})
 	return out
 }
 
-// Reset zeroes every counter (the cells survive so cached pointers held by
-// publishers stay valid).
+// Reset zeroes every counter and gauge (the cells survive so cached
+// pointers held by publishers stay valid).
 func (r *Registry) Reset() {
-	r.counters.Range(func(_, v interface{}) bool {
-		v.(*atomic.Int64).Store(0)
-		return true
-	})
+	for _, cells := range []*sync.Map{&r.counters, &r.gauges} {
+		cells.Range(func(_, v interface{}) bool {
+			v.(*atomic.Int64).Store(0)
+			return true
+		})
+	}
 }
 
 // WriteMetrics renders the registry in the Prometheus text exposition
-// format (counters only), sorted by name for stable output.
+// format — counters then gauges, each sorted by name for stable output.
 func (r *Registry) WriteMetrics(w io.Writer) error {
-	snap := r.Snapshot()
+	if err := writeMetricFamily(w, r.Snapshot(), "counter"); err != nil {
+		return err
+	}
+	return writeMetricFamily(w, r.Gauges(), "gauge")
+}
+
+func writeMetricFamily(w io.Writer, snap map[string]int64, kind string) error {
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
@@ -65,7 +99,7 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		metric := "rtrbench_" + sanitizeMetricName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, snap[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", metric, kind, metric, snap[name]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRegistryGauges pins the gauge surface: set-to-value semantics
+// (not monotonic), separate namespace from counters, gauge-typed
+// exposition, and Reset covering both families.
+func TestRegistryGauges(t *testing.T) {
+	r := &Registry{}
+	r.Add("jobs", 3)
+	r.SetGauge("queue_depth", 5)
+	r.SetGauge("queue_depth", 2) // gauges overwrite, never accumulate
+	r.SetGauge("batch_size", 4)
+
+	if g := r.Gauges(); g["queue_depth"] != 2 || g["batch_size"] != 4 {
+		t.Fatalf("Gauges = %v", g)
+	}
+	if c := r.Snapshot(); c["jobs"] != 3 || len(c) != 1 {
+		t.Fatalf("counters polluted by gauges: %v", c)
+	}
+
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"# TYPE rtrbench_jobs counter\nrtrbench_jobs 3\n",
+		"# TYPE rtrbench_queue_depth gauge\nrtrbench_queue_depth 2\n",
+		"# TYPE rtrbench_batch_size gauge\nrtrbench_batch_size 4\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	r.Reset()
+	if g := r.Gauges(); g["queue_depth"] != 0 || g["batch_size"] != 0 {
+		t.Fatalf("Reset left gauges standing: %v", g)
+	}
+}
+
+// TestDebugServerExtraHandlers pins the mountable-routes surface rtrbenchd
+// builds on: extra patterns serve, built-ins still serve, and a conflicting
+// extra cannot shadow a built-in route.
+func TestDebugServerExtraHandlers(t *testing.T) {
+	reg := &Registry{}
+	reg.SetGauge("queue_depth", 7)
+	s, err := StartDebugServer(DebugOptions{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Handlers: map[string]http.Handler{
+			"/v1/ping": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				w.Write([]byte("pong"))
+			}),
+			"/metrics": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				w.Write([]byte("shadowed"))
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if body := get(t, s.URL+"/v1/ping"); body != "pong" {
+		t.Errorf("/v1/ping = %q", body)
+	}
+	metrics := get(t, s.URL+"/metrics")
+	if strings.Contains(metrics, "shadowed") {
+		t.Errorf("extra handler shadowed the built-in /metrics:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "rtrbench_queue_depth 7") {
+		t.Errorf("gauge missing from /metrics:\n%s", metrics)
+	}
+}

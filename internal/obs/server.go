@@ -42,6 +42,11 @@ type DebugOptions struct {
 	// Stats configures the latest-deltas comparison (alpha, noise
 	// threshold). The zero value uses stats defaults.
 	Stats stats.Options
+	// Handlers mounts extra routes (pattern → handler) on the server's
+	// mux, letting a daemon build its API on the debug surface so
+	// /metrics, /ledger, and pprof come for free. Patterns follow
+	// http.ServeMux semantics; the built-in routes win on conflict.
+	Handlers map[string]http.Handler
 }
 
 // DefaultLedgerPath is the conventional ledger location at the repo root,
@@ -160,6 +165,17 @@ func StartDebugServer(opts DebugOptions) (*DebugServer, error) {
 	}
 
 	mux := http.NewServeMux()
+	builtin := map[string]bool{
+		"/debug/pprof/": true, "/debug/pprof/cmdline": true, "/debug/pprof/profile": true,
+		"/debug/pprof/symbol": true, "/debug/pprof/trace": true,
+		"/metrics": true, "/ledger": true, "/": true,
+	}
+	for pattern, h := range opts.Handlers {
+		if builtin[pattern] {
+			continue
+		}
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,99 @@
+// Package report converts engine results into the rtrbench.report/v1
+// schema (internal/obs). It is the one serialization point shared by every
+// consumer of suite results — the `rtrbench suite` CLI, cmd/report, and
+// the rtrbenchd service — so a result document means the same thing no
+// matter which surface emitted it.
+package report
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+	"repro/rtrbench"
+)
+
+// Suite converts a suite result to the rtrbench.report/v1 kernel array.
+func Suite(res rtrbench.SuiteResult) []obs.KernelReport {
+	reports := make([]obs.KernelReport, 0, len(res.Kernels))
+	for _, k := range res.Kernels {
+		reports = append(reports, Kernel(k))
+	}
+	return reports
+}
+
+// Kernel converts one kernel's suite outcome to its report entry.
+func Kernel(k rtrbench.KernelResult) obs.KernelReport {
+	kr := obs.KernelReport{
+		Kernel:           k.Info.Name,
+		Stage:            string(k.Info.Stage),
+		Index:            k.Info.Index,
+		ROISeconds:       k.Result.ROI.Seconds(),
+		Inconsistent:     k.Result.Inconsistent,
+		Counters:         k.Result.Counters,
+		Metrics:          k.Result.Metrics,
+		PaperBottlenecks: k.Info.PaperBottlenecks,
+	}
+	if k.Err != nil {
+		kr.Error = k.Err.Error()
+		var ke *rtrbench.KernelError
+		if errors.As(k.Err, &ke) {
+			kr.Fault = ke.Fault
+		}
+	}
+	kr.Degraded = k.Result.Degraded
+	dominant, dominantDur := "", time.Duration(0)
+	for _, ph := range k.Result.Phases {
+		kr.Phases = append(kr.Phases, obs.PhaseReport{
+			Name:     ph.Name,
+			Seconds:  ph.Duration.Seconds(),
+			Calls:    ph.Calls,
+			Fraction: ph.Fraction,
+		})
+		if ph.Duration > dominantDur {
+			dominant, dominantDur = ph.Name, ph.Duration
+		}
+	}
+	kr.Dominant = dominant
+	kr.Steps = Steps(k.Result.Steps)
+	if ts := k.Trials; ts != nil {
+		kr.Trials = &obs.TrialsReport{
+			Trials:           ts.Trials,
+			Retried:          k.Retried,
+			Degraded:         ts.Degraded,
+			ROIMeanSeconds:   ts.ROIMean.Seconds(),
+			ROIMinSeconds:    ts.ROIMin.Seconds(),
+			ROIMaxSeconds:    ts.ROIMax.Seconds(),
+			ROIStddevSeconds: ts.ROIStddev.Seconds(),
+			Counters:         ts.Counters,
+			Steps:            Steps(ts.Steps),
+		}
+		for _, ft := range ts.Faults {
+			kr.Trials.Faults = append(kr.Trials.Faults, obs.FaultReport{
+				Trial:  ft.Trial,
+				Step:   ft.Step,
+				Kind:   ft.Kind,
+				Detail: ft.Detail,
+			})
+		}
+	}
+	return kr
+}
+
+// Steps converts a step-latency distribution; nil stays nil.
+func Steps(s *rtrbench.StepStats) *obs.StepReport {
+	if s == nil {
+		return nil
+	}
+	return &obs.StepReport{
+		Count:           s.Count,
+		MinSeconds:      s.Min.Seconds(),
+		MeanSeconds:     s.Mean.Seconds(),
+		P50Seconds:      s.P50.Seconds(),
+		P95Seconds:      s.P95.Seconds(),
+		P99Seconds:      s.P99.Seconds(),
+		MaxSeconds:      s.Max.Seconds(),
+		DeadlineSeconds: s.Deadline.Seconds(),
+		DeadlineMisses:  s.Misses,
+	}
+}

@@ -1,0 +1,127 @@
+// Package resultstore is rtrbenchd's content-addressed result cache.
+//
+// A finished benchmark run is stored under its golden-digest sum — the
+// SHA-256 of the run's canonical correctness digest (operation counts and
+// final-state summaries, never timings; see internal/golden). Because the
+// suite's kernels are deterministic functions of their normalized options,
+// a request-key index on top of the content store lets a repeat submission
+// resolve to the stored document without re-executing anything: the
+// request key names the computation, the digest names the answer, and the
+// two-level map keeps both addressable (GET /v1/results/{digest} serves by
+// content, job submission resolves by request).
+package resultstore
+
+import "sync"
+
+// Store is a bounded, goroutine-safe content-addressed store. Construct
+// with New.
+type Store struct {
+	mu sync.Mutex
+	// byDigest holds the stored documents by content address.
+	byDigest map[string][]byte
+	// byReq maps canonical request keys onto content addresses. Several
+	// requests may share one digest (distinct computations can agree on
+	// the answer); an evicted digest drops its request keys with it.
+	byReq map[string]string
+	// order is digest insertion order, oldest first, for eviction.
+	order []string
+	max   int
+
+	hits, misses int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxEntries bounds the number of stored documents; insertion beyond
+	// it evicts the oldest. <= 0 means 256.
+	MaxEntries int
+}
+
+// New builds an empty store.
+func New(opts Options) *Store {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 256
+	}
+	return &Store{
+		byDigest: map[string][]byte{},
+		byReq:    map[string]string{},
+		max:      opts.MaxEntries,
+	}
+}
+
+// Lookup resolves a canonical request key to its stored result, counting
+// the outcome in the hit/miss statistics.
+func (s *Store) Lookup(reqKey string) (digest string, doc []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	digest, ok = s.byReq[reqKey]
+	if ok {
+		doc, ok = s.byDigest[digest]
+	}
+	if !ok {
+		s.misses++
+		return "", nil, false
+	}
+	s.hits++
+	return digest, clone(doc), true
+}
+
+// Get fetches a stored document by content address. Serving by digest does
+// not touch the hit/miss statistics — those measure request-level caching.
+func (s *Store) Get(digest string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.byDigest[digest]
+	if !ok {
+		return nil, false
+	}
+	return clone(doc), true
+}
+
+// Put stores doc under digest and indexes reqKey to it, evicting the
+// oldest entries beyond the store's bound. A digest already present keeps
+// its original document (content-addressed: same digest, same answer) but
+// still gains the new request key.
+func (s *Store) Put(reqKey, digest string, doc []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.byDigest[digest]; !exists {
+		s.byDigest[digest] = clone(doc)
+		s.order = append(s.order, digest)
+		for len(s.order) > s.max {
+			s.evictOldestLocked()
+		}
+	}
+	// The eviction above never removes the digest just inserted (it is the
+	// newest), so the index below always points at a live document.
+	s.byReq[reqKey] = digest
+}
+
+// evictOldestLocked drops the oldest digest and every request key bound to
+// it. Callers hold s.mu.
+func (s *Store) evictOldestLocked() {
+	oldest := s.order[0]
+	s.order = s.order[1:]
+	delete(s.byDigest, oldest)
+	for k, d := range s.byReq {
+		if d == oldest {
+			delete(s.byReq, k)
+		}
+	}
+}
+
+// Stats returns the request-level cache statistics and the current entry
+// count.
+func (s *Store) Stats() (hits, misses int64, entries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, len(s.byDigest)
+}
+
+// clone keeps stored documents isolated from caller mutation in both
+// directions.
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,108 @@
+package resultstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLookupPutRoundTrip(t *testing.T) {
+	s := New(Options{})
+	if _, _, ok := s.Lookup("req1"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put("req1", "d1", []byte(`{"a":1}`))
+
+	digest, doc, ok := s.Lookup("req1")
+	if !ok || digest != "d1" || string(doc) != `{"a":1}` {
+		t.Fatalf("Lookup = (%q, %q, %v)", digest, doc, ok)
+	}
+	if got, ok := s.Get("d1"); !ok || string(got) != `{"a":1}` {
+		t.Fatalf("Get(d1) = (%q, %v)", got, ok)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get on absent digest reported ok")
+	}
+
+	hits, misses, entries := s.Stats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("Stats = (%d, %d, %d), want (1, 1, 1)", hits, misses, entries)
+	}
+}
+
+// TestSharedDigest: two request keys naming the same answer share one
+// stored document, and the first document wins (content-addressed).
+func TestSharedDigest(t *testing.T) {
+	s := New(Options{})
+	s.Put("req1", "d1", []byte("original"))
+	s.Put("req2", "d1", []byte("impostor"))
+	if _, doc, ok := s.Lookup("req2"); !ok || string(doc) != "original" {
+		t.Fatalf("Lookup(req2) = (%q, %v), want the original document", doc, ok)
+	}
+	if _, _, entries := s.Stats(); entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+}
+
+// TestEviction: the store stays bounded, evicts oldest first, and an
+// evicted digest takes its request keys with it (no dangling index).
+func TestEviction(t *testing.T) {
+	s := New(Options{MaxEntries: 2})
+	s.Put("r1", "d1", []byte("one"))
+	s.Put("r2", "d2", []byte("two"))
+	s.Put("r3", "d3", []byte("three"))
+
+	if _, ok := s.Get("d1"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, _, ok := s.Lookup("r1"); ok {
+		t.Fatal("request key for an evicted digest still resolves")
+	}
+	for i, want := range []string{"two", "three"} {
+		key, digest := fmt.Sprintf("r%d", i+2), fmt.Sprintf("d%d", i+2)
+		if _, doc, ok := s.Lookup(key); !ok || string(doc) != want {
+			t.Errorf("Lookup(%s) = (%q, %v), want %q", key, doc, ok, want)
+		}
+		if _, ok := s.Get(digest); !ok {
+			t.Errorf("Get(%s) missing", digest)
+		}
+	}
+}
+
+// TestCallerMutationIsolation: mutating a slice handed in or out must not
+// corrupt the stored document.
+func TestCallerMutationIsolation(t *testing.T) {
+	s := New(Options{})
+	in := []byte("stable")
+	s.Put("r", "d", in)
+	in[0] = 'X'
+	out, _ := s.Get("d")
+	out[0] = 'Y'
+	if got, _ := s.Get("d"); string(got) != "stable" {
+		t.Fatalf("stored doc mutated to %q", got)
+	}
+}
+
+// TestConcurrentAccess is the race-detector workout for the store.
+func TestConcurrentAccess(t *testing.T) {
+	s := New(Options{MaxEntries: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("r%d", (g+i)%16)
+				digest := fmt.Sprintf("d%d", (g+i)%16)
+				s.Put(key, digest, []byte(key))
+				s.Lookup(key)
+				s.Get(digest)
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, _, entries := s.Stats(); entries > 8 {
+		t.Fatalf("entries = %d, want <= MaxEntries (8)", entries)
+	}
+}

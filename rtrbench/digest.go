@@ -82,7 +82,7 @@ var symDigest = digestOf("found", "plan_length", "expanded", "generated",
 
 // digestResult reduces a finished Result to its kernel's digest via the
 // adapter's hook. The digest's Seed is left zero; callers that know the run
-// seed (Verify) stamp it for the golden-file identity.
+// seed (Verify, DigestSum) stamp it for the golden-file identity.
 func digestResult(r Result) (golden.Digest, error) {
 	info, ok := Lookup(r.Kernel)
 	if !ok {
@@ -91,4 +91,18 @@ func digestResult(r Result) (golden.Digest, error) {
 	d := golden.Digest{Kernel: r.Kernel, Fields: info.digest(r)}
 	golden.SortFields(d.Fields)
 	return d, nil
+}
+
+// DigestSum reduces a finished Result to its kernel's golden digest,
+// stamps it with the run seed, and returns the canonical SHA-256 identity
+// (hex). This is the content address of the run: two runs with the same
+// sum computed the same answer, which is what lets rtrbenchd serve repeat
+// submissions from its result store without re-executing.
+func DigestSum(r Result, seed int64) (string, error) {
+	d, err := digestResult(r)
+	if err != nil {
+		return "", err
+	}
+	d.Seed = seed
+	return golden.Sum(d)
 }

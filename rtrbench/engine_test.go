@@ -1,0 +1,123 @@
+package rtrbench
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// TestEngineResolveHook proves kernel resolution is injectable: the engine
+// must consult the hook instead of the registry, and surface its errors as
+// suite-level failures.
+func TestEngineResolveHook(t *testing.T) {
+	var ran atomic.Int32
+	e := &Engine{
+		Resolve: func(names []string) ([]Info, error) {
+			if len(names) == 1 && names[0] == "boom" {
+				return nil, errors.New("resolve failed")
+			}
+			return []Info{{
+				Name: "synthetic",
+				runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+					ran.Add(1)
+					return Result{Kernel: "synthetic"}, nil
+				},
+			}}, nil
+		},
+	}
+
+	res, err := e.Run(context.Background(), SuiteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 1 || res.Kernels[0].Err != nil || ran.Load() != 1 {
+		t.Fatalf("synthetic kernel did not run exactly once: %+v (ran=%d)", res.Kernels, ran.Load())
+	}
+
+	if _, err := e.Run(context.Background(), SuiteOptions{Kernels: []string{"boom"}}); err == nil {
+		t.Fatal("resolve error not surfaced")
+	}
+}
+
+// TestEngineNewProfileHook proves the trial profile is pluggable: the hook
+// must be called once per kernel, and the trials must run against its
+// shards (observable through the counters it collects).
+func TestEngineNewProfileHook(t *testing.T) {
+	var built atomic.Int32
+	e := &Engine{
+		NewProfile: func(o Options) *profile.Profile {
+			built.Add(1)
+			return profile.New()
+		},
+	}
+	info := Info{
+		Name: "counting",
+		runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+			p.BeginROI()
+			p.Count("ops", 1)
+			p.EndROI()
+			return Result{Kernel: "counting"}, nil
+		},
+	}
+
+	res, err := e.RunKernels(context.Background(), []Info{info, info}, SuiteOptions{Trials: 3, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := built.Load(); got != 2 {
+		t.Fatalf("NewProfile called %d times, want once per kernel (2)", got)
+	}
+	for _, kr := range res.Kernels {
+		if kr.Trials == nil || kr.Trials.Counters["ops"] != 3 {
+			t.Fatalf("trials did not run on the injected profile's shards: %+v", kr.Trials)
+		}
+	}
+}
+
+// TestNormalize pins the canonicalization contract: defaults filled,
+// invalid options rejected, and idempotence (normalizing a normalized
+// option set is the identity — the property the result-cache key relies
+// on).
+func TestNormalize(t *testing.T) {
+	got, err := SuiteOptions{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parallel != runtime.NumCPU() || got.Trials != 1 || got.Seed != 1 {
+		t.Fatalf("defaults not filled: %+v", got)
+	}
+	again, err := got.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Fatalf("Normalize not idempotent: %+v vs %+v", again, got)
+	}
+
+	invalid := []SuiteOptions{
+		{Options: Options{Variant: "mapf"}},
+		{Warmup: -1},
+		{Timeout: -time.Second},
+		{Retries: -1},
+		{RetryBackoff: -time.Millisecond},
+		{Options: Options{Deadline: -time.Millisecond}},
+	}
+	for i, o := range invalid {
+		if _, err := o.Normalize(); err == nil {
+			t.Errorf("case %d: invalid options %+v normalized without error", i, o)
+		}
+	}
+}
+
+// TestSuiteRejectsInvalidOptions proves Suite routes through Normalize.
+func TestSuiteRejectsInvalidOptions(t *testing.T) {
+	if _, err := Suite(context.Background(), SuiteOptions{Warmup: -3}); err == nil {
+		t.Fatal("Suite accepted negative Warmup")
+	}
+}

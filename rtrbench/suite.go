@@ -6,10 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
-
-	"repro/internal/profile"
 )
 
 // SuiteOptions configures a full benchmark-suite run. The embedded Options
@@ -45,6 +42,42 @@ type SuiteOptions struct {
 	// RetryBackoff is the pause before each retry, growing linearly with
 	// the attempt (backoff, 2*backoff, ...); 0 retries immediately.
 	RetryBackoff time.Duration
+}
+
+// Normalize validates the options and fills in every default, returning
+// the canonical form: Parallel and Trials resolved to their effective
+// values, the zero Seed resolved to 1. It is the single
+// defaulting/validation point shared by Suite, the CLI, and the rtrbenchd
+// admission path — two option sets describe the same sweep if and only if
+// their normalized forms are equal, which is what makes them usable as
+// result-cache identities.
+func (o SuiteOptions) Normalize() (SuiteOptions, error) {
+	if o.Variant != "" {
+		return o, fmt.Errorf("rtrbench: SuiteOptions.Variant %q not supported (variants are per-kernel)", o.Variant)
+	}
+	if o.Warmup < 0 {
+		return o, fmt.Errorf("rtrbench: SuiteOptions.Warmup %d is negative", o.Warmup)
+	}
+	if o.Timeout < 0 {
+		return o, fmt.Errorf("rtrbench: SuiteOptions.Timeout %v is negative", o.Timeout)
+	}
+	if o.Retries < 0 {
+		return o, fmt.Errorf("rtrbench: SuiteOptions.Retries %d is negative", o.Retries)
+	}
+	if o.RetryBackoff < 0 {
+		return o, fmt.Errorf("rtrbench: SuiteOptions.RetryBackoff %v is negative", o.RetryBackoff)
+	}
+	if o.Deadline < 0 {
+		return o, fmt.Errorf("rtrbench: Options.Deadline %v is negative", o.Deadline)
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	o.Seed = o.seed()
+	return o, nil
 }
 
 // TrialStats aggregates the measured trials of one kernel.
@@ -142,7 +175,8 @@ func (r SuiteResult) Failures() []KernelFailure {
 // executes Warmup discarded runs followed by Trials measured runs (trials
 // are sequential within a kernel; distinct kernels run concurrently up to
 // Parallel). Per-kernel profiles are sharded so concurrent trials never
-// share a Profile.
+// share a Profile. Suite is the zero-value Engine; callers that need to
+// inject kernels or profiles construct an Engine directly.
 //
 // The returned error is non-nil only for suite-level failures: an unknown
 // kernel name, an invalid option, or ctx cancellation. Per-kernel failures
@@ -150,85 +184,8 @@ func (r SuiteResult) Failures() []KernelFailure {
 // first one also cancels the kernels still running or queued (their Err is
 // context.Canceled).
 func Suite(ctx context.Context, opts SuiteOptions) (SuiteResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if opts.Variant != "" {
-		return SuiteResult{}, fmt.Errorf("rtrbench: SuiteOptions.Variant %q not supported (variants are per-kernel)", opts.Variant)
-	}
-	infos, err := suiteKernels(opts.Kernels)
-	if err != nil {
-		return SuiteResult{}, err
-	}
-	return runSuite(ctx, infos, opts)
-}
-
-// runSuite is the engine behind Suite, taking an already-resolved kernel
-// list so tests can drive it with synthetic kernels that never enter the
-// registry.
-func runSuite(ctx context.Context, infos []Info, opts SuiteOptions) (SuiteResult, error) {
-	parallel := opts.Parallel
-	if parallel <= 0 {
-		parallel = runtime.NumCPU()
-	}
-	trials := opts.Trials
-	if trials <= 0 {
-		trials = 1
-	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	res := SuiteResult{Kernels: make([]KernelResult, len(infos))}
-	start := time.Now()
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i, info := range infos {
-		wg.Add(1)
-		go func(i int, info Info) {
-			defer wg.Done()
-			// A queued kernel must not wait for a worker slot after the
-			// suite is cancelled (first failure, ctx deadline, Ctrl-C):
-			// pre-fix, every queued worker eventually acquired the
-			// semaphore and spun up a doomed run. Report the cancellation
-			// immediately instead.
-			select {
-			case sem <- struct{}{}:
-			case <-runCtx.Done():
-				res.Kernels[i] = KernelResult{Info: info, FailedTrial: -1, Err: runCtx.Err()}
-				return
-			}
-			defer func() { <-sem }()
-			// The slot may have been won in a race with cancellation:
-			// re-check so a cancelled suite never starts another kernel.
-			if err := runCtx.Err(); err != nil {
-				res.Kernels[i] = KernelResult{Info: info, FailedTrial: -1, Err: err}
-				return
-			}
-			// Last line of defense: runWith already recovers kernel
-			// panics, but a panic anywhere else in the trial machinery
-			// must not kill the whole sweep.
-			defer func() {
-				if rec := recover(); rec != nil {
-					res.Kernels[i] = KernelResult{Info: info, FailedTrial: -1, Err: newKernelError(info.Name, rec)}
-					if !opts.ContinueOnError {
-						cancel()
-					}
-				}
-			}()
-			kr := runKernelTrials(runCtx, info, opts)
-			if kr.Err != nil && !opts.ContinueOnError {
-				cancel()
-			}
-			res.Kernels[i] = kr
-		}(i, info)
-	}
-	wg.Wait()
-	res.Elapsed = time.Since(start)
-	if err := ctx.Err(); err != nil {
-		return res, err
-	}
-	return res, nil
+	var e Engine
+	return e.Run(ctx, opts)
 }
 
 // suiteKernels resolves the kernel selection in Table I order.
@@ -245,135 +202,6 @@ func suiteKernels(names []string) ([]Info, error) {
 		infos = append(infos, info)
 	}
 	return infos, nil
-}
-
-// runKernelTrials executes one kernel's warmup runs and measured trials on
-// shards of a common profile, then folds the shards into the aggregate
-// statistics.
-func runKernelTrials(ctx context.Context, info Info, opts SuiteOptions) KernelResult {
-	kr := KernelResult{Info: info, FailedTrial: -1}
-	base := opts.Options
-	seed := base.seed()
-	trials := opts.Trials
-	if trials <= 0 {
-		trials = 1
-	}
-
-	for w := 0; w < opts.Warmup; w++ {
-		o := base
-		o.Seed = seed
-		// Warmup runs must match steady-state behaviour: no injected
-		// faults, and no profile either (profile.Disabled also keeps the
-		// injector's step hook inert).
-		o.Fault = nil
-		if _, err := runOnce(ctx, info, o, profile.Disabled(), opts.Timeout); err != nil {
-			kr.Err = err
-			return kr
-		}
-	}
-
-	parent := newProfile(base)
-	sharded := profile.NewSharded(parent)
-	rois := make([]time.Duration, 0, trials)
-	var degraded int
-	var faults []FaultEvent
-	for t := 0; t < trials; t++ {
-		o := base
-		// Trial t always runs with seed base+t: the fault schedule and
-		// kernel workload are functions of the trial index alone, so the
-		// sweep is reproducible at any Parallel.
-		o.Seed = seed + int64(t)
-		r, err := runTrial(ctx, info, o, sharded, opts, &kr.Retried)
-		for i := range r.Faults {
-			r.Faults[i].Trial = t
-		}
-		faults = append(faults, r.Faults...)
-		if err != nil {
-			var ke *KernelError
-			if errors.As(err, &ke) {
-				ke.Trial = t
-			}
-			kr.Err = err
-			kr.FailedTrial = t
-			break
-		}
-		if t == 0 {
-			kr.Result = r
-		}
-		if r.Degraded {
-			degraded++
-		}
-		rois = append(rois, r.ROI)
-	}
-	if len(rois) == 0 {
-		if len(faults) > 0 {
-			kr.Trials = &TrialStats{Faults: faults}
-		}
-		return kr
-	}
-
-	merged := sharded.Snapshot()
-	stats := &TrialStats{Trials: len(rois), Counters: merged.Counters, Degraded: degraded, Faults: faults}
-	stats.ROIMean, stats.ROIMin, stats.ROIMax, stats.ROIStddev = aggregateROI(rois)
-	if merged.Steps.Count > 0 || merged.Steps.Deadline > 0 {
-		stats.Steps = &StepStats{
-			Count:    merged.Steps.Count,
-			Min:      merged.Steps.Min,
-			Mean:     merged.Steps.Mean,
-			P50:      merged.Steps.P50,
-			P95:      merged.Steps.P95,
-			P99:      merged.Steps.P99,
-			Max:      merged.Steps.Max,
-			Deadline: merged.Steps.Deadline,
-			Misses:   merged.Steps.Misses,
-		}
-	}
-	kr.Trials = stats
-	return kr
-}
-
-// runTrial executes one measured trial, retrying up to opts.Retries times
-// after a transient failure. Transient means the per-run Timeout expired
-// while the suite context is still live; kernel errors, injected panics,
-// and suite cancellation fail immediately. Each attempt runs on a fresh
-// profile shard so an abandoned attempt leaves no partial samples behind.
-func runTrial(ctx context.Context, info Info, o Options, sharded *profile.Sharded, opts SuiteOptions, retried *int) (Result, error) {
-	for attempt := 0; ; attempt++ {
-		shard := sharded.Shard()
-		r, err := runOnce(ctx, info, o, shard, opts.Timeout)
-		if err == nil {
-			return r, nil
-		}
-		transient := errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
-		if !transient || attempt >= opts.Retries {
-			// The failing attempt's partial samples must not survive into
-			// the kernel's aggregate statistics: Snapshot merges every
-			// shard, and pre-fix a mid-run failure left its counters and
-			// step latencies behind to pollute the completed trials.
-			shard.Reset()
-			return r, err
-		}
-		shard.Reset()
-		*retried++
-		if opts.RetryBackoff > 0 {
-			backoff := opts.RetryBackoff * time.Duration(attempt+1)
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return r, ctx.Err()
-			}
-		}
-	}
-}
-
-// runOnce executes one kernel run, bounded by timeout when non-zero.
-func runOnce(ctx context.Context, info Info, o Options, p *profile.Profile, timeout time.Duration) (Result, error) {
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-	return info.runWith(ctx, o, p)
 }
 
 // aggregateROI reduces per-trial ROI durations to mean/min/max/stddev

@@ -36,7 +36,7 @@ func TestFailedTrialLeavesNoPartialSamples(t *testing.T) {
 			return Result{}, errors.New("mid-run failure")
 		},
 	}
-	kr := runKernelTrials(context.Background(), info, SuiteOptions{
+	kr := (&Engine{}).runKernelTrials(context.Background(), info, SuiteOptions{
 		Options: Options{Seed: 1, StepLatency: true},
 		Trials:  2,
 	})
@@ -79,7 +79,7 @@ func TestSuiteCancelSkipsQueuedKernels(t *testing.T) {
 			},
 		}
 	}
-	res, err := runSuite(context.Background(), infos, SuiteOptions{Parallel: 1})
+	res, err := (&Engine{}).RunKernels(context.Background(), infos, SuiteOptions{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Shared scratch space for the service-smoke and benchdiff stages; the trap
+# also reaps a daemon left behind by a failing stage.
+benchtmp=$(mktemp -d)
+cleanup() {
+    [ -n "${daemon:-}" ] && kill "$daemon" 2>/dev/null
+    rm -rf "$benchtmp"
+}
+trap cleanup EXIT
+
 echo "== gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -51,6 +60,42 @@ echo "== chaos sweep (injected faults, race detector)"
 # the sweep — and that panic recovery is race-clean.
 go run -race ./cmd/rtrbench suite --size small -chaos -trials 2 -parallel 4 --timeout 120s
 
+echo "== rtrbenchd service smoke (submit, cache hit, gauges, SIGTERM drain)"
+# The daemon end to end under the race detector: two submissions of the
+# same request — the first executes, the second must be a content-addressed
+# cache hit — plus the result-by-digest read path, the queue/cache gauges
+# on /metrics, and a SIGTERM drain that must exit 0.
+go build -race -o "$benchtmp/rtrbenchd" ./cmd/rtrbenchd
+"$benchtmp/rtrbenchd" -addr 127.0.0.1:0 -addrfile "$benchtmp/addr" -batch 2 -maxwait 50ms &
+daemon=$!
+i=0
+while [ ! -s "$benchtmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "rtrbenchd never wrote its address" >&2; exit 1; }
+    sleep 0.1
+done
+base=$(cat "$benchtmp/addr")
+req='{"kernels":["dmp","cem"],"trials":1,"seed":7}'
+job=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/jobs")
+id=$(echo "$job" | jq -re .id)
+done_view=$(curl -sf "$base/v1/jobs/$id?wait=120s")
+echo "$done_view" | jq -e '.state == "done" and .cached != true' >/dev/null
+digest=$(echo "$done_view" | jq -re .digest)
+# Repeat submission: served from the store (cached), same digest.
+curl -sf -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/jobs" \
+    | jq -e --arg d "$digest" '.cached == true and .state == "done" and .digest == $d' >/dev/null
+# Content-addressed read path.
+curl -sf "$base/v1/results/$digest" | jq -e '.schema == "rtrbenchd.job/v1"' >/dev/null
+# Queue and cache gauges on /metrics.
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^rtrbench_queue_depth 0$'
+echo "$metrics" | grep -q '^rtrbench_result_cache_hits 1$'
+echo "$metrics" | grep -q '^rtrbench_jobs_cached 1$'
+# SIGTERM drains in-flight work and exits 0.
+kill -TERM "$daemon"
+wait "$daemon"
+daemon=
+
 echo "== fuzz smoke"
 # Short native-fuzz bursts over the untrusted-input surfaces (one -fuzz
 # target per invocation is a Go toolchain restriction). The checked-in
@@ -77,8 +122,6 @@ echo "== benchdiff gate (interleaved A/A statistics + zero-alloc + ledger chain)
 # growth between the halves is a deterministic regression. Finally the
 # two snapshots are chained into a throwaway ledger and the hash chain
 # verified, exercising the append/verify path end to end.
-benchtmp=$(mktemp -d)
-trap 'rm -rf "$benchtmp"' EXIT
 {
     go test -run '^$' -bench '^BenchmarkEKFSLAMStep$' -benchtime 10x -count 10 -benchmem ./internal/core/ekfslam
     go test -run '^$' -bench '^BenchmarkPFLStep$' -benchtime 10x -count 10 -benchmem ./internal/core/pfl
