@@ -8,12 +8,22 @@
 // re-executing anything.
 //
 //	POST /v1/jobs            submit a job (202 queued, 200 cache hit,
-//	                         429 queue full, 503 draining)
+//	                         429 queue full or rate limited, 503 draining)
 //	GET  /v1/jobs/{id}       poll a job; ?wait=30s blocks until done
 //	GET  /v1/results/{d}     fetch a stored result by content address
+//	GET  /healthz            liveness probe (200 while the process serves)
+//	GET  /readyz             readiness probe (503 while replaying the WAL
+//	                         or draining)
 //	GET  /metrics            queue/batch/cache gauges + suite counters
 //	GET  /ledger             hash-chained perf history
 //	GET  /debug/pprof/       live profiling
+//
+// With -data set, the result store is backed by a checksummed write-ahead
+// log in that directory: a kill -9 restart replays it (torn tails
+// truncated, never fatal) and the digest cache survives. Per-client
+// fairness (-client-rate, -client-capacity) keeps one flooding tenant
+// from starving the rest, and the job watchdog (-job-timeout,
+// -max-attempts) cancels wedged executors and retries with backoff.
 //
 // SIGTERM and SIGINT drain gracefully: new submissions are rejected with
 // 503 while everything already admitted runs to completion and stays
@@ -30,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -46,11 +57,33 @@ func main() {
 		cache    = fs.Int("cache", 256, "result-store entries kept (content-addressed, FIFO eviction)")
 		drainFor = fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 		ledger   = fs.String("ledger", obs.DefaultLedgerPath, "perf-ledger file backing /ledger")
+
+		dataDir    = fs.String("data", "", "directory for the result-store write-ahead log (empty: in-memory only)")
+		fsyncMode  = fs.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+		fsyncEvery = fs.Duration("fsync-every", 100*time.Millisecond, "flush cadence for -fsync=interval")
+		snapEvery  = fs.Int("snapshot-every", 64, "compact the WAL behind a snapshot every this many stored results")
+
+		clientRate  = fs.Float64("client-rate", 0, "per-client admitted jobs per second (0: unlimited)")
+		clientBurst = fs.Int("client-burst", 0, "per-client token-bucket burst (0: max(1, client-rate))")
+		clientCap   = fs.Int("client-capacity", 0, "queued jobs one client may hold (0: whole queue)")
+
+		jobTimeout  = fs.Duration("job-timeout", 0, "per-job execution budget enforced by the watchdog (0: none)")
+		maxAttempts = fs.Int("max-attempts", 1, "executor attempts per job before it fails terminally")
+		retryBack   = fs.Duration("retry-backoff", 100*time.Millisecond, "base requeue backoff after a transient failure")
+
+		maxBody     = fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
+		jobTTL      = fs.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay pollable by ID")
+		jobIndexMax = fs.Int("job-index-max", 1024, "most job records kept in the poll index")
 	)
 	_ = fs.Parse(os.Args[1:])
 
 	log.SetPrefix("rtrbenchd: ")
 	log.SetFlags(0)
+
+	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	s, err := newServer(config{
 		addr:         *addr,
@@ -61,6 +94,22 @@ func main() {
 		parallel:     *parallel,
 		cacheEntries: *cache,
 		ledgerPath:   *ledger,
+
+		dataDir:       *dataDir,
+		fsync:         fsyncPolicy,
+		fsyncEvery:    *fsyncEvery,
+		snapshotEvery: *snapEvery,
+
+		clientRate:     *clientRate,
+		clientBurst:    *clientBurst,
+		clientCapacity: *clientCap,
+		jobTimeout:     *jobTimeout,
+		maxAttempts:    *maxAttempts,
+		retryBackoff:   *retryBack,
+
+		maxBody:     *maxBody,
+		jobTTL:      *jobTTL,
+		jobIndexMax: *jobIndexMax,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/golden"
 	"repro/internal/jobqueue"
 	"repro/internal/obs"
@@ -30,6 +35,47 @@ type config struct {
 	parallel     int
 	cacheEntries int
 	ledgerPath   string
+
+	// Durability: dataDir == "" keeps the result store in-memory; otherwise
+	// it is backed by a write-ahead log under dataDir, replayed on startup.
+	dataDir       string
+	fsync         durable.FsyncPolicy
+	fsyncEvery    time.Duration
+	snapshotEvery int
+
+	// Fairness and watchdog knobs, mapped straight onto jobqueue.Options.
+	clientRate     float64
+	clientBurst    int
+	clientCapacity int
+	jobTimeout     time.Duration
+	abandonGrace   time.Duration
+	maxAttempts    int
+	retryBackoff   time.Duration
+
+	// HTTP hardening.
+	maxBody int64
+
+	// Job-index bounding: terminal jobs are evicted after jobTTL, and the
+	// index never holds more than jobIndexMax records.
+	jobTTL      time.Duration
+	jobIndexMax int
+}
+
+// withDefaults fills the zero-config values newServer relies on.
+func (c config) withDefaults() config {
+	if c.parallel <= 0 {
+		c.parallel = runtime.NumCPU()
+	}
+	if c.maxBody <= 0 {
+		c.maxBody = 1 << 20
+	}
+	if c.jobTTL <= 0 {
+		c.jobTTL = 15 * time.Minute
+	}
+	if c.jobIndexMax <= 0 {
+		c.jobIndexMax = 1024
+	}
+	return c
 }
 
 // jobOutcome is what the executor hands back through the queue: the job's
@@ -47,11 +93,37 @@ type jobRecord struct {
 	reqKey string
 	opts   rtrbench.SuiteOptions
 
-	cached bool
-	digest string
-	doc    []byte
+	cached   bool
+	cachedAt time.Time
+	digest   string
+	doc      []byte
 
 	job *jobqueue.Job[*jobRecord, jobOutcome]
+}
+
+// terminalAt returns when the job reached a terminal state, or a zero time
+// if it is still live (queued, running, retrying). Only terminal jobs are
+// eligible for index eviction.
+func (rec *jobRecord) terminalAt() time.Time {
+	if rec.cached {
+		return rec.cachedAt
+	}
+	if rec.job.Finished() {
+		return rec.job.Times().Done
+	}
+	return time.Time{}
+}
+
+// terminalDigest is the digest an evicted job's tombstone points at, if it
+// produced one.
+func (rec *jobRecord) terminalDigest() string {
+	if rec.cached {
+		return rec.digest
+	}
+	if out, err := rec.job.Result(); err == nil {
+		return out.digest
+	}
+	return ""
 }
 
 // server is the rtrbenchd service: HTTP admission on top of the batching
@@ -61,54 +133,94 @@ type jobRecord struct {
 type server struct {
 	cfg    config
 	reg    *obs.Registry
-	store  *resultstore.Store
 	engine *rtrbench.Engine
 	queue  *jobqueue.Queue[*jobRecord, jobOutcome]
 	debug  *obs.DebugServer
 
-	mu     sync.Mutex
-	jobs   map[string]*jobRecord
-	nextID int
+	// store is published by the recovery goroutine once the WAL replay
+	// finishes (immediately, for an in-memory store). wal is the durable
+	// log backing it, nil in-memory. Until the store lands, submissions
+	// and result reads answer 503 and /readyz reports not ready.
+	store      atomic.Pointer[resultstore.Store]
+	wal        atomic.Pointer[durable.Log]
+	ready      atomic.Bool
+	draining   atomic.Bool
+	recoverErr atomic.Pointer[string]
+
+	mu         sync.Mutex
+	jobs       map[string]*jobRecord
+	tombstones map[string]string // evicted job id -> digest (empty = failed)
+	tombOrder  []string
+	nextID     int
+
+	sweepStop    chan struct{}
+	sweepDone    chan struct{}
+	shutdownOnce sync.Once
+	shutdownErr  error
 }
 
 // newServer builds the service and starts listening on cfg.addr (port 0
-// picks a free port; the bound URL is in server.debug.URL).
+// picks a free port; the bound URL is in server.debug.URL). With a data
+// directory configured the result store is recovered from its write-ahead
+// log in the background: the server is reachable immediately (so probes
+// can watch /readyz flip) but not ready until the replay completes.
 func newServer(cfg config) (*server, error) {
-	if cfg.parallel <= 0 {
-		cfg.parallel = runtime.NumCPU()
-	}
+	cfg = cfg.withDefaults()
 	s := &server{
-		cfg:    cfg,
-		reg:    &obs.Registry{},
-		store:  resultstore.New(resultstore.Options{MaxEntries: cfg.cacheEntries}),
-		engine: &rtrbench.Engine{},
-		jobs:   map[string]*jobRecord{},
+		cfg:        cfg,
+		reg:        &obs.Registry{},
+		engine:     &rtrbench.Engine{},
+		jobs:       map[string]*jobRecord{},
+		tombstones: map[string]string{},
+		sweepStop:  make(chan struct{}),
+		sweepDone:  make(chan struct{}),
 	}
 	// Publish the gauges up front so a scrape before the first job still
 	// shows the queue/cache surface.
 	s.reg.SetGauge("queue_depth", 0)
 	s.reg.SetGauge("batch_size", 0)
-	s.publishStoreGauges()
+	s.reg.SetGauge("ready", 0)
+	s.reg.SetGauge("job_index_size", 0)
 	s.queue = jobqueue.New(context.Background(), jobqueue.Options{
-		Capacity:  cfg.capacity,
-		BatchSize: cfg.batchSize,
-		MaxWait:   cfg.maxWait,
-		Workers:   cfg.workers,
+		Capacity:          cfg.capacity,
+		PerClientCapacity: cfg.clientCapacity,
+		BatchSize:         cfg.batchSize,
+		MaxWait:           cfg.maxWait,
+		Workers:           cfg.workers,
+		RatePerClient:     cfg.clientRate,
+		Burst:             cfg.clientBurst,
+		JobTimeout:        cfg.jobTimeout,
+		AbandonGrace:      cfg.abandonGrace,
+		MaxAttempts:       cfg.maxAttempts,
+		RetryBackoff:      cfg.retryBackoff,
+		// The daemon retries exactly what the engine's own trial loop would
+		// retry: deadline expiry, nothing else.
+		Transient: rtrbench.IsTransient,
 		OnDepth:   func(d int) { s.reg.SetGauge("queue_depth", int64(d)) },
 		OnBatch: func(n int) {
 			s.reg.SetGauge("batch_size", int64(n))
 			s.reg.Add("batches", 1)
 		},
+		OnRateLimited: func(string) { s.reg.Add("rate_limited", 1) },
+		OnRetry:       func(string, int, time.Duration) { s.reg.Add("retries_scheduled", 1) },
+		OnAbandon:     func() { s.reg.Add("executors_abandoned", 1) },
 	}, s.execBatch)
 
 	dbg, err := obs.StartDebugServer(obs.DebugOptions{
 		Addr:       cfg.addr,
 		Registry:   s.reg,
 		LedgerPath: cfg.ledgerPath,
+		// ReadTimeout bounds slow request bodies; WriteTimeout must leave
+		// room for long ?wait= polls and is therefore generous.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 		Handlers: map[string]http.Handler{
 			"/v1/jobs":     http.HandlerFunc(s.handleSubmit),
 			"/v1/jobs/":    http.HandlerFunc(s.handleJob),
 			"/v1/results/": http.HandlerFunc(s.handleResult),
+			"/healthz":     http.HandlerFunc(s.handleHealthz),
+			"/readyz":      http.HandlerFunc(s.handleReadyz),
 		},
 	})
 	if err != nil {
@@ -116,14 +228,96 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	s.debug = dbg
+	if cfg.dataDir == "" {
+		// In-memory stores have nothing to replay: become ready before the
+		// first request can arrive.
+		s.recover()
+	} else {
+		go s.recover()
+	}
+	go s.sweepLoop()
 	return s, nil
 }
 
-// shutdown is the graceful exit: drain the queue (reject new submissions,
-// finish everything admitted), then stop the HTTP server. Polls keep
-// working while the drain runs so clients can collect in-flight results.
+// recover builds the result store — replaying the write-ahead log when the
+// server is durable — and flips the server ready. It runs in the
+// background so /healthz and /readyz serve during a long replay; a
+// recovery failure leaves the server up but permanently not ready (the
+// operator sees the error on /readyz rather than a crash loop that
+// re-corrupts the data directory).
+func (s *server) recover() {
+	if s.cfg.dataDir == "" {
+		s.store.Store(resultstore.New(resultstore.Options{MaxEntries: s.cfg.cacheEntries}))
+		s.publishStoreGauges()
+		s.ready.Store(true)
+		s.reg.SetGauge("ready", 1)
+		return
+	}
+	wal, err := durable.Open(durable.Options{
+		Dir:        s.cfg.dataDir,
+		Fsync:      s.cfg.fsync,
+		FsyncEvery: s.cfg.fsyncEvery,
+	})
+	if err == nil {
+		var st *resultstore.Store
+		var info durable.RecoveryInfo
+		st, info, err = resultstore.Open(resultstore.Options{
+			MaxEntries:    s.cfg.cacheEntries,
+			Log:           wal,
+			SnapshotEvery: s.cfg.snapshotEvery,
+		})
+		if err == nil {
+			s.wal.Store(wal)
+			s.reg.SetGauge("wal_records_replayed", int64(info.Records))
+			if info.Truncated {
+				s.reg.SetGauge("wal_recovery_truncated", 1)
+				log.Printf("wal: recovered with torn tail truncated at %s:%d", info.TruncatedFile, info.TruncatedAt)
+			}
+			s.reg.SetGauge("wal_segments", int64(wal.Segments()))
+			s.store.Store(st)
+			s.publishStoreGauges()
+			s.ready.Store(true)
+			s.reg.SetGauge("ready", 1)
+			log.Printf("wal: recovered %d records (snapshot seq %d) from %s", info.Records, info.SnapshotSeq, s.cfg.dataDir)
+			return
+		}
+		wal.Close()
+	}
+	msg := err.Error()
+	s.recoverErr.Store(&msg)
+	log.Printf("wal: recovery failed, serving not-ready: %v", err)
+}
+
+// getStore returns the result store, or nil while recovery is running (or
+// after it failed).
+func (s *server) getStore() *resultstore.Store { return s.store.Load() }
+
+// shutdown is the graceful exit: mark not-ready (load balancers stop
+// sending work), drain the queue (reject new submissions, finish
+// everything admitted), then compact the WAL and stop the HTTP server.
+// Polls keep working while the drain runs so clients can collect
+// in-flight results.
 func (s *server) shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.shutdownLocked(ctx) })
+	return s.shutdownErr
+}
+
+func (s *server) shutdownLocked(ctx context.Context) error {
+	s.draining.Store(true)
+	s.reg.SetGauge("ready", 0)
 	err := s.queue.Drain(ctx)
+	close(s.sweepStop)
+	<-s.sweepDone
+	if st, wal := s.getStore(), s.wal.Load(); st != nil && wal != nil {
+		// A clean exit leaves a fresh snapshot so the next start replays
+		// almost nothing.
+		if serr := st.Snapshot(); err == nil && serr != nil {
+			err = serr
+		}
+		if cerr := wal.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
 	if cerr := s.debug.Close(); err == nil {
 		err = cerr
 	}
@@ -246,7 +440,18 @@ func (s *server) execBatch(ctx context.Context, batch []*jobqueue.Job[*jobRecord
 		// Only clean sweeps enter the cache: a failed kernel's digest does
 		// not name an answer, and a repeat submission deserves a fresh run.
 		if len(res.Failures()) == 0 {
-			s.store.Put(rec.reqKey, digest, doc)
+			if st := s.getStore(); st != nil {
+				// A WAL append failure degrades durability, not service:
+				// the result is in memory and returned to the client, it
+				// just may not survive a crash.
+				if perr := st.Put(rec.reqKey, digest, doc); perr != nil {
+					s.reg.Add("wal_append_errors", 1)
+					log.Printf("wal: %v", perr)
+				}
+				if wal := s.wal.Load(); wal != nil {
+					s.reg.SetGauge("wal_segments", int64(wal.Segments()))
+				}
+			}
 			s.publishStoreGauges()
 		}
 		j.Finish(jobOutcome{digest: digest, doc: doc}, nil)
@@ -317,15 +522,32 @@ func suiteDigest(res rtrbench.SuiteResult, seed int64) (string, error) {
 	return golden.Sum(d)
 }
 
+// clientID identifies the submitting tenant for fair queueing: the
+// X-Client-ID header, or "anonymous" for clients that don't send one (they
+// all share one fairness bucket).
+func clientID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Client-ID")); id != "" {
+		return id
+	}
+	return "anonymous"
+}
+
 // handleSubmit is POST /v1/jobs: validate, consult the result cache, and
 // either answer from the store (200, no execution) or admit to the queue
-// (202). A full queue is 429, a draining server 503 — typed backpressure,
-// not timeouts.
+// (202). A full queue or an over-rate client is 429 (with Retry-After for
+// the latter), a draining or still-recovering server 503 — typed
+// backpressure, not timeouts.
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	st := s.getStore()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "server is recovering, not ready")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req jobRequest
@@ -346,13 +568,19 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	rec := &jobRecord{reqKey: key, opts: opts}
 	status := http.StatusAccepted
-	if digest, doc, ok := s.store.Lookup(key); ok {
-		rec.cached, rec.digest, rec.doc = true, digest, doc
+	if digest, doc, ok := st.Lookup(key); ok {
+		rec.cached, rec.cachedAt, rec.digest, rec.doc = true, time.Now(), digest, doc
 		s.reg.Add("jobs_cached", 1)
 		status = http.StatusOK
 	} else {
-		job, err := s.queue.Submit(rec)
+		job, err := s.queue.SubmitClient(clientID(r), rec)
+		var rl *jobqueue.RateLimitError
 		switch {
+		case errors.As(err, &rl):
+			s.publishStoreGauges()
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(rl.RetryAfter.Seconds()))))
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
 		case errors.Is(err, jobqueue.ErrQueueFull):
 			s.publishStoreGauges()
 			httpError(w, http.StatusTooManyRequests, "%v", err)
@@ -384,8 +612,19 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	s.mu.Lock()
 	rec, ok := s.jobs[id]
+	digest, evicted := s.tombstones[id]
 	s.mu.Unlock()
 	if !ok {
+		if evicted && digest != "" {
+			// The job record aged out of the bounded index but its answer is
+			// still content-addressed: point the client at the result.
+			writeJSON(w, http.StatusNotFound, map[string]string{
+				"error":  fmt.Sprintf("job %q evicted from the index; its result is still addressable", id),
+				"digest": digest,
+				"result": "/v1/results/" + digest,
+			})
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
@@ -413,8 +652,13 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	st := s.getStore()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "server is recovering, not ready")
+		return
+	}
 	digest := strings.TrimPrefix(r.URL.Path, "/v1/results/")
-	doc, ok := s.store.Get(digest)
+	doc, ok := st.Get(digest)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no result for digest %q", digest)
 		return
@@ -432,6 +676,9 @@ type jobView struct {
 	Cached bool   `json:"cached,omitempty"`
 	Digest string `json:"digest,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Attempts counts executor dispatches of this job so far; a value
+	// above 1 means the watchdog or a transient failure forced retries.
+	Attempts int `json:"attempts,omitempty"`
 	// Batch and BatchSize attribute the job to its flush: jobs sharing a
 	// batch number were coalesced into one dispatch.
 	Batch     int             `json:"batch,omitempty"`
@@ -452,6 +699,7 @@ func (s *server) view(rec *jobRecord) jobView {
 	t := rec.job.Times()
 	v.Enqueued, v.Started, v.Done = stamp(t.Enqueued), stamp(t.Started), stamp(t.Done)
 	v.Batch, v.BatchSize = rec.job.Batch()
+	v.Attempts = rec.job.Attempts()
 	switch {
 	case rec.job.Finished():
 		out, err := rec.job.Result()
@@ -460,6 +708,8 @@ func (s *server) view(rec *jobRecord) jobView {
 		} else {
 			v.State, v.Digest, v.Result = "done", out.digest, out.doc
 		}
+	case rec.job.Retrying():
+		v.State = "retrying"
 	case !t.Started.IsZero():
 		v.State = "running"
 	default:
@@ -475,19 +725,119 @@ func stamp(t time.Time) string {
 	return t.Format(time.RFC3339Nano)
 }
 
-// register assigns the job its ID and indexes it for polling.
+// register assigns the job its ID and indexes it for polling, evicting
+// over-cap terminal records so the index stays bounded even between
+// sweeper ticks.
 func (s *server) register(rec *jobRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	rec.id = fmt.Sprintf("j%06d", s.nextID)
 	s.jobs[rec.id] = rec
+	s.evictLocked(time.Now())
+}
+
+// sweepLoop periodically evicts expired terminal jobs so an idle daemon's
+// index shrinks without waiting for the next submission.
+func (s *server) sweepLoop() {
+	defer close(s.sweepDone)
+	ival := s.cfg.jobTTL / 4
+	if ival > 30*time.Second {
+		ival = 30 * time.Second
+	}
+	if ival < time.Second {
+		ival = time.Second
+	}
+	t := time.NewTicker(ival)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			s.evictLocked(time.Now())
+			s.mu.Unlock()
+		case <-s.sweepStop:
+			return
+		}
+	}
+}
+
+// evictLocked enforces the job-index bound: terminal jobs past their TTL
+// go first, then — if the index still exceeds jobIndexMax — the oldest
+// terminal jobs until it fits. Live jobs are never evicted (the index may
+// transiently exceed the cap if every record is live, which the queue's
+// own capacity bounds). Evicted jobs leave a digest tombstone so a late
+// poll is redirected to the content-addressed result instead of a bare
+// 404. Callers hold s.mu.
+func (s *server) evictLocked(now time.Time) {
+	type done struct {
+		id string
+		at time.Time
+	}
+	var terminal []done
+	for id, rec := range s.jobs {
+		if at := rec.terminalAt(); !at.IsZero() {
+			if now.Sub(at) > s.cfg.jobTTL {
+				s.entombLocked(id, rec)
+				continue
+			}
+			terminal = append(terminal, done{id, at})
+		}
+	}
+	if over := len(s.jobs) - s.cfg.jobIndexMax; over > 0 {
+		sort.Slice(terminal, func(i, j int) bool { return terminal[i].at.Before(terminal[j].at) })
+		for i := 0; i < len(terminal) && over > 0; i, over = i+1, over-1 {
+			s.entombLocked(terminal[i].id, s.jobs[terminal[i].id])
+		}
+	}
+	s.reg.SetGauge("job_index_size", int64(len(s.jobs)))
+}
+
+// entombLocked drops a job record, leaving a bounded digest tombstone.
+// Callers hold s.mu.
+func (s *server) entombLocked(id string, rec *jobRecord) {
+	delete(s.jobs, id)
+	s.tombstones[id] = rec.terminalDigest()
+	s.tombOrder = append(s.tombOrder, id)
+	for len(s.tombOrder) > s.cfg.jobIndexMax {
+		delete(s.tombstones, s.tombOrder[0])
+		s.tombOrder = s.tombOrder[1:]
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is the readiness probe: 200 only when the result store has
+// finished recovering and the server is not draining, so load balancers
+// and restart scripts know when to send traffic (and when to stop).
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]interface{}{
+		"ready":    s.ready.Load() && !s.draining.Load(),
+		"draining": s.draining.Load(),
+		"replaying": !s.ready.Load() && s.recoverErr.Load() == nil &&
+			s.cfg.dataDir != "",
+	}
+	if errp := s.recoverErr.Load(); errp != nil {
+		body["recovery_error"] = *errp
+	}
+	status := http.StatusOK
+	if ready, _ := body["ready"].(bool); !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 // publishStoreGauges mirrors the result-store statistics into the metrics
-// registry.
+// registry (a no-op while the store is still recovering).
 func (s *server) publishStoreGauges() {
-	hits, misses, entries := s.store.Stats()
+	st := s.getStore()
+	if st == nil {
+		return
+	}
+	hits, misses, entries := st.Stats()
 	s.reg.SetGauge("result_cache_hits", hits)
 	s.reg.SetGauge("result_cache_misses", misses)
 	s.reg.SetGauge("result_cache_entries", int64(entries))

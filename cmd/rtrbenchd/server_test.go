@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -344,5 +345,324 @@ func TestAdmissionValidation(t *testing.T) {
 		if status, _ := postJob(t, s.debug.URL, body); status != http.StatusBadRequest {
 			t.Errorf("submit %s = %d, want 400", body, status)
 		}
+	}
+}
+
+// postJobAs submits with an X-Client-ID header and returns the status,
+// view, and Retry-After header (empty when absent).
+func postJobAs(t *testing.T, url, client, body string) (int, jobView, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var v jobView
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("bad job view %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, v, resp.Header.Get("Retry-After")
+}
+
+// waitReady polls /readyz until it answers 200.
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ := getBody(t, url+"/readyz"); code == http.StatusOK {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+// crash simulates kill -9 for an in-process server: the listener closes
+// and the WAL is abandoned mid-state — no drain, no snapshot, no fsync
+// coordination — exactly what the durability layer must survive.
+func crash(s *server) {
+	_ = s.debug.Close()
+	close(s.sweepStop)
+}
+
+// TestKillRestartCacheSurvives is the tentpole drill in-process: results
+// cached before an abrupt crash are served as cache hits after a restart
+// over the same data directory, same digest and all.
+func TestKillRestartCacheSurvives(t *testing.T) {
+	dataDir := t.TempDir()
+	base := config{
+		batchSize: 1, maxWait: time.Millisecond, capacity: 8, workers: 1,
+		parallel: 2, cacheEntries: 8, dataDir: dataDir,
+		ledgerPath: t.TempDir() + "/ledger.jsonl",
+		addr:       "127.0.0.1:0",
+	}
+	s1, err := newServer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, s1.debug.URL)
+	req := `{"kernels":["dmp"],"trials":1,"seed":11}`
+	status, v := postJob(t, s1.debug.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	v = getJob(t, s1.debug.URL, v.ID, "30s")
+	if v.State != "done" || v.Digest == "" {
+		t.Fatalf("job = %+v", v)
+	}
+	digest := v.Digest
+
+	// kill -9: no drain, no snapshot, the WAL is whatever hit the disk.
+	crash(s1)
+
+	s2, err := newServer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s2.shutdown(ctx)
+	}()
+	waitReady(t, s2.debug.URL)
+
+	// The repeat submission is a cache hit — no re-execution — with the
+	// same content address, and the digest read path serves the document.
+	status, hit := postJob(t, s2.debug.URL, req)
+	if status != http.StatusOK || !hit.Cached || hit.Digest != digest {
+		t.Fatalf("post-restart submit = %d %+v, want cached hit with digest %s", status, hit, digest)
+	}
+	if code, _ := getBody(t, s2.debug.URL+"/v1/results/"+digest); code != http.StatusOK {
+		t.Fatalf("post-restart GET result = %d", code)
+	}
+	if code, m := getBody(t, s2.debug.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(m), "rtrbench_wal_records_replayed 1") {
+		t.Fatalf("metrics missing replay count:\n%s", m)
+	}
+}
+
+// TestHealthAndReadiness: /healthz is always live; /readyz is 200 when
+// serving and flips to 503 (draining) the moment shutdown begins, before
+// in-flight work finishes — the load-balancer contract.
+func TestHealthAndReadiness(t *testing.T) {
+	s := newTestServer(t, config{batchSize: 1, maxWait: time.Millisecond, capacity: 8, workers: 1, parallel: 2, cacheEntries: 8})
+	if code, _ := getBody(t, s.debug.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	code, body := getBody(t, s.debug.URL+"/readyz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"ready": true`) {
+		t.Fatalf("/readyz = %d %s", code, body)
+	}
+
+	// Wedge the worker so the drain blocks, then observe readiness drop
+	// while health stays up and polls still answer.
+	block := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(block) }) }
+	defer release()
+	s.engine.NewProfile = func(rtrbench.Options) *profile.Profile {
+		<-block
+		return profile.Disabled()
+	}
+	status, v := postJob(t, s.debug.URL, `{"kernels":["dmp"],"seed":5}`)
+	if status != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("submit = %d %+v", status, v)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		done <- s.shutdown(ctx)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = getBody(t, s.debug.URL+"/readyz")
+		if code == http.StatusServiceUnavailable && strings.Contains(string(body), `"draining": true`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never reported draining: %d %s", code, body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _ := getBody(t, s.debug.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d", code)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestPerClientFairness is the flooding-tenant drill: a client hammering
+// the service hits its own rate limit (429 with a Retry-After hint) and
+// its own queue share, while a well-behaved client's job is admitted and
+// completes.
+func TestPerClientFairness(t *testing.T) {
+	s := newTestServer(t, config{
+		batchSize: 1, maxWait: time.Millisecond, capacity: 16, workers: 1,
+		parallel: 2, cacheEntries: 16,
+		clientRate: 0.1, clientBurst: 2, clientCapacity: 4,
+	})
+
+	// The flooder burns its burst and then some: 10 distinct requests as
+	// fast as HTTP allows.
+	floodAccepted, flood429 := 0, 0
+	sawRetryAfter := ""
+	for i := 0; i < 10; i++ {
+		status, _, ra := postJobAs(t, s.debug.URL, "flood", fmt.Sprintf(`{"kernels":["dmp"],"seed":%d}`, 2000+i))
+		switch status {
+		case http.StatusAccepted:
+			floodAccepted++
+		case http.StatusTooManyRequests:
+			flood429++
+			if ra != "" {
+				sawRetryAfter = ra
+			}
+		default:
+			t.Fatalf("flood submit %d = %d", i, status)
+		}
+	}
+	if floodAccepted != 2 || flood429 != 8 {
+		t.Fatalf("flooder admitted %d / rejected %d, want 2 / 8 (burst 2)", floodAccepted, flood429)
+	}
+	if sawRetryAfter == "" {
+		t.Fatal("429 responses never carried Retry-After")
+	}
+
+	// The slow client is untouched by the flooder's bucket and completes.
+	status, v, _ := postJobAs(t, s.debug.URL, "slow", `{"kernels":["dmp"],"seed":3000}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("slow submit = %d, want 202", status)
+	}
+	if v = getJob(t, s.debug.URL, v.ID, "30s"); v.State != "done" {
+		t.Fatalf("slow job = %+v", v)
+	}
+	if code, m := getBody(t, s.debug.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(m), "rtrbench_rate_limited 8") {
+		t.Fatalf("metrics missing rate_limited counter:\n%s", m)
+	}
+}
+
+// TestWatchdogWedgedExecutorFailsTerminally wedges the engine via the
+// profile hook — it never returns, ignoring cancellation — and watches
+// the watchdog cancel it, retry it, and fail the job terminally with the
+// attempt count surfaced in the job view. The daemon survives: a healthy
+// job afterwards completes normally.
+func TestWatchdogWedgedExecutorFailsTerminally(t *testing.T) {
+	s := newTestServer(t, config{
+		batchSize: 1, maxWait: time.Millisecond, capacity: 8, workers: 1,
+		parallel: 2, cacheEntries: 8,
+		jobTimeout: 100 * time.Millisecond, abandonGrace: 50 * time.Millisecond,
+		maxAttempts: 2, retryBackoff: 10 * time.Millisecond,
+	})
+	block := make(chan struct{})
+	var wedged atomic.Int32
+	var once sync.Once
+	release := func() { once.Do(func() { close(block) }) }
+	defer release()
+	s.engine.NewProfile = func(rtrbench.Options) *profile.Profile {
+		wedged.Add(1)
+		<-block // ignores cancellation entirely: the executor is wedged
+		return profile.Disabled()
+	}
+
+	status, v := postJob(t, s.debug.URL, `{"kernels":["dmp"],"seed":9}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	v = getJob(t, s.debug.URL, v.ID, "30s")
+	if v.State != "failed" {
+		t.Fatalf("wedged job state = %q (%+v), want failed", v.State, v)
+	}
+	if v.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (dispatched, watchdogged, retried, watchdogged)", v.Attempts)
+	}
+	if !strings.Contains(v.Error, "after 2 attempt(s)") {
+		t.Fatalf("error %q does not carry the attempt count", v.Error)
+	}
+	if got := wedged.Load(); got != 2 {
+		t.Fatalf("executor wedged %d times, want 2", got)
+	}
+
+	// The worker slot was reclaimed both times: a healthy job completes.
+	s.engine.NewProfile = nil
+	status, v = postJob(t, s.debug.URL, `{"kernels":["dmp"],"seed":10}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("healthy submit = %d", status)
+	}
+	if v = getJob(t, s.debug.URL, v.ID, "30s"); v.State != "done" || v.Attempts != 1 {
+		t.Fatalf("healthy job = %+v, want done in 1 attempt", v)
+	}
+	if code, m := getBody(t, s.debug.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(m), "rtrbench_executors_abandoned 2") ||
+		!strings.Contains(string(m), "rtrbench_retries_scheduled 1") {
+		t.Fatalf("metrics missing watchdog counters:\n%s", m)
+	}
+}
+
+// TestJobIndexEviction: terminal jobs age out of the bounded index, and a
+// poll for an evicted job is a 404 carrying the digest pointer, not a
+// dead end — the result itself stays content-addressed in the store.
+func TestJobIndexEviction(t *testing.T) {
+	s := newTestServer(t, config{
+		batchSize: 1, maxWait: time.Millisecond, capacity: 8, workers: 1,
+		parallel: 2, cacheEntries: 8,
+		jobTTL: 50 * time.Millisecond, jobIndexMax: 64,
+	})
+	status, v := postJob(t, s.debug.URL, `{"kernels":["dmp"],"seed":21}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	v = getJob(t, s.debug.URL, v.ID, "30s")
+	if v.State != "done" {
+		t.Fatalf("job = %+v", v)
+	}
+	evictedID, digest := v.ID, v.Digest
+
+	// Age the record past its TTL; the next registration sweeps it out.
+	time.Sleep(80 * time.Millisecond)
+	if status, _ = postJob(t, s.debug.URL, `{"kernels":["dmp"],"seed":22}`); status != http.StatusAccepted {
+		t.Fatalf("second submit = %d", status)
+	}
+
+	code, raw := getBody(t, s.debug.URL+"/v1/jobs/"+evictedID)
+	if code != http.StatusNotFound {
+		t.Fatalf("evicted job poll = %d, want 404", code)
+	}
+	var tomb struct {
+		Error  string `json:"error"`
+		Digest string `json:"digest"`
+		Result string `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &tomb); err != nil || tomb.Digest != digest {
+		t.Fatalf("tombstone = %s (err %v), want digest %s", raw, err, digest)
+	}
+	if code, _ := getBody(t, s.debug.URL+tomb.Result); code != http.StatusOK {
+		t.Fatalf("tombstone result pointer %s = %d, want 200", tomb.Result, code)
+	}
+	// A never-existing ID is still a plain 404.
+	if code, raw := getBody(t, s.debug.URL+"/v1/jobs/j999999"); code != http.StatusNotFound ||
+		strings.Contains(string(raw), "digest") {
+		t.Fatalf("unknown job = %d %s, want bare 404", code, raw)
+	}
+}
+
+// TestBodyLimit: a request body over -max-body is rejected, not buffered.
+func TestBodyLimit(t *testing.T) {
+	s := newTestServer(t, config{batchSize: 1, maxWait: time.Millisecond, capacity: 4, workers: 1, parallel: 2, cacheEntries: 4, maxBody: 256})
+	big := fmt.Sprintf(`{"kernels":["dmp"],"seed":1,"size":"%s"}`, strings.Repeat("x", 1024))
+	if status, _ := postJob(t, s.debug.URL, big); status != http.StatusBadRequest {
+		t.Fatalf("oversized submit = %d, want 400", status)
 	}
 }

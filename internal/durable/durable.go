@@ -1,0 +1,591 @@
+// Package durable is the crash-safety layer under rtrbenchd's state: a
+// write-ahead, checksummed, append-only segment log with periodic
+// snapshots, built so a kill -9 at any instant loses at most the record
+// being written and never the ability to start.
+//
+// The layout is a directory of JSONL segment files (wal-000001.jsonl,
+// wal-000002.jsonl, ...) plus at most a few snapshot files
+// (snapshot-<seq>.json). Every record line carries its sequence number and
+// the SHA-256 of its payload; every snapshot carries the sequence number
+// it covers and the SHA-256 of its state blob. Recovery loads the newest
+// intact snapshot, replays the records after it in sequence order, and
+// treats the first bad line — torn write, flipped byte, sequence gap — as
+// the end of history: the segment is truncated at that byte offset and
+// the log keeps appending from there. A corrupt tail is data loss bounded
+// by the fsync policy, never a refusal to start.
+//
+// Compaction is snapshot-driven: Snapshot writes the full state, rotates
+// to a fresh segment, and deletes the segments the snapshot covers, so
+// the directory stays proportional to the live state plus the configured
+// segment size rather than to history.
+package durable
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects how aggressively appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every append: no acknowledged record is
+	// ever lost, at a per-append latency cost.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background ticker (Options.FsyncEvery):
+	// a crash loses at most one interval of records.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS: fastest, loses whatever the
+	// kernel had not written back. Recovery still truncates cleanly.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the flag spellings ("always", "interval",
+// "never") onto the policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding segments and snapshots; created if
+	// missing. Required.
+	Dir string
+	// SegmentBytes rotates to a new segment once the current one exceeds
+	// this size. <= 0 means 4 MiB.
+	SegmentBytes int64
+	// Fsync is the durability/latency trade-off for appends.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval ticker period. <= 0 means 100ms.
+	FsyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// RecoveryInfo reports what Recover found and repaired.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence number of the snapshot that seeded the
+	// state (0 when no snapshot was loaded).
+	SnapshotSeq uint64
+	// Records is the number of intact records replayed after the snapshot.
+	Records int
+	// Truncated reports that a torn or corrupt tail was found and cut;
+	// TruncatedFile/TruncatedAt locate the cut.
+	Truncated     bool
+	TruncatedFile string
+	TruncatedAt   int64
+}
+
+// record is one WAL line. Sum is the hex SHA-256 of the decoded payload,
+// so a torn or bit-flipped line fails closed.
+type record struct {
+	Seq  uint64 `json:"seq"`
+	Sum  string `json:"sum"`
+	Data []byte `json:"data"` // encoding/json base64-encodes []byte
+}
+
+// snapshotFile is the snapshot document: the full state blob at Seq.
+type snapshotFile struct {
+	Seq   uint64 `json:"seq"`
+	Sum   string `json:"sum"`
+	State []byte `json:"state"`
+}
+
+// Log is an append-only checksummed record log. Construct with Open, call
+// Recover exactly once before the first Append, Close when done. All
+// methods are goroutine-safe.
+type Log struct {
+	opts Options
+
+	mu        sync.Mutex
+	seq       uint64 // last assigned sequence number
+	segIndex  int    // numeric suffix of the open segment
+	seg       *os.File
+	segW      *bufio.Writer
+	segSize   int64
+	recovered bool
+	closed    bool
+	dirty     bool // unsynced appends (FsyncInterval)
+
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+}
+
+// Open prepares the log directory. It does not read history — call
+// Recover to replay it (required even for an empty directory, so the
+// append position is established exactly once).
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("durable: Options.Dir is required")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	l := &Log{opts: opts}
+	if opts.Fsync == FsyncInterval {
+		l.tickerStop = make(chan struct{})
+		l.tickerDone = make(chan struct{})
+		go l.fsyncLoop()
+	}
+	return l, nil
+}
+
+// segmentName formats the segment file name for index i.
+func segmentName(i int) string { return fmt.Sprintf("wal-%06d.jsonl", i) }
+
+// parseSegment extracts the index from a segment file name.
+func parseSegment(name string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(name, "wal-%06d.jsonl", &i); err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// parseSnapshot extracts the covered sequence number from a snapshot name.
+func parseSnapshot(name string) (uint64, bool) {
+	var s uint64
+	if _, err := fmt.Sscanf(name, "snapshot-%d.json", &s); err != nil {
+		return 0, false
+	}
+	return s, true
+}
+
+// listDir splits the directory into sorted segment indices and snapshot
+// sequence numbers.
+func (l *Log) listDir() (segments []int, snapshots []uint64, err error) {
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if i, ok := parseSegment(e.Name()); ok {
+			segments = append(segments, i)
+		} else if s, ok := parseSnapshot(e.Name()); ok {
+			snapshots = append(snapshots, s)
+		}
+	}
+	sort.Ints(segments)
+	sort.Slice(snapshots, func(i, j int) bool { return snapshots[i] < snapshots[j] })
+	return segments, snapshots, nil
+}
+
+// Recover rebuilds state from disk: the newest intact snapshot is handed
+// to loadSnapshot (skipped when none exists), then every intact record
+// with a sequence number beyond it is handed to apply, in order. The
+// first corrupt line — torn tail, bad checksum, malformed JSON, sequence
+// regression — truncates its segment at that offset and ends replay;
+// later segments are deleted (they postdate the corruption and can no
+// longer be ordered against it). Recover never returns an error for
+// corrupt data, only for I/O failures and callback errors.
+func (l *Log) Recover(loadSnapshot func(state []byte) error, apply func(rec []byte) error) (RecoveryInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var info RecoveryInfo
+	if l.recovered {
+		return info, fmt.Errorf("durable: Recover called twice")
+	}
+	segments, snapshots, err := l.listDir()
+	if err != nil {
+		return info, err
+	}
+
+	// Load the newest snapshot that verifies; older ones are fallbacks
+	// against a crash mid-snapshot-write (the rename is atomic, but be
+	// defensive about the blob too).
+	for i := len(snapshots) - 1; i >= 0; i-- {
+		state, ok := l.readSnapshot(snapshots[i])
+		if !ok {
+			continue
+		}
+		if loadSnapshot != nil {
+			if err := loadSnapshot(state); err != nil {
+				return info, fmt.Errorf("durable: load snapshot %d: %w", snapshots[i], err)
+			}
+		}
+		info.SnapshotSeq = snapshots[i]
+		l.seq = snapshots[i]
+		break
+	}
+
+	// Replay segments in order. Records at or before the snapshot are
+	// skipped (the snapshot already contains their effect).
+	for si, segIdx := range segments {
+		stop, err := l.replaySegment(segIdx, apply, &info)
+		if err != nil {
+			return info, err
+		}
+		if stop {
+			// Everything after the truncation point is unordered history:
+			// drop the later segments entirely.
+			for _, later := range segments[si+1:] {
+				_ = os.Remove(filepath.Join(l.opts.Dir, segmentName(later)))
+			}
+			break
+		}
+	}
+
+	// Append position: continue the highest existing segment, or start
+	// segment 1.
+	last := 1
+	if len(segments) > 0 {
+		last = segments[len(segments)-1]
+		if info.Truncated {
+			// The truncated segment may not be the numerically last one if
+			// later segments were dropped above.
+			if i, ok := parseSegment(filepath.Base(info.TruncatedFile)); ok {
+				last = i
+			}
+		}
+	}
+	if err := l.openSegment(last); err != nil {
+		return info, err
+	}
+	l.recovered = true
+	return info, nil
+}
+
+// readSnapshot loads and verifies one snapshot file; ok is false for any
+// corruption.
+func (l *Log) readSnapshot(seq uint64) ([]byte, bool) {
+	b, err := os.ReadFile(filepath.Join(l.opts.Dir, fmt.Sprintf("snapshot-%d.json", seq)))
+	if err != nil {
+		return nil, false
+	}
+	var sf snapshotFile
+	if err := json.Unmarshal(b, &sf); err != nil || sf.Seq != seq {
+		return nil, false
+	}
+	if hexSum(sf.State) != sf.Sum {
+		return nil, false
+	}
+	return sf.State, true
+}
+
+// replaySegment applies the intact records of one segment, truncating at
+// the first bad line. stop=true means corruption ended the replay.
+func (l *Log) replaySegment(segIdx int, apply func([]byte) error, info *RecoveryInfo) (stop bool, err error) {
+	path := filepath.Join(l.opts.Dir, segmentName(segIdx))
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("durable: %w", err)
+	}
+	defer f.Close()
+
+	var offset int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineLen := int64(len(line)) + 1 // trailing newline
+		// A record is bad when it fails to parse, fails its checksum, or
+		// breaks sequence monotonicity (a record from before the snapshot
+		// is fine — it is skipped, not corrupt).
+		var rec record
+		if json.Unmarshal(line, &rec) != nil || hexSum(rec.Data) != rec.Sum {
+			return true, l.truncateAt(path, offset, info)
+		}
+		if rec.Seq <= info.SnapshotSeq {
+			offset += lineLen // pre-snapshot history, already in the snapshot
+			continue
+		}
+		if rec.Seq != l.seq+1 {
+			return true, l.truncateAt(path, offset, info)
+		}
+		l.seq = rec.Seq
+		if apply != nil {
+			if err := apply(rec.Data); err != nil {
+				return false, fmt.Errorf("durable: apply record %d: %w", rec.Seq, err)
+			}
+		}
+		info.Records++
+		offset += lineLen
+	}
+	if sc.Err() != nil || l.hasPartialTail(path, offset) {
+		// A final line without a newline (torn write) never reaches the
+		// loop body on some scanners; measure the file to be sure.
+		return true, l.truncateAt(path, offset, info)
+	}
+	return false, nil
+}
+
+// hasPartialTail reports whether the file extends beyond the last intact
+// record boundary.
+func (l *Log) hasPartialTail(path string, offset int64) bool {
+	st, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	return st.Size() > offset
+}
+
+// truncateAt cuts the segment at the last intact record boundary and
+// stamps the recovery info.
+func (l *Log) truncateAt(path string, offset int64, info *RecoveryInfo) error {
+	st, err := os.Stat(path)
+	if err == nil && st.Size() == offset {
+		// Nothing to cut (scanner error without extra bytes).
+		return nil
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("durable: truncate torn tail: %w", err)
+	}
+	info.Truncated = true
+	info.TruncatedFile = path
+	info.TruncatedAt = offset
+	return nil
+}
+
+// openSegment opens (creating if needed) segment i for appending.
+func (l *Log) openSegment(i int) error {
+	path := filepath.Join(l.opts.Dir, segmentName(i))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if l.segW != nil {
+		_ = l.segW.Flush()
+	}
+	if l.seg != nil {
+		_ = l.seg.Close()
+	}
+	l.seg, l.segW, l.segIndex, l.segSize = f, bufio.NewWriter(f), i, st.Size()
+	return nil
+}
+
+// Append writes one record, rotating segments and applying the fsync
+// policy. The data is opaque to the log.
+func (l *Log) Append(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.recovered {
+		return fmt.Errorf("durable: Append before Recover")
+	}
+	if l.closed {
+		return fmt.Errorf("durable: log closed")
+	}
+	l.seq++
+	line, err := json.Marshal(record{Seq: l.seq, Sum: hexSum(data), Data: data})
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := l.segW.Write(line); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	l.segSize += int64(len(line))
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.flushLocked(true); err != nil {
+			return err
+		}
+	case FsyncInterval:
+		l.dirty = true
+	case FsyncNever:
+		if err := l.flushLocked(false); err != nil {
+			return err
+		}
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.flushLocked(l.opts.Fsync == FsyncAlways); err != nil {
+			return err
+		}
+		if err := l.openSegment(l.segIndex + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot persists the full state blob at the current sequence number,
+// rotates to a fresh segment, and deletes the history the snapshot now
+// covers — the compaction step. The snapshot write is atomic
+// (tmp + rename), so a crash mid-snapshot leaves the previous
+// snapshot+segments intact.
+func (l *Log) Snapshot(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.recovered {
+		return fmt.Errorf("durable: Snapshot before Recover")
+	}
+	if l.closed {
+		return fmt.Errorf("durable: log closed")
+	}
+	if err := l.flushLocked(l.opts.Fsync != FsyncNever); err != nil {
+		return err
+	}
+	b, err := json.Marshal(snapshotFile{Seq: l.seq, Sum: hexSum(state), State: state})
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	final := filepath.Join(l.opts.Dir, fmt.Sprintf("snapshot-%d.json", l.seq))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if l.opts.Fsync != FsyncNever {
+		if f, err := os.Open(tmp); err == nil {
+			_ = f.Sync()
+			_ = f.Close()
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+
+	// Compact: everything before the fresh segment is covered by the
+	// snapshot; older snapshots are superseded.
+	segments, snapshots, err := l.listDir()
+	if err != nil {
+		return err
+	}
+	if err := l.openSegment(l.segIndex + 1); err != nil {
+		return err
+	}
+	for _, i := range segments {
+		if i < l.segIndex {
+			_ = os.Remove(filepath.Join(l.opts.Dir, segmentName(i)))
+		}
+	}
+	for _, s := range snapshots {
+		if s < l.seq {
+			_ = os.Remove(filepath.Join(l.opts.Dir, fmt.Sprintf("snapshot-%d.json", s)))
+		}
+	}
+	return nil
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Segments returns the number of segment files currently on disk.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segments, _, err := l.listDir()
+	if err != nil {
+		return 0
+	}
+	return len(segments)
+}
+
+// Sync flushes buffered appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil || l.closed {
+		return nil
+	}
+	return l.flushLocked(true)
+}
+
+func (l *Log) flushLocked(sync bool) error {
+	if err := l.segW.Flush(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if sync {
+		if err := l.seg.Sync(); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+		l.dirty = false
+	}
+	return nil
+}
+
+// fsyncLoop is the FsyncInterval background flusher.
+func (l *Log) fsyncLoop() {
+	defer close(l.tickerDone)
+	t := time.NewTicker(l.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed && l.seg != nil {
+				_ = l.flushLocked(true)
+			}
+			l.mu.Unlock()
+		case <-l.tickerStop:
+			return
+		}
+	}
+}
+
+// Close flushes and closes the log. A closed log rejects further appends.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.seg != nil {
+		err = l.flushLocked(l.opts.Fsync != FsyncNever)
+		if cerr := l.seg.Close(); err == nil {
+			err = cerr
+		}
+		l.seg, l.segW = nil, nil
+	}
+	stop := l.tickerStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.tickerDone
+	}
+	return err
+}
+
+func hexSum(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}

@@ -1,39 +1,74 @@
-// Package jobqueue is the bounded, batching job queue behind rtrbenchd:
-// the layer that turns independent request/response submissions into the
-// batched execution stream a multi-tenant benchmark service needs.
+// Package jobqueue is the bounded, batching, multi-tenant job queue
+// behind rtrbenchd: the layer that turns independent request/response
+// submissions into the batched execution stream a benchmark service
+// needs, without letting one client starve the rest or one wedged
+// executor occupy a worker forever.
 //
-// The shape is the classic channel-based batcher: submissions land on a
-// bounded channel (admission control — a full queue rejects with the typed
-// ErrQueueFull instead of blocking the caller), a collector goroutine
-// gathers them into batches flushed on whichever comes first of a size
-// threshold and a max-wait timer, and a small worker pool executes the
-// batches. Every job carries a per-request completion channel and
-// per-stage timestamps (enqueue, start, done), so callers can both wait
-// for their own result and observe how the batcher coalesced the load.
+// Admission is per-client: every submission names a client, lands in that
+// client's FIFO, and is policed by a token bucket (RatePerClient/Burst —
+// a flooding client gets a typed RateLimitError carrying a Retry-After
+// hint) and by both a per-client and a total capacity bound (ErrQueueFull).
+// The collector drains the client queues with weighted round-robin, so a
+// client submitting at 10x the rate of another still only gets its
+// weight's share of each batch and the slow client's jobs keep flowing.
+// Batches flush on whichever comes first of a size threshold and a
+// max-wait timer, and a small worker pool executes them.
+//
+// Execution is watched: JobTimeout bounds each dispatched batch (scaled
+// by its size), a fired watchdog cancels the batch's context, and an
+// executor that ignores even the cancellation is abandoned after a grace
+// period — its goroutine is cut loose and the worker slot recovered
+// (exactly-once Finish makes late completions from the abandoned attempt
+// harmless). Jobs that failed transiently — watchdog cancellations, or
+// errors the Transient classifier accepts — are requeued with capped
+// exponential backoff plus jitter up to MaxAttempts, then finished with a
+// terminal error carrying the attempt count.
 //
 // Shutdown is a graceful drain: new submissions are rejected with
-// ErrDraining while everything already admitted — queued or in flight —
-// runs to completion. The executor contract plus a finish-of-last-resort
-// sweep guarantee no job is ever lost or completed twice.
+// ErrDraining while everything already admitted — queued, in flight, or
+// waiting out a retry backoff — runs to completion. The executor contract
+// plus a finish-of-last-resort sweep guarantee no job is ever lost or
+// completed twice.
 package jobqueue
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// ErrQueueFull is the typed admission-control rejection: the queue is at
-// capacity and the submission was not admitted. Callers translate it into
-// backpressure (HTTP 429, retry with backoff).
+// ErrQueueFull is the typed admission-control rejection: the queue (or
+// the submitting client's share of it) is at capacity and the submission
+// was not admitted. Callers translate it into backpressure (HTTP 429,
+// retry with backoff).
 var ErrQueueFull = errors.New("jobqueue: queue full")
 
 // ErrDraining rejects submissions arriving after Drain began: the queue
 // still completes admitted work but admits nothing new.
 var ErrDraining = errors.New("jobqueue: draining")
+
+// ErrRateLimited is the sentinel RateLimitError matches via errors.Is.
+var ErrRateLimited = errors.New("jobqueue: rate limited")
+
+// RateLimitError rejects a submission that outran its client's token
+// bucket. RetryAfter is when the bucket will next hold a whole token —
+// the value an HTTP layer puts in a Retry-After header.
+type RateLimitError struct {
+	Client     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("jobqueue: client %q rate limited (retry after %v)", e.Client, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrRateLimited) match.
+func (e *RateLimitError) Is(target error) bool { return target == ErrRateLimited }
 
 // errDropped is the finish-of-last-resort error for a job its executor
 // returned without finishing — a bug in the executor, surfaced to the
@@ -41,9 +76,9 @@ var ErrDraining = errors.New("jobqueue: draining")
 var errDropped = errors.New("jobqueue: executor returned without finishing job")
 
 // Timestamps records the per-stage lifecycle instants of one job. Enqueued
-// is stamped at admission, Started when a worker picks up the job's batch,
-// Done when the job finishes. A zero instant means the stage has not been
-// reached.
+// is stamped at admission, Started when a worker picks up the job's batch
+// (the latest attempt's start, under retries), Done when the job finishes.
+// A zero instant means the stage has not been reached.
 type Timestamps struct {
 	Enqueued time.Time
 	Started  time.Time
@@ -56,37 +91,69 @@ type Job[Req, Res any] struct {
 	// Req is the submission payload, immutable after Submit.
 	Req Req
 
+	q *Queue[Req, Res]
+
 	mu        sync.Mutex
 	times     Timestamps
+	client    string
 	batch     int // 1-based flush sequence number; 0 until dispatched
 	batchSize int
-	res       Res
-	err       error
+	attempts  int // dispatches so far
+	// retryWait marks a job sitting out a backoff or re-queued by the
+	// watchdog; everRetried stays set for the rest of its life and routes
+	// all further error completions through the settle path.
+	retryWait   bool
+	everRetried bool
+	// pendingErr is a transient failure recorded (not completed) by
+	// Finish, consumed by settle to decide retry vs terminal.
+	pendingErr error
+	res        Res
+	err        error
 
 	once sync.Once
 	done chan struct{}
 }
 
-// Finish completes the job with a result or error, stamping the Done
-// timestamp and waking every waiter. Only the first call has any effect:
-// a duplicate Finish (retry logic gone wrong, executor sweep racing a
-// slow executor) is a no-op, which is what makes "no duplicated results"
-// a structural property instead of a convention.
+// Finish completes the job with a result or error. Success always
+// completes (first success wins — duplicate calls are no-ops, which is
+// what makes "no duplicated results" a structural property instead of a
+// convention). An error may instead be recorded for retry: when the
+// queue's Transient classifier accepts it and attempts remain — or when
+// the job has already been through a watchdog retry, so the settle path
+// owns its terminal state — Finish stores it and leaves the job pending;
+// the queue requeues it with backoff or finishes it terminally after the
+// batch settles.
 func (j *Job[Req, Res]) Finish(res Res, err error) {
+	if err == nil {
+		j.complete(res, nil)
+		return
+	}
+	j.mu.Lock()
+	retryable := j.q != nil && j.q.retryEnabled() &&
+		(j.everRetried || (j.q.transient(err) && j.attempts < j.q.maxAttempts()))
+	if retryable && !j.finished() {
+		j.pendingErr = err
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	j.complete(res, err)
+}
+
+// complete is the exactly-once completion.
+func (j *Job[Req, Res]) complete(res Res, err error) {
 	j.once.Do(func() {
 		j.mu.Lock()
 		j.res, j.err = res, err
 		j.times.Done = time.Now()
+		j.retryWait = false
 		j.mu.Unlock()
 		close(j.done)
 	})
 }
 
-// DoneCh is closed when the job has finished.
-func (j *Job[Req, Res]) DoneCh() <-chan struct{} { return j.done }
-
-// Finished reports whether the job has completed.
-func (j *Job[Req, Res]) Finished() bool {
+// finished is Finished without the lock (callers hold j.mu or don't care).
+func (j *Job[Req, Res]) finished() bool {
 	select {
 	case <-j.done:
 		return true
@@ -94,6 +161,12 @@ func (j *Job[Req, Res]) Finished() bool {
 		return false
 	}
 }
+
+// DoneCh is closed when the job has finished.
+func (j *Job[Req, Res]) DoneCh() <-chan struct{} { return j.done }
+
+// Finished reports whether the job has completed.
+func (j *Job[Req, Res]) Finished() bool { return j.finished() }
 
 // Wait blocks until the job finishes or ctx is cancelled, returning the
 // job's result or the first of (job error, ctx error).
@@ -132,18 +205,49 @@ func (j *Job[Req, Res]) Batch() (id, size int) {
 	return j.batch, j.batchSize
 }
 
+// Attempts returns the number of times the job has been dispatched to an
+// executor (1 for a job that never needed a retry; 0 before dispatch).
+func (j *Job[Req, Res]) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// Retrying reports whether the job is sitting out a retry backoff or has
+// been requeued by the watchdog and not yet completed.
+func (j *Job[Req, Res]) Retrying() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retryWait && !j.finished()
+}
+
+// Client returns the client the job was submitted under.
+func (j *Job[Req, Res]) Client() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.client
+}
+
 func (j *Job[Req, Res]) markStarted(batch, size int, at time.Time) {
 	j.mu.Lock()
 	j.times.Started = at
 	j.batch, j.batchSize = batch, size
+	j.attempts++
+	j.retryWait = false
 	j.mu.Unlock()
 }
 
 // Options configures a Queue.
 type Options struct {
 	// Capacity bounds the jobs admitted but not yet dispatched to a
-	// worker; Submit fails with ErrQueueFull at capacity. <= 0 means 64.
+	// worker, summed over all clients; Submit fails with ErrQueueFull at
+	// capacity. <= 0 means 64.
 	Capacity int
+	// PerClientCapacity bounds one client's share of the queue; <= 0
+	// means Capacity (no per-client bound). Setting it below Capacity is
+	// what keeps a flooding client from filling the whole queue and
+	// starving everyone else at admission.
+	PerClientCapacity int
 	// BatchSize flushes a batch as soon as it holds this many jobs.
 	// <= 0 means 8.
 	BatchSize int
@@ -153,16 +257,63 @@ type Options struct {
 	MaxWait time.Duration
 	// Workers is the number of concurrent batch executors. <= 0 means 1.
 	Workers int
+
+	// RatePerClient, when > 0, token-bucket rate limits each client to
+	// this many admissions per second (burst up to Burst). Rejections are
+	// *RateLimitError with a Retry-After hint.
+	RatePerClient float64
+	// Burst is the token-bucket size; <= 0 means max(1, ceil(rate)).
+	Burst int
+	// ClientWeight maps a client to its weighted-round-robin share of
+	// each batch; nil or non-positive results mean weight 1.
+	ClientWeight func(client string) int
+
+	// JobTimeout is the per-job execution budget; a dispatched batch gets
+	// JobTimeout x len(batch) (jobs in a batch run sequentially), after
+	// which its context is cancelled. 0 disables the watchdog.
+	JobTimeout time.Duration
+	// AbandonGrace is how long after cancellation the watchdog waits for
+	// a wedged executor to return before cutting its goroutine loose and
+	// recovering the worker slot. <= 0 means 2s.
+	AbandonGrace time.Duration
+	// MaxAttempts is the total number of dispatches a job may consume
+	// (first attempt + retries). <= 0 means 1: no retries.
+	MaxAttempts int
+	// RetryBackoff is the base of the capped exponential retry backoff
+	// (base, 2*base, 4*base, ... up to RetryBackoffCap), each delay
+	// jittered by ±50%. <= 0 means 100ms.
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps the exponential growth. <= 0 means 5s.
+	RetryBackoffCap time.Duration
+	// Seed seeds the jitter RNG for reproducible tests; 0 seeds from the
+	// clock.
+	Seed int64
+	// Transient classifies executor-reported errors as retryable; nil
+	// means errors.Is(err, context.DeadlineExceeded). Watchdog
+	// cancellations are always transient.
+	Transient func(error) bool
+
 	// OnDepth, when non-nil, observes every queue-depth change (jobs
 	// admitted but not yet started) — the metrics-gauge hook.
 	OnDepth func(depth int)
 	// OnBatch, when non-nil, observes every flush with the batch size.
 	OnBatch func(size int)
+	// OnRateLimited, when non-nil, observes every rate-limit rejection.
+	OnRateLimited func(client string)
+	// OnRetry, when non-nil, observes every scheduled retry with the
+	// attempt number just failed and the backoff chosen.
+	OnRetry func(client string, attempt int, backoff time.Duration)
+	// OnAbandon, when non-nil, observes every wedged executor the
+	// watchdog cut loose.
+	OnAbandon func()
 }
 
 func (o Options) withDefaults() Options {
 	if o.Capacity <= 0 {
 		o.Capacity = 64
+	}
+	if o.PerClientCapacity <= 0 || o.PerClientCapacity > o.Capacity {
+		o.PerClientCapacity = o.Capacity
 	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 8
@@ -173,44 +324,84 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.Burst <= 0 {
+		o.Burst = int(math.Max(1, math.Ceil(o.RatePerClient)))
+	}
+	if o.AbandonGrace <= 0 {
+		o.AbandonGrace = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 1
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.RetryBackoffCap <= 0 {
+		o.RetryBackoffCap = 5 * time.Second
+	}
 	return o
 }
 
-// Queue is a bounded job queue with batched dispatch. Construct with New;
-// the zero value is not usable.
+// Queue is a bounded, fair, batching job queue with watchdogged
+// execution. Construct with New; the zero value is not usable.
 type Queue[Req, Res any] struct {
 	opts Options
 	exec func(context.Context, []*Job[Req, Res])
 
-	jobs    chan *Job[Req, Res]
+	mu       sync.Mutex
+	clients  map[string]*client[Req, Res]
+	order    []string // round-robin visiting order (registration order)
+	rrIdx    int
+	pending  int // jobs queued across all clients
+	inflight int // jobs dispatched, not yet settled
+	retries  int // retry timers outstanding
+	draining bool
+	notify   chan struct{} // coalesced "state changed" signal to the collector
+
 	batches chan []*Job[Req, Res]
 
-	mu       sync.Mutex // guards draining against the Submit send
-	draining bool
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	depth   atomic.Int64
 	batchID atomic.Int64
-	wg      sync.WaitGroup // collector + workers
+	wg      sync.WaitGroup // collector + workers + retry timers
+}
+
+// client is one tenant's FIFO and token bucket.
+type client[Req, Res any] struct {
+	queue  []*Job[Req, Res]
+	credit int // WRR credit left in the current turn
+
+	tokens float64
+	last   time.Time
 }
 
 // New builds the queue and starts its collector and worker goroutines.
 //
 // exec is the batch executor: it receives every dispatched batch and must
 // Finish each job in it. The contract is enforced, not trusted — if exec
-// panics or returns with unfinished jobs, the queue finishes them with an
-// error so no waiter hangs. ctx is the execution context handed through to
-// exec; cancelling it is a hard abort for in-flight work (use Drain for
-// the graceful path).
+// panics, returns with unfinished jobs, or wedges past the watchdog, the
+// queue finishes (or requeues) them so no waiter hangs. ctx is the
+// execution context handed through to exec; cancelling it is a hard abort
+// for in-flight work (use Drain for the graceful path). Executors must
+// treat ctx cancellation as the watchdog's cancel signal and return.
 func New[Req, Res any](ctx context.Context, opts Options, exec func(context.Context, []*Job[Req, Res])) *Queue[Req, Res] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	q := &Queue[Req, Res]{
 		opts:    opts,
 		exec:    exec,
-		jobs:    make(chan *Job[Req, Res], opts.Capacity),
+		clients: map[string]*client[Req, Res]{},
+		notify:  make(chan struct{}, 1),
 		batches: make(chan []*Job[Req, Res]),
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 	q.wg.Add(1)
 	go q.collect()
@@ -221,39 +412,135 @@ func New[Req, Res any](ctx context.Context, opts Options, exec func(context.Cont
 	return q
 }
 
-// Submit admits a job carrying req, or rejects it without blocking:
-// ErrQueueFull at capacity, ErrDraining after Drain began.
+func (q *Queue[Req, Res]) retryEnabled() bool { return q.opts.MaxAttempts > 1 }
+func (q *Queue[Req, Res]) maxAttempts() int   { return q.opts.MaxAttempts }
+
+func (q *Queue[Req, Res]) transient(err error) bool {
+	if q.opts.Transient != nil {
+		return q.opts.Transient(err)
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// Submit admits a job for the anonymous client. See SubmitClient.
 func (q *Queue[Req, Res]) Submit(req Req) (*Job[Req, Res], error) {
-	j := &Job[Req, Res]{Req: req, done: make(chan struct{})}
+	return q.SubmitClient("", req)
+}
+
+// SubmitClient admits a job carrying req on behalf of clientID, or
+// rejects it without blocking: *RateLimitError when the client outran its
+// token bucket, ErrQueueFull at the total or per-client capacity,
+// ErrDraining after Drain began.
+func (q *Queue[Req, Res]) SubmitClient(clientID string, req Req) (*Job[Req, Res], error) {
+	j := &Job[Req, Res]{Req: req, q: q, done: make(chan struct{})}
 	j.times.Enqueued = time.Now()
+	j.client = clientID
 
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.draining {
+		q.mu.Unlock()
 		return nil, ErrDraining
 	}
-	select {
-	case q.jobs <- j:
-	default:
-		return nil, ErrQueueFull
+	c := q.clientLocked(clientID)
+	if q.opts.RatePerClient > 0 {
+		if wait, ok := c.takeToken(q.opts, time.Now()); !ok {
+			q.mu.Unlock()
+			if q.opts.OnRateLimited != nil {
+				q.opts.OnRateLimited(clientID)
+			}
+			return nil, &RateLimitError{Client: clientID, RetryAfter: wait}
+		}
 	}
+	if q.pending >= q.opts.Capacity {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, q.opts.Capacity)
+	}
+	if len(c.queue) >= q.opts.PerClientCapacity {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("%w (client %q at per-client capacity %d)", ErrQueueFull, clientID, q.opts.PerClientCapacity)
+	}
+	c.queue = append(c.queue, j)
+	q.pending++
+	q.notifyLocked()
+	q.mu.Unlock()
 	q.noteDepth(1)
 	return j, nil
+}
+
+// clientLocked returns (creating if needed) the client record, pruning
+// stale tenants when the map grows large. Callers hold q.mu.
+func (q *Queue[Req, Res]) clientLocked(id string) *client[Req, Res] {
+	if c, ok := q.clients[id]; ok {
+		return c
+	}
+	if len(q.clients) >= 64 {
+		q.pruneClientsLocked(id)
+	}
+	c := &client[Req, Res]{tokens: float64(q.opts.Burst), last: time.Now()}
+	q.clients[id] = c
+	q.order = append(q.order, id)
+	return c
+}
+
+// pruneClientsLocked drops tenants with nothing queued and a fully
+// refilled bucket — indistinguishable from a fresh client, so dropping
+// them changes no behavior.
+func (q *Queue[Req, Res]) pruneClientsLocked(keep string) {
+	now := time.Now()
+	kept := q.order[:0]
+	for _, id := range q.order {
+		c := q.clients[id]
+		full := q.opts.RatePerClient <= 0 ||
+			c.tokens+now.Sub(c.last).Seconds()*q.opts.RatePerClient >= float64(q.opts.Burst)
+		if id != keep && len(c.queue) == 0 && full {
+			delete(q.clients, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+	if len(q.order) > 0 {
+		q.rrIdx %= len(q.order)
+	} else {
+		q.rrIdx = 0
+	}
+}
+
+// takeToken refills and spends one token; on failure it reports how long
+// until a whole token accrues.
+func (c *client[Req, Res]) takeToken(opts Options, now time.Time) (retryAfter time.Duration, ok bool) {
+	c.tokens = math.Min(float64(opts.Burst), c.tokens+now.Sub(c.last).Seconds()*opts.RatePerClient)
+	c.last = now
+	if c.tokens >= 1 {
+		c.tokens--
+		return 0, true
+	}
+	need := (1 - c.tokens) / opts.RatePerClient
+	return time.Duration(need * float64(time.Second)), false
 }
 
 // Depth returns the number of jobs admitted but not yet started.
 func (q *Queue[Req, Res]) Depth() int { return int(q.depth.Load()) }
 
+// notifyLocked pokes the collector; the channel is a coalesced signal.
+func (q *Queue[Req, Res]) notifyLocked() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
 // Drain stops admission (Submit fails with ErrDraining) and waits until
-// every already-admitted job — queued or in flight — has finished. It
-// returns nil on a complete drain, or ctx's error if the deadline expires
-// first (admitted work keeps running; Drain can be called again to keep
-// waiting). Drain is idempotent and safe to call concurrently.
+// every already-admitted job — queued, in flight, or waiting out a retry
+// backoff — has finished. It returns nil on a complete drain, or ctx's
+// error if the deadline expires first (admitted work keeps running; Drain
+// can be called again to keep waiting). Drain is idempotent and safe to
+// call concurrently.
 func (q *Queue[Req, Res]) Drain(ctx context.Context) error {
 	q.mu.Lock()
 	if !q.draining {
 		q.draining = true
-		close(q.jobs) // collector flushes the backlog, then exits
+		q.notifyLocked()
 	}
 	q.mu.Unlock()
 
@@ -270,37 +557,112 @@ func (q *Queue[Req, Res]) Drain(ctx context.Context) error {
 	}
 }
 
+// takeOneLocked pops the next job under weighted round-robin: each client
+// in visiting order gets up to weight() consecutive jobs per turn, then
+// the turn passes. Completed jobs (a late success from an abandoned
+// attempt) are dropped on the floor. Callers hold q.mu.
+func (q *Queue[Req, Res]) takeOneLocked() *Job[Req, Res] {
+	for q.pending > 0 {
+		n := len(q.order)
+		var j *Job[Req, Res]
+		for i := 0; i < n; i++ {
+			id := q.order[q.rrIdx]
+			c := q.clients[id]
+			if len(c.queue) == 0 {
+				c.credit = 0
+				q.rrIdx = (q.rrIdx + 1) % n
+				continue
+			}
+			if c.credit <= 0 {
+				c.credit = q.weight(id)
+			}
+			j = c.queue[0]
+			c.queue = c.queue[1:]
+			c.credit--
+			if c.credit == 0 || len(c.queue) == 0 {
+				c.credit = 0
+				q.rrIdx = (q.rrIdx + 1) % n
+			}
+			break
+		}
+		if j == nil {
+			return nil // inconsistent pending count; be safe
+		}
+		q.pending--
+		q.noteDepth(-1)
+		if j.finished() {
+			continue // stale requeue of a job a late Finish already completed
+		}
+		return j
+	}
+	return nil
+}
+
+func (q *Queue[Req, Res]) weight(id string) int {
+	if q.opts.ClientWeight == nil {
+		return 1
+	}
+	if w := q.opts.ClientWeight(id); w > 0 {
+		return w
+	}
+	return 1
+}
+
+// idleLocked reports whether a draining queue has nothing left to do.
+func (q *Queue[Req, Res]) idleLocked() bool {
+	return q.draining && q.pending == 0 && q.inflight == 0 && q.retries == 0
+}
+
 // collect gathers submissions into batches: a batch opens on its first
 // job and flushes when it reaches BatchSize or when MaxWait has elapsed
-// since it opened, whichever comes first. On drain it flushes whatever
-// remains and closes the dispatch channel.
+// since it opened, whichever comes first. On drain it keeps collecting
+// until every admitted job (including watchdog requeues) has settled,
+// then closes the dispatch channel.
 func (q *Queue[Req, Res]) collect() {
 	defer q.wg.Done()
 	defer close(q.batches)
 	for {
-		first, ok := <-q.jobs
-		if !ok {
+		first := q.takeBlocking()
+		if first == nil {
 			return
 		}
 		batch := []*Job[Req, Res]{first}
 		timer := time.NewTimer(q.opts.MaxWait)
 	gather:
 		for len(batch) < q.opts.BatchSize {
-			select {
-			case j, ok := <-q.jobs:
-				if !ok {
-					break gather // draining: flush what we have
-				}
+			q.mu.Lock()
+			j := q.takeOneLocked()
+			q.mu.Unlock()
+			if j != nil {
 				batch = append(batch, j)
+				continue
+			}
+			select {
+			case <-q.notify:
 			case <-timer.C:
-				break gather // partial batch, max-wait expired
+				break gather
 			}
 		}
 		timer.Stop()
 		q.dispatch(batch)
-		// After a drain-triggered flush the next loop iteration reads the
-		// closed channel (draining any still-buffered jobs first) and
-		// exits once it is empty.
+	}
+}
+
+// takeBlocking waits for the next job; nil means the queue has drained
+// to empty and the collector should exit.
+func (q *Queue[Req, Res]) takeBlocking() *Job[Req, Res] {
+	for {
+		q.mu.Lock()
+		if j := q.takeOneLocked(); j != nil {
+			q.mu.Unlock()
+			return j
+		}
+		if q.idleLocked() {
+			q.mu.Unlock()
+			return nil
+		}
+		q.mu.Unlock()
+		<-q.notify
 	}
 }
 
@@ -311,7 +673,9 @@ func (q *Queue[Req, Res]) dispatch(batch []*Job[Req, Res]) {
 	for _, j := range batch {
 		j.markStarted(id, len(batch), now)
 	}
-	q.noteDepth(-len(batch))
+	q.mu.Lock()
+	q.inflight += len(batch)
+	q.mu.Unlock()
 	if q.opts.OnBatch != nil {
 		q.opts.OnBatch(len(batch))
 	}
@@ -322,27 +686,139 @@ func (q *Queue[Req, Res]) dispatch(batch []*Job[Req, Res]) {
 func (q *Queue[Req, Res]) work(ctx context.Context) {
 	defer q.wg.Done()
 	for batch := range q.batches {
-		q.execBatch(ctx, batch)
+		q.runBatch(ctx, batch)
 	}
 }
 
-// execBatch runs the executor under the no-lost-jobs guarantee: a panic is
-// converted into per-job errors, and any job the executor forgot to Finish
-// is finished with errDropped.
-func (q *Queue[Req, Res]) execBatch(ctx context.Context, batch []*Job[Req, Res]) {
-	defer func() {
-		rec := recover()
-		for _, j := range batch {
-			if rec != nil {
-				var zero Res
-				j.Finish(zero, fmt.Errorf("jobqueue: executor panic: %v", rec))
-			} else if !j.Finished() {
-				var zero Res
-				j.Finish(zero, errDropped)
+// runBatch executes one batch under the watchdog: the batch context is
+// cancelled once the execution budget (JobTimeout x batch size) expires,
+// and an executor that ignores the cancellation past AbandonGrace is
+// abandoned — the worker reclaims its slot and settles the batch without
+// it. Exactly-once Finish makes anything the abandoned goroutine does
+// later harmless.
+func (q *Queue[Req, Res]) runBatch(ctx context.Context, batch []*Job[Req, Res]) {
+	bctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if q.opts.JobTimeout > 0 {
+		bctx, cancel = context.WithTimeout(ctx, q.opts.JobTimeout*time.Duration(len(batch)))
+	}
+	defer cancel()
+	execDone := make(chan struct{})
+	go func() {
+		defer close(execDone)
+		defer func() {
+			if rec := recover(); rec != nil {
+				for _, j := range batch {
+					var zero Res
+					j.Finish(zero, fmt.Errorf("jobqueue: executor panic: %v", rec))
+				}
 			}
-		}
+		}()
+		q.exec(bctx, batch)
 	}()
-	q.exec(ctx, batch)
+
+	watchdogFired := false
+	if q.opts.JobTimeout > 0 {
+		select {
+		case <-execDone:
+		case <-bctx.Done():
+			watchdogFired = errors.Is(bctx.Err(), context.DeadlineExceeded)
+			// The executor was cancelled; give it the grace period to
+			// honor the cancellation before cutting it loose.
+			grace := time.NewTimer(q.opts.AbandonGrace)
+			select {
+			case <-execDone:
+			case <-grace.C:
+				if q.opts.OnAbandon != nil {
+					q.opts.OnAbandon()
+				}
+			}
+			grace.Stop()
+		}
+	} else {
+		<-execDone
+	}
+	q.settle(batch, watchdogFired)
+}
+
+// settle is the single post-execution authority over every job of a
+// batch: completed jobs pass through; jobs holding a recorded transient
+// error, and jobs a fired watchdog left unfinished, are requeued with
+// backoff or finished terminally once their attempts are spent; anything
+// else unfinished is an executor bug completed with errDropped.
+func (q *Queue[Req, Res]) settle(batch []*Job[Req, Res], watchdogFired bool) {
+	for _, j := range batch {
+		j.mu.Lock()
+		if j.finished() {
+			j.pendingErr = nil
+			j.mu.Unlock()
+			continue
+		}
+		cause := j.pendingErr
+		j.pendingErr = nil
+		if cause == nil {
+			if !watchdogFired {
+				j.mu.Unlock()
+				var zero Res
+				j.complete(zero, errDropped)
+				continue
+			}
+			cause = fmt.Errorf("jobqueue: watchdog: job exceeded its %v execution budget: %w",
+				q.opts.JobTimeout, context.DeadlineExceeded)
+		}
+		attempts := j.attempts
+		if attempts >= q.maxAttempts() {
+			j.mu.Unlock()
+			var zero Res
+			j.complete(zero, fmt.Errorf("jobqueue: job failed after %d attempt(s): %w", attempts, cause))
+			continue
+		}
+		j.retryWait = true
+		j.everRetried = true
+		client := j.client
+		j.mu.Unlock()
+		q.scheduleRetry(j, client, attempts)
+	}
+	q.mu.Lock()
+	q.inflight -= len(batch)
+	q.notifyLocked()
+	q.mu.Unlock()
+}
+
+// scheduleRetry requeues j on its client's queue after a capped
+// exponential backoff with ±50% jitter. The timer counts as admitted work
+// for Drain.
+func (q *Queue[Req, Res]) scheduleRetry(j *Job[Req, Res], client string, failedAttempt int) {
+	backoff := q.opts.RetryBackoff << uint(failedAttempt-1)
+	if backoff > q.opts.RetryBackoffCap || backoff <= 0 {
+		backoff = q.opts.RetryBackoffCap
+	}
+	q.rngMu.Lock()
+	factor := 0.5 + q.rng.Float64() // [0.5, 1.5)
+	q.rngMu.Unlock()
+	backoff = time.Duration(float64(backoff) * factor)
+	if q.opts.OnRetry != nil {
+		q.opts.OnRetry(client, failedAttempt, backoff)
+	}
+
+	q.mu.Lock()
+	q.retries++
+	q.mu.Unlock()
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		time.Sleep(backoff)
+		q.mu.Lock()
+		q.retries--
+		// Requeue even while draining: the job was admitted before the
+		// drain and the drain waits for it.
+		c := q.clientLocked(client)
+		c.queue = append(c.queue, j)
+		q.pending++
+		q.notifyLocked()
+		q.mu.Unlock()
+		q.noteDepth(1)
+	}()
 }
 
 func (q *Queue[Req, Res]) noteDepth(delta int) {

@@ -47,6 +47,13 @@ type DebugOptions struct {
 	// /metrics, /ledger, and pprof come for free. Patterns follow
 	// http.ServeMux semantics; the built-in routes win on conflict.
 	Handlers map[string]http.Handler
+	// ReadTimeout, WriteTimeout, and IdleTimeout harden the HTTP server
+	// against slow-loris clients and wedged connections. Zero leaves the
+	// corresponding limit off (the 5s ReadHeaderTimeout always applies).
+	// Long-polling handlers (e.g. ?wait=) must fit inside WriteTimeout.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 }
 
 // DefaultLedgerPath is the conventional ledger location at the repo root,
@@ -205,7 +212,13 @@ func StartDebugServer(opts DebugOptions) (*DebugServer, error) {
 	s := &DebugServer{
 		URL: "http://" + ln.Addr().String(),
 		ln:  ln,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       opts.ReadTimeout,
+			WriteTimeout:      opts.WriteTimeout,
+			IdleTimeout:       opts.IdleTimeout,
+		},
 	}
 	go func() {
 		// ErrServerClosed on Close is the expected shutdown path.

@@ -9,12 +9,26 @@
 // request key names the computation, the digest names the answer, and the
 // two-level map keeps both addressable (GET /v1/results/{digest} serves by
 // content, job submission resolves by request).
+//
+// The store is optionally durable: opened over an internal/durable
+// write-ahead log, every Put is appended as a checksummed record and the
+// full state is periodically snapshotted and compacted, so a kill -9
+// restart replays the cache instead of starting cold. Eviction is not
+// logged — replay re-applies Puts in order through the same bounded
+// insert path, so the recovered store converges to the same bounded
+// contents.
 package resultstore
 
-import "sync"
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/durable"
+)
 
 // Store is a bounded, goroutine-safe content-addressed store. Construct
-// with New.
+// with New (in-memory) or Open (durable).
 type Store struct {
 	mu sync.Mutex
 	// byDigest holds the stored documents by content address.
@@ -27,6 +41,12 @@ type Store struct {
 	order []string
 	max   int
 
+	// wal is the durability layer; nil for an in-memory store. putsSince
+	// counts appends since the last snapshot for the compaction cadence.
+	wal           *durable.Log
+	snapshotEvery int
+	putsSince     int
+
 	hits, misses int64
 }
 
@@ -35,18 +55,92 @@ type Options struct {
 	// MaxEntries bounds the number of stored documents; insertion beyond
 	// it evicts the oldest. <= 0 means 256.
 	MaxEntries int
+	// Log, when non-nil, makes the store durable: Open replays it and Put
+	// appends to it. The caller keeps ownership of the log's lifecycle
+	// (Close); the log must be freshly opened and not yet recovered.
+	Log *durable.Log
+	// SnapshotEvery compacts the log (full-state snapshot + segment
+	// deletion) every this many Puts. <= 0 means 64.
+	SnapshotEvery int
 }
 
-// New builds an empty store.
+// New builds an empty in-memory store (Options.Log is ignored).
 func New(opts Options) *Store {
 	if opts.MaxEntries <= 0 {
 		opts.MaxEntries = 256
 	}
-	return &Store{
-		byDigest: map[string][]byte{},
-		byReq:    map[string]string{},
-		max:      opts.MaxEntries,
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 64
 	}
+	return &Store{
+		byDigest:      map[string][]byte{},
+		byReq:         map[string]string{},
+		max:           opts.MaxEntries,
+		snapshotEvery: opts.SnapshotEvery,
+	}
+}
+
+// walRecord is one logged Put.
+type walRecord struct {
+	ReqKey string `json:"req_key"`
+	Digest string `json:"digest"`
+	Doc    []byte `json:"doc"`
+}
+
+// walSnapshot is the full-state blob: entries in insertion order with
+// their request keys, so replay rebuilds both maps and the eviction order.
+type walSnapshot struct {
+	Entries []walEntry `json:"entries"`
+}
+
+type walEntry struct {
+	Digest string   `json:"digest"`
+	Doc    []byte   `json:"doc"`
+	Reqs   []string `json:"reqs,omitempty"`
+}
+
+// Open builds a durable store over opts.Log: it recovers the log
+// (snapshot plus record replay, torn tails truncated) into the store and
+// wires every subsequent Put through it. The returned RecoveryInfo
+// reports what survived.
+func Open(opts Options) (*Store, durable.RecoveryInfo, error) {
+	s := New(opts)
+	if opts.Log == nil {
+		return s, durable.RecoveryInfo{}, fmt.Errorf("resultstore: Open requires Options.Log (use New for in-memory)")
+	}
+	info, err := opts.Log.Recover(
+		func(state []byte) error {
+			var snap walSnapshot
+			if err := json.Unmarshal(state, &snap); err != nil {
+				return err
+			}
+			for _, e := range snap.Entries {
+				if len(e.Reqs) == 0 {
+					s.putLocked("", e.Digest, e.Doc)
+					continue
+				}
+				for _, req := range e.Reqs {
+					s.putLocked(req, e.Digest, e.Doc)
+				}
+			}
+			return nil
+		},
+		func(rec []byte) error {
+			var r walRecord
+			if err := json.Unmarshal(rec, &r); err != nil {
+				return err
+			}
+			s.putLocked(r.ReqKey, r.Digest, r.Doc)
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, info, fmt.Errorf("resultstore: %w", err)
+	}
+	// Only attach the WAL after replay: putLocked during recovery must not
+	// re-append its own history.
+	s.wal = opts.Log
+	return s, info, nil
 }
 
 // Lookup resolves a canonical request key to its stored result, counting
@@ -81,10 +175,37 @@ func (s *Store) Get(digest string) ([]byte, bool) {
 // Put stores doc under digest and indexes reqKey to it, evicting the
 // oldest entries beyond the store's bound. A digest already present keeps
 // its original document (content-addressed: same digest, same answer) but
-// still gains the new request key.
-func (s *Store) Put(reqKey, digest string, doc []byte) {
+// still gains the new request key. On a durable store the Put is appended
+// to the write-ahead log before it is acknowledged, and every
+// SnapshotEvery puts the log is compacted behind a full-state snapshot.
+// WAL failures are returned but do not block the in-memory insert: a
+// degraded disk degrades durability, not service.
+func (s *Store) Put(reqKey, digest string, doc []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.putLocked(reqKey, digest, doc)
+	if s.wal == nil {
+		return nil
+	}
+	rec, err := json.Marshal(walRecord{ReqKey: reqKey, Digest: digest, Doc: doc})
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.wal.Append(rec); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.putsSince++
+	if s.putsSince >= s.snapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putLocked is the bounded insert shared by Put and replay. Callers hold
+// s.mu (or hold the only reference, during Open).
+func (s *Store) putLocked(reqKey, digest string, doc []byte) {
 	if _, exists := s.byDigest[digest]; !exists {
 		s.byDigest[digest] = clone(doc)
 		s.order = append(s.order, digest)
@@ -94,7 +215,41 @@ func (s *Store) Put(reqKey, digest string, doc []byte) {
 	}
 	// The eviction above never removes the digest just inserted (it is the
 	// newest), so the index below always points at a live document.
-	s.byReq[reqKey] = digest
+	if reqKey != "" {
+		s.byReq[reqKey] = digest
+	}
+}
+
+// Snapshot forces a compaction of the durable log (no-op in-memory).
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked serializes the full state into the WAL's snapshot slot
+// and lets it compact history. Callers hold s.mu with s.wal non-nil.
+func (s *Store) snapshotLocked() error {
+	snap := walSnapshot{Entries: make([]walEntry, 0, len(s.order))}
+	reqs := map[string][]string{}
+	for req, d := range s.byReq {
+		reqs[d] = append(reqs[d], req)
+	}
+	for _, d := range s.order {
+		snap.Entries = append(snap.Entries, walEntry{Digest: d, Doc: s.byDigest[d], Reqs: reqs[d]})
+	}
+	state, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.wal.Snapshot(state); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.putsSince = 0
+	return nil
 }
 
 // evictOldestLocked drops the oldest digest and every request key bound to

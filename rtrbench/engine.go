@@ -3,6 +3,7 @@ package rtrbench
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -202,19 +203,48 @@ func (e *Engine) runKernelTrials(ctx context.Context, info Info, opts SuiteOptio
 	return kr
 }
 
+// IsTransient reports whether err is the kind of failure the suite's
+// retry machinery considers transient: a per-run deadline expiry
+// (context.DeadlineExceeded anywhere in the chain). Callers deciding
+// whether to retry must additionally confirm their own context is still
+// live — a timeout observed after suite cancellation is just the
+// cancellation. This is the engine's notion of transience, exported so
+// layers above it (the rtrbenchd job queue) classify failures the same
+// way the trial loop does.
+func IsTransient(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryJitter scales a backoff by a factor in [0.5, 1.5) drawn from rng.
+// Without it every retrying trial of a sweep sleeps the identical linear
+// schedule and the retry attempts re-collide in synchronized storms —
+// exactly what overloaded the run into timing out in the first place.
+// The rng is seeded per trial, so the jitter (like the fault schedule) is
+// a pure function of the trial's seed and the sweep stays reproducible.
+func retryJitter(base time.Duration, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		return base
+	}
+	return time.Duration((0.5 + rng.Float64()) * float64(base))
+}
+
 // runTrial executes one measured trial, retrying up to opts.Retries times
 // after a transient failure. Transient means the per-run Timeout expired
-// while the suite context is still live; kernel errors, injected panics,
-// and suite cancellation fail immediately. Each attempt runs on a fresh
-// profile shard so an abandoned attempt leaves no partial samples behind.
+// while the suite context is still live (IsTransient plus a live-context
+// check); kernel errors, injected panics, and suite cancellation fail
+// immediately. Each attempt runs on a fresh profile shard so an abandoned
+// attempt leaves no partial samples behind. Retry backoff grows linearly
+// with the attempt and is jittered by a per-trial seeded RNG so parallel
+// kernels don't retry in lockstep.
 func runTrial(ctx context.Context, info Info, o Options, sharded *profile.Sharded, opts SuiteOptions, retried *int) (Result, error) {
+	var rng *rand.Rand
 	for attempt := 0; ; attempt++ {
 		shard := sharded.Shard()
 		r, err := runOnce(ctx, info, o, shard, opts.Timeout)
 		if err == nil {
 			return r, nil
 		}
-		transient := errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+		transient := IsTransient(err) && ctx.Err() == nil
 		if !transient || attempt >= opts.Retries {
 			// The failing attempt's partial samples must not survive into
 			// the kernel's aggregate statistics: Snapshot merges every
@@ -226,7 +256,10 @@ func runTrial(ctx context.Context, info Info, o Options, sharded *profile.Sharde
 		shard.Reset()
 		*retried++
 		if opts.RetryBackoff > 0 {
-			backoff := opts.RetryBackoff * time.Duration(attempt+1)
+			if rng == nil {
+				rng = rand.New(rand.NewSource(o.Seed))
+			}
+			backoff := retryJitter(opts.RetryBackoff*time.Duration(attempt+1), rng)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():

@@ -3,6 +3,8 @@ package rtrbench
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"reflect"
 	"runtime"
 	"sync/atomic"
@@ -119,5 +121,99 @@ func TestNormalize(t *testing.T) {
 func TestSuiteRejectsInvalidOptions(t *testing.T) {
 	if _, err := Suite(context.Background(), SuiteOptions{Warmup: -3}); err == nil {
 		t.Fatal("Suite accepted negative Warmup")
+	}
+}
+
+// TestIsTransient pins the exported transience classifier to the trial
+// loop's own notion: deadline expiry anywhere in the chain is transient,
+// everything else is not.
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(context.DeadlineExceeded) {
+		t.Error("bare DeadlineExceeded not transient")
+	}
+	if !IsTransient(fmt.Errorf("run: %w", context.DeadlineExceeded)) {
+		t.Error("wrapped DeadlineExceeded not transient")
+	}
+	if IsTransient(context.Canceled) {
+		t.Error("Canceled classified transient")
+	}
+	if IsTransient(errors.New("kernel exploded")) {
+		t.Error("ordinary error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
+	}
+}
+
+// TestRetryJitter: the jitter keeps the backoff inside [0.5, 1.5) of its
+// base, never synchronizes two differently-seeded trials on the same
+// schedule, and is deterministic for a fixed seed.
+func TestRetryJitter(t *testing.T) {
+	base := 100 * time.Millisecond
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		got := retryJitter(base, rng)
+		if got < base/2 || got >= base+base/2 {
+			t.Fatalf("jittered backoff %v outside [%v, %v)", got, base/2, base+base/2)
+		}
+	}
+	// Deterministic per seed.
+	a := retryJitter(base, rand.New(rand.NewSource(7)))
+	b := retryJitter(base, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+	// Different seeds decorrelate (not a proof, but seeds 1..32 all
+	// colliding would mean the jitter is broken).
+	seen := map[time.Duration]bool{}
+	for s := int64(1); s <= 32; s++ {
+		seen[retryJitter(base, rand.New(rand.NewSource(s)))] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("32 seeds produced only %d distinct backoffs", len(seen))
+	}
+	// Zero base passes through untouched (retry-immediately contract).
+	if got := retryJitter(0, rng); got != 0 {
+		t.Fatalf("retryJitter(0) = %v", got)
+	}
+}
+
+// TestRetryBackoffJitterApplied: a transiently failing kernel with a
+// non-zero backoff still recovers within its retry budget — the jittered
+// sleep stays bounded and the retry loop's accounting is unchanged.
+func TestRetryBackoffJitterApplied(t *testing.T) {
+	var calls atomic.Int32
+	eng := &Engine{Resolve: func([]string) ([]Info, error) {
+		return []Info{{
+			Name: "flaky",
+			runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+				if calls.Add(1) == 1 {
+					return Result{}, fmt.Errorf("overloaded: %w", context.DeadlineExceeded)
+				}
+				return Result{Kernel: "flaky"}, nil
+			},
+		}}, nil
+	}}
+	start := time.Now()
+	res, err := eng.Run(context.Background(), SuiteOptions{
+		Trials:       1,
+		Parallel:     1,
+		Retries:      2,
+		RetryBackoff: 20 * time.Millisecond,
+		Options:      Options{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernels[0].Err != nil {
+		t.Fatalf("kernel err = %v", res.Kernels[0].Err)
+	}
+	if res.Kernels[0].Retried != 1 {
+		t.Fatalf("Retried = %d, want 1", res.Kernels[0].Retried)
+	}
+	// One retry with base 20ms jittered into [10ms, 30ms): the elapsed
+	// time proves a backoff happened and stayed bounded.
+	if el := time.Since(start); el < 10*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("elapsed %v outside plausible jittered-backoff window", el)
 	}
 }

@@ -40,7 +40,11 @@ type SuiteOptions struct {
 	// cancellation — are never retried.
 	Retries int
 	// RetryBackoff is the pause before each retry, growing linearly with
-	// the attempt (backoff, 2*backoff, ...); 0 retries immediately.
+	// the attempt (backoff, 2*backoff, ...) and jittered by a factor in
+	// [0.5, 1.5) drawn from the trial's seeded RNG, so parallel kernels
+	// retrying after a shared overload don't re-collide in lockstep. The
+	// jitter is a pure function of the trial seed: the sweep stays
+	// reproducible. 0 retries immediately.
 	RetryBackoff time.Duration
 }
 

@@ -96,6 +96,78 @@ kill -TERM "$daemon"
 wait "$daemon"
 daemon=
 
+echo "== rtrbenchd crash-recovery smoke (kill -9, WAL replay, torn tail)"
+# The durability drill: populate the cache through a WAL-backed daemon,
+# kill -9 it (no drain, no snapshot), tear the final WAL record mid-byte,
+# restart over the same data directory, and require (a) /readyz flips to
+# ready, (b) recovery reports the truncation on /metrics, (c) the intact
+# result is still a cache hit with the same digest, and (d) the torn
+# result re-executes instead of serving corrupt state.
+datadir="$benchtmp/data"
+rm -f "$benchtmp/addr"
+"$benchtmp/rtrbenchd" -addr 127.0.0.1:0 -addrfile "$benchtmp/addr" \
+    -batch 1 -maxwait 10ms -data "$datadir" -fsync always &
+daemon=$!
+i=0
+while [ ! -s "$benchtmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "rtrbenchd (durable) never wrote its address" >&2; exit 1; }
+    sleep 0.1
+done
+base=$(cat "$benchtmp/addr")
+i=0
+until curl -sf "$base/readyz" >/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "rtrbenchd (durable) never became ready" >&2; exit 1; }
+    sleep 0.1
+done
+req1='{"kernels":["dmp"],"trials":1,"seed":7}'
+req2='{"kernels":["cem"],"trials":1,"seed":7}'
+id1=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$req1" "$base/v1/jobs" | jq -re .id)
+digest1=$(curl -sf "$base/v1/jobs/$id1?wait=120s" | jq -re .digest)
+id2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$req2" "$base/v1/jobs" | jq -re .id)
+curl -sf "$base/v1/jobs/$id2?wait=120s" | jq -e '.state == "done"' >/dev/null
+# Crash hard: no drain, no snapshot — the WAL is all that survives.
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+daemon=
+# Tear the newest WAL record mid-byte (a torn write at the moment of the
+# crash): recovery must truncate it, not refuse to start.
+lastseg=$(ls "$datadir"/wal-*.jsonl | sort | tail -1)
+segsize=$(wc -c < "$lastseg")
+truncate -s $((segsize - 3)) "$lastseg"
+rm -f "$benchtmp/addr"
+"$benchtmp/rtrbenchd" -addr 127.0.0.1:0 -addrfile "$benchtmp/addr" \
+    -batch 1 -maxwait 10ms -data "$datadir" -fsync always &
+daemon=$!
+i=0
+while [ ! -s "$benchtmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "restarted rtrbenchd never wrote its address" >&2; exit 1; }
+    sleep 0.1
+done
+base=$(cat "$benchtmp/addr")
+# /readyz flips false -> true once the replay lands.
+i=0
+until curl -sf "$base/readyz" >/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "restarted rtrbenchd never became ready" >&2; exit 1; }
+    sleep 0.1
+done
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^rtrbench_wal_recovery_truncated 1$'
+echo "$metrics" | grep -q '^rtrbench_wal_records_replayed 1$'
+# The intact result survived the crash: a repeat submission is a cache hit
+# with the same content address, served without re-execution.
+curl -sf -X POST -H 'Content-Type: application/json' -d "$req1" "$base/v1/jobs" \
+    | jq -e --arg d "$digest1" '.cached == true and .digest == $d' >/dev/null
+# The torn result did not: its repeat submission re-executes (202, queued).
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' -d "$req2" "$base/v1/jobs")
+[ "$code" = "202" ] || { echo "torn-tail result unexpectedly cached (HTTP $code)" >&2; exit 1; }
+kill -TERM "$daemon"
+wait "$daemon"
+daemon=
+
 echo "== fuzz smoke"
 # Short native-fuzz bursts over the untrusted-input surfaces (one -fuzz
 # target per invocation is a Go toolchain restriction). The checked-in
