@@ -573,6 +573,31 @@ func BenchmarkProfileDisabledOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkers measures the intra-kernel parallelism curve of the
+// kernels honoring Options.Workers. w0 is each kernel's legacy serial
+// algorithm; w1/w2/w4/w8 run the deterministic parallel algorithm with an
+// increasing goroutine budget (the results are identical across w1-w8 by
+// contract, so the per-op times isolate pure scheduling effect). On a
+// single-core host the w1-w8 curve is flat and the numbers record the
+// mechanism's overhead rather than a speedup; compare snapshots from a
+// multi-core host for the scaling picture.
+func BenchmarkWorkers(b *testing.B) {
+	for _, kernel := range []string{"pfl", "ekfslam", "prm", "rrt", "rrtstar", "rrtpp"} {
+		for _, w := range []int{0, 1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", kernel, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := rtrbench.Run(kernel, rtrbench.Options{
+						Size: rtrbench.SizeSmall, Seed: 1, Workers: w,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSuite runs the full 16-kernel SizeSmall sweep through the
 // parallel execution engine, sequentially and on all cores. On a >= 4-core
 // machine the parallel run should come in at well under 1/1.5 of the

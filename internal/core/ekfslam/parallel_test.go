@@ -1,0 +1,55 @@
+package ekfslam
+
+import (
+	"context"
+	"testing"
+)
+
+func TestWorkersBitIdenticalToSerial(t *testing.T) {
+	// Unlike the planners and the particle filter, ekfslam's parallelism is
+	// pure blocked matrix math: the row blocks accumulate in exactly the
+	// serial order, so every worker count — including the serial 0 — must
+	// produce bit-identical state. This keeps the serial goldens valid for
+	// parallel runs.
+	run := func(workers int, unknown bool) Result {
+		cfg := DefaultConfig()
+		cfg.Steps = 120
+		cfg.UnknownAssociation = unknown
+		cfg.Workers = workers
+		res, err := Run(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	for _, unknown := range []bool{false, true} {
+		base := run(0, unknown)
+		for _, w := range []int{1, 2, 4, 8} {
+			got := run(w, unknown)
+			if got.PoseError != base.PoseError ||
+				got.MeanLandmarkError != base.MeanLandmarkError ||
+				got.Uncertainty != base.Uncertainty ||
+				got.Updates != base.Updates ||
+				got.Discarded != base.Discarded ||
+				got.LandmarksSeen != base.LandmarksSeen {
+				t.Fatalf("unknown=%v workers=%d diverged from serial:\n  pose %v vs %v\n  lm %v vs %v\n  unc %v vs %v",
+					unknown, w, got.PoseError, base.PoseError,
+					got.MeanLandmarkError, base.MeanLandmarkError,
+					got.Uncertainty, base.Uncertainty)
+			}
+			for i := range base.EstimatedPath {
+				if got.EstimatedPath[i] != base.EstimatedPath[i] {
+					t.Fatalf("unknown=%v workers=%d: estimated pose %d differs", unknown, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}

@@ -143,18 +143,59 @@ func TestEffectiveSampleSizeSane(t *testing.T) {
 	}
 }
 
-func TestParallelWeightingBitIdentical(t *testing.T) {
-	serial := trackingConfig()
-	parallel := trackingConfig()
-	parallel.Workers = 4
-	a, err1 := Run(context.Background(), serial, nil)
-	b, err2 := Run(context.Background(), parallel, nil)
-	if err1 != nil || err2 != nil {
-		t.Fatal(err1, err2)
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	// The determinism contract for Workers >= 1: the parallel algorithm's
+	// results are a pure function of the seed — the worker count only bounds
+	// goroutine concurrency. Run the identical config at several counts and
+	// require bit-identical estimates and counters.
+	base := trackingConfig()
+	base.Workers = 1
+	a, err := Run(context.Background(), base, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Ray casting is deterministic: sharding must not change anything.
-	if a.Estimate != b.Estimate || a.Raycasts != b.Raycasts || a.CellsVisited != b.CellsVisited {
-		t.Fatalf("parallel run diverged: %+v vs %+v", a.Estimate, b.Estimate)
+	for _, workers := range []int{2, 4, 8, 64} {
+		cfg := trackingConfig()
+		cfg.Workers = workers
+		b, err := Run(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Estimate != b.Estimate || a.Raycasts != b.Raycasts || a.CellsVisited != b.CellsVisited {
+			t.Fatalf("workers=%d diverged from workers=1: %+v vs %+v", workers, b, a)
+		}
+	}
+}
+
+// TestStaleShardRegression is the regression test for the worker-shard
+// accounting bug: the parallel weigh fan-out never cleared s.shards, so once
+// the over-provisioned initial population shrank at the first resample,
+// workers with no particle range left (lo >= len(parts)) kept their
+// first-tick shard, and the accumulation loop re-added those stale
+// Raycasts/CellsVisited every later tick. With 64 workers and a 50-particle
+// steady state only workers 0-49 stay active, so pre-fix the 64-worker run
+// inflates its counters relative to the 8-worker run of the very same
+// algorithm. This test failed before shards were zeroed per tick.
+func TestStaleShardRegression(t *testing.T) {
+	run := func(workers int) Result {
+		cfg := DefaultConfig()
+		cfg.Particles = 50
+		cfg.InitFactor = 25 // tick 1 weighs 1250 particles, later ticks 50
+		cfg.Steps = 4
+		cfg.Workers = workers
+		res, err := Run(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	few, many := run(8), run(64)
+	if few.Raycasts != many.Raycasts || few.CellsVisited != many.CellsVisited {
+		t.Fatalf("stale shards re-accumulated: workers=64 counted %d raycasts / %d cells, workers=8 counted %d / %d",
+			many.Raycasts, many.CellsVisited, few.Raycasts, few.CellsVisited)
+	}
+	if few.Estimate != many.Estimate {
+		t.Fatalf("worker count changed the estimate: %+v vs %+v", many.Estimate, few.Estimate)
 	}
 }
 

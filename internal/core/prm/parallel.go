@@ -1,0 +1,179 @@
+// Parallel roadmap construction for Workers >= 1: stratified partitioned
+// sampling (fixed dim-0 slabs, per-slab RNG sub-streams) and chunked
+// parallel neighbor connection whose per-node candidate lists are folded
+// serially in node order. Both phases are bit-identical for every worker
+// count — partitioning and per-slab seeds are fixed up front, connection
+// results are pure per-node functions of the shared kd-tree, and only the
+// degree of concurrency varies with Workers.
+package prm
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"repro/internal/arm"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/profile"
+	"repro/internal/rng"
+)
+
+const (
+	// samplePartitions is the fixed number of dim-0 sampling slabs,
+	// deliberately independent of Config.Workers.
+	samplePartitions = 4
+	// sampleAttemptFactor bounds rejection sampling per slab: a slab gives
+	// up after quota*sampleAttemptFactor draws, so a heavily blocked slab
+	// under-fills its quota deterministically instead of spinning forever.
+	sampleAttemptFactor = 200
+)
+
+// samplePartitioned draws the roadmap samples stratified over fixed dim-0
+// slabs, each slab on its own RNG sub-stream and workspace clone, at most
+// Workers slabs concurrently. Slab results are concatenated in slab order
+// and slab SegChecks are folded into ws.
+func samplePartitioned(ctx context.Context, cfg Config, a *arm.Arm, ws *arm.Workspace, r *rng.RNG, prof *profile.Profile) ([][]float64, error) {
+	type slab struct {
+		lo, hi float64
+		quota  int
+		seed   int64
+		nodes  [][]float64
+		seg    int64
+	}
+	dof := a.DoF()
+	width := 2 * math.Pi / samplePartitions
+	slabs := make([]*slab, samplePartitions)
+	for k := range slabs {
+		s := &slab{
+			lo:    -math.Pi + float64(k)*width,
+			hi:    -math.Pi + float64(k+1)*width,
+			quota: cfg.Samples / samplePartitions,
+			// Seeds come off the root RNG serially, in slab order.
+			seed: int64(r.Uint64()),
+		}
+		if k < cfg.Samples%samplePartitions {
+			s.quota++
+		}
+		slabs[k] = s
+	}
+
+	workers := cfg.Workers
+	if workers > samplePartitions {
+		workers = samplePartitions
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, s := range slabs {
+		wg.Add(1)
+		go func(s *slab) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pr := rng.New(s.seed)
+			pws := &arm.Workspace{Obstacles: ws.Obstacles}
+			scratch := make([]geom.Vec2, 0, dof+1)
+			s.nodes = make([][]float64, 0, s.quota)
+			for att := 0; att < s.quota*sampleAttemptFactor && len(s.nodes) < s.quota; att++ {
+				if ctx.Err() != nil {
+					break
+				}
+				c := make([]float64, dof)
+				c[0] = pr.Uniform(s.lo, s.hi)
+				for i := 1; i < dof; i++ {
+					c[i] = pr.Uniform(-math.Pi, math.Pi)
+				}
+				if pws.CollisionFree(a, c, scratch) {
+					s.nodes = append(s.nodes, c)
+				}
+			}
+			s.seg = pws.SegChecks
+		}(s)
+	}
+	wg.Wait()
+
+	var nodes [][]float64
+	for _, s := range slabs {
+		nodes = append(nodes, s.nodes...)
+		ws.SegChecks += s.seg
+		for range s.nodes {
+			prof.StepDone() // one step per accepted roadmap sample
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}
+
+// connectParallel runs the k-nearest connection phase over worker chunks.
+// Each worker takes a kd-tree clone (the candidate heap makes a Tree
+// non-reentrant) and a workspace clone, and records node i's accepted
+// lower-index neighbors. Because each node's candidates are a pure function
+// of the shared tree, the chunking does not affect them; the serial fold in
+// node order then rebuilds exactly the adjacency a serial pass would.
+func connectParallel(ctx context.Context, cfg Config, a *arm.Arm, ws *arm.Workspace, step float64, nodes [][]float64, tree *kdtree.Tree, res *Result, l2norms *int64) ([][]edge, error) {
+	n := len(nodes)
+	adj := make([][]edge, n)
+	if n == 0 {
+		return adj, ctx.Err()
+	}
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	cands := make([][]edge, n) // per-node accepted j<i neighbors, nearest-first
+	segs := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wt := tree.Clone()
+			wws := &arm.Workspace{Obstacles: ws.Obstacles}
+			scratch := make([]geom.Vec2, 0, a.DoF()+1)
+			cfgScratch := make([]float64, a.DoF())
+			var nbrBuf []int
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				c := nodes[i]
+				nbrBuf = wt.KNearestAppend(c, cfg.K+1, nbrBuf[:0])
+				for _, j := range nbrBuf {
+					if j == i || j > i {
+						continue // undirected; connect each pair once
+					}
+					if cfg.Lazy || wws.EdgeFree(a, c, nodes[j], step, scratch, cfgScratch) {
+						cands[i] = append(cands[i], edge{j, arm.ConfigDist(c, nodes[j])})
+					}
+				}
+			}
+			segs[w] = wws.SegChecks
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, s := range segs {
+		ws.SegChecks += s
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, es := range cands {
+		for _, e := range es {
+			adj[i] = append(adj[i], e)
+			adj[e.to] = append(adj[e.to], edge{i, e.cost})
+			*l2norms++
+			res.RoadmapEdges++
+		}
+	}
+	return adj, nil
+}

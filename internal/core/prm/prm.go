@@ -46,6 +46,16 @@ type Config struct {
 	// Start and Goal configurations; nil picks default reach poses.
 	Start, Goal []float64
 	Seed        int64
+	// Workers enables the partitioned parallel roadmap build: sampling is
+	// stratified over fixed dim-0 slabs grown concurrently on per-slab RNG
+	// sub-streams, and neighbor connection fans out over worker chunks whose
+	// per-node results are folded serially in node order. 0 (the default)
+	// runs the legacy serial build. Any Workers >= 1 selects the parallel
+	// build, whose results depend only on the seed: the partition count is
+	// fixed and the worker count only bounds concurrency, so workers 1 and 8
+	// produce bit-identical roadmaps. The online query phase is serial either
+	// way. See DESIGN.md "Intra-kernel parallelism".
+	Workers int
 }
 
 // Validate reports every dimension, bound, and finiteness violation in the
@@ -55,6 +65,7 @@ func (c Config) Validate() error {
 	f.PositiveInt("Samples", c.Samples)
 	f.PositiveInt("K", c.K)
 	f.NonNegative("EdgeStep", c.EdgeStep)
+	f.NonNegativeInt("Workers", c.Workers)
 	dof := 5 // arm.Default5DoF
 	if c.Arm != nil {
 		dof = c.Arm.DoF()
@@ -163,22 +174,38 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 
 	// ---- Offline phase: sampling.
 	prof.Begin("sample")
-	nodes := make([][]float64, 0, cfg.Samples)
 	tree := kdtree.New(dof, nil)
-	for len(nodes) < cfg.Samples {
-		if err := ctx.Err(); err != nil {
+	var nodes [][]float64
+	if cfg.Workers > 0 {
+		var err error
+		nodes, err = samplePartitioned(ctx, cfg, a, ws, r, prof)
+		if err != nil {
 			prof.End()
 			prof.EndROI()
 			return res, err
 		}
-		c := make([]float64, dof)
-		for i := range c {
-			c[i] = r.Uniform(-math.Pi, math.Pi)
+		// The kd-tree is built serially in node order, so its shape — and
+		// every downstream neighbor query — is independent of scheduling.
+		for i, c := range nodes {
+			tree.Insert(c, i)
 		}
-		if ws.CollisionFree(a, c, scratch) {
-			tree.Insert(c, len(nodes))
-			nodes = append(nodes, c)
-			prof.StepDone() // one step per accepted roadmap sample
+	} else {
+		nodes = make([][]float64, 0, cfg.Samples)
+		for len(nodes) < cfg.Samples {
+			if err := ctx.Err(); err != nil {
+				prof.End()
+				prof.EndROI()
+				return res, err
+			}
+			c := make([]float64, dof)
+			for i := range c {
+				c[i] = r.Uniform(-math.Pi, math.Pi)
+			}
+			if ws.CollisionFree(a, c, scratch) {
+				tree.Insert(c, len(nodes))
+				nodes = append(nodes, c)
+				prof.StepDone() // one step per accepted roadmap sample
+			}
 		}
 	}
 	prof.End()
@@ -186,26 +213,37 @@ func Run(ctx context.Context, cfg Config, prof *profile.Profile) (Result, error)
 	// ---- Offline phase: connecting k-nearest neighbors. Lazy PRM defers
 	// the edge collision checks to query time.
 	prof.Begin("connect")
-	adj := make([][]edge, len(nodes))
+	var adj [][]edge
 	var nbrBuf []int // reused k-nearest buffer across all connect queries
-	for i, c := range nodes {
-		if i%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				prof.End()
-				prof.EndROI()
-				return res, err
-			}
+	if cfg.Workers > 0 {
+		var err error
+		adj, err = connectParallel(ctx, cfg, a, ws, step, nodes, tree, &res, &l2norms)
+		if err != nil {
+			prof.End()
+			prof.EndROI()
+			return res, err
 		}
-		nbrBuf = tree.KNearestAppend(c, cfg.K+1, nbrBuf[:0])
-		for _, j := range nbrBuf {
-			if j == i || j > i {
-				continue // undirected; connect each pair once
+	} else {
+		adj = make([][]edge, len(nodes))
+		for i, c := range nodes {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					prof.End()
+					prof.EndROI()
+					return res, err
+				}
 			}
-			if cfg.Lazy || ws.EdgeFree(a, c, nodes[j], step, scratch, cfgScratch) {
-				d := dist(c, nodes[j])
-				adj[i] = append(adj[i], edge{j, d})
-				adj[j] = append(adj[j], edge{i, d})
-				res.RoadmapEdges++
+			nbrBuf = tree.KNearestAppend(c, cfg.K+1, nbrBuf[:0])
+			for _, j := range nbrBuf {
+				if j == i || j > i {
+					continue // undirected; connect each pair once
+				}
+				if cfg.Lazy || ws.EdgeFree(a, c, nodes[j], step, scratch, cfgScratch) {
+					d := dist(c, nodes[j])
+					adj[i] = append(adj[i], edge{j, d})
+					adj[j] = append(adj[j], edge{i, d})
+					res.RoadmapEdges++
+				}
 			}
 		}
 	}

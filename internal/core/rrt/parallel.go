@@ -1,0 +1,438 @@
+// Partitioned parallel tree growth for Run and RunStar, after BoxPlanner's
+// KD-partitioned parallel RRT (SNIPPETS.md Snippet 2): the first joint's
+// range is split into growPartitions fixed slabs, each slab grows its own
+// tree concurrently on its own seeded RNG sub-stream, and a serial merge
+// bridges the partition trees into one before the goal connection.
+//
+// Determinism contract: the partition count, the per-partition seeds, and
+// the merge order are all fixed — Config.Workers only bounds how many
+// partitions grow at the same time. Every Workers >= 1 therefore produces
+// bit-identical results; Workers == 0 keeps the legacy serial algorithm
+// (and the goldens recorded against it).
+package rrt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/arm"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/profile"
+	"repro/internal/rng"
+)
+
+const (
+	// growPartitions is the fixed number of dim-0 slabs. It is deliberately
+	// independent of Config.Workers: partitioning defines the algorithm,
+	// workers only schedule it.
+	growPartitions = 4
+	// rootAttempts bounds the rejection sampling of a collision-free root
+	// inside a slab; a slab that is entirely blocked simply grows nothing.
+	rootAttempts = 2000
+	// bridgeCandidates is how many nearest cross-tree pairs a merge pass
+	// edge-checks before giving up on a partition for the pass.
+	bridgeCandidates = 8
+)
+
+// slabOf maps a dim-0 joint value to its partition index.
+func slabOf(v float64) int {
+	k := int((v + math.Pi) / (2 * math.Pi / growPartitions))
+	if k < 0 {
+		k = 0
+	}
+	if k >= growPartitions {
+		k = growPartitions - 1
+	}
+	return k
+}
+
+// partGrower is one slab's growth task: a private planner (own workspace
+// clone, own kd-tree, own RNG sub-stream, own counters) plus the slab
+// bounds and sample quota.
+type partGrower struct {
+	p        *planner
+	lo, hi   float64
+	quota    int
+	goalBias bool // only the slab containing the goal samples it directly
+	rooted   bool
+	merged   bool
+}
+
+// newPartPlanner builds a partition-private planner sharing only immutable
+// state (arm geometry, obstacle set) with the main one. Counters, scratch,
+// kd-tree, and RNG are all private so partitions can grow concurrently.
+func newPartPlanner(cfg Config, a *arm.Arm, obstacles *arm.Workspace, seed int64) *planner {
+	return &planner{
+		cfg: cfg, arm: a,
+		ws:      &arm.Workspace{Obstacles: obstacles.Obstacles},
+		r:       rng.New(seed),
+		prof:    profile.Disabled(),
+		tree:    kdtree.New(a.DoF(), nil),
+		scratch: make([]geom.Vec2, 0, a.DoF()+1),
+		cfgTmp:  make([]float64, a.DoF()),
+		res:     &Result{},
+	}
+}
+
+// sample draws a slab-restricted configuration (goal-biased only in the
+// goal slab, mirroring the serial sampler).
+func (g *partGrower) sample(dst []float64) {
+	p := g.p
+	if g.goalBias && p.r.Float64() < p.cfg.Bias {
+		copy(dst, p.cfg.Goal)
+		return
+	}
+	dst[0] = p.r.Uniform(g.lo, g.hi)
+	for i := 1; i < len(dst); i++ {
+		dst[i] = p.r.Uniform(-math.Pi, math.Pi)
+	}
+}
+
+// rootIn rejection-samples a collision-free root inside the slab.
+func (g *partGrower) rootIn() bool {
+	p := g.p
+	c := make([]float64, p.arm.DoF())
+	for i := 0; i < rootAttempts; i++ {
+		c[0] = p.r.Uniform(g.lo, g.hi)
+		for d := 1; d < len(c); d++ {
+			c[d] = p.r.Uniform(-math.Pi, math.Pi)
+		}
+		if p.collisionFree(c) {
+			p.addNode(c, -1, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// grow runs the slab's sample budget: the plain RRT extend loop, or the
+// RRT* choose-parent/rewire loop, entirely within the partition tree.
+func (g *partGrower) grow(ctx context.Context, star bool) {
+	if !g.rooted {
+		if !g.rootIn() {
+			return
+		}
+		g.rooted = true
+	}
+	p := g.p
+	sample := make([]float64, p.arm.DoF())
+	newCfg := make([]float64, p.arm.DoF())
+	for i := 0; i < g.quota; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		p.res.Samples++
+		g.sample(sample)
+		ni := p.nearest(sample)
+		p.steer(p.nodes[ni].cfg, sample, newCfg)
+		if !p.edgeFree(p.nodes[ni].cfg, newCfg) {
+			continue
+		}
+		if !star {
+			p.addNode(newCfg, ni, p.nodes[ni].cost+arm.ConfigDist(p.nodes[ni].cfg, newCfg))
+			continue
+		}
+		// RRT*: cheapest parent in the neighborhood, then rewire through
+		// the new node — the same operations as the serial RunStar loop,
+		// scoped to the partition tree. Goal evaluation waits for the merge.
+		neighbors := p.near(newCfg)
+		parent := ni
+		cost := p.nodes[ni].cost + arm.ConfigDist(p.nodes[ni].cfg, newCfg)
+		for _, j := range neighbors {
+			if j == ni {
+				continue
+			}
+			c := p.nodes[j].cost + arm.ConfigDist(p.nodes[j].cfg, newCfg)
+			if c < cost && p.edgeFree(p.nodes[j].cfg, newCfg) {
+				parent, cost = j, c
+			}
+		}
+		id := p.addNode(newCfg, parent, cost)
+		for _, j := range neighbors {
+			if j == parent {
+				continue
+			}
+			nj := &p.nodes[j]
+			c := cost + arm.ConfigDist(newCfg, nj.cfg)
+			if c+1e-12 < nj.cost {
+				if !p.edgeFree(newCfg, nj.cfg) {
+					continue
+				}
+				old := nj.parent
+				if old >= 0 {
+					ch := p.nodes[old].children
+					for k, v := range ch {
+						if v == j {
+							p.nodes[old].children = append(ch[:k], ch[k+1:]...)
+							break
+						}
+					}
+				}
+				nj.parent = id
+				p.nodes[id].children = append(p.nodes[id].children, j)
+				delta := c - nj.cost
+				nj.cost = c
+				p.propagate(j, delta)
+				p.res.Rewires++
+			}
+		}
+	}
+}
+
+// absorbCounters folds the partition-private counters into the main result
+// in partition order, so the totals are independent of scheduling.
+func (p *planner) absorbCounters(growers []*partGrower) {
+	for _, g := range growers {
+		if g.p == p {
+			continue
+		}
+		p.res.Samples += g.p.res.Samples
+		p.res.NNQueries += g.p.res.NNQueries
+		p.res.Rewires += g.p.res.Rewires
+		p.tree.DistCalls += g.p.tree.DistCalls
+		p.ws.SegChecks += g.p.ws.SegChecks
+	}
+}
+
+// bridge tries to splice partition g's tree into the main tree: it finds
+// the nearest main-tree node for every partition node (in node order),
+// edge-checks the closest candidate pairs nearest-first, and on the first
+// collision-free motion re-roots the partition tree at the bridge node and
+// inserts it in BFS order. Returns false when no candidate motion is free.
+func (p *planner) bridge(g *partGrower) bool {
+	type cand struct {
+		part, main int
+		d          float64
+	}
+	cands := make([]cand, 0, len(g.p.nodes))
+	for i := range g.p.nodes {
+		m := p.nearest(g.p.nodes[i].cfg)
+		cands = append(cands, cand{i, m, arm.ConfigDist(g.p.nodes[i].cfg, p.nodes[m].cfg)})
+	}
+	// Stable sort: distance ties resolve by partition node index, keeping
+	// the merge deterministic.
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	tries := bridgeCandidates
+	if tries > len(cands) {
+		tries = len(cands)
+	}
+	for t := 0; t < tries; t++ {
+		c := cands[t]
+		if !p.edgeFree(p.nodes[c.main].cfg, g.p.nodes[c.part].cfg) {
+			continue
+		}
+		p.splice(g, c.part, c.main, c.d)
+		return true
+	}
+	return false
+}
+
+// splice re-roots partition g's tree at node b and inserts every partition
+// node into the main tree, b attached under main node m. Costs are
+// recomputed from edge lengths along the new rooting during the BFS.
+func (p *planner) splice(g *partGrower, b, m int, bridgeDist float64) {
+	nodes := g.p.nodes
+	// Re-root at b: reverse the parent chain b -> old root, then rebuild
+	// the children lists from the new parent pointers.
+	prev := -1
+	for cur := b; cur != -1; {
+		next := nodes[cur].parent
+		nodes[cur].parent = prev
+		prev, cur = cur, next
+	}
+	for i := range nodes {
+		nodes[i].children = nodes[i].children[:0]
+	}
+	for i := range nodes {
+		if pa := nodes[i].parent; pa >= 0 {
+			nodes[pa].children = append(nodes[pa].children, i)
+		}
+	}
+	idmap := make([]int, len(nodes))
+	for i := range idmap {
+		idmap[i] = -1
+	}
+	idmap[b] = p.addNode(nodes[b].cfg, m, p.nodes[m].cost+bridgeDist)
+	queue := make([]int, 0, len(nodes))
+	queue = append(queue, b)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		mc := idmap[cur]
+		for _, ch := range nodes[cur].children {
+			idmap[ch] = p.addNode(nodes[ch].cfg, mc, p.nodes[mc].cost+arm.ConfigDist(nodes[cur].cfg, nodes[ch].cfg))
+			queue = append(queue, ch)
+		}
+	}
+}
+
+// runParallel is the Workers >= 1 algorithm behind Run (star=false) and
+// RunStar (star=true): partitioned concurrent growth, deterministic serial
+// merge, then goal connection on the merged tree.
+func runParallel(ctx context.Context, cfg Config, prof *profile.Profile, star bool) (Result, error) {
+	var res Result
+	prof.BeginROI()
+	p, err := newPlanner(cfg, prof, &res)
+	if err != nil {
+		prof.EndROI()
+		return res, err
+	}
+	if star && cfg.Radius <= 0 {
+		prof.EndROI()
+		return res, errors.New("rrt: RRT* requires a positive Radius")
+	}
+	cfg = p.cfg // defaults resolved by newPlanner
+
+	// Per-partition seeds come from the root RNG in slab order, then the
+	// start partition (the main planner itself) switches to its own
+	// sub-stream — every partition's draw sequence is fixed up front.
+	seeds := make([]int64, growPartitions)
+	for k := range seeds {
+		seeds[k] = int64(p.r.Uint64())
+	}
+	startSlab := slabOf(cfg.Start[0])
+	goalSlab := slabOf(cfg.Goal[0])
+
+	growers := make([]*partGrower, growPartitions)
+	width := 2 * math.Pi / growPartitions
+	for k := range growers {
+		g := &partGrower{
+			lo:       -math.Pi + float64(k)*width,
+			hi:       -math.Pi + float64(k+1)*width,
+			quota:    cfg.MaxSamples / growPartitions,
+			goalBias: k == goalSlab,
+		}
+		if k < cfg.MaxSamples%growPartitions {
+			g.quota++
+		}
+		switch {
+		case k == startSlab:
+			p.r = rng.New(seeds[k])
+			g.p = p
+			g.rooted = true
+			g.merged = true // the main tree is the merge target
+		case k == goalSlab:
+			// Root the goal slab's tree at the goal itself (newPlanner
+			// already verified it is collision-free): once this partition
+			// bridges, the merged tree reaches the goal region exactly.
+			g.p = newPartPlanner(cfg, p.arm, p.ws, seeds[k])
+			g.p.addNode(cfg.Goal, -1, 0)
+			g.rooted = true
+		default:
+			g.p = newPartPlanner(cfg, p.arm, p.ws, seeds[k])
+		}
+		growers[k] = g
+	}
+
+	// Fan the partitions out over at most Workers goroutines. The main
+	// planner grows concurrently too, so its profile is swapped out for the
+	// duration; the whole fan-out's wall time lands in the "grow" phase.
+	workers := cfg.Workers
+	if workers > growPartitions {
+		workers = growPartitions
+	}
+	mainProf := p.prof
+	p.prof = profile.Disabled()
+	prof.Begin("grow")
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, g := range growers {
+		wg.Add(1)
+		go func(g *partGrower) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			g.grow(ctx, star)
+		}(g)
+	}
+	wg.Wait()
+	prof.End()
+	p.prof = mainProf
+	prof.StepDone() // the fan-out is one step; merge and goal connect follow
+
+	p.absorbCounters(growers)
+	if err := ctx.Err(); err != nil {
+		if !star || !cfg.BestEffort {
+			p.collectStats()
+			prof.EndROI()
+			return res, err
+		}
+		// RRT* best effort: merge whatever grew and report the best goal
+		// connection it holds, degraded.
+		res.Degraded = true
+	}
+
+	// Serial deterministic merge, in slab order; unbridgeable partitions
+	// retry after later ones land (their nodes may provide the stepping
+	// stone), until a full pass makes no progress.
+	for {
+		progress := false
+		for _, g := range growers {
+			if g.merged || !g.rooted {
+				continue
+			}
+			if p.bridge(g) {
+				g.merged = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	prof.StepDone()
+
+	// Goal connection on the merged tree: the cheapest goal-tolerant node
+	// with a free closing motion (the serial RunStar re-evaluation, scanned
+	// in node order), with a greedy straight-line extension as fallback.
+	bestGoal := -1
+	bestCost := math.Inf(1)
+	for i := range p.nodes {
+		d := arm.ConfigDist(p.nodes[i].cfg, cfg.Goal)
+		if d > cfg.GoalTol {
+			continue
+		}
+		if total := p.nodes[i].cost + d; total < bestCost && p.edgeFree(p.nodes[i].cfg, cfg.Goal) {
+			bestGoal, bestCost = i, total
+		}
+	}
+	if bestGoal < 0 && len(p.nodes) > 0 {
+		// RRT-Connect-style extend: steer repeatedly from the nearest node
+		// straight toward the goal while the motion stays free. Purely
+		// deterministic — no sampling — so the contract holds.
+		cur := p.nearest(cfg.Goal)
+		newCfg := make([]float64, p.arm.DoF())
+		maxSteps := int(arm.ConfigDist(p.nodes[cur].cfg, cfg.Goal)/cfg.Epsilon) + 2
+		for s := 0; s < maxSteps; s++ {
+			p.steer(p.nodes[cur].cfg, cfg.Goal, newCfg)
+			if !p.edgeFree(p.nodes[cur].cfg, newCfg) {
+				break
+			}
+			cur = p.addNode(newCfg, cur, p.nodes[cur].cost+arm.ConfigDist(p.nodes[cur].cfg, newCfg))
+			if d := arm.ConfigDist(newCfg, cfg.Goal); d <= cfg.GoalTol && p.edgeFree(newCfg, cfg.Goal) {
+				bestGoal, bestCost = cur, p.nodes[cur].cost+d
+				break
+			}
+		}
+	}
+	if bestGoal >= 0 {
+		p.finish(bestGoal)
+	}
+	p.collectStats()
+	prof.StepDone()
+	prof.EndROI()
+	if !res.Found {
+		if res.Degraded {
+			return res, ctx.Err()
+		}
+		if star {
+			return res, errors.New("rrt: RRT* found no path within sample budget")
+		}
+		return res, errors.New("rrt: no path within sample budget")
+	}
+	return res, nil
+}

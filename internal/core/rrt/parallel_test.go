@@ -1,0 +1,111 @@
+package rrt
+
+import (
+	"context"
+	"testing"
+)
+
+// resultFingerprint collapses a Result into the fields the determinism
+// contract covers (everything except the path slice identity).
+type resultFingerprint struct {
+	found                bool
+	cost                 float64
+	samples, treeNodes   int
+	nnQueries, distCalls int64
+	segChecks, rewires   int64
+	pathLen              int
+}
+
+func fingerprint(r Result) resultFingerprint {
+	return resultFingerprint{
+		found: r.Found, cost: r.PathCost,
+		samples: r.Samples, treeNodes: r.TreeNodes,
+		nnQueries: r.NNQueries, distCalls: r.DistCalls,
+		segChecks: r.SegChecks, rewires: r.Rewires,
+		pathLen: len(r.Path),
+	}
+}
+
+func parallelTestConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.MaxSamples = 10000
+	return cfg
+}
+
+func TestParallelFindsPath(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		cfg := parallelTestConfig(seed)
+		cfg.Workers = 4
+		res, err := Run(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Found || len(res.Path) < 2 {
+			t.Fatalf("seed %d: no path (%+v)", seed, fingerprint(res))
+		}
+	}
+}
+
+func TestParallelStarFindsPath(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		cfg := parallelTestConfig(seed)
+		cfg.Workers = 4
+		res, err := RunStar(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Found {
+			t.Fatalf("seed %d: no path (%+v)", seed, fingerprint(res))
+		}
+	}
+}
+
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	// The determinism contract: for Workers >= 1 the result is a pure
+	// function of the seed — the worker count only bounds concurrency.
+	runs := []struct {
+		name string
+		fn   func(context.Context, Config) (Result, error)
+	}{
+		{"rrt", func(ctx context.Context, cfg Config) (Result, error) { return Run(ctx, cfg, nil) }},
+		{"rrtstar", func(ctx context.Context, cfg Config) (Result, error) { return RunStar(ctx, cfg, nil) }},
+		{"rrtpp", func(ctx context.Context, cfg Config) (Result, error) { return RunPP(ctx, cfg, nil) }},
+	}
+	for _, rn := range runs {
+		cfg := parallelTestConfig(1)
+		cfg.Workers = 1
+		base, err := rn.fn(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", rn.name, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			cfg := parallelTestConfig(1)
+			cfg.Workers = w
+			got, err := rn.fn(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", rn.name, w, err)
+			}
+			if fingerprint(got) != fingerprint(base) {
+				t.Fatalf("%s workers=%d diverged from workers=1:\n  %+v\nvs\n  %+v",
+					rn.name, w, fingerprint(got), fingerprint(base))
+			}
+			for i := range base.Path {
+				for j := range base.Path[i] {
+					if got.Path[i][j] != base.Path[i][j] {
+						t.Fatalf("%s workers=%d: path[%d][%d] = %v, want %v",
+							rn.name, w, i, j, got.Path[i][j], base.Path[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelValidatesWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}

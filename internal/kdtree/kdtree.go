@@ -68,6 +68,17 @@ func New(dim int, metric Metric) *Tree {
 // Len returns the number of points in the tree.
 func (t *Tree) Len() int { return len(t.nodes) }
 
+// Clone returns an independent copy of the tree: same points, same shape,
+// same payloads, but fresh query scratch and a zeroed DistCalls counter.
+// KNearestAppend's candidate heap makes a Tree non-reentrant, so parallel
+// searchers take one clone per worker; two slice copies make that cheap.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{dim: t.dim, metric: t.metric, root: t.root}
+	c.nodes = append([]node(nil), t.nodes...)
+	c.pts = append([]float64(nil), t.pts...)
+	return c
+}
+
 // pt returns node i's point, a view into the arena.
 func (t *Tree) pt(i int) []float64 {
 	return t.pts[i*t.dim : (i+1)*t.dim]

@@ -228,3 +228,46 @@ func TestLen(t *testing.T) {
 		t.Fatalf("Len = %d / %d", tr.Len(), lin.Len())
 	}
 }
+
+// TestCloneIndependent pins the Clone contract: identical query results,
+// independent counters and scratch, and no structural sharing that would let
+// an insert into one tree corrupt the other.
+func TestCloneIndependent(t *testing.T) {
+	r := rng.New(5)
+	tr := New(3, nil)
+	pts := randomPoints(r, 200, 3)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	c := tr.Clone()
+	if c.Len() != tr.Len() {
+		t.Fatalf("clone has %d points, original %d", c.Len(), tr.Len())
+	}
+	for _, q := range randomPoints(r, 50, 3) {
+		wantID, wantD, _ := tr.Nearest(q)
+		gotID, gotD, _ := c.Nearest(q)
+		if wantID != gotID || wantD != gotD {
+			t.Fatalf("clone Nearest (%d, %v) != original (%d, %v)", gotID, gotD, wantID, wantD)
+		}
+		wantK := tr.KNearest(q, 7)
+		gotK := c.KNearest(q, 7)
+		for i := range wantK {
+			if wantK[i] != gotK[i] {
+				t.Fatalf("clone KNearest %v != original %v", gotK, wantK)
+			}
+		}
+	}
+	if c.DistCalls == 0 || c.DistCalls != tr.DistCalls {
+		t.Fatalf("counters diverged unexpectedly: clone %d, original %d", c.DistCalls, tr.DistCalls)
+	}
+	// Inserting into the original must not reach the clone (and vice versa).
+	tr.Insert([]float64{0.5, 0.5, 0.5}, 999)
+	if c.Len() == tr.Len() {
+		t.Fatal("insert into original grew the clone")
+	}
+	before := tr.DistCalls
+	c.Nearest(pts[0])
+	if tr.DistCalls != before {
+		t.Fatal("clone query incremented the original's DistCalls")
+	}
+}

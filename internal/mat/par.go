@@ -1,0 +1,84 @@
+package mat
+
+import "sync"
+
+// minParRows is the smallest per-worker row block worth the goroutine
+// overhead. Requests that cannot give every worker at least this many rows
+// run serially; callers therefore get bit-identical results for every
+// worker count, including 0.
+const minParRows = 4
+
+// ParMulInto computes dst = a*b like MulInto, splitting the rows of dst
+// across up to workers goroutines. Each row is accumulated by exactly the
+// same loop as MulInto, in the same order, so the result is bit-identical
+// to the serial product for every worker count. workers <= 1 (or a matrix
+// too small to split) degrades to MulInto with no goroutine or allocation
+// overhead, which keeps the serial EKF step on its zero-alloc path.
+func ParMulInto(dst, a, b *Matrix, workers int) *Matrix {
+	if workers > a.Rows/minParRows {
+		workers = a.Rows / minParRows
+	}
+	if workers <= 1 {
+		return MulInto(dst, a, b)
+	}
+	checkMulShapes(dst, a, b)
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= a.Rows {
+			break
+		}
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}
+
+// ParTransposeInto computes dst = aᵀ like TransposeInto, splitting the rows
+// of dst (the columns of a) across up to workers goroutines. Every element
+// is a plain copy, so the result is bit-identical to the serial transpose
+// for every worker count. workers <= 1 or a small matrix degrades to
+// TransposeInto.
+func ParTransposeInto(dst, a *Matrix, workers int) *Matrix {
+	if workers > dst.Rows/minParRows {
+		workers = dst.Rows / minParRows
+	}
+	if workers <= 1 {
+		return TransposeInto(dst, a)
+	}
+	checkTransposeShapes(dst, a)
+	chunk := (dst.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= dst.Rows {
+			break
+		}
+		if hi > dst.Rows {
+			hi = dst.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// dst row j holds column j of a.
+			for j := lo; j < hi; j++ {
+				drow := dst.Data[j*dst.Cols : (j+1)*dst.Cols]
+				for i := 0; i < a.Rows; i++ {
+					drow[i] = a.Data[i*a.Cols+j]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}

@@ -177,6 +177,7 @@ func rrtConfig(kernel string, o Options, variant string) (rrt.Config, error) {
 	cfg := rrt.DefaultConfig()
 	cfg.Seed = o.seed()
 	cfg.BestEffort = o.BestEffort
+	cfg.Workers = o.Workers
 	if o.Size == SizeSmall {
 		cfg.MaxSamples = 10000
 	}

@@ -20,6 +20,7 @@ func init() {
 		configure: func(o Options) (pfl.Config, error) {
 			cfg := pfl.DefaultConfig()
 			cfg.Seed = o.seed()
+			cfg.Workers = o.Workers
 			if o.Size == SizeSmall {
 				cfg.Particles = 300
 				cfg.Steps = 25

@@ -17,6 +17,7 @@ func init() {
 		configure: func(o Options) (prm.Config, error) {
 			cfg := prm.DefaultConfig()
 			cfg.Seed = o.seed()
+			cfg.Workers = o.Workers
 			if o.Size == SizeSmall {
 				cfg.Samples = 700
 			}

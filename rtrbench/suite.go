@@ -74,6 +74,9 @@ func (o SuiteOptions) Normalize() (SuiteOptions, error) {
 	if o.Deadline < 0 {
 		return o, fmt.Errorf("rtrbench: Options.Deadline %v is negative", o.Deadline)
 	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("rtrbench: Options.Workers %d is negative", o.Workers)
+	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.NumCPU()
 	}

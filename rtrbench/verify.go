@@ -35,8 +35,9 @@ type VerifyOptions struct {
 	Update bool
 	// Metamorphic additionally checks the digest-invariance properties
 	// that need no goldens at all: digests must be bit-identical at
-	// Parallel=1 vs Parallel=8, with trial order reversed, and with
-	// profiling enabled vs profile.Disabled(). Runs at Seeds[0].
+	// Parallel=1 vs Parallel=8, with trial order reversed, with profiling
+	// enabled vs profile.Disabled(), and — for the kernels with intra-kernel
+	// parallelism — at Options.Workers=1 vs Workers=8. Runs at Seeds[0].
 	Metamorphic bool
 	// Parallel bounds kernel concurrency for the golden runs; <= 0 means
 	// runtime.NumCPU().
@@ -50,8 +51,9 @@ type VerifyMismatch struct {
 	Kernel string
 	Seed   int64
 	// Check names the comparison: "golden" (checked-in digest), or the
-	// metamorphic properties "parallel" (1 vs 8), "reorder" (trial order),
-	// "profile" (profiling on vs off).
+	// metamorphic properties "parallel" (1 vs 8 concurrent kernels),
+	// "reorder" (trial order), "profile" (profiling on vs off), "workers"
+	// (intra-kernel Workers=1 vs Workers=8).
 	Check string
 	Field string
 	Want  string
@@ -246,7 +248,42 @@ func verifyMetamorphic(ctx context.Context, rep *VerifyReport, infos []Info, nam
 		rep.Checked++
 		appendMismatches(rep, "profile", seed, golden.Diff(instrumented, bare))
 	}
+
+	// Property 4: worker-count independence. The kernels with intra-kernel
+	// parallelism promise that every Options.Workers >= 1 selects the same
+	// deterministic parallel algorithm — partition counts and RNG
+	// sub-streams are fixed, the worker count only bounds goroutine
+	// concurrency — so Workers=1 and Workers=8 must digest identically.
+	var parallelized []string
+	for _, info := range infos {
+		if workerKernels[info.Name] {
+			parallelized = append(parallelized, info.Name)
+		}
+	}
+	if len(parallelized) > 0 {
+		w1, err := suiteDigests(ctx, parallelized, seed, parallel, Options{Workers: 1})
+		if err != nil {
+			return err
+		}
+		w8, err := suiteDigests(ctx, parallelized, seed, parallel, Options{Workers: 8})
+		if err != nil {
+			return err
+		}
+		for _, name := range parallelized {
+			rep.Checked++
+			appendMismatches(rep, "workers", seed, golden.Diff(w1[name], w8[name]))
+		}
+	}
 	return nil
+}
+
+// workerKernels are the kernels honoring Options.Workers — exactly the set
+// the metamorphic "workers" property runs on. The goldens themselves stay
+// pinned to the serial Workers=0 algorithms; this property is what covers
+// the parallel paths.
+var workerKernels = map[string]bool{
+	"pfl": true, "ekfslam": true, "prm": true,
+	"rrt": true, "rrtstar": true, "rrtpp": true,
 }
 
 // runDigest executes one kernel run and digests it. A nil profile runs with

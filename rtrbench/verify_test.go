@@ -28,7 +28,8 @@ func TestVerifyGoldens(t *testing.T) {
 
 // TestVerifyMetamorphic checks the golden-free invariance properties on a
 // cross-stage kernel subset: digests bit-identical at Parallel=1 vs 8,
-// under trial reordering, and with profiling on vs profile.Disabled().
+// under trial reordering, with profiling on vs profile.Disabled(), and —
+// for the kernels honoring Options.Workers (here pfl) — at Workers=1 vs 8.
 // (CI runs the full 16-kernel metamorphic sweep via `rtrbench verify`.)
 func TestVerifyMetamorphic(t *testing.T) {
 	kernels := []string{"pfl", "pp2d", "cem"}
@@ -40,8 +41,9 @@ func TestVerifyMetamorphic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 golden diffs + 3 parallel + 3x2 reorder + 3 profile.
-	if want := 15; rep.Checked != want {
+	// 3 golden diffs + 3 parallel + 3x2 reorder + 3 profile + 1 workers
+	// (pfl is the only worker-enabled kernel in the subset).
+	if want := 16; rep.Checked != want {
 		t.Errorf("Checked = %d, want %d", rep.Checked, want)
 	}
 	if !rep.OK() {

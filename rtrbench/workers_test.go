@@ -1,0 +1,68 @@
+package rtrbench
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/golden"
+)
+
+// workerKernelNames returns the parallelized-kernel set in stable order.
+func workerKernelNames() []string {
+	var names []string
+	for name := range workerKernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestWorkersDigestInvariance is the suite-level form of the per-kernel
+// determinism tests: for every kernel honoring Options.Workers, the digest at
+// Workers=1 must equal the digest at Workers=8 — the contract the verify
+// command's metamorphic "workers" property enforces in CI.
+func TestWorkersDigestInvariance(t *testing.T) {
+	names := workerKernelNames()
+	w1, err := suiteDigests(context.Background(), names, 1, 2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := suiteDigests(context.Background(), names, 1, 2, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if diffs := golden.Diff(w1[name], w8[name]); len(diffs) > 0 {
+			t.Errorf("%s: workers=8 diverged from workers=1: %v", name, diffs)
+		}
+	}
+}
+
+// TestWorkersSerialUnaffected pins the other half of the contract: Workers=0
+// must select the exact legacy serial algorithms, so its digests match a
+// plain zero-valued Options run (the configuration the checked-in goldens
+// record).
+func TestWorkersSerialUnaffected(t *testing.T) {
+	names := workerKernelNames()
+	serial, err := suiteDigests(context.Background(), names, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := suiteDigests(context.Background(), names, 1, 2, Options{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if diffs := golden.Diff(serial[name], zero[name]); len(diffs) > 0 {
+			t.Errorf("%s: Workers=0 diverged from default options: %v", name, diffs)
+		}
+	}
+}
+
+func TestNormalizeRejectsNegativeWorkers(t *testing.T) {
+	_, err := SuiteOptions{Options: Options{Workers: -1}}.Normalize()
+	if err == nil {
+		t.Fatal("negative Workers normalized without error")
+	}
+}

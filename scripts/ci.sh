@@ -53,6 +53,15 @@ echo "== golden verify (digest diff, race detector)"
 go run -race ./cmd/rtrbench verify -parallel 1
 go run -race ./cmd/rtrbench verify -parallel 8 -metamorphic
 
+echo "== intra-kernel workers smoke (parallel algorithms, race detector)"
+# The Workers >= 1 code paths of pfl/ekfslam/prm/rrt/rrtstar/rrtpp under the
+# race detector. The workers=1-vs-8 digest equality itself rides the
+# -metamorphic verify stage above (its "workers" property); this stage is
+# what runs the partitioned growth, parallel weigh/motion, and blocked
+# matrix kernels with real goroutine interleavings.
+go run -race ./cmd/rtrbench suite --size small --parallel 2 --workers 4 \
+    --kernels pfl,ekfslam,prm,rrt,rrtstar,rrtpp --timeout 120s
+
 echo "== chaos sweep (injected faults, race detector)"
 # The same sweep under deterministic fault injection: sensor dropouts and
 # NaN corruption, stalls, and injected panics. The gate checks the process
