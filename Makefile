@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all benchdiff ledger-append ledger-verify ci fmt vet verify golden-update
+.PHONY: all build test race bench bench-all benchdiff ledger-append ledger-verify ci fmt vet verify golden-update stream
 
 all: build
 
@@ -55,6 +55,17 @@ verify:
 # the diff before committing — every changed field is a changed answer.
 golden-update:
 	$(GO) run ./cmd/rtrbench verify -update
+
+# Streaming real-time smoke: pfl as a 2ms periodic task for 1s with
+# deadline-miss accounting. Override with
+# make stream KERNEL=ekfslam PERIOD=5ms DURATION=2s POLICY=anytime-cutoff
+KERNEL ?= pfl
+PERIOD ?= 2ms
+DURATION ?= 1s
+POLICY ?= skip-next
+stream:
+	$(GO) run ./cmd/rtrbench stream -kernel $(KERNEL) -period $(PERIOD) \
+		-deadline $(PERIOD) -duration $(DURATION) -policy $(POLICY)
 
 # The full verification gate: gofmt + vet + build + race tests.
 ci:

@@ -43,14 +43,15 @@ func main() {
 }
 
 type config struct {
-	threshold  float64
-	alpha      float64
-	jsonOut    bool
-	allocs     bool
-	zeroAlloc  string
-	ledgerMode string
-	ledgerFile string
-	note       string
+	threshold   float64
+	alpha       float64
+	jsonOut     bool
+	allocs      bool
+	ignoreShape bool
+	zeroAlloc   string
+	ledgerMode  string
+	ledgerFile  string
+	note        string
 }
 
 func run(args []string, stdout, stderr *os.File) int {
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.Float64Var(&cfg.alpha, "alpha", 0.05, "significance level for the Mann-Whitney test")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the full report as JSON instead of the table")
 	fs.BoolVar(&cfg.allocs, "allocs", true, "flag any allocs/op increase as a regression (deterministic, no significance test)")
+	fs.BoolVar(&cfg.ignoreShape, "ignore-shape", false, "compare snapshots even when GOMAXPROCS/NumCPU differ (cross-shape numbers are not comparable)")
 	fs.StringVar(&cfg.zeroAlloc, "zeroalloc", "", "regexp of benchmarks that must report exactly 0 allocs/op in the new snapshot")
 	fs.StringVar(&cfg.ledgerMode, "ledger", "", "ledger mode: append, verify, show, or diff")
 	fs.StringVar(&cfg.ledgerFile, "ledger-file", "PERF_LEDGER.jsonl", "hash-chained ledger file")
@@ -98,8 +100,9 @@ func run(args []string, stdout, stderr *os.File) int {
 
 func (c config) diffOptions() benchfmt.DiffOptions {
 	return benchfmt.DiffOptions{
-		Stats:  stats.Options{Alpha: c.alpha, Threshold: c.threshold},
-		Allocs: c.allocs,
+		Stats:       stats.Options{Alpha: c.alpha, Threshold: c.threshold},
+		Allocs:      c.allocs,
+		IgnoreShape: c.ignoreShape,
 	}
 }
 

@@ -57,11 +57,13 @@ func main() {
 		date = time.Now().UTC().Format("2006-01-02")
 	}
 	snap := benchfmt.Snapshot{
-		Schema: benchfmt.SchemaV2,
-		Date:   date,
-		Go:     runtime.Version(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
+		Schema:     benchfmt.SchemaV2,
+		Date:       date,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	if *goldenDir != "" {

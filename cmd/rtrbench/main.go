@@ -7,6 +7,7 @@
 //
 //	rtrbench <kernel> [flags]
 //	rtrbench suite [flags]
+//	rtrbench stream [flags]
 //	rtrbench verify [flags]
 //	rtrbench list
 //	rtrbench <kernel> --help
@@ -17,6 +18,7 @@
 //	rtrbench pfl --particles 5000 --steps 200 --region 3
 //	rtrbench movtar --size 384 --epsilon 3
 //	rtrbench suite --trials 5 --warmup 1 --parallel 8 --timeout 60s
+//	rtrbench stream -kernel pfl -period 2ms -deadline 2ms -duration 1s
 //
 // Every kernel additionally accepts the shared observability flags:
 //
@@ -74,6 +76,12 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "stream":
+		if err := runStream(args); err != nil {
+			fmt.Fprintf(os.Stderr, "rtrbench stream: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "verify":
 		if err := runVerify(args); err != nil {
 			fmt.Fprintf(os.Stderr, "rtrbench verify: %v\n", err)
@@ -98,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("USAGE:\n  rtrbench <kernel> [OPTIONS]\n  rtrbench suite [OPTIONS]\n  rtrbench verify [OPTIONS]\n  rtrbench list\n\nKERNELS:")
+	fmt.Println("USAGE:\n  rtrbench <kernel> [OPTIONS]\n  rtrbench suite [OPTIONS]\n  rtrbench stream [OPTIONS]\n  rtrbench verify [OPTIONS]\n  rtrbench list\n\nKERNELS:")
 	listKernels()
 	fmt.Println("\nRun `rtrbench <kernel> --help` for the kernel's options.")
 }

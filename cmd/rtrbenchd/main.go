@@ -18,6 +18,14 @@
 //	GET  /ledger             hash-chained perf history
 //	GET  /debug/pprof/       live profiling
 //
+// A job body with a "stream" block runs in streaming mode instead of a
+// batch sweep: the named kernel executes as a periodic real-time task
+// (period/deadline/duration) and the result carries per-tick deadline-miss
+// accounting. Stream jobs must be wall-time bounded below -job-timeout and
+// bypass the result cache — timing measurements are not content-
+// addressable answers — while /metrics exposes their live
+// rtrbench_stream_* counters as they run.
+//
 // With -data set, the result store is backed by a checksummed write-ahead
 // log in that directory: a kill -9 restart replays it (torn tails
 // truncated, never fatal) and the digest cache survives. Per-client

@@ -93,6 +93,12 @@ type jobRecord struct {
 	reqKey string
 	opts   rtrbench.SuiteOptions
 
+	// stream, when non-nil, marks a streaming job: execBatch runs the
+	// periodic scheduler instead of the sweep engine, and the result never
+	// enters the content-addressed store (reqKey stays empty — streaming
+	// accounting is timing-dependent, not content-addressable).
+	stream *rtrbench.StreamOptions
+
 	cached   bool
 	cachedAt time.Time
 	digest   string
@@ -201,9 +207,19 @@ func newServer(cfg config) (*server, error) {
 			s.reg.SetGauge("batch_size", int64(n))
 			s.reg.Add("batches", 1)
 		},
-		OnRateLimited: func(string) { s.reg.Add("rate_limited", 1) },
-		OnRetry:       func(string, int, time.Duration) { s.reg.Add("retries_scheduled", 1) },
-		OnAbandon:     func() { s.reg.Add("executors_abandoned", 1) },
+		// Fairness counters carry a bounded per-client label next to the
+		// plain totals: fairness is only observable per tenant, and the
+		// labeled families' cardinality bound keeps /metrics safe against an
+		// open client-ID namespace.
+		OnRateLimited: func(client string) {
+			s.reg.Add("rate_limited", 1)
+			s.reg.AddLabeled("rate_limited_by_client", "client", client, 1)
+		},
+		OnDequeue: func(client string) {
+			s.reg.AddLabeled("jobs_dequeued_by_client", "client", client, 1)
+		},
+		OnRetry:   func(string, int, time.Duration) { s.reg.Add("retries_scheduled", 1) },
+		OnAbandon: func() { s.reg.Add("executors_abandoned", 1) },
 	}, s.execBatch)
 
 	dbg, err := obs.StartDebugServer(obs.DebugOptions{
@@ -361,9 +377,73 @@ type jobRequest struct {
 	Timeout         duration `json:"timeout,omitempty"`
 	Deadline        duration `json:"deadline,omitempty"`
 	StepLatency     bool     `json:"step_latency,omitempty"`
+	Workers         int      `json:"workers,omitempty"`
 	Retries         int      `json:"retries,omitempty"`
 	RetryBackoff    duration `json:"retry_backoff,omitempty"`
 	ContinueOnError bool     `json:"continue_on_error,omitempty"`
+
+	// Stream switches the job to streaming mode: the named kernel runs as a
+	// periodic real-time task instead of a batch sweep. Stream jobs bypass
+	// the result cache — their accounting is timing-dependent, so a cached
+	// answer would be a lie — and must be time-bounded so the job watchdog
+	// stays meaningful. The batch-sweep fields above other than size, seed,
+	// and workers are ignored.
+	Stream *streamRequest `json:"stream,omitempty"`
+}
+
+// streamRequest is the streaming block of a job submission, mirroring the
+// `rtrbench stream` flags.
+type streamRequest struct {
+	Kernel   string   `json:"kernel"`
+	Period   duration `json:"period"`
+	Deadline duration `json:"deadline,omitempty"`
+	Duration duration `json:"duration"`
+	MaxTicks int64    `json:"max_ticks,omitempty"`
+	Policy   string   `json:"policy,omitempty"`
+}
+
+// streamOptions maps a streaming request onto normalized StreamOptions —
+// the admission-time validation twin of suiteOptions. Daemon streams must
+// be wall-time bounded (Duration, not just MaxTicks) and must fit under
+// the job watchdog, otherwise every stream job would end in a watchdog
+// retry loop.
+func (s *server) streamOptions(req jobRequest) (rtrbench.StreamOptions, error) {
+	sr := req.Stream
+	opts := rtrbench.StreamOptions{
+		Options: rtrbench.Options{
+			Seed:    req.Seed,
+			Workers: req.Workers,
+		},
+		Kernel:   sr.Kernel,
+		Period:   time.Duration(sr.Period),
+		Deadline: time.Duration(sr.Deadline),
+		Duration: time.Duration(sr.Duration),
+		MaxTicks: sr.MaxTicks,
+	}
+	switch req.Size {
+	case "", "small":
+		opts.Size = rtrbench.SizeSmall
+	case "default":
+		opts.Size = rtrbench.SizeDefault
+	default:
+		return opts, fmt.Errorf("unknown size %q (want small or default)", req.Size)
+	}
+	p, err := rtrbench.ParseStreamPolicy(sr.Policy)
+	if err != nil {
+		return opts, err
+	}
+	opts.Policy = p
+	if opts.Duration <= 0 {
+		return opts, fmt.Errorf("stream jobs must set a duration (a ticks-only bound has no wall-time limit)")
+	}
+	if s.cfg.jobTimeout > 0 && opts.Duration >= s.cfg.jobTimeout {
+		return opts, fmt.Errorf("stream duration %v must be below the job watchdog timeout %v",
+			opts.Duration, s.cfg.jobTimeout)
+	}
+	if _, ok := rtrbench.Lookup(opts.Kernel); !ok {
+		return opts, fmt.Errorf("unknown kernel %q", opts.Kernel)
+	}
+	return opts.Normalize()
 }
 
 // suiteOptions maps a request onto normalized SuiteOptions, rejecting
@@ -375,6 +455,7 @@ func (s *server) suiteOptions(req jobRequest) (rtrbench.SuiteOptions, error) {
 			Seed:        req.Seed,
 			Deadline:    time.Duration(req.Deadline),
 			StepLatency: req.StepLatency,
+			Workers:     req.Workers,
 		},
 		Kernels:         req.Kernels,
 		Parallel:        s.cfg.parallel,
@@ -425,6 +506,10 @@ func requestKey(opts rtrbench.SuiteOptions) (string, error) {
 func (s *server) execBatch(ctx context.Context, batch []*jobqueue.Job[*jobRecord, jobOutcome]) {
 	for _, j := range batch {
 		rec := j.Req
+		if rec.stream != nil {
+			s.execStream(ctx, j)
+			continue
+		}
 		res, err := s.engine.Run(ctx, rec.opts)
 		if err != nil {
 			j.Finish(jobOutcome{}, err)
@@ -457,6 +542,34 @@ func (s *server) execBatch(ctx context.Context, batch []*jobqueue.Job[*jobRecord
 		j.Finish(jobOutcome{digest: digest, doc: doc}, nil)
 		s.reg.Add("jobs_completed", 1)
 	}
+}
+
+// execStream runs one streaming job. The live registry is the server's, so
+// /metrics shows rtrbench_stream_* advancing while the job runs; the result
+// document reuses the report/v1 stream block and is never cached.
+func (s *server) execStream(ctx context.Context, j *jobqueue.Job[*jobRecord, jobOutcome]) {
+	opts := *j.Req.stream
+	opts.Live = s.reg
+	res, err := rtrbench.Stream(ctx, opts)
+	if err != nil {
+		j.Finish(jobOutcome{}, err)
+		s.reg.Add("jobs_failed", 1)
+		return
+	}
+	jd := jobDocument{
+		Schema:         "rtrbenchd.job/v1",
+		ElapsedSeconds: res.Stream.Elapsed.Seconds(),
+		Kernels:        []obs.KernelReport{report.Stream(res)},
+	}
+	doc, err := json.Marshal(jd)
+	if err != nil {
+		j.Finish(jobOutcome{}, err)
+		s.reg.Add("jobs_failed", 1)
+		return
+	}
+	j.Finish(jobOutcome{doc: doc}, nil)
+	s.reg.Add("jobs_completed", 1)
+	s.reg.Add("stream_jobs_completed", 1)
 }
 
 // jobDocument is the stored/returned result of one job, schema
@@ -555,20 +668,31 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	opts, err := s.suiteOptions(req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+	rec := &jobRecord{}
+	if req.Stream != nil {
+		sopts, err := s.streamOptions(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rec.stream = &sopts
+	} else {
+		opts, err := s.suiteOptions(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key, err := requestKey(opts)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		rec.reqKey, rec.opts = key, opts
 	}
-	key, err := requestKey(opts)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-
-	rec := &jobRecord{reqKey: key, opts: opts}
 	status := http.StatusAccepted
-	if digest, doc, ok := st.Lookup(key); ok {
+	// Stream jobs never answer from (or enter) the result cache: their
+	// accounting is a live measurement.
+	if digest, doc, ok := st.Lookup(rec.reqKey); ok && rec.stream == nil {
 		rec.cached, rec.cachedAt, rec.digest, rec.doc = true, time.Now(), digest, doc
 		s.reg.Add("jobs_cached", 1)
 		status = http.StatusOK

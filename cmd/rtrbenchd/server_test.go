@@ -666,3 +666,167 @@ func TestBodyLimit(t *testing.T) {
 		t.Fatalf("oversized submit = %d, want 400", status)
 	}
 }
+
+// TestWorkersCacheIdentity: the workers knob is part of a job's cache
+// identity. A workers:8 submission after a workers:1 run must execute
+// fresh (202), not be served the workers:1 document; repeats of each
+// shape hit their own cache entry.
+func TestWorkersCacheIdentity(t *testing.T) {
+	s := newTestServer(t, config{batchSize: 1, maxWait: time.Millisecond, capacity: 8, workers: 1, parallel: 2, cacheEntries: 8})
+	req1 := `{"kernels":["dmp"],"seed":21,"workers":1}`
+	req8 := `{"kernels":["dmp"],"seed":21,"workers":8}`
+
+	status, v1 := postJob(t, s.debug.URL, req1)
+	if status != http.StatusAccepted {
+		t.Fatalf("workers:1 submit = %d, want 202", status)
+	}
+	if v1 = getJob(t, s.debug.URL, v1.ID, "30s"); v1.State != "done" {
+		t.Fatalf("workers:1 job = %+v", v1)
+	}
+
+	status, v8 := postJob(t, s.debug.URL, req8)
+	if status != http.StatusAccepted {
+		t.Fatalf("workers:8 submit = %d, want 202 (must not hit the workers:1 cache entry)", status)
+	}
+	if v8.Cached {
+		t.Fatalf("workers:8 submit served from cache: %+v", v8)
+	}
+	if v8 = getJob(t, s.debug.URL, v8.ID, "30s"); v8.State != "done" {
+		t.Fatalf("workers:8 job = %+v", v8)
+	}
+
+	// Workers parallelism must not change the answer, only the cache key:
+	// same kernels, same seed, same golden digest.
+	if v1.Digest == "" || v1.Digest != v8.Digest {
+		t.Fatalf("digests differ across workers shapes: %q vs %q", v1.Digest, v8.Digest)
+	}
+
+	for _, req := range []string{req1, req8} {
+		if status, hit := postJob(t, s.debug.URL, req); status != http.StatusOK || !hit.Cached {
+			t.Fatalf("repeat submit %s = %d %+v, want cached 200", req, status, hit)
+		}
+	}
+}
+
+// TestStreamJobEndToEnd: a streaming job runs through the daemon — 202 on
+// submit, done with a stream block in the result document, no digest (the
+// accounting is timing-dependent, so stream jobs are never content-
+// addressed), and a re-submission executes fresh instead of hitting the
+// cache. The shared live registry carries rtrbench_stream_* afterwards.
+func TestStreamJobEndToEnd(t *testing.T) {
+	s := newTestServer(t, config{batchSize: 1, maxWait: time.Millisecond, capacity: 8, workers: 1, parallel: 2, cacheEntries: 8})
+	req := `{"seed":3,"stream":{"kernel":"dmp","period":"2ms","duration":"150ms","policy":"skip-next"}}`
+
+	status, v := postJob(t, s.debug.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("stream submit = %d, want 202", status)
+	}
+	if v = getJob(t, s.debug.URL, v.ID, "30s"); v.State != "done" {
+		t.Fatalf("stream job = %+v", v)
+	}
+	if v.Digest != "" {
+		t.Fatalf("stream job carries digest %q, want none (stream results are not content-addressed)", v.Digest)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Kernels []struct {
+			Kernel string `json:"kernel"`
+			Stream *struct {
+				Policy   string  `json:"policy"`
+				Ticks    int64   `json:"ticks"`
+				Misses   int64   `json:"misses"`
+				MissRate float64 `json:"miss_rate"`
+			} `json:"stream"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(v.Result, &doc); err != nil {
+		t.Fatalf("stream result %s: %v", v.Result, err)
+	}
+	if doc.Schema != "rtrbenchd.job/v1" || len(doc.Kernels) != 1 || doc.Kernels[0].Stream == nil {
+		t.Fatalf("stream result shape = %s", v.Result)
+	}
+	st := doc.Kernels[0].Stream
+	if doc.Kernels[0].Kernel != "dmp" || st.Policy != "skip-next" || st.Ticks < 1 ||
+		st.MissRate < 0 || st.MissRate > 1 {
+		t.Fatalf("stream accounting = %+v", st)
+	}
+
+	// The identical submission must run again — a cached answer for a
+	// timing-dependent measurement would be a lie.
+	status, v2 := postJob(t, s.debug.URL, req)
+	if status != http.StatusAccepted || v2.Cached {
+		t.Fatalf("stream resubmit = %d %+v, want fresh 202", status, v2)
+	}
+	if v2 = getJob(t, s.debug.URL, v2.ID, "30s"); v2.State != "done" {
+		t.Fatalf("stream rerun = %+v", v2)
+	}
+
+	code, m := getBody(t, s.debug.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"rtrbench_stream_ticks ", "rtrbench_stream_jobs_completed 2"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestStreamAdmissionValidation: malformed streaming submissions are 400s
+// at admission, never queued — unbounded streams, streams outlasting the
+// watchdog, unknown kernels, unknown policies, missing periods.
+func TestStreamAdmissionValidation(t *testing.T) {
+	s := newTestServer(t, config{
+		batchSize: 1, maxWait: time.Millisecond, capacity: 4, workers: 1,
+		parallel: 2, cacheEntries: 4, jobTimeout: 5 * time.Second,
+	})
+	for _, body := range []string{
+		`{"stream":{"kernel":"dmp","period":"2ms","max_ticks":100}}`,                     // no wall-time bound
+		`{"stream":{"kernel":"dmp","period":"2ms","duration":"10s"}}`,                    // outlasts the watchdog
+		`{"stream":{"kernel":"nosuch","period":"2ms","duration":"100ms"}}`,               // unknown kernel
+		`{"stream":{"kernel":"dmp","period":"2ms","duration":"100ms","policy":"bogus"}}`, // unknown policy
+		`{"stream":{"kernel":"dmp","duration":"100ms"}}`,                                 // missing period
+	} {
+		if status, _ := postJob(t, s.debug.URL, body); status != http.StatusBadRequest {
+			t.Errorf("submit %s = %d, want 400", body, status)
+		}
+	}
+}
+
+// TestPerClientLabeledMetrics: fairness counters carry the client label —
+// alice's completed job shows under jobs_dequeued_by_client{client="alice"}
+// and bob's over-burst submission under rate_limited_by_client{client="bob"}.
+func TestPerClientLabeledMetrics(t *testing.T) {
+	s := newTestServer(t, config{
+		batchSize: 1, maxWait: time.Millisecond, capacity: 16, workers: 1,
+		parallel: 2, cacheEntries: 16,
+		clientRate: 0.1, clientBurst: 1, clientCapacity: 4,
+	})
+	status, v, _ := postJobAs(t, s.debug.URL, "alice", `{"kernels":["dmp"],"seed":4001}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("alice submit = %d, want 202", status)
+	}
+	if v = getJob(t, s.debug.URL, v.ID, "30s"); v.State != "done" {
+		t.Fatalf("alice job = %+v", v)
+	}
+
+	if status, _, _ := postJobAs(t, s.debug.URL, "bob", `{"kernels":["dmp"],"seed":4002}`); status != http.StatusAccepted {
+		t.Fatalf("bob first submit = %d, want 202", status)
+	}
+	if status, _, _ := postJobAs(t, s.debug.URL, "bob", `{"kernels":["dmp"],"seed":4003}`); status != http.StatusTooManyRequests {
+		t.Fatalf("bob second submit = %d, want 429 (burst 1)", status)
+	}
+
+	code, m := getBody(t, s.debug.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`rtrbench_jobs_dequeued_by_client{client="alice"} 1`,
+		`rtrbench_rate_limited_by_client{client="bob"} 1`,
+	} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}

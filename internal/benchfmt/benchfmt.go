@@ -14,6 +14,7 @@ package benchfmt
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -90,11 +91,28 @@ type Snapshot struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	CPU    string `json:"cpu,omitempty"`
+	// GoMaxProcs and NumCPU record the machine shape the samples were taken
+	// on (runtime.GOMAXPROCS(0) / runtime.NumCPU()). A Workers/w8 curve
+	// measured on one core documents only goroutine overhead, so comparing
+	// it against a multi-core run is meaningless — Diff refuses cross-shape
+	// comparisons when both sides carry a shape. Zero means unknown
+	// (snapshots predating the fields, or decoded v1 documents).
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"numcpu,omitempty"`
 	// Goldens maps golden-file stem (e.g. "pfl-seed1") to the SHA-256 of
 	// the checked-in digest file, tying the snapshot to the exact answers
 	// the build produced.
 	Goldens    map[string]string `json:"goldens,omitempty"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Shape describes the CPU shape the snapshot was measured on, or "" when
+// the snapshot predates shape stamping.
+func (s *Snapshot) Shape() string {
+	if s.GoMaxProcs == 0 && s.NumCPU == 0 {
+		return ""
+	}
+	return fmt.Sprintf("gomaxprocs=%d/numcpu=%d", s.GoMaxProcs, s.NumCPU)
 }
 
 // Lookup returns the benchmark with the given name, if present.
@@ -348,7 +366,15 @@ type DiffOptions struct {
 	// Allocs enables the deterministic allocs/op gate: any increase in
 	// max allocs/op is a regression.
 	Allocs bool
+	// IgnoreShape permits comparing snapshots measured on different CPU
+	// shapes (GOMAXPROCS/NumCPU). Off by default: cross-shape timing
+	// deltas measure the hardware, not the code.
+	IgnoreShape bool
 }
+
+// ErrShapeMismatch is returned by Diff when the two snapshots were measured
+// on different CPU shapes and DiffOptions.IgnoreShape is off.
+var ErrShapeMismatch = errors.New("benchfmt: snapshots measured on different CPU shapes")
 
 // Report is the full statistical comparison of two snapshots.
 type Report struct {
@@ -373,6 +399,12 @@ func (r Report) Regressions() []Delta {
 // VerdictOnlyOld/VerdictOnlyNew and never fail the gate.
 func Diff(old, new Snapshot, opts DiffOptions) (Report, error) {
 	rep := Report{OldDate: old.Date, NewDate: new.Date}
+	if !opts.IgnoreShape {
+		if os, ns := old.Shape(), new.Shape(); os != "" && ns != "" && os != ns {
+			return rep, fmt.Errorf("%w: old %s vs new %s (pass -ignore-shape to compare anyway)",
+				ErrShapeMismatch, os, ns)
+		}
+	}
 	names := map[string]bool{}
 	for _, b := range old.Benchmarks {
 		names[b.Name] = true

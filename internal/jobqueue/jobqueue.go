@@ -300,6 +300,10 @@ type Options struct {
 	OnBatch func(size int)
 	// OnRateLimited, when non-nil, observes every rate-limit rejection.
 	OnRateLimited func(client string)
+	// OnDequeue, when non-nil, observes every job leaving the queue for a
+	// dispatch, with the client it was submitted under — the per-tenant
+	// throughput hook (fairness is only observable per client).
+	OnDequeue func(client string)
 	// OnRetry, when non-nil, observes every scheduled retry with the
 	// attempt number just failed and the backoff chosen.
 	OnRetry func(client string, attempt int, backoff time.Duration)
@@ -678,6 +682,11 @@ func (q *Queue[Req, Res]) dispatch(batch []*Job[Req, Res]) {
 	q.mu.Unlock()
 	if q.opts.OnBatch != nil {
 		q.opts.OnBatch(len(batch))
+	}
+	if q.opts.OnDequeue != nil {
+		for _, j := range batch {
+			q.opts.OnDequeue(j.Client())
+		}
 	}
 	q.batches <- batch
 }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestLabeledCounterBasics(t *testing.T) {
+	r := &Registry{}
+	r.AddLabeled("rate_limited_by_client", "client", "alice", 2)
+	r.AddLabeled("rate_limited_by_client", "client", "bob", 1)
+	r.AddLabeled("rate_limited_by_client", "client", "alice", 3)
+
+	snap := r.Labeled("rate_limited_by_client")
+	if snap["alice"] != 5 || snap["bob"] != 1 {
+		t.Fatalf("labeled snapshot = %v, want alice=5 bob=1", snap)
+	}
+	if r.Labeled("no-such-family") != nil {
+		t.Error("unknown family should return nil")
+	}
+}
+
+func TestLabeledCounterCardinalityBound(t *testing.T) {
+	r := &Registry{}
+	// maxLabelValues distinct clients get their own cells; the rest must
+	// collapse into "other" — /metrics stays bounded no matter how many
+	// client IDs show up.
+	for i := 0; i < maxLabelValues+10; i++ {
+		r.AddLabeled("dequeued", "client", fmt.Sprintf("client-%02d", i), 1)
+	}
+	snap := r.Labeled("dequeued")
+	if len(snap) != maxLabelValues+1 {
+		t.Fatalf("cardinality = %d cells, want %d + overflow", len(snap), maxLabelValues)
+	}
+	if snap[labelOverflow] != 10 {
+		t.Errorf("overflow cell = %d, want the 10 excess clients", snap[labelOverflow])
+	}
+	// A known client keeps accumulating in its own cell even after the
+	// bound is hit.
+	r.AddLabeled("dequeued", "client", "client-00", 4)
+	if got := r.Labeled("dequeued")["client-00"]; got != 5 {
+		t.Errorf("client-00 = %d, want 5", got)
+	}
+}
+
+func TestLabeledCounterExposition(t *testing.T) {
+	r := &Registry{}
+	r.Add("plain", 1)
+	r.SetGauge("depth", 3)
+	r.AddLabeled("rate_limited_by_client", "client", "alice", 2)
+	r.AddLabeled("rate_limited_by_client", "client", `we"ird\client`, 1)
+
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rtrbench_rate_limited_by_client counter\n",
+		`rtrbench_rate_limited_by_client{client="alice"} 2` + "\n",
+		`rtrbench_rate_limited_by_client{client="we\"ird\\client"} 1` + "\n",
+		"rtrbench_plain 1\n",
+		"rtrbench_depth 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledCounterReset(t *testing.T) {
+	r := &Registry{}
+	r.AddLabeled("dequeued", "client", "alice", 7)
+	r.Reset()
+	if got := r.Labeled("dequeued")["alice"]; got != 0 {
+		t.Fatalf("labeled cell after Reset = %d, want 0", got)
+	}
+}

@@ -18,6 +18,53 @@ import (
 type Registry struct {
 	counters sync.Map // string -> *atomic.Int64
 	gauges   sync.Map // string -> *atomic.Int64
+	labeled  sync.Map // string -> *labeledCounter
+}
+
+// labeledCounter is one single-label counter family (e.g. rate_limited by
+// client). Cardinality is bounded: the first maxLabelValues distinct label
+// values each get their own cell, later ones collapse into the "other"
+// overflow cell, so a hostile or misconfigured client population cannot
+// grow /metrics without bound.
+type labeledCounter struct {
+	label string
+	mu    sync.Mutex
+	cells map[string]*atomic.Int64
+}
+
+// maxLabelValues bounds distinct label values per family (excluding the
+// "other" overflow cell).
+const maxLabelValues = 16
+
+// labelOverflow is the overflow label value that absorbs everything past
+// the cardinality bound.
+const labelOverflow = "other"
+
+func (c *labeledCounter) cell(value string) *atomic.Int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cell, ok := c.cells[value]; ok {
+		return cell
+	}
+	if len(c.cells) >= maxLabelValues {
+		value = labelOverflow
+		if cell, ok := c.cells[value]; ok {
+			return cell
+		}
+	}
+	cell := new(atomic.Int64)
+	c.cells[value] = cell
+	return cell
+}
+
+func (c *labeledCounter) snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.cells))
+	for v, cell := range c.cells {
+		out[v] = cell.Load()
+	}
+	return out
 }
 
 // LiveCounters is the process-global registry the debug server exposes by
@@ -36,6 +83,36 @@ func (r *Registry) counter(name string) *atomic.Int64 {
 // Add adds delta to the named counter.
 func (r *Registry) Add(name string, delta int64) {
 	r.counter(name).Add(delta)
+}
+
+// AddLabeled adds delta to the (name, label=value) cell of a single-label
+// counter family — e.g. AddLabeled("rate_limited_by_client", "client", id, 1).
+// The first maxLabelValues distinct values get their own time series; the
+// rest fold into the "other" cell, keeping /metrics cardinality bounded no
+// matter how many clients appear. The label key is fixed at the family's
+// first use; later calls with a different key keep the original.
+func (r *Registry) AddLabeled(name, label, value string, delta int64) {
+	var c *labeledCounter
+	if got, ok := r.labeled.Load(name); ok {
+		c = got.(*labeledCounter)
+	} else {
+		got, _ := r.labeled.LoadOrStore(name, &labeledCounter{
+			label: label,
+			cells: map[string]*atomic.Int64{},
+		})
+		c = got.(*labeledCounter)
+	}
+	c.cell(value).Add(delta)
+}
+
+// Labeled returns a point-in-time copy of one labeled counter family
+// (label value -> count), or nil when the family does not exist.
+func (r *Registry) Labeled(name string) map[string]int64 {
+	got, ok := r.labeled.Load(name)
+	if !ok {
+		return nil
+	}
+	return got.(*labeledCounter).snapshot()
 }
 
 // gauge returns the gauge cell for name, creating it on first use.
@@ -71,8 +148,8 @@ func snapshot(cells *sync.Map) map[string]int64 {
 	return out
 }
 
-// Reset zeroes every counter and gauge (the cells survive so cached
-// pointers held by publishers stay valid).
+// Reset zeroes every counter, gauge, and labeled cell (the cells survive so
+// cached pointers held by publishers stay valid).
 func (r *Registry) Reset() {
 	for _, cells := range []*sync.Map{&r.counters, &r.gauges} {
 		cells.Range(func(_, v interface{}) bool {
@@ -80,15 +157,79 @@ func (r *Registry) Reset() {
 			return true
 		})
 	}
+	r.labeled.Range(func(_, v interface{}) bool {
+		c := v.(*labeledCounter)
+		c.mu.Lock()
+		for _, cell := range c.cells {
+			cell.Store(0)
+		}
+		c.mu.Unlock()
+		return true
+	})
 }
 
 // WriteMetrics renders the registry in the Prometheus text exposition
-// format — counters then gauges, each sorted by name for stable output.
+// format — counters, then gauges, then labeled counter families, each
+// sorted by name for stable output.
 func (r *Registry) WriteMetrics(w io.Writer) error {
 	if err := writeMetricFamily(w, r.Snapshot(), "counter"); err != nil {
 		return err
 	}
-	return writeMetricFamily(w, r.Gauges(), "gauge")
+	if err := writeMetricFamily(w, r.Gauges(), "gauge"); err != nil {
+		return err
+	}
+	return r.writeLabeledFamilies(w)
+}
+
+// writeLabeledFamilies renders every labeled counter family as
+// name{label="value"} series, families and series each sorted by name.
+func (r *Registry) writeLabeledFamilies(w io.Writer) error {
+	names := []string{}
+	r.labeled.Range(func(k, _ interface{}) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	for _, name := range names {
+		got, _ := r.labeled.Load(name)
+		c := got.(*labeledCounter)
+		snap := c.snapshot()
+		values := make([]string, 0, len(snap))
+		for v := range snap {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		metric := "rtrbench_" + sanitizeMetricName(name)
+		label := sanitizeMetricName(c.label)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", metric); err != nil {
+			return err
+		}
+		for _, v := range values {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", metric, label, escapeLabelValue(v), snap[v]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// escapeLabelValue escapes a Prometheus label value (backslash, quote, and
+// newline must be escaped; everything else passes through).
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
 }
 
 func writeMetricFamily(w io.Writer, snap map[string]int64, kind string) error {

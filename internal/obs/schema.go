@@ -57,6 +57,33 @@ func StepsFromSummary(s Summary) *StepReport {
 	}
 }
 
+// StreamReport is the streaming-mode block of rtrbench.report/v1: the
+// accounting of a periodic-release run (rtrbench stream), where the kernel
+// is driven as a long-lived real-time task and every tick has a release
+// time and a deadline. miss_rate is misses/ticks; sheds counts releases
+// dropped by the skip-next overload policy; cutoffs counts steps truncated
+// at the deadline by the anytime-cutoff policy (cutoffs are a subset of
+// misses); overruns counts steps that finished after the next release.
+// latency is the release-to-completion distribution, jitter the
+// release-to-start distribution. runs/degraded count underlying workload
+// executions (the stream restarts the workload when it runs out of steps).
+type StreamReport struct {
+	Policy          string      `json:"policy"`
+	PeriodSeconds   float64     `json:"period_seconds"`
+	DeadlineSeconds float64     `json:"deadline_seconds"`
+	Ticks           int64       `json:"ticks"`
+	Misses          int64       `json:"misses"`
+	MissRate        float64     `json:"miss_rate"`
+	Sheds           int64       `json:"sheds,omitempty"`
+	Cutoffs         int64       `json:"cutoffs,omitempty"`
+	Overruns        int64       `json:"overruns,omitempty"`
+	Runs            int64       `json:"runs,omitempty"`
+	Degraded        int64       `json:"degraded,omitempty"`
+	ElapsedSeconds  float64     `json:"elapsed_seconds"`
+	Latency         *StepReport `json:"latency,omitempty"`
+	Jitter          *StepReport `json:"jitter,omitempty"`
+}
+
 // FaultReport is one injected fault that fired during a chaos run,
 // attributed to its trial and kernel step.
 type FaultReport struct {
@@ -111,6 +138,9 @@ type KernelReport struct {
 	NonfiniteMetrics []string      `json:"nonfinite_metrics,omitempty"`
 	Steps            *StepReport   `json:"steps,omitempty"`
 	Trials           *TrialsReport `json:"trials,omitempty"`
+	// Stream carries the periodic-release accounting of a streaming run;
+	// one-shot runs omit it.
+	Stream *StreamReport `json:"stream,omitempty"`
 	// Degraded marks a run that returned a best-effort partial result after
 	// a deadline or stall (graceful degradation, not failure).
 	Degraded bool `json:"degraded,omitempty"`
@@ -171,10 +201,12 @@ func WriteJSONAll(w io.Writer, rs []KernelReport) error {
 
 // csvHeader is the flat CSV layout: one row per record. `record` is one of
 // roi, phase, counter, metric, step, trial, fault, fault_attribution,
-// degraded, error; durations are in seconds. calls and fraction are only
-// meaningful for phase rows, step rows (calls = sample count, fraction
-// unused), trial rows (calls = trial count), and fault rows (name = kind,
-// value = detail, calls = kernel step, fraction = trial index).
+// degraded, error, stream, stream_latency, stream_jitter; durations are in
+// seconds. calls and fraction are only meaningful for phase rows, step rows
+// (calls = sample count, fraction unused), trial rows (calls = trial
+// count), fault rows (name = kind, value = detail, calls = kernel step,
+// fraction = trial index), and stream_latency/stream_jitter rows (calls =
+// sample count).
 var csvHeader = []string{"schema", "kernel", "record", "name", "value", "calls", "fraction"}
 
 // WriteCSVAll writes one or more reports as a single flat CSV table with a
@@ -254,6 +286,48 @@ func writeCSVRows(cw *csv.Writer, r KernelReport) error {
 		for _, st := range steps {
 			if err := row("step", st.name, f(st.value), s.Count, 0); err != nil {
 				return err
+			}
+		}
+	}
+	if st := r.Stream; st != nil {
+		if err := row("stream", "policy", st.Policy, 0, 0); err != nil {
+			return err
+		}
+		scalars := []struct {
+			name  string
+			value float64
+		}{
+			{"period", st.PeriodSeconds}, {"deadline", st.DeadlineSeconds},
+			{"ticks", float64(st.Ticks)}, {"misses", float64(st.Misses)},
+			{"miss_rate", st.MissRate}, {"sheds", float64(st.Sheds)},
+			{"cutoffs", float64(st.Cutoffs)}, {"overruns", float64(st.Overruns)},
+			{"runs", float64(st.Runs)}, {"degraded", float64(st.Degraded)},
+			{"elapsed", st.ElapsedSeconds},
+		}
+		for _, sc := range scalars {
+			if err := row("stream", sc.name, f(sc.value), 0, 0); err != nil {
+				return err
+			}
+		}
+		for _, dist := range []struct {
+			record string
+			s      *StepReport
+		}{{"stream_latency", st.Latency}, {"stream_jitter", st.Jitter}} {
+			if dist.s == nil {
+				continue
+			}
+			quantiles := []struct {
+				name  string
+				value float64
+			}{
+				{"min", dist.s.MinSeconds}, {"mean", dist.s.MeanSeconds},
+				{"p50", dist.s.P50Seconds}, {"p95", dist.s.P95Seconds},
+				{"p99", dist.s.P99Seconds}, {"max", dist.s.MaxSeconds},
+			}
+			for _, q := range quantiles {
+				if err := row(dist.record, q.name, f(q.value), dist.s.Count, 0); err != nil {
+					return err
+				}
 			}
 		}
 	}

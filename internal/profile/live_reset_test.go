@@ -1,0 +1,145 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// missStep forces one deadline-missing step on p: with a 1ns deadline, any
+// real interval between two step marks overruns it.
+func missStep(p *Profile) {
+	time.Sleep(100 * time.Microsecond)
+	p.StepDone()
+}
+
+// TestResetWithdrawsLivePublishes is the regression test for the live-gauge
+// divergence: the suite engine resets a trial's shard after a failed
+// attempt, and before the fix the discarded attempt's steps_total /
+// deadline_misses_total / operation counters stayed behind in the registry,
+// so /metrics drifted away from the final Snapshot with every retry.
+func TestResetWithdrawsLivePublishes(t *testing.T) {
+	reg := &obs.Registry{}
+	p := New()
+	p.SetDeadline(time.Nanosecond)
+	p.PublishLive(reg)
+
+	// Failed attempt: two steps (both miss the 1ns deadline) and some
+	// operation counts, then the engine-style Reset.
+	p.BeginROI()
+	missStep(p)
+	missStep(p)
+	p.Count("raycasts", 7)
+	p.EndROI()
+	p.Reset()
+
+	// Successful attempt: one step, one count.
+	p.BeginROI()
+	missStep(p)
+	p.Count("raycasts", 3)
+	p.EndROI()
+
+	rep := p.Snapshot()
+	live := reg.Snapshot()
+	if rep.Steps.Count != 1 || rep.Steps.Misses != 1 {
+		t.Fatalf("snapshot after reset = %d steps / %d misses, want 1/1", rep.Steps.Count, rep.Steps.Misses)
+	}
+	if live["steps_total"] != rep.Steps.Count {
+		t.Errorf("live steps_total = %d, want snapshot count %d", live["steps_total"], rep.Steps.Count)
+	}
+	if live["deadline_misses_total"] != rep.Steps.Misses {
+		t.Errorf("live deadline_misses_total = %d, want snapshot misses %d", live["deadline_misses_total"], rep.Steps.Misses)
+	}
+	if live["raycasts"] != rep.Counters["raycasts"] {
+		t.Errorf("live raycasts = %d, want snapshot counter %d", live["raycasts"], rep.Counters["raycasts"])
+	}
+}
+
+// TestShardedMergeFoldsMissesOnce proves deadline misses fold exactly once
+// across shards no matter how often the aggregate is snapshotted — the
+// property the streaming mode's sustained accounting leans on.
+func TestShardedMergeFoldsMissesOnce(t *testing.T) {
+	parent := New()
+	parent.SetDeadline(time.Nanosecond)
+	sh := NewSharded(parent)
+
+	for i := 0; i < 3; i++ {
+		shard := sh.Shard()
+		shard.BeginROI()
+		missStep(shard)
+		missStep(shard)
+		shard.EndROI()
+	}
+
+	first := sh.Snapshot()
+	if first.Steps.Count != 6 || first.Steps.Misses != 6 {
+		t.Fatalf("merged snapshot = %d steps / %d misses, want 6/6", first.Steps.Count, first.Steps.Misses)
+	}
+	// Repeated snapshots must not re-merge already-folded shards.
+	for i := 0; i < 3; i++ {
+		again := sh.Snapshot()
+		if again.Steps.Count != 6 || again.Steps.Misses != 6 {
+			t.Fatalf("snapshot %d re-counted shards: %d steps / %d misses", i, again.Steps.Count, again.Steps.Misses)
+		}
+	}
+}
+
+// TestShardedLiveGaugeMatchesSnapshot runs the full engine-shaped sequence —
+// shards publishing live, one shard reset mid-way (a retried attempt), then
+// the merge — and requires the live deadline_misses_total gauge to equal the
+// final Snapshot().Steps.Misses exactly.
+func TestShardedLiveGaugeMatchesSnapshot(t *testing.T) {
+	reg := &obs.Registry{}
+	parent := New()
+	parent.SetDeadline(time.Nanosecond)
+	parent.PublishLive(reg)
+	sh := NewSharded(parent)
+
+	// Shard A: a failed attempt (2 misses) that the engine resets, then a
+	// clean retry (1 miss).
+	a := sh.Shard()
+	a.BeginROI()
+	missStep(a)
+	missStep(a)
+	a.EndROI()
+	a.Reset()
+	a.BeginROI()
+	missStep(a)
+	a.EndROI()
+
+	// Shard B: a straightforward attempt (2 misses).
+	b := sh.Shard()
+	b.BeginROI()
+	missStep(b)
+	missStep(b)
+	b.EndROI()
+
+	rep := sh.Snapshot()
+	live := reg.Snapshot()
+	if rep.Steps.Misses != 3 {
+		t.Fatalf("merged misses = %d, want 3 (1 retried + 2)", rep.Steps.Misses)
+	}
+	if live["deadline_misses_total"] != rep.Steps.Misses {
+		t.Errorf("live deadline_misses_total = %d, want snapshot misses %d",
+			live["deadline_misses_total"], rep.Steps.Misses)
+	}
+	if live["steps_total"] != rep.Steps.Count {
+		t.Errorf("live steps_total = %d, want snapshot count %d", live["steps_total"], rep.Steps.Count)
+	}
+}
+
+// TestResetWithoutLiveRegistry keeps the fix scoped: Reset on a profile
+// with no live registry must stay a pure in-memory clear.
+func TestResetWithoutLiveRegistry(t *testing.T) {
+	p := New()
+	p.SetDeadline(time.Nanosecond)
+	p.BeginROI()
+	missStep(p)
+	p.EndROI()
+	p.Reset()
+	rep := p.Snapshot()
+	if rep.Steps.Count != 0 || rep.Steps.Misses != 0 {
+		t.Fatalf("reset did not clear steps: %+v", rep.Steps)
+	}
+}

@@ -288,9 +288,31 @@ func (p *Profile) StepDone() {
 // keeping configuration (deadline, step tracking, tracing, live registry).
 // Harness loops reuse one Profile across repetitions without reallocating
 // the maps. Open phases and an open ROI are discarded.
+//
+// When live export is on, Reset also withdraws everything this profile
+// already pushed into the registry (operation counters, steps_total,
+// deadline_misses_total). Without that, a reset-and-retried run — the suite
+// engine resets a trial's shard after a failed attempt — would leave the
+// discarded attempt's steps and misses in the live gauges forever, so
+// /metrics would disagree with the final Snapshot.
 func (p *Profile) Reset() {
 	if !p.Enabled() {
 		return
+	}
+	if p.live != nil {
+		for name, v := range p.counters {
+			if v != 0 {
+				p.live.Add(name, -v)
+			}
+		}
+		if p.steps != nil {
+			if n := p.steps.Count(); n > 0 {
+				p.live.Add("steps_total", -n)
+			}
+			if p.misses > 0 {
+				p.live.Add("deadline_misses_total", -p.misses)
+			}
+		}
 	}
 	p.roiStart = time.Time{}
 	p.roiTotal = 0

@@ -80,6 +80,34 @@ func Kernel(k rtrbench.KernelResult) obs.KernelReport {
 	return kr
 }
 
+// Stream converts a streaming-mode result into its report entry: the
+// kernel name plus the stream block. ROISeconds carries the stream's
+// elapsed time so generic tooling keyed on it keeps working.
+func Stream(res rtrbench.StreamResult) obs.KernelReport {
+	s := res.Stream
+	return obs.KernelReport{
+		Kernel:     res.Kernel,
+		ROISeconds: s.Elapsed.Seconds(),
+		Degraded:   res.Degraded > 0,
+		Stream: &obs.StreamReport{
+			Policy:          string(s.Policy),
+			PeriodSeconds:   s.Period.Seconds(),
+			DeadlineSeconds: s.Deadline.Seconds(),
+			Ticks:           s.Ticks,
+			Misses:          s.Misses,
+			MissRate:        s.MissRate(),
+			Sheds:           s.Sheds,
+			Cutoffs:         s.Cutoffs,
+			Overruns:        s.Overruns,
+			Runs:            res.Runs,
+			Degraded:        res.Degraded,
+			ElapsedSeconds:  s.Elapsed.Seconds(),
+			Latency:         obs.StepsFromSummary(s.Latency),
+			Jitter:          obs.StepsFromSummary(s.Jitter),
+		},
+	}
+}
+
 // Steps converts a step-latency distribution; nil stays nil.
 func Steps(s *rtrbench.StepStats) *obs.StepReport {
 	if s == nil {

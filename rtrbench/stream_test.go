@@ -1,0 +1,340 @@
+package rtrbench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/stream"
+)
+
+// syntheticStreamKernel builds an Info whose workload runs stepsPerRun
+// steps, each advancing the virtual clock by exec(globalStep). The kernel
+// follows the registered-kernel contract: it polls ctx between steps and
+// calls StepDone once per step.
+func syntheticStreamKernel(clk *stream.VirtualClock, stepsPerRun int, exec func(step int) time.Duration, seeds *[]int64) Info {
+	global := 0
+	return Info{
+		Name: "synthetic",
+		runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+			*seeds = append(*seeds, o.Seed)
+			for i := 0; i < stepsPerRun; i++ {
+				if err := ctx.Err(); err != nil {
+					return Result{Kernel: "synthetic"}, err
+				}
+				clk.Advance(exec(global))
+				global++
+				p.StepDone()
+			}
+			return Result{Kernel: "synthetic"}, ctx.Err()
+		},
+	}
+}
+
+// streamerFor wires a Streamer around one synthetic Info and a clock.
+func streamerFor(info Info, clk stream.Clock) *Streamer {
+	return &Streamer{
+		Resolve: func(name string) (Info, bool) {
+			if name == info.Name {
+				return info, true
+			}
+			return Info{}, false
+		},
+		Clock: clk,
+	}
+}
+
+// The driver analogue of the scheduler policy tests: the same 10ms-period /
+// one-25ms-step overload scenario, but executed through the full kernel
+// driver (goroutine gating via the StepDone hook, workload restarts with
+// seed base+run) on a virtual clock. The counts must match the hand-derived
+// schedule exactly, run after run.
+func TestStreamDriverSkipNextDeterministic(t *testing.T) {
+	clk := stream.NewVirtualClock(time.Unix(1700000000, 0))
+	exec := func(step int) time.Duration {
+		if step == 1 {
+			return 25 * time.Millisecond
+		}
+		return 4 * time.Millisecond
+	}
+	var seeds []int64
+	s := streamerFor(syntheticStreamKernel(clk, 3, exec, &seeds), clk)
+	res, err := s.Run(context.Background(), StreamOptions{
+		Kernel:   "synthetic",
+		Options:  Options{Seed: 5},
+		Period:   10 * time.Millisecond,
+		Duration: 100 * time.Millisecond,
+		Policy:   stream.PolicySkipNext,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Releases 0,10 execute; the 25ms step finishing at t=35 sheds
+	// releases 20 and 30; releases 40..90 execute on the grid again.
+	if res.Stream.Ticks != 8 || res.Stream.Misses != 1 || res.Stream.Sheds != 2 {
+		t.Errorf("got ticks=%d misses=%d sheds=%d, want 8/1/2",
+			res.Stream.Ticks, res.Stream.Misses, res.Stream.Sheds)
+	}
+	// 8 executed steps at 3 steps per workload = runs 0,1 complete and run
+	// 2 in flight when the stream ends.
+	if res.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", res.Runs)
+	}
+	if want := []int64{5, 6, 7}; len(seeds) != len(want) || seeds[0] != 5 || seeds[1] != 6 || seeds[2] != 7 {
+		t.Errorf("workload seeds = %v, want %v (base+run)", seeds, want)
+	}
+}
+
+func TestStreamDriverQueueDeterministic(t *testing.T) {
+	clk := stream.NewVirtualClock(time.Unix(1700000000, 0))
+	exec := func(step int) time.Duration {
+		if step == 1 {
+			return 25 * time.Millisecond
+		}
+		return 4 * time.Millisecond
+	}
+	var seeds []int64
+	s := streamerFor(syntheticStreamKernel(clk, 3, exec, &seeds), clk)
+	res, err := s.Run(context.Background(), StreamOptions{
+		Kernel:   "synthetic",
+		Period:   10 * time.Millisecond,
+		Duration: 100 * time.Millisecond,
+		Policy:   stream.PolicyQueue,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// All 10 releases stay queued; the backlog after the slow step makes
+	// releases 10, 20, and 30 miss before the task catches up.
+	if res.Stream.Ticks != 10 || res.Stream.Misses != 3 || res.Stream.Sheds != 0 {
+		t.Errorf("got ticks=%d misses=%d sheds=%d, want 10/3/0",
+			res.Stream.Ticks, res.Stream.Misses, res.Stream.Sheds)
+	}
+	// 10 steps = runs 0..2 complete (3 steps each) plus run 3 in flight.
+	if res.Runs != 4 {
+		t.Errorf("Runs = %d, want 4", res.Runs)
+	}
+}
+
+// TestStreamAnytimeCutoffWallClock drives the cutoff watchdog for real: a
+// kernel whose step takes ~30ms against a 5ms deadline must be cut off at
+// every tick, not allowed to run to completion.
+func TestStreamAnytimeCutoffWallClock(t *testing.T) {
+	info := Info{
+		Name: "slow",
+		runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+			for {
+				select {
+				case <-time.After(30 * time.Millisecond):
+				case <-ctx.Done():
+					return Result{Kernel: "slow", Degraded: true}, nil
+				}
+				p.StepDone()
+				if ctx.Err() != nil {
+					return Result{Kernel: "slow", Degraded: true}, nil
+				}
+			}
+		},
+	}
+	s := streamerFor(info, nil)
+	res, err := s.Run(context.Background(), StreamOptions{
+		Kernel:   "slow",
+		Period:   10 * time.Millisecond,
+		Deadline: 5 * time.Millisecond,
+		MaxTicks: 4,
+		Policy:   stream.PolicyAnytimeCutoff,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stream.Ticks != 4 {
+		t.Errorf("Ticks = %d, want 4", res.Stream.Ticks)
+	}
+	if res.Stream.Cutoffs == 0 {
+		t.Error("Cutoffs = 0, want the watchdog to fire")
+	}
+	if res.Stream.Misses != res.Stream.Ticks {
+		t.Errorf("Misses = %d, want every tick (%d) to miss a 5ms deadline on 30ms work",
+			res.Stream.Misses, res.Stream.Ticks)
+	}
+	if res.Degraded == 0 {
+		t.Error("Degraded = 0, want cut-off best-effort runs to be counted")
+	}
+}
+
+// TestStreamRealKernelWallClock is the in-tree analogue of the CI smoke
+// stage: a real registered kernel (pfl) as a 2ms periodic task.
+func TestStreamRealKernelWallClock(t *testing.T) {
+	res, err := Stream(context.Background(), StreamOptions{
+		Kernel:   "pfl",
+		Options:  Options{Size: SizeSmall, Seed: 1},
+		Period:   2 * time.Millisecond,
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if res.Stream.Ticks < 1 {
+		t.Fatalf("Ticks = %d, want at least one executed tick", res.Stream.Ticks)
+	}
+	if res.Runs < 1 {
+		t.Fatalf("Runs = %d, want at least one kernel workload", res.Runs)
+	}
+	if res.Stream.Latency.Count != res.Stream.Ticks {
+		t.Errorf("latency samples = %d, want one per tick (%d)", res.Stream.Latency.Count, res.Stream.Ticks)
+	}
+}
+
+func TestStreamKernelErrorAbortsStream(t *testing.T) {
+	clk := stream.NewVirtualClock(time.Unix(1700000000, 0))
+	boom := errors.New("sensor exploded")
+	calls := 0
+	info := Info{
+		Name: "faulty",
+		runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+			calls++
+			if calls == 2 {
+				return Result{}, boom
+			}
+			for i := 0; i < 2; i++ {
+				if err := ctx.Err(); err != nil {
+					return Result{}, err
+				}
+				clk.Advance(time.Millisecond)
+				p.StepDone()
+			}
+			return Result{}, ctx.Err()
+		},
+	}
+	s := streamerFor(info, clk)
+	res, err := s.Run(context.Background(), StreamOptions{
+		Kernel:   "faulty",
+		Period:   10 * time.Millisecond,
+		Duration: time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "sensor exploded") {
+		t.Fatalf("err = %v, want the kernel failure surfaced", err)
+	}
+	if res.Stream.Ticks != 2 {
+		t.Errorf("Ticks = %d, want the 2 completed before the failure", res.Stream.Ticks)
+	}
+}
+
+func TestStreamNoStepKernelRejected(t *testing.T) {
+	clk := stream.NewVirtualClock(time.Unix(1700000000, 0))
+	info := Info{
+		Name: "stepless",
+		runWith: func(ctx context.Context, o Options, p *profile.Profile) (Result, error) {
+			return Result{}, nil // never calls StepDone
+		},
+	}
+	s := streamerFor(info, clk)
+	_, err := s.Run(context.Background(), StreamOptions{
+		Kernel:   "stepless",
+		Period:   10 * time.Millisecond,
+		Duration: time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "StepDone") {
+		t.Fatalf("err = %v, want the StepDone contract violation", err)
+	}
+}
+
+func TestStreamOptionsNormalize(t *testing.T) {
+	base := StreamOptions{Kernel: "pfl", Period: 2 * time.Millisecond, Duration: time.Second}
+
+	got, err := base.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if got.Deadline != got.Period {
+		t.Errorf("implicit Deadline = %v, want the period", got.Deadline)
+	}
+	if got.Policy != stream.PolicySkipNext {
+		t.Errorf("default Policy = %q, want skip-next", got.Policy)
+	}
+	if got.Seed != 1 {
+		t.Errorf("default Seed = %d, want 1", got.Seed)
+	}
+
+	anytime := base
+	anytime.Policy = stream.PolicyAnytimeCutoff
+	if got, err := anytime.Normalize(); err != nil || !got.BestEffort {
+		t.Errorf("anytime-cutoff must imply BestEffort (got %+v, %v)", got.BestEffort, err)
+	}
+
+	timed := base
+	timed.Options.Deadline = time.Millisecond
+	timed.StepLatency = true
+	if got, err := timed.Normalize(); err != nil || got.Options.Deadline != 0 || got.Options.StepLatency {
+		t.Errorf("per-step instrumentation must be cleared in stream mode (got %+v, %v)", got.Options, err)
+	}
+
+	bad := []StreamOptions{
+		{Period: time.Millisecond, Duration: time.Second},                       // no kernel
+		{Kernel: "pfl", Duration: time.Second},                                  // no period
+		{Kernel: "pfl", Period: time.Millisecond},                               // unbounded
+		{Kernel: "pfl", Period: time.Millisecond, Duration: -1},                 // negative bound
+		{Kernel: "pfl", Period: time.Millisecond, Deadline: -1, Duration: 1},    // negative deadline
+		{Kernel: "pfl", Period: time.Millisecond, Duration: 1, Policy: "bogus"}, // unknown policy
+		{Kernel: "pfl", Period: time.Millisecond, Duration: 1, Options: Options{Workers: -1}},
+		{Kernel: "pfl", Period: time.Millisecond, Duration: 1, Options: Options{Fault: &FaultOptions{}}},
+	}
+	for i, o := range bad {
+		if _, err := o.Normalize(); err == nil {
+			t.Errorf("case %d: invalid StreamOptions accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestStreamUnknownKernel(t *testing.T) {
+	_, err := Stream(context.Background(), StreamOptions{
+		Kernel: "no-such-kernel", Period: time.Millisecond, Duration: time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("err = %v, want unknown kernel", err)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var reg obs.Registry
+	var res StreamResult
+	var err error
+	go func() {
+		defer close(done)
+		res, err = Stream(ctx, StreamOptions{
+			Kernel:   "pfl",
+			Options:  Options{Size: SizeSmall},
+			Period:   2 * time.Millisecond,
+			Duration: time.Hour, // bounded only nominally; cancellation ends it
+			Live:     &reg,
+		})
+	}()
+	// Cancel only once at least one tick has landed (watched through the
+	// live registry): a fixed sleep is a losing race against the first
+	// workload's setup cost under -race.
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Snapshot()["stream_ticks"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no tick completed within 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not stop on cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Stream.Ticks < 1 {
+		t.Errorf("Ticks = %d, want partial accounting before cancellation", res.Stream.Ticks)
+	}
+}

@@ -62,6 +62,18 @@ echo "== intra-kernel workers smoke (parallel algorithms, race detector)"
 go run -race ./cmd/rtrbench suite --size small --parallel 2 --workers 4 \
     --kernels pfl,ekfslam,prm,rrt,rrtstar,rrtpp --timeout 120s
 
+echo "== streaming smoke (periodic real-time mode, race detector)"
+# The streaming tentpole end to end: pfl driven as a 2ms-period periodic
+# task with an implicit 2ms deadline for 1s of wall time, under the race
+# detector, with the deadline-miss accounting sanity-checked from the JSON
+# report — ticks advanced and the miss rate is a valid fraction. The
+# queue and anytime-cutoff overload policies ride the deterministic
+# virtual-clock tests in internal/stream and rtrbench (run above).
+go run -race ./cmd/rtrbench stream -kernel pfl -period 2ms -deadline 2ms \
+    -duration 1s -policy skip-next -format json -out "$benchtmp/stream.json"
+jq -e '.stream.ticks >= 1 and .stream.miss_rate >= 0 and .stream.miss_rate <= 1
+       and .stream.policy == "skip-next"' "$benchtmp/stream.json" >/dev/null
+
 echo "== chaos sweep (injected faults, race detector)"
 # The same sweep under deterministic fault injection: sensor dropouts and
 # NaN corruption, stalls, and injected panics. The gate checks the process
@@ -100,6 +112,20 @@ metrics=$(curl -sf "$base/metrics")
 echo "$metrics" | grep -q '^rtrbench_queue_depth 0$'
 echo "$metrics" | grep -q '^rtrbench_result_cache_hits 1$'
 echo "$metrics" | grep -q '^rtrbench_jobs_cached 1$'
+# Streaming job through the daemon, submitted under a client identity: it
+# completes with a stream block, carries no digest (stream results are
+# never content-addressed), and afterwards /metrics exposes the live
+# rtrbench_stream_* counters plus the per-client dequeue label.
+streamreq='{"stream":{"kernel":"dmp","period":"2ms","duration":"200ms"}}'
+sid=$(curl -sf -X POST -H 'Content-Type: application/json' -H 'X-Client-ID: ci-smoke' \
+    -d "$streamreq" "$base/v1/jobs" | jq -re .id)
+sview=$(curl -sf "$base/v1/jobs/$sid?wait=120s")
+echo "$sview" | jq -e '.state == "done" and (.digest // "") == ""
+    and .result.kernels[0].stream.ticks >= 1' >/dev/null
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^rtrbench_stream_ticks [1-9]'
+echo "$metrics" | grep -q '^rtrbench_stream_jobs_completed 1$'
+echo "$metrics" | grep -q 'rtrbench_jobs_dequeued_by_client{client="ci-smoke"} 1'
 # SIGTERM drains in-flight work and exits 0.
 kill -TERM "$daemon"
 wait "$daemon"
